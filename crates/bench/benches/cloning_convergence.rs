@@ -1,0 +1,45 @@
+//! Criterion bench: end-to-end cost of a (scaled-down) workload-cloning run
+//! — the Fig. 2 workflow for a single benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micrograd_core::tuner::{GdParams, GradientDescentTuner};
+use micrograd_core::usecase::CloningTask;
+use micrograd_core::{ExecutionPlatform, KnobSpace, SimPlatform};
+use micrograd_sim::CoreConfig;
+use micrograd_workloads::{ApplicationTraceGenerator, Benchmark};
+
+fn cloning_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloning_convergence");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Bzip2, Benchmark::Mcf] {
+        group.bench_with_input(
+            BenchmarkId::new("gd_5_epochs", benchmark.name()),
+            &benchmark,
+            |b, benchmark| {
+                let platform = SimPlatform::new(CoreConfig::large())
+                    .with_dynamic_len(8_000)
+                    .with_seed(5);
+                let mut space = KnobSpace::full();
+                space.loop_size = 150;
+                let trace = ApplicationTraceGenerator::new(15_000, 5)
+                    .generate(&benchmark.profile());
+                let target = platform.measure_trace(&trace);
+                let task = CloningTask {
+                    max_epochs: 5,
+                    ..CloningTask::default()
+                };
+                b.iter(|| {
+                    let warm = CloningTask::warm_start_config(&space, &target);
+                    let mut tuner = GradientDescentTuner::new(GdParams::default())
+                        .with_initial_config(warm);
+                    task.run(&platform, &space, benchmark.name(), &target, &mut tuner)
+                        .expect("cloning run")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cloning_convergence);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: Microprobe-like test-case synthesis and trace expansion
+//! cost, per knob configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micrograd_codegen::{Generator, GeneratorInput, TraceExpander};
+
+fn codegen_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(30);
+    for loop_size in [100usize, 500, 1000] {
+        let input = GeneratorInput {
+            loop_size,
+            seed: 3,
+            ..GeneratorInput::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("generate", loop_size),
+            &input,
+            |b, input| {
+                let generator = Generator::new();
+                b.iter(|| generator.generate(input).expect("generate"));
+            },
+        );
+    }
+    let input = GeneratorInput {
+        loop_size: 500,
+        seed: 3,
+        ..GeneratorInput::default()
+    };
+    let tc = Generator::new().generate(&input).expect("generate");
+    for dynamic_len in [10_000usize, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("expand_trace", dynamic_len),
+            &dynamic_len,
+            |b, &len| {
+                b.iter(|| TraceExpander::new(len, 3).expand(&tc));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codegen_throughput);
+criterion_main!(benches);

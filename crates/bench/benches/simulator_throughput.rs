@@ -1,0 +1,32 @@
+//! Criterion bench: simulator throughput (dynamic instructions per second)
+//! on both Table II cores.  This is the substrate cost that every tuning
+//! evaluation pays, so it bounds how fast the whole framework can iterate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use micrograd_codegen::{Generator, GeneratorInput, TraceExpander};
+use micrograd_sim::{CoreConfig, Simulator};
+
+fn simulator_throughput(c: &mut Criterion) {
+    let input = GeneratorInput {
+        loop_size: 300,
+        seed: 1,
+        ..GeneratorInput::default()
+    };
+    let tc = Generator::new().generate(&input).expect("generate");
+    let trace = TraceExpander::new(50_000, 1).expand(&tc);
+
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+    for config in [CoreConfig::small(), CoreConfig::large()] {
+        let name = config.name.clone();
+        let sim = Simulator::new(config);
+        group.bench_with_input(BenchmarkId::new("run", name), &trace, |b, trace| {
+            b.iter(|| sim.run(trace));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: end-to-end cost of a (scaled-down) stress-testing run —
+//! the Fig. 5/6 workflow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micrograd_core::tuner::{GdParams, GradientDescentTuner};
+use micrograd_core::usecase::StressTask;
+use micrograd_core::{KnobSpace, SimPlatform};
+use micrograd_sim::CoreConfig;
+
+fn stress_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stress_convergence");
+    group.sample_size(10);
+
+    group.bench_function("performance_virus_gd_5_epochs", |b| {
+        let mut space = KnobSpace::instruction_fractions();
+        space.loop_size = 150;
+        let task = StressTask::performance_virus(5);
+        b.iter(|| {
+            let platform = SimPlatform::new(CoreConfig::large())
+                .with_dynamic_len(8_000)
+                .with_seed(3);
+            let mut tuner = GradientDescentTuner::new(GdParams::default());
+            task.run(&platform, &space, &mut tuner).expect("stress run")
+        });
+    });
+
+    group.bench_function("power_virus_gd_5_epochs", |b| {
+        let mut space = KnobSpace::instruction_fractions();
+        space.loop_size = 150;
+        let task = StressTask::power_virus(5);
+        b.iter(|| {
+            let platform = SimPlatform::new(CoreConfig::large())
+                .with_dynamic_len(8_000)
+                .with_seed(3);
+            let mut tuner = GradientDescentTuner::new(GdParams::default());
+            task.run(&platform, &space, &mut tuner).expect("stress run")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, stress_convergence);
+criterion_main!(benches);

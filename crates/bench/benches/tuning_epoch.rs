@@ -1,0 +1,51 @@
+//! Criterion bench: the cost of one tuning epoch under gradient descent vs
+//! the GA baseline.
+//!
+//! This is the resource-efficiency claim behind Figs. 5/6 of the paper: a
+//! GD epoch costs about `2 × knobs` platform evaluations while a GA epoch
+//! costs `population size` (50) evaluations, i.e. roughly 2.5× the work for
+//! the Listing 1 knob count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micrograd_core::tuner::{
+    GaParams, GdParams, GeneticTuner, GradientDescentTuner, Tuner, TuningBudget,
+};
+use micrograd_core::{KnobSpace, MetricKind, SimPlatform, StressGoal, StressLoss};
+use micrograd_sim::CoreConfig;
+
+fn tuning_epoch(c: &mut Criterion) {
+    let space = {
+        let mut s = KnobSpace::instruction_fractions();
+        s.loop_size = 150;
+        s
+    };
+    let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+    let budget = TuningBudget::epochs(1);
+
+    let mut group = c.benchmark_group("tuning_epoch");
+    group.sample_size(10);
+    group.bench_function("gradient_descent", |b| {
+        b.iter(|| {
+            // A fresh platform per iteration so memoization does not hide
+            // the evaluation cost.
+            let platform = SimPlatform::new(CoreConfig::large())
+                .with_dynamic_len(10_000)
+                .with_seed(1);
+            let mut tuner = GradientDescentTuner::new(GdParams::default());
+            tuner.tune(&platform, &space, &loss, &budget).expect("tune")
+        });
+    });
+    group.bench_function("genetic_algorithm_table1", |b| {
+        b.iter(|| {
+            let platform = SimPlatform::new(CoreConfig::large())
+                .with_dynamic_len(10_000)
+                .with_seed(1);
+            let mut tuner = GeneticTuner::new(GaParams::paper());
+            tuner.tune(&platform, &space, &loss, &budget).expect("tune")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tuning_epoch);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 2 of the paper: workload cloning of the eight SPEC-like
+//! benchmarks on the Large core with gradient-descent tuning.
+//!
+//! The radar charts are printed as a table of clone/original ratios
+//! (radial axis values), one row per benchmark, plus the number of tuning
+//! epochs each clone needed (the figure's caption annotations).
+//!
+//! Set `MICROGRAD_FAST=1` for a quick smoke run.
+
+use micrograd_bench::{format_ratio_table, run_cloning_experiment, ExperimentSizes};
+use micrograd_core::{MetricKind, TunerKind};
+use micrograd_sim::CoreConfig;
+
+fn main() {
+    let sizes = ExperimentSizes::from_env();
+    let rows = run_cloning_experiment(CoreConfig::large(), TunerKind::GradientDescent, &sizes);
+    let table_rows: Vec<_> = rows
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.ratios.clone(), r.epochs))
+        .collect();
+    println!(
+        "{}",
+        format_ratio_table(
+            "Fig. 2: Workload cloning, Large core, Gradient Descent (clone/original ratios)",
+            &table_rows,
+            &MetricKind::CLONING,
+        )
+    );
+    let mean: f64 = rows.iter().map(|r| r.mean_accuracy).sum::<f64>() / rows.len() as f64;
+    let worst = rows
+        .iter()
+        .min_by(|a, b| a.mean_accuracy.partial_cmp(&b.mean_accuracy).unwrap())
+        .unwrap();
+    println!("average accuracy across benchmarks: {:.2}%", mean * 100.0);
+    println!(
+        "least accurate benchmark: {} at {:.2}%",
+        worst.benchmark,
+        worst.mean_accuracy * 100.0
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 3 of the paper: workload cloning of the eight SPEC-like
+//! benchmarks on the Small core with gradient-descent tuning.
+//!
+//! Set `MICROGRAD_FAST=1` for a quick smoke run.
+
+use micrograd_bench::{format_ratio_table, run_cloning_experiment, ExperimentSizes};
+use micrograd_core::{MetricKind, TunerKind};
+use micrograd_sim::CoreConfig;
+
+fn main() {
+    let sizes = ExperimentSizes::from_env();
+    let rows = run_cloning_experiment(CoreConfig::small(), TunerKind::GradientDescent, &sizes);
+    let table_rows: Vec<_> = rows
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.ratios.clone(), r.epochs))
+        .collect();
+    println!(
+        "{}",
+        format_ratio_table(
+            "Fig. 3: Workload cloning, Small core, Gradient Descent (clone/original ratios)",
+            &table_rows,
+            &MetricKind::CLONING,
+        )
+    );
+    let mean: f64 = rows.iter().map(|r| r.mean_accuracy).sum::<f64>() / rows.len() as f64;
+    println!("average accuracy across benchmarks: {:.2}%", mean * 100.0);
+}

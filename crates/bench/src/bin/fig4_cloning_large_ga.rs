@@ -1,0 +1,35 @@
+//! Regenerates Fig. 4 of the paper: workload cloning of the eight SPEC-like
+//! benchmarks on the Large core with the GA baseline (Table I parameters),
+//! given the same epoch budget as the gradient-descent runs of Fig. 2.
+//!
+//! Set `MICROGRAD_FAST=1` for a quick smoke run.
+
+use micrograd_bench::{format_ratio_table, run_cloning_experiment, ExperimentSizes};
+use micrograd_core::{MetricKind, TunerKind};
+use micrograd_sim::CoreConfig;
+
+fn main() {
+    let sizes = ExperimentSizes::from_env();
+    let ga_rows = run_cloning_experiment(CoreConfig::large(), TunerKind::Genetic, &sizes);
+    let table_rows: Vec<_> = ga_rows
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.ratios.clone(), r.epochs))
+        .collect();
+    println!(
+        "{}",
+        format_ratio_table(
+            "Fig. 4: Workload cloning, Large core, Genetic Algorithm (clone/original ratios)",
+            &table_rows,
+            &MetricKind::CLONING,
+        )
+    );
+    let ga_mean: f64 =
+        ga_rows.iter().map(|r| r.mean_accuracy).sum::<f64>() / ga_rows.len() as f64;
+    println!("average GA accuracy across benchmarks: {:.2}%", ga_mean * 100.0);
+    println!(
+        "average GA error: {:.1}% (the paper reports ~30% GA error vs <1% for GD)",
+        (1.0 - ga_mean) * 100.0
+    );
+    let evals: usize = ga_rows.iter().map(|r| r.evaluations).sum();
+    println!("total GA evaluations: {evals} (50 per epoch vs ~2x knobs for GD)");
+}

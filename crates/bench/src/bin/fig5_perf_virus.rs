@@ -1,0 +1,44 @@
+//! Regenerates Fig. 5 of the paper: the compute-focused performance virus
+//! (worst-case IPC) on the Large core — gradient descent vs the GA baseline
+//! vs the brute-force optimum, tuning only the instruction-fraction knobs.
+//!
+//! Set `MICROGRAD_FAST=1` for a quick smoke run.
+
+use micrograd_bench::{format_series, run_stress_comparison, ExperimentSizes};
+use micrograd_core::{KnobSpace, MetricKind, StressGoal};
+use micrograd_sim::CoreConfig;
+
+fn main() {
+    let sizes = ExperimentSizes::from_env();
+    let mut space = KnobSpace::instruction_fractions();
+    space.loop_size = sizes.loop_size;
+    let curves = run_stress_comparison(
+        CoreConfig::large(),
+        &space,
+        MetricKind::Ipc,
+        StressGoal::Minimize,
+        &sizes,
+    );
+    println!(
+        "{}",
+        format_series(
+            "Fig. 5: Performance virus (worst-case IPC), Large core — best IPC per epoch",
+            &[("GD", &curves.gd), ("GA", &curves.ga)],
+            Some(("brute-force minimum", curves.brute_force_optimum)),
+        )
+    );
+    println!(
+        "GD final IPC {:.4} = {:.2}x the brute-force minimum after {} epochs ({} evaluations)",
+        curves.gd.last().copied().unwrap_or(f64::NAN),
+        curves.gd_vs_optimum(),
+        curves.gd.len(),
+        curves.gd_evaluations
+    );
+    println!(
+        "GA final IPC {:.4} after {} epochs ({} evaluations)",
+        curves.ga.last().copied().unwrap_or(f64::NAN),
+        curves.ga.len(),
+        curves.ga_evaluations
+    );
+    println!("brute-force evaluations: {}", curves.brute_evaluations);
+}

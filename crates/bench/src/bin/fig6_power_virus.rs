@@ -1,0 +1,51 @@
+//! Regenerates Fig. 6 of the paper: the power virus (maximum dynamic power)
+//! on the Large core — gradient descent vs the GA baseline vs the
+//! brute-force optimum.
+//!
+//! Set `MICROGRAD_FAST=1` for a quick smoke run.
+
+use micrograd_bench::{format_series, run_stress_comparison, ExperimentSizes};
+use micrograd_core::{KnobSpace, MetricKind, StressGoal};
+use micrograd_sim::CoreConfig;
+
+fn main() {
+    let sizes = ExperimentSizes::from_env();
+    let mut space = KnobSpace::instruction_fractions();
+    space.loop_size = sizes.loop_size;
+    let curves = run_stress_comparison(
+        CoreConfig::large(),
+        &space,
+        MetricKind::DynamicPower,
+        StressGoal::Maximize,
+        &sizes,
+    );
+    println!(
+        "{}",
+        format_series(
+            "Fig. 6: Power virus (maximum dynamic power, W), Large core — best power per epoch",
+            &[("GD", &curves.gd), ("GA", &curves.ga)],
+            Some(("brute-force maximum", curves.brute_force_optimum)),
+        )
+    );
+    let gd_final = curves.gd.last().copied().unwrap_or(f64::NAN);
+    println!(
+        "GD reaches {:.3} W ({:.1}% of the brute-force maximum {:.3} W) in {} epochs ({} evaluations)",
+        gd_final,
+        100.0 * gd_final / curves.brute_force_optimum,
+        curves.brute_force_optimum,
+        curves.gd.len(),
+        curves.gd_evaluations
+    );
+    // Epochs the GA needs to first reach the GD's final power level.
+    let ga_epochs_to_match = curves
+        .ga
+        .iter()
+        .position(|p| *p >= gd_final)
+        .map_or_else(|| format!("> {}", curves.ga.len()), |i| (i + 1).to_string());
+    println!(
+        "GA reaches {:.3} W in {} epochs; epochs to match GD: {}",
+        curves.ga.last().copied().unwrap_or(f64::NAN),
+        curves.ga.len(),
+        ga_epochs_to_match
+    );
+}

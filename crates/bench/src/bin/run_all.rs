@@ -1,0 +1,192 @@
+//! Runs every experiment of the paper's evaluation section in one go and
+//! prints the regenerated tables and figure data.  This is the binary used
+//! to produce the numbers recorded in EXPERIMENTS.md.
+//!
+//! Set `MICROGRAD_FAST=1` for a quick smoke run.
+
+use micrograd_bench::{
+    format_ratio_table, format_series, run_cloning_experiment, run_stress_comparison,
+    ExperimentSizes,
+};
+use micrograd_core::tuner::GaParams;
+use micrograd_core::{KnobSpace, MetricKind, StressGoal, TunerKind};
+use micrograd_isa::InstrClass;
+use micrograd_sim::CoreConfig;
+use std::time::Instant;
+
+fn banner(title: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+fn main() {
+    let sizes = ExperimentSizes::from_env();
+    let start = Instant::now();
+    println!("MicroGrad experiment suite (sizes: {sizes:?})");
+
+    // ---------------- Table I ----------------
+    banner("Table I: GA parameters");
+    let ga = GaParams::paper();
+    println!(
+        "population {}, mutation {:.0}%, crossover 1-point @ {:.0}%, elitism {}, tournament {}",
+        ga.population_size,
+        ga.mutation_rate * 100.0,
+        ga.crossover_rate * 100.0,
+        ga.elite_count > 0,
+        ga.tournament_size
+    );
+
+    // ---------------- Table II ----------------
+    banner("Table II: core configurations");
+    for core in [CoreConfig::small(), CoreConfig::large()] {
+        println!(
+            "{:<6} width {}, ROB/LSQ/RS {}/{}/{}, ALU/SIMD/FP {}/{}/{}, L1 {}k, L2 {}k, prefetch {}",
+            core.name,
+            core.frontend_width,
+            core.rob_entries,
+            core.lsq_entries,
+            core.rs_entries,
+            core.alu_units,
+            core.complex_units,
+            core.fp_units,
+            core.l1d.size_bytes / 1024,
+            core.l2.size_bytes / 1024,
+            core.prefetch.enabled
+        );
+    }
+
+    // ---------------- Fig. 2 ----------------
+    banner("Fig. 2: cloning, Large core, Gradient Descent");
+    let t = Instant::now();
+    let fig2 = run_cloning_experiment(CoreConfig::large(), TunerKind::GradientDescent, &sizes);
+    let rows: Vec<_> = fig2
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.ratios.clone(), r.epochs))
+        .collect();
+    println!(
+        "{}",
+        format_ratio_table("clone/original ratios", &rows, &MetricKind::CLONING)
+    );
+    let fig2_mean =
+        fig2.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig2.len() as f64;
+    println!("average GD accuracy (Large): {:.2}%   [{:.1?}]", fig2_mean * 100.0, t.elapsed());
+
+    // ---------------- Fig. 3 ----------------
+    banner("Fig. 3: cloning, Small core, Gradient Descent");
+    let t = Instant::now();
+    let fig3 = run_cloning_experiment(CoreConfig::small(), TunerKind::GradientDescent, &sizes);
+    let rows: Vec<_> = fig3
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.ratios.clone(), r.epochs))
+        .collect();
+    println!(
+        "{}",
+        format_ratio_table("clone/original ratios", &rows, &MetricKind::CLONING)
+    );
+    let fig3_mean =
+        fig3.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig3.len() as f64;
+    println!("average GD accuracy (Small): {:.2}%   [{:.1?}]", fig3_mean * 100.0, t.elapsed());
+
+    // ---------------- Fig. 4 ----------------
+    banner("Fig. 4: cloning, Large core, Genetic Algorithm");
+    let t = Instant::now();
+    let fig4 = run_cloning_experiment(CoreConfig::large(), TunerKind::Genetic, &sizes);
+    let rows: Vec<_> = fig4
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.ratios.clone(), r.epochs))
+        .collect();
+    println!(
+        "{}",
+        format_ratio_table("clone/original ratios", &rows, &MetricKind::CLONING)
+    );
+    let fig4_mean =
+        fig4.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig4.len() as f64;
+    println!("average GA accuracy (Large): {:.2}%   [{:.1?}]", fig4_mean * 100.0, t.elapsed());
+    println!(
+        "GD vs GA accuracy gap: {:.1} percentage points (paper: ~25-30%)",
+        (fig2_mean - fig4_mean) * 100.0
+    );
+    let gd_evals: usize = fig2.iter().map(|r| r.evaluations).sum();
+    let ga_evals: usize = fig4.iter().map(|r| r.evaluations).sum();
+    println!(
+        "evaluations: GD {gd_evals}, GA {ga_evals} ({:.2}x more work for GA at equal epochs)",
+        ga_evals as f64 / gd_evals as f64
+    );
+
+    // ---------------- Fig. 5 ----------------
+    banner("Fig. 5: performance virus (worst-case IPC), Large core");
+    let t = Instant::now();
+    let mut space = KnobSpace::instruction_fractions();
+    space.loop_size = sizes.loop_size;
+    let fig5 = run_stress_comparison(
+        CoreConfig::large(),
+        &space,
+        MetricKind::Ipc,
+        StressGoal::Minimize,
+        &sizes,
+    );
+    println!(
+        "{}",
+        format_series(
+            "best IPC per epoch",
+            &[("GD", &fig5.gd), ("GA", &fig5.ga)],
+            Some(("brute-force minimum", fig5.brute_force_optimum)),
+        )
+    );
+    println!(
+        "GD reaches {:.2}x the brute-force minimum in {} epochs; GA ends at {:.2}x in {} epochs   [{:.1?}]",
+        fig5.gd_vs_optimum(),
+        fig5.gd.len(),
+        fig5.ga.last().copied().unwrap_or(f64::NAN) / fig5.brute_force_optimum,
+        fig5.ga.len(),
+        t.elapsed()
+    );
+
+    // ---------------- Fig. 6 + Table III ----------------
+    banner("Fig. 6: power virus (maximum dynamic power), Large core");
+    let t = Instant::now();
+    let fig6 = run_stress_comparison(
+        CoreConfig::large(),
+        &space,
+        MetricKind::DynamicPower,
+        StressGoal::Maximize,
+        &sizes,
+    );
+    println!(
+        "{}",
+        format_series(
+            "best dynamic power (W) per epoch",
+            &[("GD", &fig6.gd), ("GA", &fig6.ga)],
+            Some(("brute-force maximum", fig6.brute_force_optimum)),
+        )
+    );
+    let gd_final = fig6.gd.last().copied().unwrap_or(f64::NAN);
+    let ga_match = fig6
+        .ga
+        .iter()
+        .position(|p| *p >= gd_final)
+        .map_or_else(|| format!("> {}", fig6.ga.len()), |i| (i + 1).to_string());
+    println!(
+        "GD reaches {:.3} W ({:.1}% of brute-force max) in {} epochs; GA needs {} epochs to match   [{:.1?}]",
+        gd_final,
+        100.0 * gd_final / fig6.brute_force_optimum,
+        fig6.gd.len(),
+        ga_match,
+        t.elapsed()
+    );
+
+    banner("Table III: power virus instruction distribution (GD)");
+    let mix = &fig6.gd_report.instruction_mix;
+    for class in InstrClass::ALL {
+        println!(
+            "{:<9}{:>6.1}%",
+            class.to_string(),
+            mix.get(&class).copied().unwrap_or(0.0) * 100.0
+        );
+    }
+
+    println!();
+    println!("total experiment-suite time: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table II of the paper: the Small and Large core
+//! configurations used throughout the evaluation.
+
+use micrograd_sim::CoreConfig;
+
+fn main() {
+    let small = CoreConfig::small();
+    let large = CoreConfig::large();
+    println!("Table II: Core Configuration");
+    println!("{:<22}{:>18}{:>24}", "Parameter", "Small", "Large");
+    println!(
+        "{:<22}{:>18}{:>24}",
+        "Frequency",
+        format!("{} GHz", small.frequency_hz / 1_000_000_000),
+        format!("{} GHz", large.frequency_hz / 1_000_000_000)
+    );
+    println!(
+        "{:<22}{:>18}{:>24}",
+        "Front-End Width", small.frontend_width, large.frontend_width
+    );
+    println!(
+        "{:<22}{:>18}{:>24}",
+        "ROB/LSQ/RSE",
+        format!("{}/{}/{}", small.rob_entries, small.lsq_entries, small.rs_entries),
+        format!("{}/{}/{}", large.rob_entries, large.lsq_entries, large.rs_entries)
+    );
+    println!(
+        "{:<22}{:>18}{:>24}",
+        "ALU/SIMD/FP",
+        format!("{}/{}/{}", small.alu_units, small.complex_units, small.fp_units),
+        format!("{}/{}/{}", large.alu_units, large.complex_units, large.fp_units)
+    );
+    println!(
+        "{:<22}{:>18}{:>24}",
+        "L1/L2 Cache",
+        format!("{}k/{}k", small.l1d.size_bytes / 1024, small.l2.size_bytes / 1024),
+        format!(
+            "{}k/{}M + prefetch",
+            large.l1d.size_bytes / 1024,
+            large.l2.size_bytes / (1024 * 1024)
+        )
+    );
+    println!(
+        "{:<22}{:>18}{:>24}",
+        "Memory",
+        format!("{} GB", small.memory_bytes >> 30),
+        format!("{} GB", large.memory_bytes >> 30)
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table III of the paper: the instruction distribution of the
+//! gradient-descent power virus (the Fig. 6 run's best test case).
+//!
+//! Set `MICROGRAD_FAST=1` for a quick smoke run.
+
+use micrograd_bench::{run_stress_comparison, ExperimentSizes};
+use micrograd_core::{KnobSpace, MetricKind, StressGoal};
+use micrograd_isa::InstrClass;
+use micrograd_sim::CoreConfig;
+
+fn main() {
+    let sizes = ExperimentSizes::from_env();
+    let mut space = KnobSpace::instruction_fractions();
+    space.loop_size = sizes.loop_size;
+    let curves = run_stress_comparison(
+        CoreConfig::large(),
+        &space,
+        MetricKind::DynamicPower,
+        StressGoal::Maximize,
+        &sizes,
+    );
+    let mix = &curves.gd_report.instruction_mix;
+    println!("Table III: Power virus instruction distribution (GD)");
+    println!(
+        "{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "Integer", "Float", "Branch", "Load", "Store"
+    );
+    println!(
+        "{:>8.1}%{:>8.1}%{:>8.1}%{:>8.1}%{:>8.1}%",
+        mix.get(&InstrClass::Integer).copied().unwrap_or(0.0) * 100.0,
+        mix.get(&InstrClass::Float).copied().unwrap_or(0.0) * 100.0,
+        mix.get(&InstrClass::Branch).copied().unwrap_or(0.0) * 100.0,
+        mix.get(&InstrClass::Load).copied().unwrap_or(0.0) * 100.0,
+        mix.get(&InstrClass::Store).copied().unwrap_or(0.0) * 100.0,
+    );
+    let memory = mix.get(&InstrClass::Load).copied().unwrap_or(0.0)
+        + mix.get(&InstrClass::Store).copied().unwrap_or(0.0);
+    println!();
+    println!(
+        "memory fraction: {:.1}%  float fraction: {:.1}%  integer fraction: {:.1}%",
+        memory * 100.0,
+        mix.get(&InstrClass::Float).copied().unwrap_or(0.0) * 100.0,
+        mix.get(&InstrClass::Integer).copied().unwrap_or(0.0) * 100.0
+    );
+    println!("(paper: memory >50%, float >20%, integer ~6%)");
+    println!(
+        "power virus dynamic power: {:.3} W",
+        curves.gd_report.best_value
+    );
+}

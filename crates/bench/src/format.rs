@@ -1,0 +1,95 @@
+//! Plain-text table and series formatting for the experiment binaries.
+
+use micrograd_core::MetricKind;
+use std::collections::BTreeMap;
+
+/// Formats a per-benchmark × per-metric ratio table (the tabular form of
+/// the radar charts in Figs. 2–4).
+#[must_use]
+pub fn format_ratio_table(
+    title: &str,
+    rows: &[(String, BTreeMap<MetricKind, f64>, usize)],
+    kinds: &[MetricKind],
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<12}", "benchmark"));
+    for kind in kinds {
+        out.push_str(&format!("{:>15}", kind.label()));
+    }
+    out.push_str(&format!("{:>9}\n", "epochs"));
+    for (name, ratios, epochs) in rows {
+        out.push_str(&format!("{name:<12}"));
+        for kind in kinds {
+            out.push_str(&format!("{:>15.3}", ratios.get(kind).copied().unwrap_or(f64::NAN)));
+        }
+        out.push_str(&format!("{epochs:>9}\n"));
+    }
+    out
+}
+
+/// Formats one or more per-epoch series side by side (the curves of
+/// Figs. 5 and 6).
+#[must_use]
+pub fn format_series(title: &str, columns: &[(&str, &[f64])], reference: Option<(&str, f64)>) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if let Some((label, value)) = reference {
+        out.push_str(&format!("reference ({label}): {value:.4}\n"));
+    }
+    out.push_str(&format!("{:>6}", "epoch"));
+    for (label, _) in columns {
+        out.push_str(&format!("{label:>14}"));
+    }
+    out.push('\n');
+    let len = columns.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..len {
+        out.push_str(&format!("{:>6}", i + 1));
+        for (_, series) in columns {
+            match series.get(i) {
+                Some(v) => out.push_str(&format!("{v:>14.4}")),
+                None => out.push_str(&format!("{:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_table_contains_all_rows_and_columns() {
+        let mut ratios = BTreeMap::new();
+        ratios.insert(MetricKind::Ipc, 0.98);
+        ratios.insert(MetricKind::L1dHitRate, 1.02);
+        let rows = vec![("astar".to_owned(), ratios, 10)];
+        let table = format_ratio_table(
+            "Fig. 2",
+            &rows,
+            &[MetricKind::Ipc, MetricKind::L1dHitRate],
+        );
+        assert!(table.contains("Fig. 2"));
+        assert!(table.contains("astar"));
+        assert!(table.contains("0.980"));
+        assert!(table.contains("1.020"));
+        assert!(table.contains("10"));
+        assert!(table.contains("IPC"));
+        assert!(table.contains("DC Hit Rate"));
+    }
+
+    #[test]
+    fn series_pads_shorter_columns() {
+        let a = [1.0, 0.8, 0.7];
+        let b = [1.1];
+        let s = format_series("Fig. 5", &[("GD", &a), ("GA", &b)], Some(("minimum", 0.5)));
+        assert!(s.contains("reference (minimum): 0.5000"));
+        assert!(s.lines().count() >= 6);
+        assert!(s.contains('-'));
+        assert!(s.contains("0.7000"));
+    }
+}

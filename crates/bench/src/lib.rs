@@ -1,0 +1,36 @@
+//! # micrograd-bench
+//!
+//! The experiment harness of the MicroGrad reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! regeneration binary in `src/bin/`:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table I (GA parameters) | `table1` |
+//! | Table II (core configurations) | `table2` |
+//! | Fig. 2 (cloning, Large core, GD) | `fig2_cloning_large_gd` |
+//! | Fig. 3 (cloning, Small core, GD) | `fig3_cloning_small_gd` |
+//! | Fig. 4 (cloning, Large core, GA) | `fig4_cloning_large_ga` |
+//! | Fig. 5 (performance virus: GD vs GA vs brute force) | `fig5_perf_virus` |
+//! | Fig. 6 (power virus: GD vs GA vs brute force) | `fig6_power_virus` |
+//! | Table III (power-virus instruction mix) | `table3_power_virus_mix` |
+//! | everything above in one run | `run_all` |
+//!
+//! The library half of the crate holds the shared experiment code the
+//! binaries and the Criterion benches use: experiment sizing (full vs. the
+//! `MICROGRAD_FAST=1` quick mode), the cloning/stress runners and plain-text
+//! table formatting.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cloning;
+pub mod format;
+pub mod sizes;
+pub mod stress;
+
+pub use cloning::{run_cloning_experiment, CloneRow};
+pub use format::{format_ratio_table, format_series};
+pub use sizes::ExperimentSizes;
+pub use stress::{run_stress_comparison, StressCurves};

@@ -1,0 +1,104 @@
+//! Experiment sizing: full runs vs. the fast smoke-test mode.
+
+/// Knob sizes shared by every experiment binary.
+///
+/// The paper's evaluation uses 100 M-instruction simpoints and 10 M-dynamic-
+/// instruction test cases on Gem5; those are far too slow for a bundled
+/// software model run inside CI, so the default sizes below are scaled down
+/// (the shapes of the results are preserved — see EXPERIMENTS.md).  Setting
+/// the environment variable `MICROGRAD_FAST=1` shrinks everything further
+/// for a quick smoke run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentSizes {
+    /// Dynamic instructions per reference-application characterization.
+    pub reference_len: usize,
+    /// Dynamic instructions per test-case evaluation.
+    pub dynamic_len: usize,
+    /// Static loop size of generated test cases.
+    pub loop_size: usize,
+    /// Epoch budget for cloning runs.
+    pub cloning_epochs: usize,
+    /// Epoch budget for gradient-descent stress runs.
+    pub stress_epochs_gd: usize,
+    /// Epoch budget for GA stress runs (1.5× GD, as in Fig. 5).
+    pub stress_epochs_ga: usize,
+    /// Brute-force grid levels per knob.
+    pub brute_levels: usize,
+    /// Brute-force evaluation cap.
+    pub brute_max_evals: usize,
+    /// Seed shared by the experiments.
+    pub seed: u64,
+}
+
+impl ExperimentSizes {
+    /// The default (full) experiment sizes.
+    #[must_use]
+    pub fn full() -> Self {
+        ExperimentSizes {
+            reference_len: 60_000,
+            dynamic_len: 25_000,
+            loop_size: 300,
+            cloning_epochs: 40,
+            stress_epochs_gd: 30,
+            stress_epochs_ga: 45,
+            brute_levels: 2,
+            brute_max_evals: 4096,
+            seed: 7,
+        }
+    }
+
+    /// Reduced sizes for quick smoke runs (`MICROGRAD_FAST=1`).
+    #[must_use]
+    pub fn fast() -> Self {
+        ExperimentSizes {
+            reference_len: 12_000,
+            dynamic_len: 6_000,
+            loop_size: 120,
+            cloning_epochs: 8,
+            stress_epochs_gd: 8,
+            stress_epochs_ga: 12,
+            brute_levels: 2,
+            brute_max_evals: 256,
+            seed: 7,
+        }
+    }
+
+    /// Chooses between [`full`](Self::full) and [`fast`](Self::fast) based
+    /// on the `MICROGRAD_FAST` environment variable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("MICROGRAD_FAST") {
+            Ok(v) if v != "0" && !v.is_empty() => Self::fast(),
+            _ => Self::full(),
+        }
+    }
+}
+
+impl Default for ExperimentSizes {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_sizes_are_smaller_than_full_sizes() {
+        let fast = ExperimentSizes::fast();
+        let full = ExperimentSizes::full();
+        assert!(fast.reference_len < full.reference_len);
+        assert!(fast.dynamic_len < full.dynamic_len);
+        assert!(fast.cloning_epochs < full.cloning_epochs);
+        assert!(fast.stress_epochs_gd < full.stress_epochs_gd);
+        assert_eq!(full, ExperimentSizes::default());
+    }
+
+    #[test]
+    fn ga_gets_more_epochs_than_gd_as_in_fig5() {
+        for sizes in [ExperimentSizes::fast(), ExperimentSizes::full()] {
+            assert!(sizes.stress_epochs_ga as f64 >= sizes.stress_epochs_gd as f64 * 1.4);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared stress-experiment runner (Figs. 5 and 6, Table III).
+
+use crate::ExperimentSizes;
+use micrograd_core::tuner::{
+    BruteForceTuner, GaParams, GdParams, GeneticTuner, GradientDescentTuner, Tuner, TuningBudget,
+};
+use micrograd_core::usecase::{StressReport, StressTask};
+use micrograd_core::{KnobSpace, MetricKind, SimPlatform, StressGoal, StressLoss};
+use micrograd_sim::CoreConfig;
+
+/// The curves of a stress comparison: per-epoch best stress-metric value
+/// for gradient descent and the GA, plus the brute-force reference optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressCurves {
+    /// The stressed metric.
+    pub metric: MetricKind,
+    /// Per-epoch best value under gradient descent.
+    pub gd: Vec<f64>,
+    /// Per-epoch best value under the GA (1.5× the GD epoch budget, as in
+    /// Fig. 5).
+    pub ga: Vec<f64>,
+    /// Brute-force optimum over the coarse grid ("Minimum"/"Maximum" line).
+    pub brute_force_optimum: f64,
+    /// Evaluations used by GD.
+    pub gd_evaluations: usize,
+    /// Evaluations used by the GA.
+    pub ga_evaluations: usize,
+    /// Evaluations used by brute force.
+    pub brute_evaluations: usize,
+    /// The full gradient-descent report (instruction mix for Table III).
+    pub gd_report: StressReport,
+}
+
+impl StressCurves {
+    /// Final GD value relative to the brute-force optimum (1.0 = matched).
+    #[must_use]
+    pub fn gd_vs_optimum(&self) -> f64 {
+        let last = self.gd.last().copied().unwrap_or(f64::NAN);
+        if self.brute_force_optimum.abs() < 1e-12 {
+            f64::NAN
+        } else {
+            last / self.brute_force_optimum
+        }
+    }
+}
+
+/// Runs one stress-testing comparison (GD vs GA vs brute force) on `core`
+/// over `space` for the given metric/goal.
+///
+/// # Panics
+///
+/// Panics if a tuning run fails (the bundled platform cannot fail on valid
+/// knob configurations).
+#[must_use]
+pub fn run_stress_comparison(
+    core: CoreConfig,
+    space: &KnobSpace,
+    metric: MetricKind,
+    goal: StressGoal,
+    sizes: &ExperimentSizes,
+) -> StressCurves {
+    let platform = SimPlatform::new(core)
+        .with_dynamic_len(sizes.dynamic_len)
+        .with_seed(sizes.seed);
+
+    // Brute-force reference over a coarse grid.
+    let loss = StressLoss::new(metric, goal);
+    let mut brute = BruteForceTuner::new(sizes.brute_levels, sizes.brute_max_evals);
+    let brute_result = brute
+        .tune(&platform, space, &loss, &TuningBudget::epochs(usize::MAX / 2))
+        .expect("brute-force run succeeds");
+    let brute_force_optimum = brute_result.best_metrics.value_or_zero(metric);
+
+    // Gradient descent.
+    let gd_task = StressTask {
+        metric,
+        goal,
+        max_epochs: sizes.stress_epochs_gd,
+    };
+    let mut gd = GradientDescentTuner::new(GdParams {
+        seed: sizes.seed,
+        ..GdParams::default()
+    });
+    let gd_report = gd_task
+        .run(&platform, space, &mut gd)
+        .expect("gradient-descent run succeeds");
+
+    // GA with 1.5× the epochs, as in Fig. 5.
+    let ga_task = StressTask {
+        metric,
+        goal,
+        max_epochs: sizes.stress_epochs_ga,
+    };
+    let mut ga = GeneticTuner::new(GaParams {
+        seed: sizes.seed,
+        ..GaParams::paper()
+    });
+    let ga_report = ga_task
+        .run(&platform, space, &mut ga)
+        .expect("GA run succeeds");
+
+    StressCurves {
+        metric,
+        gd: gd_report.progression.clone(),
+        ga: ga_report.progression.clone(),
+        brute_force_optimum,
+        gd_evaluations: gd_report.evaluations,
+        ga_evaluations: ga_report.evaluations,
+        brute_evaluations: brute_result.total_evaluations,
+        gd_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_stress_comparison_produces_all_curves() {
+        let sizes = ExperimentSizes {
+            dynamic_len: 4_000,
+            loop_size: 100,
+            stress_epochs_gd: 2,
+            stress_epochs_ga: 3,
+            brute_levels: 2,
+            brute_max_evals: 16,
+            ..ExperimentSizes::fast()
+        };
+        let mut space = KnobSpace::instruction_fractions();
+        space.loop_size = sizes.loop_size;
+        let curves = run_stress_comparison(
+            CoreConfig::small(),
+            &space,
+            MetricKind::Ipc,
+            StressGoal::Minimize,
+            &sizes,
+        );
+        assert_eq!(curves.gd.len(), 2);
+        assert_eq!(curves.ga.len(), 3);
+        assert!(curves.brute_force_optimum > 0.0);
+        assert!(curves.gd_vs_optimum().is_finite());
+        assert!(curves.ga_evaluations > curves.gd_evaluations);
+        assert_eq!(curves.gd_report.metric, MetricKind::Ipc);
+    }
+}

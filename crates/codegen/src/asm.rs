@@ -1,0 +1,147 @@
+//! Assembly emission: render a test case as RISC-V assembly text.
+
+use crate::TestCase;
+use std::fmt::Write as _;
+
+/// Renders a [`TestCase`] as a self-contained RISC-V assembly listing.
+///
+/// The output is what a user would assemble and run on native hardware or
+/// feed to a full-system simulator: a data section sized to the memory
+/// streams, a register-initialization preamble, and the endless loop body.
+///
+/// # Example
+///
+/// ```
+/// use micrograd_codegen::{AssemblyEmitter, Generator, GeneratorInput};
+///
+/// let input = GeneratorInput { loop_size: 16, ..GeneratorInput::default() };
+/// let tc = Generator::new().generate(&input)?;
+/// let asm = AssemblyEmitter::new().emit(&tc);
+/// assert!(asm.contains(".globl _start"));
+/// assert!(asm.contains("loop_body:"));
+/// # Ok::<(), micrograd_codegen::CodegenError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AssemblyEmitter {
+    include_comments: bool,
+}
+
+impl AssemblyEmitter {
+    /// Creates an emitter that includes explanatory comments.
+    #[must_use]
+    pub fn new() -> Self {
+        AssemblyEmitter {
+            include_comments: true,
+        }
+    }
+
+    /// Disables comments in the output.
+    #[must_use]
+    pub fn without_comments(mut self) -> Self {
+        self.include_comments = false;
+        self
+    }
+
+    /// Emits the assembly listing.
+    #[must_use]
+    pub fn emit(&self, test_case: &TestCase) -> String {
+        let mut out = String::new();
+        if self.include_comments {
+            let _ = writeln!(out, "# MicroGrad synthetic test case: {}", test_case.metadata().name);
+            let _ = writeln!(out, "# seed: {}", test_case.metadata().seed);
+            let _ = writeln!(
+                out,
+                "# passes: {}",
+                test_case.metadata().applied_passes.join(", ")
+            );
+        }
+        let _ = writeln!(out, "    .section .data");
+        for stream in test_case.streams() {
+            let _ = writeln!(out, "stream_{}:", stream.id);
+            let _ = writeln!(out, "    .zero {}", stream.footprint);
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "    .section .text");
+        let _ = writeln!(out, "    .globl _start");
+        let _ = writeln!(out, "_start:");
+        // register initialization preamble
+        let init = test_case.metadata().init_reg_value;
+        let _ = writeln!(out, "    li x5, {init}");
+        let _ = writeln!(out, "    fcvt.d.w f5, x5");
+        for stream in test_case.streams() {
+            let base_reg =
+                crate::passes::GenericMemoryStreamsPass::stream_base_reg(stream.id);
+            let _ = writeln!(out, "    la {base_reg}, stream_{}", stream.id);
+        }
+        let _ = writeln!(out, "    li x31, 0");
+        let _ = writeln!(out, "    li x30, -1");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "loop_body:");
+        for instr in test_case.block().iter() {
+            if self.include_comments {
+                let _ = writeln!(out, "    {:<40} # pc {:#x}", instr.to_asm(), instr.address());
+            } else {
+                let _ = writeln!(out, "    {}", instr.to_asm());
+            }
+        }
+        let _ = writeln!(out, "    j loop_body");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Generator, GeneratorInput};
+
+    fn testcase() -> TestCase {
+        let input = GeneratorInput {
+            loop_size: 32,
+            ..GeneratorInput::default()
+        };
+        Generator::new().generate(&input).unwrap()
+    }
+
+    #[test]
+    fn emits_all_sections() {
+        let asm = AssemblyEmitter::new().emit(&testcase());
+        assert!(asm.contains(".section .data"));
+        assert!(asm.contains(".section .text"));
+        assert!(asm.contains("_start:"));
+        assert!(asm.contains("loop_body:"));
+        assert!(asm.contains("stream_0:"));
+        assert!(asm.contains("stream_1:"));
+    }
+
+    #[test]
+    fn one_line_per_instruction() {
+        let tc = testcase();
+        let asm = AssemblyEmitter::new().without_comments().emit(&tc);
+        let body_lines = asm
+            .lines()
+            .skip_while(|l| !l.starts_with("loop_body:"))
+            .skip(1)
+            .take_while(|l| !l.contains("j loop_body"))
+            .count();
+        assert_eq!(body_lines, tc.block().len());
+    }
+
+    #[test]
+    fn comments_toggle() {
+        let tc = testcase();
+        let with = AssemblyEmitter::new().emit(&tc);
+        let without = AssemblyEmitter::new().without_comments().emit(&tc);
+        assert!(with.contains('#'));
+        assert!(!without.lines().any(|l| l.trim_start().starts_with('#')));
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn data_section_sizes_match_footprints() {
+        let tc = testcase();
+        let asm = AssemblyEmitter::new().emit(&tc);
+        for stream in tc.streams() {
+            assert!(asm.contains(&format!(".zero {}", stream.footprint)));
+        }
+    }
+}

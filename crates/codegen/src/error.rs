@@ -1,0 +1,72 @@
+//! Error type for the code generator.
+
+use std::fmt;
+
+/// Errors produced while synthesizing a test case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// A pass received a test case it cannot operate on
+    /// (e.g. register allocation before the building block exists).
+    InvalidState {
+        /// The pass that failed.
+        pass: String,
+        /// Why the state is invalid.
+        reason: String,
+    },
+    /// A generator input parameter is outside its legal range.
+    InvalidParameter {
+        /// The offending parameter name.
+        parameter: String,
+        /// Why the value is not acceptable.
+        reason: String,
+    },
+    /// The instruction profile is empty or sums to a non-positive weight.
+    EmptyProfile,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::InvalidState { pass, reason } => {
+                write!(f, "pass `{pass}` cannot run: {reason}")
+            }
+            CodegenError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid generator parameter `{parameter}`: {reason}")
+            }
+            CodegenError::EmptyProfile => {
+                write!(f, "instruction profile is empty or has non-positive total weight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CodegenError::InvalidState {
+            pass: "DefaultRegisterAllocationPass".into(),
+            reason: "building block is empty".into(),
+        };
+        assert!(e.to_string().contains("DefaultRegisterAllocationPass"));
+        assert!(e.to_string().contains("building block is empty"));
+
+        let e = CodegenError::InvalidParameter {
+            parameter: "loop_size".into(),
+            reason: "must be at least 4".into(),
+        };
+        assert!(e.to_string().contains("loop_size"));
+
+        assert!(CodegenError::EmptyProfile.to_string().contains("profile"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodegenError>();
+    }
+}

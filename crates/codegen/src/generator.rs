@@ -1,0 +1,280 @@
+//! The knob-level generator: resolved knob values in, test case out.
+
+use crate::passes::{
+    DefaultRegisterAllocationPass, GenericMemoryStreamsPass, InitializeRegistersPass,
+    MemoryStreamSpec, RandomizeByTypePass, ReserveRegistersPass, SetInstructionTypeByProfilePass,
+    SimpleBuildingBlockPass, UpdateInstructionAddressesPass,
+};
+use crate::{CodegenError, InstructionProfile, Synthesizer, TestCase};
+use micrograd_isa::{InstrClass, Opcode};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Resolved knob values, the input to the code generator.
+///
+/// This structure is the concrete realization of the "knob interface"
+/// described in Section III-B of the paper (Listing 1): the tuning mechanism
+/// manipulates knob *indices*, resolves them to these values, and hands them
+/// to the generator, which assembles the pass pipeline of Listing 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorInput {
+    /// Number of static instructions in the loop body (paper: ~500).
+    pub loop_size: usize,
+    /// Relative weights per opcode — the instruction-fraction knobs
+    /// (`ADD`, `MUL`, `FADDD`, `FMULD`, `BEQ`, `BNE`, `LD`, `LW`, `SD`, `SW`).
+    pub instr_weights: BTreeMap<Opcode, f64>,
+    /// Register dependency distance (`REG_DIST`).
+    pub reg_dependency_distance: u32,
+    /// Memory footprint in kilobytes (`MEM_SIZE`).
+    pub mem_footprint_kb: u64,
+    /// Memory stride in bytes (`MEM_STRIDE`).
+    pub mem_stride: u64,
+    /// Temporal-locality window: how many recent addresses are re-use
+    /// candidates (`MEM_TEMP1`).
+    pub mem_temporal_window: u64,
+    /// Temporal-locality period: re-use attempted every N accesses
+    /// (`MEM_TEMP2`); 1 disables re-use.
+    pub mem_temporal_period: u64,
+    /// Branch pattern randomization ratio (`B_PATTERN`), 0.0–1.0.
+    pub branch_randomness: f64,
+    /// Initial value loaded into registers before the loop.
+    pub init_reg_value: i64,
+    /// Seed for all stochastic generation decisions.
+    pub seed: u64,
+    /// Name recorded in the test-case metadata.
+    pub name: String,
+}
+
+impl Default for GeneratorInput {
+    fn default() -> Self {
+        let mut instr_weights = BTreeMap::new();
+        for op in [
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::FaddD,
+            Opcode::FmulD,
+            Opcode::Beq,
+            Opcode::Bne,
+            Opcode::Ld,
+            Opcode::Lw,
+            Opcode::Sd,
+            Opcode::Sw,
+        ] {
+            instr_weights.insert(op, 1.0);
+        }
+        GeneratorInput {
+            loop_size: 500,
+            instr_weights,
+            reg_dependency_distance: 4,
+            mem_footprint_kb: 64,
+            mem_stride: 16,
+            mem_temporal_window: 8,
+            mem_temporal_period: 1,
+            branch_randomness: 0.2,
+            init_reg_value: 1,
+            seed: 0,
+            name: "micrograd-testcase".to_owned(),
+        }
+    }
+}
+
+impl GeneratorInput {
+    /// Sets the weight of one instruction knob.
+    pub fn set_weight(&mut self, opcode: Opcode, weight: f64) {
+        self.instr_weights.insert(opcode, weight);
+    }
+
+    /// The instruction profile implied by the weights.
+    #[must_use]
+    pub fn profile(&self) -> InstructionProfile {
+        self.instr_weights
+            .iter()
+            .map(|(op, w)| (*op, *w))
+            .collect()
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::InvalidParameter`] if a value is out of range.
+    pub fn validate(&self) -> Result<(), CodegenError> {
+        if self.loop_size < 4 {
+            return Err(CodegenError::InvalidParameter {
+                parameter: "loop_size".into(),
+                reason: format!("must be at least 4, got {}", self.loop_size),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.branch_randomness) {
+            return Err(CodegenError::InvalidParameter {
+                parameter: "branch_randomness".into(),
+                reason: format!("must be within [0, 1], got {}", self.branch_randomness),
+            });
+        }
+        if self.mem_footprint_kb == 0 {
+            return Err(CodegenError::InvalidParameter {
+                parameter: "mem_footprint_kb".into(),
+                reason: "must be positive".into(),
+            });
+        }
+        if self.mem_stride == 0 {
+            return Err(CodegenError::InvalidParameter {
+                parameter: "mem_stride".into(),
+                reason: "must be positive".into(),
+            });
+        }
+        if self.instr_weights.values().all(|w| *w <= 0.0) {
+            return Err(CodegenError::EmptyProfile);
+        }
+        Ok(())
+    }
+}
+
+/// The knob-level code generator.
+///
+/// Builds the standard MicroGrad pass pipeline (Listing 2 of the paper) from
+/// a [`GeneratorInput`] and synthesizes the test case.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Generator {
+    _private: (),
+}
+
+impl Generator {
+    /// Creates a generator.
+    #[must_use]
+    pub fn new() -> Self {
+        Generator::default()
+    }
+
+    /// Synthesizes a test case from resolved knob values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodegenError`] if the input fails validation or a pass
+    /// cannot be applied.
+    pub fn generate(&self, input: &GeneratorInput) -> Result<TestCase, CodegenError> {
+        input.validate()?;
+        let footprint_bytes = input.mem_footprint_kb * 1024;
+        // Two streams as in Listing 2 of the paper: a primary stream with
+        // the requested stride and a secondary stream with a cache-line
+        // stride, splitting the footprint 3:1.
+        let streams = vec![
+            MemoryStreamSpec {
+                id: 0,
+                footprint: (footprint_bytes * 3 / 4).max(64),
+                ratio: 0.75,
+                stride: input.mem_stride,
+                reuse_window: input.mem_temporal_window,
+                reuse_period: input.mem_temporal_period,
+            },
+            MemoryStreamSpec {
+                id: 1,
+                footprint: (footprint_bytes / 4).max(64),
+                ratio: 0.25,
+                stride: 64,
+                reuse_window: input.mem_temporal_window,
+                reuse_period: input.mem_temporal_period,
+            },
+        ];
+
+        Synthesizer::new(input.seed)
+            .with_name(input.name.clone())
+            .with_pass(SimpleBuildingBlockPass::new(input.loop_size))
+            .with_pass(ReserveRegistersPass::new(vec![
+                SimpleBuildingBlockPass::loop_counter_reg(),
+                SimpleBuildingBlockPass::loop_bound_reg(),
+            ]))
+            .with_pass(SetInstructionTypeByProfilePass::new(input.profile()))
+            .with_pass(InitializeRegistersPass::new(input.init_reg_value))
+            .with_pass(RandomizeByTypePass::new(
+                InstrClass::Branch,
+                input.branch_randomness,
+            ))
+            .with_pass(GenericMemoryStreamsPass::new(streams))
+            .with_pass(DefaultRegisterAllocationPass::new(
+                input.reg_dependency_distance as usize,
+            ))
+            .with_pass(UpdateInstructionAddressesPass::new())
+            .synthesize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_input_generates_a_full_testcase() {
+        let input = GeneratorInput::default();
+        let tc = Generator::new().generate(&input).unwrap();
+        assert_eq!(tc.block().len(), 500);
+        assert_eq!(tc.streams().len(), 2);
+        assert!(tc.metadata().applied_passes.len() >= 8);
+        assert!(tc.block().iter().all(|i| i.opcode() != Opcode::Nop));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut input = GeneratorInput::default();
+        input.loop_size = 100;
+        let a = Generator::new().generate(&input).unwrap();
+        let b = Generator::new().generate(&input).unwrap();
+        input.seed = 99;
+        let c = Generator::new().generate(&input).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_shift_the_static_mix() {
+        let mut input = GeneratorInput {
+            loop_size: 500,
+            ..GeneratorInput::default()
+        };
+        for w in input.instr_weights.values_mut() {
+            *w = 0.0;
+        }
+        input.set_weight(Opcode::FmulD, 8.0);
+        input.set_weight(Opcode::Add, 2.0);
+        let tc = Generator::new().generate(&input).unwrap();
+        let dist = tc.class_distribution();
+        assert!(dist[&InstrClass::Float] > 0.7, "float fraction: {dist:?}");
+    }
+
+    #[test]
+    fn footprint_knob_scales_stream_footprints() {
+        let mut input = GeneratorInput::default();
+        input.mem_footprint_kb = 2048;
+        let tc = Generator::new().generate(&input).unwrap();
+        assert_eq!(tc.total_footprint(), 2048 * 1024);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut input = GeneratorInput::default();
+        input.loop_size = 2;
+        assert!(input.validate().is_err());
+
+        let mut input = GeneratorInput::default();
+        input.branch_randomness = 2.0;
+        assert!(input.validate().is_err());
+
+        let mut input = GeneratorInput::default();
+        input.mem_stride = 0;
+        assert!(input.validate().is_err());
+
+        let mut input = GeneratorInput::default();
+        for w in input.instr_weights.values_mut() {
+            *w = 0.0;
+        }
+        assert_eq!(input.validate().unwrap_err(), CodegenError::EmptyProfile);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let input = GeneratorInput::default();
+        let json = serde_json::to_string(&input).unwrap();
+        let back: GeneratorInput = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, input);
+    }
+}

@@ -1,0 +1,158 @@
+//! `RandomizeByTypePass`: control branch-pattern randomness.
+
+use super::{Pass, PassContext};
+use crate::{CodegenError, TestCase};
+use micrograd_isa::InstrClass;
+
+/// Sets the *branch pattern randomization ratio* (`B_PATTERN` knob) on every
+/// conditional branch in the loop body.
+///
+/// A ratio of 0.0 makes every body branch follow a fixed, perfectly
+/// predictable direction; a ratio of 1.0 makes every dynamic instance an
+/// independent coin flip, which defeats any history-based predictor.  The
+/// loop back-edge (the final branch of the block) is never randomized — it
+/// is the instruction that keeps the test case running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomizeByTypePass {
+    class: InstrClass,
+    randomize_ratio: f64,
+}
+
+impl RandomizeByTypePass {
+    /// Creates the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `randomize_ratio` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn new(class: InstrClass, randomize_ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&randomize_ratio),
+            "randomize ratio {randomize_ratio} outside [0, 1]"
+        );
+        RandomizeByTypePass {
+            class,
+            randomize_ratio,
+        }
+    }
+
+    /// The class of instructions this pass randomizes.
+    #[must_use]
+    pub fn class(&self) -> InstrClass {
+        self.class
+    }
+
+    /// The randomization ratio applied.
+    #[must_use]
+    pub fn randomize_ratio(&self) -> f64 {
+        self.randomize_ratio
+    }
+}
+
+impl Pass for RandomizeByTypePass {
+    fn name(&self) -> &'static str {
+        "RandomizeByTypePass"
+    }
+
+    fn apply(&self, test_case: &mut TestCase, _ctx: &mut PassContext) -> Result<(), CodegenError> {
+        if test_case.block().is_empty() {
+            return Err(CodegenError::InvalidState {
+                pass: self.name().into(),
+                reason: "building block is empty".into(),
+            });
+        }
+        if self.class != InstrClass::Branch {
+            // Only branch randomization is meaningful in this model.
+            return Ok(());
+        }
+        let len = test_case.block().len();
+        for (i, instr) in test_case
+            .block_mut()
+            .instructions_mut()
+            .iter_mut()
+            .enumerate()
+        {
+            if i + 1 == len {
+                continue; // never randomize the loop back-edge
+            }
+            if instr.opcode().is_conditional_branch() {
+                instr.set_branch_taken_prob(self.randomize_ratio);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{SetInstructionTypeByProfilePass, SimpleBuildingBlockPass};
+    use crate::InstructionProfile;
+    use micrograd_isa::Opcode;
+
+    fn branchy_testcase() -> (TestCase, PassContext) {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(5);
+        SimpleBuildingBlockPass::new(66).apply(&mut tc, &mut ctx).unwrap();
+        let profile = InstructionProfile::new()
+            .with(Opcode::Add, 1.0)
+            .with(Opcode::Beq, 1.0)
+            .with(Opcode::Bne, 1.0);
+        SetInstructionTypeByProfilePass::new(profile)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
+        (tc, ctx)
+    }
+
+    #[test]
+    fn sets_ratio_on_body_branches_only() {
+        let (mut tc, mut ctx) = branchy_testcase();
+        RandomizeByTypePass::new(InstrClass::Branch, 0.7)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
+        let len = tc.block().len();
+        for (i, instr) in tc.block().iter().enumerate() {
+            if instr.opcode().is_conditional_branch() {
+                if i + 1 == len {
+                    assert_eq!(instr.branch_taken_prob(), 0.0, "back-edge must stay deterministic");
+                } else {
+                    assert!((instr.branch_taken_prob() - 0.7).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_branch_class_is_a_no_op() {
+        let (mut tc, mut ctx) = branchy_testcase();
+        RandomizeByTypePass::new(InstrClass::Integer, 0.9)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
+        for instr in tc.block().iter() {
+            assert_eq!(instr.branch_taken_prob(), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn ratio_outside_unit_interval_panics() {
+        let _ = RandomizeByTypePass::new(InstrClass::Branch, 1.2);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = RandomizeByTypePass::new(InstrClass::Branch, 0.4);
+        assert_eq!(p.class(), InstrClass::Branch);
+        assert!((p.randomize_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_building_block() {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(0);
+        let err = RandomizeByTypePass::new(InstrClass::Branch, 0.5)
+            .apply(&mut tc, &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, CodegenError::InvalidState { .. }));
+    }
+}

@@ -1,0 +1,141 @@
+//! `SimpleBuildingBlockPass`: create the loop skeleton.
+
+use super::{Pass, PassContext};
+use crate::{CodegenError, TestCase};
+use micrograd_isa::{Instruction, Opcode, Reg};
+
+/// Creates the building block: `loop_size` instruction slots ending in the
+/// loop-control pair (`addi` counter increment + back-edge branch).
+///
+/// All slots other than the loop control are filled with `nop` placeholders
+/// that later passes replace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleBuildingBlockPass {
+    loop_size: usize,
+}
+
+impl SimpleBuildingBlockPass {
+    /// Register holding the loop counter (reserved).
+    #[must_use]
+    pub fn loop_counter_reg() -> Reg {
+        Reg::x(31)
+    }
+
+    /// Register holding the loop bound (reserved).
+    #[must_use]
+    pub fn loop_bound_reg() -> Reg {
+        Reg::x(30)
+    }
+
+    /// Creates the pass.
+    ///
+    /// `loop_size` is the total number of static instructions in the loop
+    /// body, including the two loop-control instructions.
+    #[must_use]
+    pub fn new(loop_size: usize) -> Self {
+        SimpleBuildingBlockPass { loop_size }
+    }
+}
+
+impl Pass for SimpleBuildingBlockPass {
+    fn name(&self) -> &'static str {
+        "SimpleBuildingBlockPass"
+    }
+
+    fn apply(&self, test_case: &mut TestCase, _ctx: &mut PassContext) -> Result<(), CodegenError> {
+        if self.loop_size < 4 {
+            return Err(CodegenError::InvalidParameter {
+                parameter: "loop_size".into(),
+                reason: format!("must be at least 4, got {}", self.loop_size),
+            });
+        }
+        if !test_case.block().is_empty() {
+            return Err(CodegenError::InvalidState {
+                pass: self.name().into(),
+                reason: "building block already exists".into(),
+            });
+        }
+
+        let block = test_case.block_mut();
+        for _ in 0..self.loop_size - 2 {
+            block.push(Instruction::new(Opcode::Nop));
+        }
+        // Loop control: increment the counter and branch back while it
+        // differs from the bound.  The branch offset is patched by
+        // `UpdateInstructionAddressesPass`.
+        block.push(Instruction::rri(
+            Opcode::Addi,
+            Self::loop_counter_reg(),
+            Self::loop_counter_reg(),
+            1,
+        ));
+        let mut backedge = Instruction::branch(
+            Opcode::Bne,
+            Self::loop_counter_reg(),
+            Self::loop_bound_reg(),
+            0,
+        );
+        // The back-edge is (almost) always taken.
+        backedge.set_branch_taken_prob(0.0); // 0 => never randomized
+        block.push(backedge);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micrograd_isa::InstrClass;
+
+    #[test]
+    fn creates_requested_number_of_slots() {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(1);
+        SimpleBuildingBlockPass::new(100).apply(&mut tc, &mut ctx).unwrap();
+        assert_eq!(tc.block().len(), 100);
+        let last = tc.block().instructions().last().unwrap();
+        assert_eq!(last.opcode(), Opcode::Bne);
+        assert_eq!(last.class(), InstrClass::Branch);
+        let penultimate = &tc.block().instructions()[98];
+        assert_eq!(penultimate.opcode(), Opcode::Addi);
+    }
+
+    #[test]
+    fn rejects_tiny_loops() {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(1);
+        let err = SimpleBuildingBlockPass::new(2).apply(&mut tc, &mut ctx).unwrap_err();
+        assert!(matches!(err, CodegenError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn rejects_double_application() {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(1);
+        let pass = SimpleBuildingBlockPass::new(10);
+        pass.apply(&mut tc, &mut ctx).unwrap();
+        let err = pass.apply(&mut tc, &mut ctx).unwrap_err();
+        assert!(matches!(err, CodegenError::InvalidState { .. }));
+    }
+
+    #[test]
+    fn placeholder_slots_are_nops() {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(1);
+        SimpleBuildingBlockPass::new(16).apply(&mut tc, &mut ctx).unwrap();
+        let nops = tc
+            .block()
+            .iter()
+            .filter(|i| i.opcode() == Opcode::Nop)
+            .count();
+        assert_eq!(nops, 14);
+    }
+
+    #[test]
+    fn loop_registers_are_distinct() {
+        assert_ne!(
+            SimpleBuildingBlockPass::loop_counter_reg(),
+            SimpleBuildingBlockPass::loop_bound_reg()
+        );
+    }
+}

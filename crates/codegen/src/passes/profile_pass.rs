@@ -1,0 +1,161 @@
+//! `SetInstructionTypeByProfilePass`: choose opcodes according to a profile.
+
+use super::{Pass, PassContext};
+use crate::{CodegenError, InstructionProfile, TestCase};
+use micrograd_isa::{Instruction, Opcode};
+use rand::seq::SliceRandom;
+
+/// Replaces the placeholder (`nop`) slots of the building block with
+/// concrete opcodes whose static distribution matches an
+/// [`InstructionProfile`].
+///
+/// Slots are apportioned with the largest-remainder method and then placed
+/// in a deterministic shuffled order (seeded by the pass context) so that
+/// instruction classes interleave rather than cluster — clustering would
+/// artificially serialize functional-unit usage and distort the gradient
+/// signal the tuner relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetInstructionTypeByProfilePass {
+    profile: InstructionProfile,
+}
+
+impl SetInstructionTypeByProfilePass {
+    /// Creates the pass from a profile.
+    #[must_use]
+    pub fn new(profile: InstructionProfile) -> Self {
+        SetInstructionTypeByProfilePass { profile }
+    }
+
+    /// The profile this pass applies.
+    #[must_use]
+    pub fn profile(&self) -> &InstructionProfile {
+        &self.profile
+    }
+}
+
+impl Pass for SetInstructionTypeByProfilePass {
+    fn name(&self) -> &'static str {
+        "SetInstructionTypeByProfilePass"
+    }
+
+    fn apply(&self, test_case: &mut TestCase, ctx: &mut PassContext) -> Result<(), CodegenError> {
+        if test_case.block().is_empty() {
+            return Err(CodegenError::InvalidState {
+                pass: self.name().into(),
+                reason: "building block is empty".into(),
+            });
+        }
+        // Indices of placeholder slots available for profile instructions.
+        let slots: Vec<usize> = test_case
+            .block()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.opcode() == Opcode::Nop)
+            .map(|(idx, _)| idx)
+            .collect();
+        if slots.is_empty() {
+            return Err(CodegenError::InvalidState {
+                pass: self.name().into(),
+                reason: "no placeholder slots remain".into(),
+            });
+        }
+        let apportioned = self.profile.apportion(slots.len())?;
+        let mut opcodes: Vec<Opcode> = Vec::with_capacity(slots.len());
+        for (op, count) in apportioned {
+            opcodes.extend(std::iter::repeat(op).take(count));
+        }
+        opcodes.shuffle(ctx.rng());
+
+        let block = test_case.block_mut();
+        for (slot, opcode) in slots.into_iter().zip(opcodes) {
+            block.instructions_mut()[slot] = Instruction::new(opcode);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::SimpleBuildingBlockPass;
+    use micrograd_isa::InstrClass;
+
+    fn prepared_testcase(loop_size: usize) -> (TestCase, PassContext) {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(11);
+        SimpleBuildingBlockPass::new(loop_size).apply(&mut tc, &mut ctx).unwrap();
+        (tc, ctx)
+    }
+
+    #[test]
+    fn fills_every_placeholder() {
+        let (mut tc, mut ctx) = prepared_testcase(102);
+        let profile = InstructionProfile::new()
+            .with(Opcode::Add, 5.0)
+            .with(Opcode::Ld, 3.0)
+            .with(Opcode::Sd, 2.0);
+        SetInstructionTypeByProfilePass::new(profile).apply(&mut tc, &mut ctx).unwrap();
+        assert!(tc.block().iter().all(|i| i.opcode() != Opcode::Nop));
+    }
+
+    #[test]
+    fn static_distribution_tracks_profile() {
+        let (mut tc, mut ctx) = prepared_testcase(502);
+        let profile = InstructionProfile::new()
+            .with(Opcode::Add, 4.0)
+            .with(Opcode::FmulD, 3.0)
+            .with(Opcode::Ld, 2.0)
+            .with(Opcode::Sd, 1.0);
+        SetInstructionTypeByProfilePass::new(profile).apply(&mut tc, &mut ctx).unwrap();
+        let dist = tc.class_distribution();
+        // 500 profile slots + 2 loop-control instructions, so fractions are
+        // within ~1% of the requested 0.4 / 0.3 / 0.2 / 0.1 split.
+        assert!((dist[&InstrClass::Integer] - 0.4).abs() < 0.02);
+        assert!((dist[&InstrClass::Float] - 0.3).abs() < 0.02);
+        assert!((dist[&InstrClass::Load] - 0.2).abs() < 0.02);
+        assert!((dist[&InstrClass::Store] - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let profile = InstructionProfile::new()
+            .with(Opcode::Add, 1.0)
+            .with(Opcode::Mul, 1.0)
+            .with(Opcode::FaddD, 1.0);
+        let run = |seed: u64| {
+            let mut tc = TestCase::new();
+            let mut ctx = PassContext::new(seed);
+            SimpleBuildingBlockPass::new(64).apply(&mut tc, &mut ctx).unwrap();
+            SetInstructionTypeByProfilePass::new(profile.clone())
+                .apply(&mut tc, &mut ctx)
+                .unwrap();
+            tc.block()
+                .iter()
+                .map(|i| i.opcode())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn empty_profile_is_rejected() {
+        let (mut tc, mut ctx) = prepared_testcase(16);
+        let err = SetInstructionTypeByProfilePass::new(InstructionProfile::new())
+            .apply(&mut tc, &mut ctx)
+            .unwrap_err();
+        assert_eq!(err, CodegenError::EmptyProfile);
+    }
+
+    #[test]
+    fn requires_building_block() {
+        let mut tc = TestCase::new();
+        let mut ctx = PassContext::new(0);
+        let err = SetInstructionTypeByProfilePass::new(
+            InstructionProfile::new().with(Opcode::Add, 1.0),
+        )
+        .apply(&mut tc, &mut ctx)
+        .unwrap_err();
+        assert!(matches!(err, CodegenError::InvalidState { .. }));
+    }
+}

@@ -1,0 +1,253 @@
+//! Instruction profiles: relative opcode weights for a test case.
+
+use crate::CodegenError;
+use micrograd_isa::{InstrClass, Opcode};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A relative-weight instruction profile.
+///
+/// A profile maps opcodes to non-negative weights; the
+/// `SetInstructionTypeByProfilePass` fills the building block so that the
+/// static instruction distribution matches the normalized weights as closely
+/// as an integer slot count allows (largest-remainder apportionment).
+///
+/// Profiles are how the instruction-fraction knobs of Listing 1 in the paper
+/// (`ADD = [1..10]`, `FMULD = [1..10]`, …) reach the code generator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstructionProfile {
+    weights: BTreeMap<Opcode, f64>,
+}
+
+impl InstructionProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the weight of `opcode`, replacing any previous weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn set(&mut self, opcode: Opcode, weight: f64) -> &mut Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "profile weight for {opcode} must be finite and non-negative, got {weight}"
+        );
+        self.weights.insert(opcode, weight);
+        self
+    }
+
+    /// Builder-style variant of [`set`](Self::set).
+    #[must_use]
+    pub fn with(mut self, opcode: Opcode, weight: f64) -> Self {
+        self.set(opcode, weight);
+        self
+    }
+
+    /// The weight assigned to `opcode` (0.0 if absent).
+    #[must_use]
+    pub fn weight(&self, opcode: Opcode) -> f64 {
+        self.weights.get(&opcode).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(opcode, weight)` pairs with positive weight.
+    pub fn iter(&self) -> impl Iterator<Item = (Opcode, f64)> + '_ {
+        self.weights
+            .iter()
+            .filter(|(_, w)| **w > 0.0)
+            .map(|(op, w)| (*op, *w))
+    }
+
+    /// Sum of all weights.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// Returns `true` if no opcode has positive weight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_weight() <= 0.0
+    }
+
+    /// Normalized fraction of `opcode` (0.0 if the profile is empty).
+    #[must_use]
+    pub fn fraction(&self, opcode: Opcode) -> f64 {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.weight(opcode) / total
+        }
+    }
+
+    /// Aggregated normalized fraction per instruction class.
+    #[must_use]
+    pub fn class_fractions(&self) -> BTreeMap<InstrClass, f64> {
+        let mut map = BTreeMap::new();
+        for class in InstrClass::ALL {
+            map.insert(class, 0.0);
+        }
+        let total = self.total_weight();
+        if total > 0.0 {
+            for (op, w) in self.iter() {
+                *map.entry(op.class()).or_insert(0.0) += w / total;
+            }
+        }
+        map
+    }
+
+    /// Apportions `slots` instruction slots to opcodes proportionally to
+    /// their weights using the largest-remainder method, so the static
+    /// distribution tracks the profile as closely as integers allow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::EmptyProfile`] if the profile has no positive
+    /// weight.
+    pub fn apportion(&self, slots: usize) -> Result<Vec<(Opcode, usize)>, CodegenError> {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return Err(CodegenError::EmptyProfile);
+        }
+        let entries: Vec<(Opcode, f64)> = self.iter().collect();
+        let mut counts: Vec<(Opcode, usize, f64)> = entries
+            .iter()
+            .map(|(op, w)| {
+                let exact = w / total * slots as f64;
+                (*op, exact.floor() as usize, exact - exact.floor())
+            })
+            .collect();
+        let assigned: usize = counts.iter().map(|(_, c, _)| *c).sum();
+        let mut remaining = slots.saturating_sub(assigned);
+        // hand the leftover slots to the largest fractional remainders
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by(|&a, &b| {
+            counts[b]
+                .2
+                .partial_cmp(&counts[a].2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut idx = 0;
+        while remaining > 0 && !order.is_empty() {
+            let target = order[idx % order.len()];
+            counts[target].1 += 1;
+            remaining -= 1;
+            idx += 1;
+        }
+        Ok(counts.into_iter().map(|(op, c, _)| (op, c)).collect())
+    }
+}
+
+impl FromIterator<(Opcode, f64)> for InstructionProfile {
+    fn from_iter<T: IntoIterator<Item = (Opcode, f64)>>(iter: T) -> Self {
+        let mut profile = InstructionProfile::new();
+        for (op, w) in iter {
+            profile.set(op, w);
+        }
+        profile
+    }
+}
+
+impl Extend<(Opcode, f64)> for InstructionProfile {
+    fn extend<T: IntoIterator<Item = (Opcode, f64)>>(&mut self, iter: T) {
+        for (op, w) in iter {
+            self.set(op, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InstructionProfile {
+        InstructionProfile::new()
+            .with(Opcode::Add, 4.0)
+            .with(Opcode::Mul, 1.0)
+            .with(Opcode::FaddD, 2.0)
+            .with(Opcode::Ld, 2.0)
+            .with(Opcode::Sd, 1.0)
+    }
+
+    #[test]
+    fn fractions_normalize() {
+        let p = sample();
+        assert!((p.fraction(Opcode::Add) - 0.4).abs() < 1e-12);
+        assert!((p.fraction(Opcode::Mul) - 0.1).abs() < 1e-12);
+        assert!((p.total_weight() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_fractions_aggregate() {
+        let p = sample();
+        let classes = p.class_fractions();
+        assert!((classes[&InstrClass::Integer] - 0.5).abs() < 1e-12);
+        assert!((classes[&InstrClass::Float] - 0.2).abs() < 1e-12);
+        assert!((classes[&InstrClass::Load] - 0.2).abs() < 1e-12);
+        assert!((classes[&InstrClass::Store] - 0.1).abs() < 1e-12);
+        assert!((classes[&InstrClass::Branch]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apportion_sums_to_slot_count() {
+        let p = sample();
+        for slots in [1, 7, 10, 99, 500] {
+            let counts = p.apportion(slots).unwrap();
+            let total: usize = counts.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, slots, "slots={slots}");
+        }
+    }
+
+    #[test]
+    fn apportion_tracks_fractions() {
+        let p = sample();
+        let counts = p.apportion(1000).unwrap();
+        let add = counts.iter().find(|(op, _)| *op == Opcode::Add).unwrap().1;
+        assert!((395..=405).contains(&add), "add count {add} should be ~400");
+    }
+
+    #[test]
+    fn apportion_empty_profile_errors() {
+        let p = InstructionProfile::new();
+        assert_eq!(p.apportion(10).unwrap_err(), CodegenError::EmptyProfile);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_entries_are_ignored() {
+        let p = InstructionProfile::new()
+            .with(Opcode::Add, 1.0)
+            .with(Opcode::Div, 0.0);
+        assert_eq!(p.iter().count(), 1);
+        let counts = p.apportion(10).unwrap();
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0], (Opcode::Add, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = InstructionProfile::new().with(Opcode::Add, -1.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut p: InstructionProfile =
+            vec![(Opcode::Add, 1.0), (Opcode::Ld, 2.0)].into_iter().collect();
+        p.extend(vec![(Opcode::Sd, 3.0)]);
+        assert_eq!(p.weight(Opcode::Sd), 3.0);
+        assert_eq!(p.weight(Opcode::Ld), 2.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = sample();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: InstructionProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,180 @@
+//! The synthesizer: applies passes in the MicroGrad-defined order.
+
+use crate::passes::{Pass, PassContext};
+use crate::{CodegenError, TestCase};
+
+/// Applies an ordered sequence of passes to produce a [`TestCase`].
+///
+/// The synthesizer owns the ordering rules: passes run in the order they
+/// were added, each pass name is recorded in the test-case metadata, and the
+/// whole run shares a single deterministic random number generator seeded
+/// from the synthesizer seed.
+///
+/// # Example
+///
+/// ```
+/// use micrograd_codegen::passes::{
+///     SimpleBuildingBlockPass, SetInstructionTypeByProfilePass, UpdateInstructionAddressesPass,
+/// };
+/// use micrograd_codegen::{InstructionProfile, Synthesizer};
+/// use micrograd_isa::Opcode;
+///
+/// let profile = InstructionProfile::new().with(Opcode::Add, 1.0);
+/// let test_case = Synthesizer::new(42)
+///     .with_pass(SimpleBuildingBlockPass::new(32))
+///     .with_pass(SetInstructionTypeByProfilePass::new(profile))
+///     .with_pass(UpdateInstructionAddressesPass::new())
+///     .synthesize()?;
+/// assert_eq!(test_case.block().len(), 32);
+/// # Ok::<(), micrograd_codegen::CodegenError>(())
+/// ```
+pub struct Synthesizer {
+    passes: Vec<Box<dyn Pass>>,
+    seed: u64,
+    name: String,
+}
+
+impl std::fmt::Debug for Synthesizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Synthesizer")
+            .field("seed", &self.seed)
+            .field("name", &self.name)
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Synthesizer {
+    /// Creates an empty synthesizer with the given RNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Synthesizer {
+            passes: Vec::new(),
+            seed,
+            name: "testcase".to_owned(),
+        }
+    }
+
+    /// Sets the human-readable name recorded in the test-case metadata.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Appends a pass (builder style).
+    #[must_use]
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a boxed pass.
+    pub fn add_pass(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Number of passes currently registered.
+    #[must_use]
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Runs every pass in order and returns the synthesized test case.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first pass failure.
+    pub fn synthesize(&self) -> Result<TestCase, CodegenError> {
+        let mut test_case = TestCase::new();
+        let mut ctx = PassContext::new(self.seed);
+        test_case.metadata_mut().name = self.name.clone();
+        test_case.metadata_mut().seed = self.seed;
+        for pass in &self.passes {
+            pass.apply(&mut test_case, &mut ctx)?;
+            test_case
+                .metadata_mut()
+                .applied_passes
+                .push(pass.name().to_owned());
+        }
+        Ok(test_case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{
+        DefaultRegisterAllocationPass, GenericMemoryStreamsPass, MemoryStreamSpec,
+        RandomizeByTypePass, ReserveRegistersPass, SetInstructionTypeByProfilePass,
+        SimpleBuildingBlockPass, UpdateInstructionAddressesPass,
+    };
+    use crate::InstructionProfile;
+    use micrograd_isa::{InstrClass, Opcode};
+
+    fn full_pipeline(seed: u64) -> Synthesizer {
+        let profile = InstructionProfile::new()
+            .with(Opcode::Add, 2.0)
+            .with(Opcode::FmulD, 1.0)
+            .with(Opcode::Beq, 1.0)
+            .with(Opcode::Ld, 2.0)
+            .with(Opcode::Sd, 1.0);
+        Synthesizer::new(seed)
+            .with_name("full")
+            .with_pass(SimpleBuildingBlockPass::new(128))
+            .with_pass(ReserveRegistersPass::new(vec![
+                SimpleBuildingBlockPass::loop_counter_reg(),
+                SimpleBuildingBlockPass::loop_bound_reg(),
+            ]))
+            .with_pass(SetInstructionTypeByProfilePass::new(profile))
+            .with_pass(RandomizeByTypePass::new(InstrClass::Branch, 0.5))
+            .with_pass(GenericMemoryStreamsPass::new(vec![
+                MemoryStreamSpec::sequential(0, 64 * 1024, 8),
+            ]))
+            .with_pass(DefaultRegisterAllocationPass::new(4))
+            .with_pass(UpdateInstructionAddressesPass::new())
+    }
+
+    #[test]
+    fn full_pipeline_produces_complete_testcase() {
+        let tc = full_pipeline(1).synthesize().unwrap();
+        assert_eq!(tc.block().len(), 128);
+        assert!(tc.block().iter().all(|i| i.opcode() != Opcode::Nop));
+        assert_eq!(tc.metadata().applied_passes.len(), 7);
+        assert_eq!(tc.metadata().name, "full");
+        assert_eq!(tc.metadata().seed, 1);
+        // every memory op has a stream and every non-memory op does not
+        for i in tc.block().iter() {
+            assert_eq!(i.mem().is_some(), i.opcode().is_memory());
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = full_pipeline(9).synthesize().unwrap();
+        let b = full_pipeline(9).synthesize().unwrap();
+        let c = full_pipeline(10).synthesize().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pass_error_propagates() {
+        let result = Synthesizer::new(0)
+            .with_pass(SetInstructionTypeByProfilePass::new(
+                InstructionProfile::new().with(Opcode::Add, 1.0),
+            ))
+            .synthesize();
+        assert!(matches!(result, Err(CodegenError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn add_pass_and_num_passes() {
+        let mut s = Synthesizer::new(0);
+        assert_eq!(s.num_passes(), 0);
+        s.add_pass(Box::new(SimpleBuildingBlockPass::new(16)));
+        assert_eq!(s.num_passes(), 1);
+        assert!(format!("{s:?}").contains("SimpleBuildingBlockPass"));
+    }
+}

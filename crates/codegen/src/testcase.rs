@@ -1,0 +1,324 @@
+//! The test-case intermediate representation produced by the passes.
+
+use micrograd_isa::{InstrClass, Instruction, Reg};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A building block: the loop body of a synthetic test case.
+///
+/// MicroGrad test cases are "roughly 500 static instructions in an endless
+/// loop"; the building block holds those static instructions in program
+/// order.  The final instruction is conventionally the loop back-edge
+/// branch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildingBlock {
+    instructions: Vec<Instruction>,
+}
+
+impl BuildingBlock {
+    /// Creates an empty building block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a building block from existing instructions.
+    #[must_use]
+    pub fn from_instructions(instructions: Vec<Instruction>) -> Self {
+        BuildingBlock { instructions }
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` if the block holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Immutable view of the instructions in program order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Mutable view of the instructions in program order.
+    pub fn instructions_mut(&mut self) -> &mut Vec<Instruction> {
+        &mut self.instructions
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Static instruction-class distribution of the block, normalized to 1.0
+    /// (empty map if the block is empty).
+    #[must_use]
+    pub fn class_distribution(&self) -> BTreeMap<InstrClass, f64> {
+        let mut counts: BTreeMap<InstrClass, f64> = BTreeMap::new();
+        if self.instructions.is_empty() {
+            return counts;
+        }
+        for i in &self.instructions {
+            *counts.entry(i.class()).or_insert(0.0) += 1.0;
+        }
+        let total = self.instructions.len() as f64;
+        for v in counts.values_mut() {
+            *v /= total;
+        }
+        counts
+    }
+}
+
+impl<'a> IntoIterator for &'a BuildingBlock {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+/// A memory stream attached to a test case.
+///
+/// Mirrors the `GenericMemoryStreamsPass` arguments of Listing 2:
+/// each stream has a footprint, an access-ratio weight, a stride and a
+/// temporal-locality description; loads and stores in the block are
+/// assigned to streams according to the ratio weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStream {
+    /// Stream identifier (also recorded in each `MemAccess`).
+    pub id: u32,
+    /// Footprint of the stream in bytes (the `MEM_SIZE` knob, resolved).
+    pub footprint: u64,
+    /// Relative weight: fraction of memory instructions mapped to this stream.
+    pub ratio: f64,
+    /// Per-iteration stride in bytes (the `MEM_STRIDE` knob).
+    pub stride: u64,
+    /// Temporal-locality window: how many recent addresses are candidates
+    /// for re-use (the `MEM_TEMP1` knob).
+    pub reuse_window: u64,
+    /// Temporal-locality period: re-use is attempted once every this many
+    /// accesses (the `MEM_TEMP2` knob); larger values mean *less* re-use.
+    pub reuse_period: u64,
+    /// Base virtual address of the stream's data region.
+    pub base: u64,
+}
+
+impl MemoryStream {
+    /// Probability that a dynamic access to this stream re-uses a recent
+    /// address instead of advancing, derived from the temporal knobs.
+    ///
+    /// `reuse_period == 1` means no re-use (the stream always advances);
+    /// larger periods increase the re-use fraction asymptotically towards 1.
+    #[must_use]
+    pub fn reuse_probability(&self) -> f64 {
+        if self.reuse_period <= 1 {
+            0.0
+        } else {
+            1.0 - 1.0 / self.reuse_period as f64
+        }
+    }
+}
+
+/// Metadata recorded alongside a generated test case.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TestCaseMetadata {
+    /// Human-readable name.
+    pub name: String,
+    /// Seed used for all stochastic decisions during generation.
+    pub seed: u64,
+    /// Initial integer value loaded into each initialized register.
+    pub init_reg_value: i64,
+    /// Names of the passes applied, in order.
+    pub applied_passes: Vec<String>,
+}
+
+/// A synthesized test case: the unit exchanged between the code generator,
+/// the evaluation platform and the tuner.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TestCase {
+    block: BuildingBlock,
+    streams: Vec<MemoryStream>,
+    reserved_regs: Vec<Reg>,
+    metadata: TestCaseMetadata,
+}
+
+impl TestCase {
+    /// Creates an empty test case (no instructions, no streams).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The loop body.
+    #[must_use]
+    pub fn block(&self) -> &BuildingBlock {
+        &self.block
+    }
+
+    /// Mutable access to the loop body (used by passes).
+    pub fn block_mut(&mut self) -> &mut BuildingBlock {
+        &mut self.block
+    }
+
+    /// The memory streams attached to this test case.
+    #[must_use]
+    pub fn streams(&self) -> &[MemoryStream] {
+        &self.streams
+    }
+
+    /// Mutable access to the memory streams (used by passes).
+    pub fn streams_mut(&mut self) -> &mut Vec<MemoryStream> {
+        &mut self.streams
+    }
+
+    /// Registers reserved for infrastructure (loop counter, stream bases)
+    /// that the register allocator must not clobber.
+    #[must_use]
+    pub fn reserved_regs(&self) -> &[Reg] {
+        &self.reserved_regs
+    }
+
+    /// Mutable access to the reserved register list (used by passes).
+    pub fn reserved_regs_mut(&mut self) -> &mut Vec<Reg> {
+        &mut self.reserved_regs
+    }
+
+    /// Returns `true` if `reg` is reserved.
+    #[must_use]
+    pub fn is_reserved(&self, reg: Reg) -> bool {
+        self.reserved_regs.contains(&reg)
+    }
+
+    /// Test-case metadata.
+    #[must_use]
+    pub fn metadata(&self) -> &TestCaseMetadata {
+        &self.metadata
+    }
+
+    /// Mutable access to the metadata (used by passes).
+    pub fn metadata_mut(&mut self) -> &mut TestCaseMetadata {
+        &mut self.metadata
+    }
+
+    /// Static instruction-class distribution of the loop body.
+    #[must_use]
+    pub fn class_distribution(&self) -> BTreeMap<InstrClass, f64> {
+        self.block.class_distribution()
+    }
+
+    /// Total footprint (bytes) across all memory streams.
+    #[must_use]
+    pub fn total_footprint(&self) -> u64 {
+        self.streams.iter().map(|s| s.footprint).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micrograd_isa::{Instruction, Opcode, Reg};
+
+    #[test]
+    fn building_block_push_and_len() {
+        let mut b = BuildingBlock::new();
+        assert!(b.is_empty());
+        b.push(Instruction::rrr(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)));
+        b.push(Instruction::new(Opcode::Nop));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.iter().count(), 2);
+        assert_eq!((&b).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn class_distribution_normalizes() {
+        let mut b = BuildingBlock::new();
+        for _ in 0..3 {
+            b.push(Instruction::rrr(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)));
+        }
+        b.push(Instruction::rrr(Opcode::FaddD, Reg::f(1), Reg::f(2), Reg::f(3)));
+        let d = b.class_distribution();
+        assert!((d[&InstrClass::Integer] - 0.75).abs() < 1e-12);
+        assert!((d[&InstrClass::Float] - 0.25).abs() < 1e-12);
+        let total: f64 = d.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_block_distribution_is_empty() {
+        assert!(BuildingBlock::new().class_distribution().is_empty());
+    }
+
+    #[test]
+    fn stream_reuse_probability() {
+        let mut s = MemoryStream {
+            id: 0,
+            footprint: 1024,
+            ratio: 1.0,
+            stride: 8,
+            reuse_window: 16,
+            reuse_period: 1,
+            base: 0x1000,
+        };
+        assert_eq!(s.reuse_probability(), 0.0);
+        s.reuse_period = 2;
+        assert!((s.reuse_probability() - 0.5).abs() < 1e-12);
+        s.reuse_period = 10;
+        assert!((s.reuse_probability() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn testcase_reserved_registers() {
+        let mut tc = TestCase::new();
+        tc.reserved_regs_mut().push(Reg::x(10));
+        assert!(tc.is_reserved(Reg::x(10)));
+        assert!(!tc.is_reserved(Reg::x(11)));
+    }
+
+    #[test]
+    fn testcase_total_footprint() {
+        let mut tc = TestCase::new();
+        tc.streams_mut().push(MemoryStream {
+            id: 0,
+            footprint: 4096,
+            ratio: 0.5,
+            stride: 8,
+            reuse_window: 1,
+            reuse_period: 1,
+            base: 0,
+        });
+        tc.streams_mut().push(MemoryStream {
+            id: 1,
+            footprint: 8192,
+            ratio: 0.5,
+            stride: 64,
+            reuse_window: 1,
+            reuse_period: 1,
+            base: 0x10000,
+        });
+        assert_eq!(tc.total_footprint(), 12288);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut tc = TestCase::new();
+        tc.block_mut()
+            .push(Instruction::rrr(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)));
+        tc.metadata_mut().name = "t".into();
+        let json = serde_json::to_string(&tc).unwrap();
+        let back: TestCase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tc);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type of the MicroGrad framework.
+
+use std::fmt;
+
+/// Errors produced by the MicroGrad framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroGradError {
+    /// The code generator rejected a knob configuration.
+    Codegen(micrograd_codegen::CodegenError),
+    /// A knob configuration does not match the knob space it is used with.
+    KnobMismatch {
+        /// Expected number of knobs.
+        expected: usize,
+        /// Number of knobs in the offending configuration.
+        actual: usize,
+    },
+    /// A framework input is invalid.
+    InvalidInput {
+        /// The offending field.
+        field: String,
+        /// Why the value is not acceptable.
+        reason: String,
+    },
+    /// Tuning terminated without producing any evaluation
+    /// (e.g. a zero-epoch budget).
+    NoEvaluations,
+}
+
+impl fmt::Display for MicroGradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroGradError::Codegen(e) => write!(f, "code generation failed: {e}"),
+            MicroGradError::KnobMismatch { expected, actual } => write!(
+                f,
+                "knob configuration has {actual} entries but the knob space defines {expected}"
+            ),
+            MicroGradError::InvalidInput { field, reason } => {
+                write!(f, "invalid input `{field}`: {reason}")
+            }
+            MicroGradError::NoEvaluations => {
+                write!(f, "tuning produced no evaluations (epoch budget was zero?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MicroGradError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MicroGradError::Codegen(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<micrograd_codegen::CodegenError> for MicroGradError {
+    fn from(e: micrograd_codegen::CodegenError) -> Self {
+        MicroGradError::Codegen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source() {
+        let e: MicroGradError = micrograd_codegen::CodegenError::EmptyProfile.into();
+        assert!(e.to_string().contains("code generation failed"));
+        assert!(e.source().is_some());
+
+        let e = MicroGradError::KnobMismatch {
+            expected: 16,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.source().is_none());
+
+        let e = MicroGradError::InvalidInput {
+            field: "accuracy_target".into(),
+            reason: "must be within (0, 1]".into(),
+        };
+        assert!(e.to_string().contains("accuracy_target"));
+        assert!(MicroGradError::NoEvaluations.to_string().contains("no evaluations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MicroGradError>();
+    }
+}

@@ -1,0 +1,403 @@
+//! The MicroGrad facade: configuration-file driven runs.
+//!
+//! Section III-A of the paper describes the framework inputs as "provided in
+//! the form of a configuration file".  [`FrameworkConfig`] is that file
+//! (serde-serializable, JSON in the examples), and [`MicroGrad`] wires the
+//! configured platform, knob space, tuner and use case together and returns
+//! a [`FrameworkOutput`].
+
+use crate::tuner::{
+    BruteForceTuner, GaParams, GdParams, GeneticTuner, GradientDescentTuner, RandomSearchTuner,
+    Tuner,
+};
+use crate::usecase::{CloneReport, CloningTask, StressReport, StressTask};
+use crate::{
+    ExecutionPlatform, KnobSpace, MetricKind, Metrics, MicroGradError, SimPlatform, StressGoal,
+};
+use micrograd_sim::CoreConfig;
+use micrograd_workloads::{ApplicationTraceGenerator, Benchmark};
+use serde::{Deserialize, Serialize};
+
+/// Which core configuration to evaluate on (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum CoreKind {
+    /// The *Small* core of Table II.
+    Small,
+    /// The *Large* core of Table II.
+    Large,
+}
+
+impl CoreKind {
+    /// The corresponding simulator configuration.
+    #[must_use]
+    pub fn config(self) -> CoreConfig {
+        match self {
+            CoreKind::Small => CoreConfig::small(),
+            CoreKind::Large => CoreConfig::large(),
+        }
+    }
+}
+
+/// Which tuning mechanism to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum TunerKind {
+    /// Gradient descent (the paper's contribution).
+    GradientDescent,
+    /// The GA baseline with Table I parameters.
+    Genetic,
+    /// Coarse-grid brute force.
+    BruteForce,
+    /// Uniform random search.
+    RandomSearch,
+}
+
+impl TunerKind {
+    /// Instantiates the tuner with default parameters and the given seed.
+    #[must_use]
+    pub fn build(self, seed: u64) -> Box<dyn Tuner> {
+        match self {
+            TunerKind::GradientDescent => Box::new(GradientDescentTuner::new(GdParams {
+                seed,
+                ..GdParams::default()
+            })),
+            TunerKind::Genetic => Box::new(GeneticTuner::new(GaParams {
+                seed,
+                ..GaParams::paper()
+            })),
+            TunerKind::BruteForce => Box::new(BruteForceTuner::default()),
+            TunerKind::RandomSearch => Box::new(RandomSearchTuner::new(20, seed)),
+        }
+    }
+}
+
+/// Which knob space to search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum KnobSpaceKind {
+    /// The full Listing 1 space (16 knobs).
+    Full,
+    /// Instruction fractions plus dependency distance (compute-focused).
+    InstructionFractions,
+}
+
+impl KnobSpaceKind {
+    /// Builds the knob space.
+    #[must_use]
+    pub fn build(self) -> KnobSpace {
+        match self {
+            KnobSpaceKind::Full => KnobSpace::full(),
+            KnobSpaceKind::InstructionFractions => KnobSpace::instruction_fractions(),
+        }
+    }
+}
+
+/// The use case to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum UseCaseConfig {
+    /// Clone a bundled SPEC-like benchmark.
+    CloneBenchmark {
+        /// Benchmark name (e.g. `"mcf"`).
+        benchmark: String,
+        /// Required accuracy (default 0.99).
+        #[serde(default = "default_accuracy")]
+        accuracy_target: f64,
+    },
+    /// Clone a workload described directly by its metric values
+    /// (the "numerical values … provided as input" mode of Section III-A).
+    CloneMetrics {
+        /// Workload name used in reports.
+        name: String,
+        /// Target metric values.
+        target: Metrics,
+        /// Required accuracy (default 0.99).
+        #[serde(default = "default_accuracy")]
+        accuracy_target: f64,
+    },
+    /// Stress a metric.
+    Stress {
+        /// The metric to stress.
+        metric: MetricKind,
+        /// Whether to maximize or minimize it.
+        goal: StressGoal,
+    },
+}
+
+fn default_accuracy() -> f64 {
+    0.99
+}
+
+/// The framework configuration ("input file").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkConfig {
+    /// Target core (Table II).
+    pub core: CoreKind,
+    /// Tuning mechanism.
+    pub tuner: TunerKind,
+    /// Knob space.
+    pub knob_space: KnobSpaceKind,
+    /// Use case.
+    pub use_case: UseCaseConfig,
+    /// Maximum number of tuning epochs.
+    pub max_epochs: usize,
+    /// Dynamic instructions per evaluation.
+    pub dynamic_len: usize,
+    /// Dynamic instructions used to characterize a reference benchmark.
+    pub reference_len: usize,
+    /// Seed for all stochastic decisions.
+    pub seed: u64,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            core: CoreKind::Large,
+            tuner: TunerKind::GradientDescent,
+            knob_space: KnobSpaceKind::Full,
+            use_case: UseCaseConfig::Stress {
+                metric: MetricKind::Ipc,
+                goal: StressGoal::Minimize,
+            },
+            max_epochs: 60,
+            dynamic_len: SimPlatform::DEFAULT_DYNAMIC_LEN,
+            reference_len: 100_000,
+            seed: 1,
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// Parses a configuration from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::InvalidInput`] if the JSON is malformed.
+    pub fn from_json(json: &str) -> Result<Self, MicroGradError> {
+        serde_json::from_str(json).map_err(|e| MicroGradError::InvalidInput {
+            field: "config".into(),
+            reason: e.to_string(),
+        })
+    }
+
+    /// Serializes the configuration to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+}
+
+/// The output of a framework run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum FrameworkOutput {
+    /// Output of a cloning run.
+    Clone(CloneReport),
+    /// Output of a stress-testing run.
+    Stress(StressReport),
+}
+
+impl FrameworkOutput {
+    /// The clone report, if this was a cloning run.
+    #[must_use]
+    pub fn as_clone(&self) -> Option<&CloneReport> {
+        match self {
+            FrameworkOutput::Clone(r) => Some(r),
+            FrameworkOutput::Stress(_) => None,
+        }
+    }
+
+    /// The stress report, if this was a stress-testing run.
+    #[must_use]
+    pub fn as_stress(&self) -> Option<&StressReport> {
+        match self {
+            FrameworkOutput::Clone(_) => None,
+            FrameworkOutput::Stress(r) => Some(r),
+        }
+    }
+}
+
+/// The centralized framework facade.
+#[derive(Debug)]
+pub struct MicroGrad {
+    config: FrameworkConfig,
+}
+
+impl MicroGrad {
+    /// Creates the framework from a configuration.
+    #[must_use]
+    pub fn new(config: FrameworkConfig) -> Self {
+        MicroGrad { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// Measures the reference metrics of a bundled benchmark on this
+    /// framework's platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::InvalidInput`] for an unknown benchmark
+    /// name.
+    pub fn characterize_benchmark(&self, name: &str) -> Result<Metrics, MicroGradError> {
+        let benchmark: Benchmark = name.parse().map_err(|_| MicroGradError::InvalidInput {
+            field: "benchmark".into(),
+            reason: format!("unknown benchmark `{name}`"),
+        })?;
+        let platform = self.platform();
+        let trace = ApplicationTraceGenerator::new(self.config.reference_len, self.config.seed)
+            .generate(&benchmark.profile());
+        Ok(platform.measure_trace(&trace))
+    }
+
+    /// The evaluation platform this framework runs on.
+    #[must_use]
+    pub fn platform(&self) -> SimPlatform {
+        SimPlatform::new(self.config.core.config())
+            .with_dynamic_len(self.config.dynamic_len)
+            .with_seed(self.config.seed)
+    }
+
+    /// Runs the configured use case to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, platform and tuner failures.
+    pub fn run(&self) -> Result<FrameworkOutput, MicroGradError> {
+        let platform = self.platform();
+        let space = self.config.knob_space.build();
+        let mut tuner = self.config.tuner.build(self.config.seed);
+
+        match &self.config.use_case {
+            UseCaseConfig::CloneBenchmark {
+                benchmark,
+                accuracy_target,
+            } => {
+                let target = self.characterize_benchmark(benchmark)?;
+                let task = CloningTask {
+                    accuracy_target: *accuracy_target,
+                    max_epochs: self.config.max_epochs,
+                    ..CloningTask::default()
+                };
+                let report = task.run(&platform, &space, benchmark, &target, tuner.as_mut())?;
+                Ok(FrameworkOutput::Clone(report))
+            }
+            UseCaseConfig::CloneMetrics {
+                name,
+                target,
+                accuracy_target,
+            } => {
+                let task = CloningTask {
+                    accuracy_target: *accuracy_target,
+                    max_epochs: self.config.max_epochs,
+                    ..CloningTask::default()
+                };
+                let report = task.run(&platform, &space, name, target, tuner.as_mut())?;
+                Ok(FrameworkOutput::Clone(report))
+            }
+            UseCaseConfig::Stress { metric, goal } => {
+                let task = StressTask {
+                    metric: *metric,
+                    goal: *goal,
+                    max_epochs: self.config.max_epochs,
+                };
+                let report = task.run(&platform, &space, tuner.as_mut())?;
+                Ok(FrameworkOutput::Stress(report))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> FrameworkConfig {
+        FrameworkConfig {
+            core: CoreKind::Small,
+            max_epochs: 3,
+            dynamic_len: 6_000,
+            reference_len: 10_000,
+            knob_space: KnobSpaceKind::InstructionFractions,
+            ..FrameworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_json_round_trip() {
+        let config = FrameworkConfig {
+            use_case: UseCaseConfig::CloneBenchmark {
+                benchmark: "mcf".into(),
+                accuracy_target: 0.95,
+            },
+            ..fast_config()
+        };
+        let json = config.to_json();
+        let back = FrameworkConfig::from_json(&json).unwrap();
+        assert_eq!(back, config);
+        assert!(json.contains("clone-benchmark"));
+        assert!(FrameworkConfig::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn stress_run_produces_a_stress_report() {
+        let framework = MicroGrad::new(fast_config());
+        let output = framework.run().unwrap();
+        let report = output.as_stress().expect("stress output");
+        assert!(report.best_value > 0.0);
+        assert!(output.as_clone().is_none());
+        assert_eq!(report.epochs_used, report.progression.len());
+    }
+
+    #[test]
+    fn clone_benchmark_run_produces_a_clone_report() {
+        let config = FrameworkConfig {
+            use_case: UseCaseConfig::CloneBenchmark {
+                benchmark: "bzip2".into(),
+                accuracy_target: 0.99,
+            },
+            knob_space: KnobSpaceKind::Full,
+            ..fast_config()
+        };
+        let framework = MicroGrad::new(config);
+        let output = framework.run().unwrap();
+        let report = output.as_clone().expect("clone output");
+        assert_eq!(report.workload, "bzip2");
+        assert!(report.mean_accuracy > 0.0);
+        assert!(!report.epochs.is_empty());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_rejected() {
+        let config = FrameworkConfig {
+            use_case: UseCaseConfig::CloneBenchmark {
+                benchmark: "quake".into(),
+                accuracy_target: 0.99,
+            },
+            ..fast_config()
+        };
+        let err = MicroGrad::new(config).run().unwrap_err();
+        assert!(matches!(err, MicroGradError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn core_and_tuner_kinds_build() {
+        assert_eq!(CoreKind::Small.config().name, "small");
+        assert_eq!(CoreKind::Large.config().name, "large");
+        for kind in [
+            TunerKind::GradientDescent,
+            TunerKind::Genetic,
+            TunerKind::BruteForce,
+            TunerKind::RandomSearch,
+        ] {
+            let _ = kind.build(1);
+        }
+        assert_eq!(KnobSpaceKind::Full.build().len(), 16);
+        assert_eq!(KnobSpaceKind::InstructionFractions.build().len(), 11);
+    }
+}

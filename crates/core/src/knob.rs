@@ -1,0 +1,469 @@
+//! The knob interface between the tuning mechanism and the code generator.
+
+use crate::MicroGradError;
+use micrograd_codegen::GeneratorInput;
+use micrograd_isa::Opcode;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a knob controls in the generator input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnobTarget {
+    /// Relative weight of one opcode in the instruction profile.
+    InstructionWeight(Opcode),
+    /// Register dependency distance (`REG_DIST`).
+    DependencyDistance,
+    /// Memory footprint in kilobytes (`MEM_SIZE`).
+    MemoryFootprintKb,
+    /// Memory stride in bytes (`MEM_STRIDE`).
+    MemoryStride,
+    /// Temporal-locality window (`MEM_TEMP1`).
+    MemoryTemporalWindow,
+    /// Temporal-locality period (`MEM_TEMP2`).
+    MemoryTemporalPeriod,
+    /// Branch pattern randomization ratio (`B_PATTERN`).
+    BranchRandomness,
+}
+
+/// One knob: a name, what it controls, and its ladder of legal values.
+///
+/// Knobs are discrete by construction — exactly as in Listing 1 of the
+/// paper, where every knob is a list of values — and tuners move through
+/// *indices* into the ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobSpec {
+    /// Knob name (matches the paper's Listing 1 where applicable).
+    pub name: String,
+    /// What the knob controls.
+    pub target: KnobTarget,
+    /// The ladder of legal values, in increasing order.
+    pub values: Vec<f64>,
+}
+
+impl KnobSpec {
+    /// Creates a knob spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, target: KnobTarget, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "knob ladder must not be empty");
+        KnobSpec {
+            name: name.into(),
+            target,
+            values,
+        }
+    }
+
+    /// Number of ladder positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the ladder is empty (never true for a constructed
+    /// spec).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at ladder position `index`, clamped to the ladder.
+    #[must_use]
+    pub fn value_at(&self, index: usize) -> f64 {
+        self.values[index.min(self.values.len() - 1)]
+    }
+}
+
+/// A knob configuration: one ladder index per knob of a [`KnobSpace`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KnobConfig {
+    indices: Vec<usize>,
+}
+
+impl KnobConfig {
+    /// Creates a configuration from ladder indices.
+    #[must_use]
+    pub fn new(indices: Vec<usize>) -> Self {
+        KnobConfig { indices }
+    }
+
+    /// The ladder indices.
+    #[must_use]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of knobs in this configuration.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` if the configuration has no knobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The index of knob `knob`.
+    #[must_use]
+    pub fn index(&self, knob: usize) -> usize {
+        self.indices[knob]
+    }
+
+    /// Returns a copy with knob `knob` moved by `delta` ladder steps,
+    /// clamped to `[0, max_index]`.
+    #[must_use]
+    pub fn stepped(&self, knob: usize, delta: isize, max_index: usize) -> KnobConfig {
+        let mut indices = self.indices.clone();
+        let current = indices[knob] as isize;
+        let next = (current + delta).clamp(0, max_index as isize);
+        indices[knob] = next as usize;
+        KnobConfig { indices }
+    }
+
+    /// L1 distance (in ladder steps) to another configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations have different lengths.
+    #[must_use]
+    pub fn distance(&self, other: &KnobConfig) -> usize {
+        assert_eq!(self.len(), other.len(), "configurations differ in length");
+        self.indices
+            .iter()
+            .zip(&other.indices)
+            .map(|(a, b)| a.abs_diff(*b))
+            .sum()
+    }
+}
+
+/// An ordered set of knobs: the search space of the tuners.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobSpace {
+    specs: Vec<KnobSpec>,
+    /// Loop size of generated test cases (static instructions).
+    pub loop_size: usize,
+}
+
+impl KnobSpace {
+    /// Creates a knob space from specs.
+    #[must_use]
+    pub fn new(specs: Vec<KnobSpec>) -> Self {
+        KnobSpace {
+            specs,
+            loop_size: 500,
+        }
+    }
+
+    /// The full knob space of Listing 1: ten instruction-fraction knobs,
+    /// dependency distance, memory footprint / stride / temporal locality
+    /// and branch randomness (16 knobs).
+    #[must_use]
+    pub fn full() -> Self {
+        let fractions: Vec<f64> = (1..=10).map(f64::from).collect();
+        let mut specs = Vec::new();
+        for (name, op) in [
+            ("ADD", Opcode::Add),
+            ("MUL", Opcode::Mul),
+            ("FADDD", Opcode::FaddD),
+            ("FMULD", Opcode::FmulD),
+            ("BEQ", Opcode::Beq),
+            ("BNE", Opcode::Bne),
+            ("LD", Opcode::Ld),
+            ("LW", Opcode::Lw),
+            ("SD", Opcode::Sd),
+            ("SW", Opcode::Sw),
+        ] {
+            specs.push(KnobSpec::new(
+                name,
+                KnobTarget::InstructionWeight(op),
+                fractions.clone(),
+            ));
+        }
+        specs.push(KnobSpec::new(
+            "REG_DIST",
+            KnobTarget::DependencyDistance,
+            fractions.clone(),
+        ));
+        specs.push(KnobSpec::new(
+            "MEM_SIZE",
+            KnobTarget::MemoryFootprintKb,
+            vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 16384.0],
+        ));
+        specs.push(KnobSpec::new(
+            "MEM_STRIDE",
+            KnobTarget::MemoryStride,
+            vec![8.0, 12.0, 16.0, 20.0, 24.0, 32.0, 40.0, 48.0, 56.0, 64.0],
+        ));
+        specs.push(KnobSpec::new(
+            "MEM_TEMP1",
+            KnobTarget::MemoryTemporalWindow,
+            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+        ));
+        specs.push(KnobSpec::new(
+            "MEM_TEMP2",
+            KnobTarget::MemoryTemporalPeriod,
+            fractions,
+        ));
+        specs.push(KnobSpec::new(
+            "B_PATTERN",
+            KnobTarget::BranchRandomness,
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+        ));
+        KnobSpace::new(specs)
+    }
+
+    /// The compute-focused knob space of the performance-virus experiment
+    /// (Fig. 5 of the paper): the ten instruction-fraction knobs plus the
+    /// dependency distance, holding memory and branch behaviour fixed.
+    #[must_use]
+    pub fn instruction_fractions() -> Self {
+        let mut full = Self::full();
+        full.specs.truncate(11);
+        full
+    }
+
+    /// The knobs.
+    #[must_use]
+    pub fn specs(&self) -> &[KnobSpec] {
+        &self.specs
+    }
+
+    /// Number of knobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` if the space has no knobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Highest ladder index of knob `knob`.
+    #[must_use]
+    pub fn max_index(&self, knob: usize) -> usize {
+        self.specs[knob].len() - 1
+    }
+
+    /// Total number of distinct configurations in the space.
+    #[must_use]
+    pub fn cardinality(&self) -> u128 {
+        self.specs.iter().map(|s| s.len() as u128).product()
+    }
+
+    /// A uniformly random configuration.
+    #[must_use]
+    pub fn random_config<R: Rng + ?Sized>(&self, rng: &mut R) -> KnobConfig {
+        KnobConfig::new(
+            self.specs
+                .iter()
+                .map(|s| rng.gen_range(0..s.len()))
+                .collect(),
+        )
+    }
+
+    /// The configuration with every knob at the middle of its ladder.
+    #[must_use]
+    pub fn midpoint_config(&self) -> KnobConfig {
+        KnobConfig::new(self.specs.iter().map(|s| s.len() / 2).collect())
+    }
+
+    /// Validates that `config` matches this space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::KnobMismatch`] on a length mismatch.
+    pub fn validate(&self, config: &KnobConfig) -> Result<(), MicroGradError> {
+        if config.len() != self.len() {
+            return Err(MicroGradError::KnobMismatch {
+                expected: self.len(),
+                actual: config.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves a configuration into the generator input it denotes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::KnobMismatch`] if the configuration does
+    /// not match this space.
+    pub fn resolve(&self, config: &KnobConfig, seed: u64) -> Result<GeneratorInput, MicroGradError> {
+        self.validate(config)?;
+        let mut input = GeneratorInput {
+            loop_size: self.loop_size,
+            seed,
+            ..GeneratorInput::default()
+        };
+        // Instruction weights default to zero so only knob-controlled
+        // opcodes appear in the generated profile.
+        for w in input.instr_weights.values_mut() {
+            *w = 0.0;
+        }
+        for (spec, &index) in self.specs.iter().zip(config.indices()) {
+            let value = spec.value_at(index);
+            match spec.target {
+                KnobTarget::InstructionWeight(op) => input.set_weight(op, value),
+                KnobTarget::DependencyDistance => {
+                    input.reg_dependency_distance = value.round().max(1.0) as u32;
+                }
+                KnobTarget::MemoryFootprintKb => {
+                    input.mem_footprint_kb = value.round().max(1.0) as u64;
+                }
+                KnobTarget::MemoryStride => {
+                    input.mem_stride = value.round().max(1.0) as u64;
+                }
+                KnobTarget::MemoryTemporalWindow => {
+                    input.mem_temporal_window = value.round().max(1.0) as u64;
+                }
+                KnobTarget::MemoryTemporalPeriod => {
+                    input.mem_temporal_period = value.round().max(1.0) as u64;
+                }
+                KnobTarget::BranchRandomness => {
+                    input.branch_randomness = value.clamp(0.0, 1.0);
+                }
+            }
+        }
+        // If no instruction-weight knob exists in this space (unusual but
+        // legal), fall back to a uniform profile so generation still works.
+        if input.instr_weights.values().all(|w| *w <= 0.0) {
+            for w in input.instr_weights.values_mut() {
+                *w = 1.0;
+            }
+        }
+        Ok(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn full_space_matches_listing_1() {
+        let space = KnobSpace::full();
+        assert_eq!(space.len(), 16);
+        let names: Vec<&str> = space.specs().iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE", "LD", "LW", "SD", "SW", "REG_DIST",
+            "MEM_SIZE", "MEM_STRIDE", "MEM_TEMP1", "MEM_TEMP2", "B_PATTERN",
+        ] {
+            assert!(names.contains(&expected), "missing knob {expected}");
+        }
+        assert!(space.cardinality() > 10u128.pow(16));
+    }
+
+    #[test]
+    fn instruction_fraction_space_is_compute_focused() {
+        let space = KnobSpace::instruction_fractions();
+        assert_eq!(space.len(), 11);
+        assert!(space
+            .specs()
+            .iter()
+            .all(|s| matches!(
+                s.target,
+                KnobTarget::InstructionWeight(_) | KnobTarget::DependencyDistance
+            )));
+    }
+
+    #[test]
+    fn stepped_clamps_to_ladder() {
+        let config = KnobConfig::new(vec![0, 5, 9]);
+        assert_eq!(config.stepped(0, -3, 9).index(0), 0);
+        assert_eq!(config.stepped(2, 4, 9).index(2), 9);
+        assert_eq!(config.stepped(1, 2, 9).index(1), 7);
+        assert_eq!(config.len(), 3);
+    }
+
+    #[test]
+    fn distance_is_l1() {
+        let a = KnobConfig::new(vec![1, 2, 3]);
+        let b = KnobConfig::new(vec![3, 2, 0]);
+        assert_eq!(a.distance(&b), 5);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn random_configs_are_in_range_and_vary() {
+        let space = KnobSpace::full();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let configs: Vec<KnobConfig> = (0..20).map(|_| space.random_config(&mut rng)).collect();
+        for c in &configs {
+            space.validate(c).unwrap();
+            for (knob, &idx) in c.indices().iter().enumerate() {
+                assert!(idx <= space.max_index(knob));
+            }
+        }
+        let distinct: std::collections::HashSet<_> = configs.iter().collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn resolve_maps_knobs_to_generator_input() {
+        let space = KnobSpace::full();
+        let mut config = space.midpoint_config();
+        // push MEM_SIZE (index 11) to its maximum and B_PATTERN (index 15) to max
+        config = KnobConfig::new({
+            let mut v = config.indices().to_vec();
+            v[11] = space.max_index(11);
+            v[15] = space.max_index(15);
+            v
+        });
+        let input = space.resolve(&config, 42).unwrap();
+        assert_eq!(input.mem_footprint_kb, 16384);
+        assert!((input.branch_randomness - 1.0).abs() < 1e-12);
+        assert_eq!(input.seed, 42);
+        assert_eq!(input.loop_size, 500);
+        assert!(input.instr_weights.values().any(|w| *w > 0.0));
+    }
+
+    #[test]
+    fn resolve_rejects_mismatched_config() {
+        let space = KnobSpace::full();
+        let err = space.resolve(&KnobConfig::new(vec![0, 1]), 0).unwrap_err();
+        assert!(matches!(err, MicroGradError::KnobMismatch { expected: 16, actual: 2 }));
+    }
+
+    #[test]
+    fn space_without_instruction_knobs_still_resolves() {
+        let space = KnobSpace::new(vec![KnobSpec::new(
+            "MEM_SIZE",
+            KnobTarget::MemoryFootprintKb,
+            vec![2.0, 64.0],
+        )]);
+        let input = space.resolve(&KnobConfig::new(vec![1]), 0).unwrap();
+        assert_eq!(input.mem_footprint_kb, 64);
+        assert!(input.instr_weights.values().any(|w| *w > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_ladder_panics() {
+        let _ = KnobSpec::new("X", KnobTarget::DependencyDistance, vec![]);
+    }
+
+    #[test]
+    fn generated_testcase_reflects_resolved_knobs() {
+        let space = KnobSpace::full();
+        let config = space.midpoint_config();
+        let input = space.resolve(&config, 7).unwrap();
+        let tc = micrograd_codegen::Generator::new().generate(&input).unwrap();
+        assert_eq!(tc.block().len(), 500);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let space = KnobSpace::full();
+        let json = serde_json::to_string(&space).unwrap();
+        let back: KnobSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, space);
+    }
+}

@@ -1,0 +1,184 @@
+//! Use-case loss functions.
+
+use crate::{MetricKind, Metrics};
+use serde::{Deserialize, Serialize};
+
+/// A use-case loss: lower is better; tuning is gradient *descent* on this
+/// quantity.
+pub trait LossFunction: std::fmt::Debug {
+    /// Evaluates the loss of a measured metric vector.
+    fn loss(&self, measured: &Metrics) -> f64;
+
+    /// The metrics this loss reads (used by reporting).
+    fn metrics_of_interest(&self) -> Vec<MetricKind>;
+}
+
+/// Log-loss over a set of target metrics — the cloning loss of the paper.
+///
+/// For each metric of interest the loss accumulates `ln(measured/target)²`,
+/// a symmetric penalty on the *relative* error: being 10 % high costs the
+/// same as being 10 % low, and a metric that is off by 2× dominates several
+/// metrics that are off by a few percent — which is what lets the tuner
+/// "sacrifice the accuracy on some specific low-level target metric … if it
+/// aids in optimal achievement of other … target metrics" (Section II-A.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloneLogLoss {
+    target: Metrics,
+    kinds: Vec<MetricKind>,
+    /// Floor applied to both operands of the ratio so empty or zero metrics
+    /// stay finite.
+    epsilon: f64,
+}
+
+impl CloneLogLoss {
+    /// Creates the loss from a target metric vector and the metrics of
+    /// interest.
+    #[must_use]
+    pub fn new(target: Metrics, kinds: Vec<MetricKind>) -> Self {
+        CloneLogLoss {
+            target,
+            kinds,
+            epsilon: 1e-4,
+        }
+    }
+
+    /// The cloning target.
+    #[must_use]
+    pub fn target(&self) -> &Metrics {
+        &self.target
+    }
+}
+
+impl LossFunction for CloneLogLoss {
+    fn loss(&self, measured: &Metrics) -> f64 {
+        let mut total = 0.0;
+        for kind in &self.kinds {
+            let t = self.target.value_or_zero(*kind).max(self.epsilon);
+            let m = measured.value_or_zero(*kind).max(self.epsilon);
+            let log_ratio = (m / t).ln();
+            total += log_ratio * log_ratio;
+        }
+        total
+    }
+
+    fn metrics_of_interest(&self) -> Vec<MetricKind> {
+        self.kinds.clone()
+    }
+}
+
+/// Direction of a stress test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StressGoal {
+    /// Push the metric as high as possible (e.g. maximum dynamic power).
+    Maximize,
+    /// Push the metric as low as possible (e.g. worst-case performance).
+    Minimize,
+}
+
+/// Stress-testing loss: the (signed) value of a single metric.
+///
+/// Minimizing this loss maximizes or minimizes the stress metric according
+/// to the goal, so the same gradient-descent machinery drives both the
+/// performance virus (minimize IPC) and the power virus (maximize dynamic
+/// power) of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressLoss {
+    metric: MetricKind,
+    goal: StressGoal,
+}
+
+impl StressLoss {
+    /// Creates a stress loss.
+    #[must_use]
+    pub fn new(metric: MetricKind, goal: StressGoal) -> Self {
+        StressLoss { metric, goal }
+    }
+
+    /// The stress metric.
+    #[must_use]
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// The stress direction.
+    #[must_use]
+    pub fn goal(&self) -> StressGoal {
+        self.goal
+    }
+}
+
+impl LossFunction for StressLoss {
+    fn loss(&self, measured: &Metrics) -> f64 {
+        let value = measured.value_or_zero(self.metric);
+        match self.goal {
+            StressGoal::Maximize => -value,
+            StressGoal::Minimize => value,
+        }
+    }
+
+    fn metrics_of_interest(&self) -> Vec<MetricKind> {
+        vec![self.metric]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(MetricKind, f64)]) -> Metrics {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn clone_loss_is_zero_at_the_target() {
+        let target = metrics(&[(MetricKind::Ipc, 1.5), (MetricKind::L1dHitRate, 0.92)]);
+        let loss = CloneLogLoss::new(target.clone(), MetricKind::CLONING.to_vec());
+        assert!(loss.loss(&target) < 1e-12);
+    }
+
+    #[test]
+    fn clone_loss_grows_with_relative_error() {
+        let target = metrics(&[(MetricKind::Ipc, 2.0)]);
+        let loss = CloneLogLoss::new(target, vec![MetricKind::Ipc]);
+        let small = loss.loss(&metrics(&[(MetricKind::Ipc, 1.9)]));
+        let large = loss.loss(&metrics(&[(MetricKind::Ipc, 1.0)]));
+        assert!(small < large);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn clone_loss_is_symmetric_in_relative_terms() {
+        let target = metrics(&[(MetricKind::Ipc, 2.0)]);
+        let loss = CloneLogLoss::new(target, vec![MetricKind::Ipc]);
+        let high = loss.loss(&metrics(&[(MetricKind::Ipc, 4.0)]));
+        let low = loss.loss(&metrics(&[(MetricKind::Ipc, 1.0)]));
+        assert!((high - low).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_loss_handles_missing_and_zero_metrics() {
+        let target = metrics(&[(MetricKind::FloatFraction, 0.0)]);
+        let loss = CloneLogLoss::new(target, vec![MetricKind::FloatFraction, MetricKind::Ipc]);
+        let value = loss.loss(&Metrics::new());
+        assert!(value.is_finite());
+        assert_eq!(
+            loss.metrics_of_interest(),
+            vec![MetricKind::FloatFraction, MetricKind::Ipc]
+        );
+        assert_eq!(loss.target().len(), 1);
+    }
+
+    #[test]
+    fn stress_loss_directions() {
+        let max_power = StressLoss::new(MetricKind::DynamicPower, StressGoal::Maximize);
+        let min_ipc = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let a = metrics(&[(MetricKind::DynamicPower, 1.0), (MetricKind::Ipc, 1.0)]);
+        let b = metrics(&[(MetricKind::DynamicPower, 2.0), (MetricKind::Ipc, 0.5)]);
+        // b is a better power virus and a better performance virus
+        assert!(max_power.loss(&b) < max_power.loss(&a));
+        assert!(min_ipc.loss(&b) < min_ipc.loss(&a));
+        assert_eq!(max_power.metric(), MetricKind::DynamicPower);
+        assert_eq!(min_ipc.goal(), StressGoal::Minimize);
+        assert_eq!(max_power.metrics_of_interest(), vec![MetricKind::DynamicPower]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Evaluation platforms: where generated test cases are executed.
+
+use crate::{Metrics, MicroGradError};
+use micrograd_codegen::{Generator, GeneratorInput, TestCase, Trace, TraceExpander};
+use micrograd_power::{PowerConfig, PowerModel};
+use micrograd_sim::{CoreConfig, SimStats, Simulator};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// An execution platform MicroGrad can evaluate test cases on.
+///
+/// The paper interfaces with performance simulators (Gem5), power estimators
+/// (McPAT) and native hardware; each of those is one implementation of this
+/// trait.  This crate ships [`SimPlatform`] (the bundled simulator plus
+/// power model); a hardware-counter backend would implement the same trait.
+pub trait ExecutionPlatform {
+    /// Platform name, for reporting.
+    fn name(&self) -> &str;
+
+    /// Generates the test case for `input`, runs it, and returns its metric
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MicroGradError`] if code generation fails.
+    fn evaluate(&self, input: &GeneratorInput) -> Result<Metrics, MicroGradError>;
+
+    /// Measures the metric vector of an existing dynamic trace (used to
+    /// characterize reference applications for cloning targets).
+    fn measure_trace(&self, trace: &Trace) -> Metrics;
+}
+
+/// The bundled evaluation platform: Microprobe-like code generation, the
+/// cycle-approximate simulator and the activity-based power model.
+///
+/// Evaluations are memoized per generator input, because gradient-descent
+/// epochs repeatedly re-evaluate the epoch's base configuration.
+#[derive(Debug)]
+pub struct SimPlatform {
+    core: CoreConfig,
+    power: PowerConfig,
+    dynamic_len: usize,
+    seed: u64,
+    cache: Mutex<HashMap<String, Metrics>>,
+}
+
+impl SimPlatform {
+    /// Default number of dynamic instructions per evaluation.
+    ///
+    /// The paper runs 10 M dynamic instructions per test case on Gem5; the
+    /// bundled simulator defaults to 50 k, which keeps a full tuning run in
+    /// the seconds range while the test case (a ~500-instruction loop)
+    /// still reaches steady state.  Use [`with_dynamic_len`] to change it.
+    ///
+    /// [`with_dynamic_len`]: SimPlatform::with_dynamic_len
+    pub const DEFAULT_DYNAMIC_LEN: usize = 50_000;
+
+    /// Creates a platform for a core configuration, choosing the matching
+    /// power-model preset.
+    #[must_use]
+    pub fn new(core: CoreConfig) -> Self {
+        let power = PowerConfig::for_core(&core.name);
+        SimPlatform {
+            core,
+            power,
+            dynamic_len: Self::DEFAULT_DYNAMIC_LEN,
+            seed: 1,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the number of dynamic instructions per evaluation.
+    #[must_use]
+    pub fn with_dynamic_len(mut self, dynamic_len: usize) -> Self {
+        self.dynamic_len = dynamic_len;
+        self
+    }
+
+    /// Sets the evaluation seed (trace expansion and generation).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The core configuration this platform simulates.
+    #[must_use]
+    pub fn core(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    /// The power configuration this platform estimates with.
+    #[must_use]
+    pub fn power(&self) -> &PowerConfig {
+        &self.power
+    }
+
+    /// Number of dynamic instructions per evaluation.
+    #[must_use]
+    pub fn dynamic_len(&self) -> usize {
+        self.dynamic_len
+    }
+
+    /// Generates the test case for `input` without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MicroGradError`] if code generation fails.
+    pub fn generate(&self, input: &GeneratorInput) -> Result<TestCase, MicroGradError> {
+        Ok(Generator::new().generate(input)?)
+    }
+
+    /// Runs a full evaluation and returns the raw simulator statistics
+    /// alongside the metric vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MicroGradError`] if code generation fails.
+    pub fn evaluate_detailed(
+        &self,
+        input: &GeneratorInput,
+    ) -> Result<(Metrics, SimStats), MicroGradError> {
+        let test_case = self.generate(input)?;
+        let trace = TraceExpander::new(self.dynamic_len, self.seed).expand(&test_case);
+        let stats = Simulator::new(self.core.clone()).run(&trace);
+        let power = PowerModel::new(self.power.clone()).estimate(&stats);
+        Ok((Metrics::from_run(&stats, Some(&power)), stats))
+    }
+
+    /// Number of evaluations currently memoized.
+    #[must_use]
+    pub fn cached_evaluations(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+impl ExecutionPlatform for SimPlatform {
+    fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    fn evaluate(&self, input: &GeneratorInput) -> Result<Metrics, MicroGradError> {
+        let key = serde_json::to_string(input).unwrap_or_default();
+        if !key.is_empty() {
+            if let Some(hit) = self.cache.lock().get(&key) {
+                return Ok(hit.clone());
+            }
+        }
+        let (metrics, _) = self.evaluate_detailed(input)?;
+        if !key.is_empty() {
+            self.cache.lock().insert(key, metrics.clone());
+        }
+        Ok(metrics)
+    }
+
+    fn measure_trace(&self, trace: &Trace) -> Metrics {
+        let stats = Simulator::new(self.core.clone()).run(trace);
+        let power = PowerModel::new(self.power.clone()).estimate(&stats);
+        Metrics::from_run(&stats, Some(&power))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricKind;
+    use micrograd_workloads::{ApplicationTraceGenerator, Benchmark};
+
+    fn platform() -> SimPlatform {
+        SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(20_000)
+            .with_seed(3)
+    }
+
+    #[test]
+    fn evaluate_produces_all_metrics() {
+        let p = platform();
+        let input = GeneratorInput {
+            loop_size: 200,
+            ..GeneratorInput::default()
+        };
+        let metrics = p.evaluate(&input).unwrap();
+        for kind in MetricKind::ALL {
+            assert!(metrics.get(kind).is_some(), "{kind} missing");
+        }
+        assert!(metrics.value_or_zero(MetricKind::Ipc) > 0.0);
+        assert!(metrics.value_or_zero(MetricKind::DynamicPower) > 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_cached() {
+        let p = platform();
+        let input = GeneratorInput {
+            loop_size: 100,
+            ..GeneratorInput::default()
+        };
+        let a = p.evaluate(&input).unwrap();
+        assert_eq!(p.cached_evaluations(), 1);
+        let b = p.evaluate(&input).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(p.cached_evaluations(), 1);
+    }
+
+    #[test]
+    fn different_cores_give_different_ipc() {
+        let input = GeneratorInput {
+            loop_size: 200,
+            reg_dependency_distance: 8,
+            ..GeneratorInput::default()
+        };
+        let small = SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(20_000)
+            .evaluate(&input)
+            .unwrap();
+        let large = SimPlatform::new(CoreConfig::large())
+            .with_dynamic_len(20_000)
+            .evaluate(&input)
+            .unwrap();
+        assert!(
+            large.value_or_zero(MetricKind::Ipc) > small.value_or_zero(MetricKind::Ipc),
+            "large core should execute the same ILP-rich loop faster"
+        );
+    }
+
+    #[test]
+    fn measure_trace_characterizes_applications() {
+        let p = platform();
+        let trace = ApplicationTraceGenerator::new(20_000, 5).generate(&Benchmark::Mcf.profile());
+        let mcf = p.measure_trace(&trace);
+        let trace = ApplicationTraceGenerator::new(20_000, 5).generate(&Benchmark::Hmmer.profile());
+        let hmmer = p.measure_trace(&trace);
+        // mcf is memory bound, hmmer is compute friendly
+        assert!(
+            mcf.value_or_zero(MetricKind::Ipc) < hmmer.value_or_zero(MetricKind::Ipc),
+            "mcf {} should be slower than hmmer {}",
+            mcf.value_or_zero(MetricKind::Ipc),
+            hmmer.value_or_zero(MetricKind::Ipc)
+        );
+        assert!(
+            mcf.value_or_zero(MetricKind::L1dHitRate) < hmmer.value_or_zero(MetricKind::L1dHitRate)
+        );
+    }
+
+    #[test]
+    fn invalid_input_surfaces_codegen_error() {
+        let p = platform();
+        let mut input = GeneratorInput::default();
+        input.loop_size = 1;
+        assert!(matches!(
+            p.evaluate(&input),
+            Err(MicroGradError::Codegen(_))
+        ));
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let p = platform();
+        assert_eq!(p.name(), "small");
+        assert_eq!(p.core().name, "small");
+        assert_eq!(p.power().name, "small");
+        assert_eq!(p.dynamic_len(), 20_000);
+    }
+}

@@ -1,0 +1,219 @@
+//! Brute-force search over a coarsened knob space.
+
+use super::{EpochRecord, Evaluator, Tuner, TuningBudget, TuningResult};
+use crate::{ExecutionPlatform, KnobConfig, KnobSpace, LossFunction, MicroGradError};
+use serde::{Deserialize, Serialize};
+
+/// Exhaustive search over a coarsened grid of the knob space.
+///
+/// The paper estimates the true stress-test optimum with "a brute-force
+/// search exploring the entire workload space".  Exhaustively enumerating
+/// the full ladder of every knob is infeasible (the full space has more
+/// than 10¹⁶ points), so this tuner evaluates the Cartesian product of
+/// `levels_per_knob` evenly spaced ladder positions per knob — with
+/// `levels_per_knob = 2` that is every corner of the space, with 3 it adds
+/// the midpoints, and so on.  A hard evaluation cap guards against
+/// accidentally launching an enormous sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BruteForceTuner {
+    levels_per_knob: usize,
+    max_evaluations: usize,
+    /// How many evaluations are grouped into one reported epoch.
+    evaluations_per_epoch: usize,
+}
+
+impl BruteForceTuner {
+    /// Creates a brute-force tuner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels_per_knob` is zero.
+    #[must_use]
+    pub fn new(levels_per_knob: usize, max_evaluations: usize) -> Self {
+        assert!(levels_per_knob > 0, "levels_per_knob must be positive");
+        BruteForceTuner {
+            levels_per_knob,
+            max_evaluations,
+            evaluations_per_epoch: 32,
+        }
+    }
+
+    /// Number of grid levels per knob.
+    #[must_use]
+    pub fn levels_per_knob(&self) -> usize {
+        self.levels_per_knob
+    }
+
+    /// Grid positions (ladder indices) considered for a knob with
+    /// `max_index` as its highest index.
+    fn grid_indices(&self, max_index: usize) -> Vec<usize> {
+        if self.levels_per_knob == 1 || max_index == 0 {
+            return vec![max_index / 2];
+        }
+        let levels = self.levels_per_knob.min(max_index + 1);
+        (0..levels)
+            .map(|i| (i * max_index) / (levels - 1))
+            .collect()
+    }
+
+    /// Total number of grid points for `space`.
+    #[must_use]
+    pub fn grid_size(&self, space: &KnobSpace) -> u128 {
+        (0..space.len())
+            .map(|k| self.grid_indices(space.max_index(k)).len() as u128)
+            .product()
+    }
+}
+
+impl Default for BruteForceTuner {
+    fn default() -> Self {
+        Self::new(2, 8192)
+    }
+}
+
+impl Tuner for BruteForceTuner {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn tune(
+        &mut self,
+        platform: &dyn ExecutionPlatform,
+        space: &KnobSpace,
+        loss: &dyn LossFunction,
+        budget: &TuningBudget,
+    ) -> Result<TuningResult, MicroGradError> {
+        let mut evaluator = Evaluator::new(platform, space, loss, 29);
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+
+        let grids: Vec<Vec<usize>> = (0..space.len())
+            .map(|k| self.grid_indices(space.max_index(k)))
+            .collect();
+        // Odometer-style enumeration of the Cartesian product.
+        let mut cursor = vec![0usize; space.len()];
+        let mut epoch_best = f64::INFINITY;
+        let mut done = space.is_empty();
+
+        while !done && evaluator.evaluations < self.max_evaluations {
+            let config = KnobConfig::new(
+                cursor
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| grids[k][i])
+                    .collect(),
+            );
+            let (_, l) = evaluator.evaluate(&config)?;
+            epoch_best = epoch_best.min(l);
+
+            if evaluator.evaluations % self.evaluations_per_epoch == 0 {
+                epochs.push(evaluator.epoch_record(epochs.len() + 1, epoch_best)?);
+                epoch_best = f64::INFINITY;
+                if budget.target_reached(evaluator.best()?.2)
+                    || epochs.len() >= budget.max_epochs
+                {
+                    break;
+                }
+            }
+
+            // advance the odometer
+            done = true;
+            for k in (0..space.len()).rev() {
+                cursor[k] += 1;
+                if cursor[k] < grids[k].len() {
+                    done = false;
+                    break;
+                }
+                cursor[k] = 0;
+            }
+        }
+        if evaluator.evaluations % self.evaluations_per_epoch != 0 && evaluator.evaluations > 0 {
+            epochs.push(evaluator.epoch_record(epochs.len() + 1, epoch_best)?);
+        }
+        // Brute force "converges" by construction when it finishes its grid.
+        evaluator.finish(epochs, done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KnobSpec, KnobTarget, MetricKind, SimPlatform, StressGoal, StressLoss};
+    use micrograd_isa::Opcode;
+    use micrograd_sim::CoreConfig;
+
+    fn tiny_space() -> KnobSpace {
+        let mut space = KnobSpace::new(vec![
+            KnobSpec::new(
+                "ADD",
+                KnobTarget::InstructionWeight(Opcode::Add),
+                vec![1.0, 5.0, 10.0],
+            ),
+            KnobSpec::new(
+                "FMULD",
+                KnobTarget::InstructionWeight(Opcode::FmulD),
+                vec![1.0, 5.0, 10.0],
+            ),
+            KnobSpec::new("REG_DIST", KnobTarget::DependencyDistance, vec![1.0, 10.0]),
+        ]);
+        space.loop_size = 80;
+        space
+    }
+
+    #[test]
+    fn grid_indices_cover_endpoints() {
+        let t = BruteForceTuner::new(3, 100);
+        assert_eq!(t.grid_indices(9), vec![0, 4, 9]);
+        assert_eq!(t.grid_indices(1), vec![0, 1]);
+        assert_eq!(BruteForceTuner::new(2, 100).grid_indices(9), vec![0, 9]);
+        assert_eq!(BruteForceTuner::new(1, 100).grid_indices(9), vec![4]);
+        assert_eq!(t.grid_indices(0), vec![0]);
+    }
+
+    #[test]
+    fn grid_size_is_the_product_of_levels() {
+        let t = BruteForceTuner::new(2, 10_000);
+        assert_eq!(t.grid_size(&tiny_space()), 2 * 2 * 2);
+        let t3 = BruteForceTuner::new(3, 10_000);
+        assert_eq!(t3.grid_size(&tiny_space()), 3 * 3 * 2);
+        assert_eq!(t3.levels_per_knob(), 3);
+    }
+
+    #[test]
+    fn exhausts_the_grid_and_finds_the_true_optimum() {
+        let platform = SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(5_000)
+            .with_seed(9);
+        let space = tiny_space();
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let mut tuner = BruteForceTuner::new(3, 1000);
+        let result = tuner
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(100))
+            .unwrap();
+        assert_eq!(result.total_evaluations, 18);
+        assert!(result.converged);
+        assert!(!result.epochs.is_empty());
+        // the best config is one of the grid points and has the minimum loss
+        assert!(result.best_loss <= result.epochs.last().unwrap().best_loss + 1e-12);
+    }
+
+    #[test]
+    fn evaluation_cap_is_respected() {
+        let platform = SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(5_000)
+            .with_seed(9);
+        let space = tiny_space();
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let mut tuner = BruteForceTuner::new(3, 5);
+        let result = tuner
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(100))
+            .unwrap();
+        assert_eq!(result.total_evaluations, 5);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels_per_knob")]
+    fn zero_levels_panics() {
+        let _ = BruteForceTuner::new(0, 10);
+    }
+}

@@ -1,0 +1,309 @@
+//! The genetic-algorithm baseline tuner (Table I of the paper).
+
+use super::{EpochRecord, Evaluator, Tuner, TuningBudget, TuningResult};
+use crate::{ExecutionPlatform, KnobConfig, KnobSpace, LossFunction, MicroGradError};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Genetic-algorithm parameters.
+///
+/// [`GaParams::paper`] reproduces Table I of the MicroGrad paper, which in
+/// turn takes its values from GeST: population 50, 3 % random mutation,
+/// single-point crossover applied to every offspring, elitism, and
+/// tournament selection of size 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Number of individuals per generation.
+    pub population_size: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Probability that crossover is applied to an offspring pair.
+    pub crossover_rate: f64,
+    /// Number of best individuals copied unchanged into the next
+    /// generation.
+    pub elite_count: usize,
+    /// Tournament size used for parent selection.
+    pub tournament_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaParams {
+    /// The GA configuration of Table I.
+    #[must_use]
+    pub fn paper() -> Self {
+        GaParams {
+            population_size: 50,
+            mutation_rate: 0.03,
+            crossover_rate: 1.0,
+            elite_count: 1,
+            tournament_size: 5,
+            seed: 13,
+        }
+    }
+
+    /// A reduced configuration for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        GaParams {
+            population_size: 8,
+            mutation_rate: 0.05,
+            crossover_rate: 1.0,
+            elite_count: 1,
+            tournament_size: 3,
+            seed: 13,
+        }
+    }
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The genetic-algorithm tuner MicroGrad is compared against.
+///
+/// One tuning *epoch* is one generation: the whole population is evaluated
+/// (`population_size` platform evaluations — the paper notes this is ~2.5×
+/// the work of a gradient-descent epoch), parents are chosen by tournament,
+/// offspring are produced by single-point crossover and per-gene random
+/// mutation, and the best individuals survive unchanged (elitism).
+#[derive(Debug, Clone)]
+pub struct GeneticTuner {
+    params: GaParams,
+}
+
+impl GeneticTuner {
+    /// Creates a tuner with the given parameters.
+    #[must_use]
+    pub fn new(params: GaParams) -> Self {
+        GeneticTuner { params }
+    }
+
+    /// The tuner parameters.
+    #[must_use]
+    pub fn params(&self) -> &GaParams {
+        &self.params
+    }
+
+    fn tournament<'p>(
+        &self,
+        rng: &mut ChaCha8Rng,
+        scored: &'p [(KnobConfig, f64)],
+    ) -> &'p KnobConfig {
+        let mut best: Option<&(KnobConfig, f64)> = None;
+        for _ in 0..self.params.tournament_size.max(1) {
+            let candidate = &scored[rng.gen_range(0..scored.len())];
+            if best.map_or(true, |b| candidate.1 < b.1) {
+                best = Some(candidate);
+            }
+        }
+        &best.expect("tournament over non-empty population").0
+    }
+
+    fn crossover(
+        &self,
+        rng: &mut ChaCha8Rng,
+        a: &KnobConfig,
+        b: &KnobConfig,
+    ) -> (KnobConfig, KnobConfig) {
+        if a.len() < 2 || rng.gen::<f64>() >= self.params.crossover_rate {
+            return (a.clone(), b.clone());
+        }
+        let point = rng.gen_range(1..a.len());
+        let mut left = a.indices().to_vec();
+        let mut right = b.indices().to_vec();
+        for i in point..a.len() {
+            std::mem::swap(&mut left[i], &mut right[i]);
+        }
+        (KnobConfig::new(left), KnobConfig::new(right))
+    }
+
+    fn mutate(&self, rng: &mut ChaCha8Rng, space: &KnobSpace, config: &mut KnobConfig) {
+        let mut indices = config.indices().to_vec();
+        for (knob, value) in indices.iter_mut().enumerate() {
+            if rng.gen::<f64>() < self.params.mutation_rate {
+                *value = rng.gen_range(0..=space.max_index(knob));
+            }
+        }
+        *config = KnobConfig::new(indices);
+    }
+}
+
+impl Default for GeneticTuner {
+    fn default() -> Self {
+        Self::new(GaParams::paper())
+    }
+}
+
+impl Tuner for GeneticTuner {
+    fn name(&self) -> &'static str {
+        "genetic-algorithm"
+    }
+
+    fn tune(
+        &mut self,
+        platform: &dyn ExecutionPlatform,
+        space: &KnobSpace,
+        loss: &dyn LossFunction,
+        budget: &TuningBudget,
+    ) -> Result<TuningResult, MicroGradError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
+        let mut evaluator = Evaluator::new(platform, space, loss, self.params.seed);
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+        let mut converged = false;
+
+        let mut population: Vec<KnobConfig> = (0..self.params.population_size.max(2))
+            .map(|_| space.random_config(&mut rng))
+            .collect();
+
+        for epoch in 0..budget.max_epochs {
+            // evaluate the generation
+            let mut scored: Vec<(KnobConfig, f64)> = Vec::with_capacity(population.len());
+            let mut generation_best = f64::INFINITY;
+            for individual in &population {
+                let (_, l) = evaluator.evaluate(individual)?;
+                generation_best = generation_best.min(l);
+                scored.push((individual.clone(), l));
+            }
+            epochs.push(evaluator.epoch_record(epoch + 1, generation_best)?);
+            if budget.target_reached(evaluator.best()?.2) {
+                converged = true;
+                break;
+            }
+            if epoch + 1 == budget.max_epochs {
+                break;
+            }
+
+            // next generation: elites + offspring
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let mut next: Vec<KnobConfig> = scored
+                .iter()
+                .take(self.params.elite_count.min(scored.len()))
+                .map(|(c, _)| c.clone())
+                .collect();
+            while next.len() < population.len() {
+                let parent_a = self.tournament(&mut rng, &scored).clone();
+                let parent_b = self.tournament(&mut rng, &scored).clone();
+                let (mut child_a, mut child_b) = self.crossover(&mut rng, &parent_a, &parent_b);
+                self.mutate(&mut rng, space, &mut child_a);
+                self.mutate(&mut rng, space, &mut child_b);
+                next.push(child_a);
+                if next.len() < population.len() {
+                    next.push(child_b);
+                }
+            }
+            population = next;
+        }
+
+        evaluator.finish(epochs, converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricKind, SimPlatform, StressGoal, StressLoss};
+    use micrograd_sim::CoreConfig;
+
+    fn fast_platform() -> SimPlatform {
+        SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(6_000)
+            .with_seed(5)
+    }
+
+    fn small_space() -> KnobSpace {
+        let mut space = KnobSpace::instruction_fractions();
+        space.loop_size = 100;
+        space
+    }
+
+    #[test]
+    fn paper_parameters_match_table_1() {
+        let p = GaParams::paper();
+        assert_eq!(p.population_size, 50);
+        assert!((p.mutation_rate - 0.03).abs() < 1e-12);
+        assert!((p.crossover_rate - 1.0).abs() < 1e-12);
+        assert!(p.elite_count >= 1);
+        assert_eq!(p.tournament_size, 5);
+        assert_eq!(GaParams::default(), GaParams::paper());
+    }
+
+    #[test]
+    fn crossover_produces_children_from_both_parents() {
+        let tuner = GeneticTuner::new(GaParams {
+            crossover_rate: 1.0,
+            ..GaParams::tiny()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = KnobConfig::new(vec![0; 8]);
+        let b = KnobConfig::new(vec![9; 8]);
+        let (c, d) = tuner.crossover(&mut rng, &a, &b);
+        assert!(c.indices().contains(&0) && c.indices().contains(&9));
+        assert!(d.indices().contains(&0) && d.indices().contains(&9));
+        // gene counts are preserved across the pair
+        let total_nines = c.indices().iter().filter(|&&x| x == 9).count()
+            + d.indices().iter().filter(|&&x| x == 9).count();
+        assert_eq!(total_nines, 8);
+    }
+
+    #[test]
+    fn mutation_respects_ladder_bounds() {
+        let space = small_space();
+        let tuner = GeneticTuner::new(GaParams {
+            mutation_rate: 1.0,
+            ..GaParams::tiny()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut config = space.midpoint_config();
+        tuner.mutate(&mut rng, &space, &mut config);
+        for (knob, &idx) in config.indices().iter().enumerate() {
+            assert!(idx <= space.max_index(knob));
+        }
+    }
+
+    #[test]
+    fn ga_improves_over_generations() {
+        let platform = fast_platform();
+        let space = small_space();
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let mut tuner = GeneticTuner::new(GaParams::tiny());
+        let result = tuner
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(4))
+            .unwrap();
+        assert_eq!(result.epochs_used(), 4);
+        assert_eq!(result.total_evaluations, 4 * 8);
+        let first = result.epochs.first().unwrap().best_loss;
+        let last = result.epochs.last().unwrap().best_loss;
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn ga_epoch_costs_more_evaluations_than_gd_epoch() {
+        // The paper's resource argument: a GA epoch costs `population_size`
+        // evaluations while a GD epoch costs ~2×knobs+1.
+        let platform = fast_platform();
+        let space = small_space();
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+
+        let mut ga = GeneticTuner::new(GaParams {
+            population_size: 50,
+            ..GaParams::tiny()
+        });
+        let ga_result = ga
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(1))
+            .unwrap();
+
+        let mut gd = super::super::GradientDescentTuner::default();
+        let gd_result = gd
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(1))
+            .unwrap();
+
+        assert_eq!(ga_result.total_evaluations, 50);
+        assert!(gd_result.total_evaluations <= 2 * space.len() + 1);
+        assert!(ga_result.total_evaluations as f64 / gd_result.total_evaluations as f64 >= 2.0);
+    }
+}

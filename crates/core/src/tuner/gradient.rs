@@ -1,0 +1,421 @@
+//! The gradient-descent tuning mechanism (Listing 3 of the paper).
+
+use super::{EpochRecord, Evaluator, Tuner, TuningBudget, TuningResult};
+use crate::{ExecutionPlatform, KnobConfig, KnobSpace, LossFunction, MicroGradError};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the gradient-descent tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GdParams {
+    /// Ladder-step size used in the first epoch.
+    ///
+    /// Step sizes shrink towards [`final_step`](Self::final_step) over the
+    /// epoch budget, "larger on earlier epochs … gradually becoming
+    /// smaller" as the paper describes (inspired by adaptive learning-rate
+    /// methods).
+    pub initial_step: f64,
+    /// Ladder-step size used in the final epochs.
+    pub final_step: f64,
+    /// Per-epoch multiplicative decay applied to the step size.
+    pub step_decay: f64,
+    /// Probability that a knob is skipped in a given epoch (robustness
+    /// against local minima); decays over epochs.
+    pub initial_skip_probability: f64,
+    /// Per-epoch multiplicative decay of the skip probability.
+    pub skip_decay: f64,
+    /// Perturbation applied to each knob when estimating gradients
+    /// (ladder steps).
+    pub delta: usize,
+    /// Number of consecutive epochs without improvement before a random
+    /// "kick" is applied to escape a local minimum (the paper's
+    /// "stochastic randomness to jump out of local minimas").
+    pub kick_after_stagnant_epochs: usize,
+    /// Number of consecutive epochs without improvement after which tuning
+    /// is declared converged.
+    pub stagnation_limit: usize,
+    /// RNG seed (initial configuration, skipping and kick decisions).
+    pub seed: u64,
+}
+
+impl Default for GdParams {
+    fn default() -> Self {
+        GdParams {
+            initial_step: 3.0,
+            final_step: 1.0,
+            step_decay: 0.9,
+            initial_skip_probability: 0.25,
+            skip_decay: 0.85,
+            delta: 1,
+            kick_after_stagnant_epochs: 2,
+            stagnation_limit: 12,
+            seed: 7,
+        }
+    }
+}
+
+/// The gradient-descent tuner.
+///
+/// Each epoch (cf. Listing 3 of the paper):
+///
+/// 1. the epoch's *base* configuration is evaluated (the previous epoch's
+///    output, or a random configuration on the first epoch);
+/// 2. every non-skipped knob is perturbed by ±δ ladder steps, giving
+///    `2 × knobs` *gradient-check* evaluations;
+/// 3. the loss gradient along each knob is estimated from those checks;
+/// 4. the knob with the steepest gradient moves a full step, the others
+///    move proportionally to their gradient magnitude, all in the descent
+///    direction;
+/// 5. step sizes shrink and the knob-skipping probability decays over
+///    epochs;
+/// 6. tuning stops on convergence (no knob moved), on reaching the target
+///    loss, or when the epoch budget is exhausted.
+#[derive(Debug, Clone)]
+pub struct GradientDescentTuner {
+    params: GdParams,
+    initial_config: Option<KnobConfig>,
+}
+
+impl GradientDescentTuner {
+    /// Creates a tuner with the given parameters.
+    #[must_use]
+    pub fn new(params: GdParams) -> Self {
+        GradientDescentTuner {
+            params,
+            initial_config: None,
+        }
+    }
+
+    /// Starts tuning from a specific configuration instead of a random one.
+    #[must_use]
+    pub fn with_initial_config(mut self, config: KnobConfig) -> Self {
+        self.initial_config = Some(config);
+        self
+    }
+
+    /// The tuner parameters.
+    #[must_use]
+    pub fn params(&self) -> &GdParams {
+        &self.params
+    }
+
+    fn step_size(&self, epoch: usize) -> f64 {
+        (self.params.initial_step * self.params.step_decay.powi(epoch as i32))
+            .max(self.params.final_step)
+    }
+
+    fn skip_probability(&self, epoch: usize) -> f64 {
+        (self.params.initial_skip_probability * self.params.skip_decay.powi(epoch as i32))
+            .clamp(0.0, 1.0)
+    }
+}
+
+impl Default for GradientDescentTuner {
+    fn default() -> Self {
+        Self::new(GdParams::default())
+    }
+}
+
+impl Tuner for GradientDescentTuner {
+    fn name(&self) -> &'static str {
+        "gradient-descent"
+    }
+
+    fn tune(
+        &mut self,
+        platform: &dyn ExecutionPlatform,
+        space: &KnobSpace,
+        loss: &dyn LossFunction,
+        budget: &TuningBudget,
+    ) -> Result<TuningResult, MicroGradError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
+        let mut evaluator = Evaluator::new(platform, space, loss, self.params.seed);
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+
+        let mut current = self
+            .initial_config
+            .clone()
+            .unwrap_or_else(|| space.random_config(&mut rng));
+        space.validate(&current)?;
+        let mut converged = false;
+        let mut stagnant_epochs = 0usize;
+        let mut previous_best = f64::INFINITY;
+        // Epoch until which the "snap back to the best configuration" rule
+        // is suspended, so kicks and random restarts get a few epochs to
+        // descend into their own basin before being judged.
+        let mut exploring_until = 0usize;
+
+        for epoch in 0..budget.max_epochs {
+            // 1. evaluate the base configuration
+            let (_, mut base_loss) = evaluator.evaluate(&current)?;
+            // If the previous epoch's move landed somewhere worse than the
+            // best configuration seen so far (and we are not deliberately
+            // exploring after a kick), restart the epoch from that best
+            // point — its evaluation is memoized by the platform.
+            if epoch >= exploring_until {
+                let (best_config, _, best_loss) = evaluator.best()?;
+                if best_loss < base_loss {
+                    current = best_config;
+                    base_loss = best_loss;
+                }
+            }
+            if budget.target_reached(evaluator.best()?.2) {
+                epochs.push(evaluator.epoch_record(epoch + 1, base_loss)?);
+                converged = true;
+                break;
+            }
+
+            // 2–3. gradient checks: perturb every non-skipped knob by ±δ.
+            // The probe distance follows the step-size schedule (larger in
+            // early epochs) so plateaus wider than one ladder position —
+            // e.g. footprints that stay within the same cache level — still
+            // produce a usable gradient signal.
+            let skip_prob = self.skip_probability(epoch);
+            let step = self.step_size(epoch);
+            let delta = (self.params.delta.max(1) as f64).max(step.round()) as isize;
+            let mut gradients = vec![0.0f64; space.len()];
+            let mut any_checked = false;
+            let mut best_neighbor: Option<(KnobConfig, f64)> = None;
+            let consider = |config: &KnobConfig, loss: f64, best: &mut Option<(KnobConfig, f64)>| {
+                if best.as_ref().map_or(true, |(_, b)| loss < *b) {
+                    *best = Some((config.clone(), loss));
+                }
+            };
+            for knob in 0..space.len() {
+                if skip_prob > 0.0 && rng.gen::<f64>() < skip_prob {
+                    continue;
+                }
+                any_checked = true;
+                let up = current.stepped(knob, delta, space.max_index(knob));
+                let down = current.stepped(knob, -delta, space.max_index(knob));
+                let loss_up = if up == current {
+                    base_loss
+                } else {
+                    let l = evaluator.evaluate(&up)?.1;
+                    consider(&up, l, &mut best_neighbor);
+                    l
+                };
+                let loss_down = if down == current {
+                    base_loss
+                } else {
+                    let l = evaluator.evaluate(&down)?.1;
+                    consider(&down, l, &mut best_neighbor);
+                    l
+                };
+                let span = (up.index(knob) as f64 - down.index(knob) as f64).max(1.0);
+                gradients[knob] = (loss_up - loss_down) / span;
+            }
+
+            // 4. move knobs: the steepest gradient moves a full step, the
+            // others proportionally (but every knob with a non-negligible
+            // gradient moves at least one ladder position, so progress is
+            // not serialized onto a single dominant knob).
+            let max_grad = gradients
+                .iter()
+                .fold(0.0f64, |acc, g| acc.max(g.abs()));
+            let mut next = current.clone();
+            if any_checked && max_grad > 0.0 {
+                for (knob, grad) in gradients.iter().enumerate() {
+                    if grad.abs() <= 1e-3 * max_grad {
+                        continue;
+                    }
+                    let magnitude = ((step * grad.abs() / max_grad).round() as isize).max(1);
+                    let direction = if *grad > 0.0 { -1 } else { 1 };
+                    next = next.stepped(knob, direction * magnitude, space.max_index(knob));
+                }
+            }
+            // Greedy fallback: the gradient checks already evaluated every
+            // ±δ neighbor, so the epoch should never move somewhere worse
+            // than the best of those.  Evaluate the combined move and keep
+            // whichever is better.
+            if next != current {
+                let (_, next_loss) = evaluator.evaluate(&next)?;
+                if let Some((neighbor, neighbor_loss)) = &best_neighbor {
+                    if *neighbor_loss < next_loss && *neighbor_loss < base_loss {
+                        next = neighbor.clone();
+                    }
+                }
+            } else if let Some((neighbor, neighbor_loss)) = &best_neighbor {
+                if *neighbor_loss < base_loss {
+                    next = neighbor.clone();
+                }
+            }
+
+            epochs.push(evaluator.epoch_record(epoch + 1, base_loss)?);
+
+            // 5–6. convergence / stagnation handling
+            let best_loss = evaluator.best()?.2;
+            if budget.target_reached(best_loss) {
+                converged = true;
+                break;
+            }
+            if best_loss + 1e-12 < previous_best {
+                stagnant_epochs = 0;
+            } else {
+                stagnant_epochs += 1;
+            }
+            previous_best = best_loss;
+            if stagnant_epochs >= self.params.stagnation_limit.max(1) {
+                converged = true;
+                break;
+            }
+            let kick_after = self.params.kick_after_stagnant_epochs.max(1);
+            if epoch < exploring_until {
+                // Mid-exploration: keep following the gradient from the
+                // kicked/restarted point.
+                current = next;
+            } else if stagnant_epochs >= kick_after && stagnant_epochs % (2 * kick_after) == 0 {
+                // Escalation: after repeated unsuccessful kicks, restart the
+                // search from a fresh random configuration (multi-start);
+                // the best result so far is retained by the evaluator.
+                current = space.random_config(&mut rng);
+                exploring_until = epoch + 1 + 2 * kick_after;
+            } else if stagnant_epochs >= kick_after {
+                // Random kick: jump a random distance away from the best
+                // configuration to escape the current basin.
+                let (best_config, _, _) = evaluator.best()?;
+                let mut kicked = best_config;
+                let kick_span = (step.ceil() as isize + 1).max(2);
+                for knob in 0..space.len() {
+                    if rng.gen::<f64>() < 0.5 {
+                        let offset = rng.gen_range(-kick_span..=kick_span);
+                        kicked = kicked.stepped(knob, offset, space.max_index(knob));
+                    }
+                }
+                current = kicked;
+                exploring_until = epoch + 1 + kick_after;
+            } else {
+                current = next;
+            }
+        }
+
+        evaluator.finish(epochs, converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CloneLogLoss, MetricKind, SimPlatform, StressGoal, StressLoss};
+    use micrograd_sim::CoreConfig;
+
+    fn fast_platform() -> SimPlatform {
+        SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(8_000)
+            .with_seed(5)
+    }
+
+    fn small_space() -> KnobSpace {
+        let mut space = KnobSpace::instruction_fractions();
+        space.loop_size = 120;
+        space
+    }
+
+    #[test]
+    fn step_and_skip_schedules_decay() {
+        let t = GradientDescentTuner::default();
+        assert!(t.step_size(0) > t.step_size(10));
+        assert!(t.step_size(100) >= t.params().final_step);
+        assert!(t.skip_probability(0) > t.skip_probability(10));
+        assert!(t.skip_probability(200) >= 0.0);
+    }
+
+    #[test]
+    fn reduces_loss_on_a_self_generated_target() {
+        // Build a target from a known configuration, then check the tuner
+        // recovers a configuration with much lower loss than where it
+        // started.
+        let platform = fast_platform();
+        let space = small_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let target_config = space.random_config(&mut rng);
+        let target_input = space.resolve(&target_config, 7).unwrap();
+        let target_metrics = platform.evaluate(&target_input).unwrap();
+        let loss = CloneLogLoss::new(target_metrics, MetricKind::CLONING.to_vec());
+
+        let mut tuner = GradientDescentTuner::new(GdParams {
+            seed: 3,
+            ..GdParams::default()
+        });
+        let budget = TuningBudget::epochs(8);
+        let result = tuner.tune(&platform, &space, &loss, &budget).unwrap();
+
+        let first_epoch_loss = result.epochs.first().unwrap().epoch_loss;
+        assert!(
+            result.best_loss < first_epoch_loss * 0.7,
+            "expected improvement: start {first_epoch_loss}, best {}",
+            result.best_loss
+        );
+        assert!(result.total_evaluations > 8);
+        assert!(result.epochs_used() <= 8);
+        // epoch records are monotone in best loss
+        for pair in result.epochs.windows(2) {
+            assert!(pair[1].best_loss <= pair[0].best_loss + 1e-12);
+            assert!(pair[1].evaluations > pair[0].evaluations);
+        }
+    }
+
+    #[test]
+    fn stress_tuning_pushes_ipc_down() {
+        let platform = fast_platform();
+        let space = small_space();
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let mut tuner = GradientDescentTuner::new(GdParams {
+            seed: 11,
+            ..GdParams::default()
+        });
+        let result = tuner
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(6))
+            .unwrap();
+        let first = result.epochs.first().unwrap().epoch_loss;
+        let best_ipc = result.best_metrics.value_or_zero(MetricKind::Ipc);
+        assert!(best_ipc > 0.0);
+        assert!(
+            result.best_loss <= first,
+            "stress loss should not get worse: {first} -> {}",
+            result.best_loss
+        );
+    }
+
+    #[test]
+    fn target_loss_stops_early_and_reports_convergence() {
+        let platform = fast_platform();
+        let space = small_space();
+        // A target loss so large that the very first evaluation satisfies it.
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let mut tuner = GradientDescentTuner::default();
+        let budget = TuningBudget::epochs(10).with_target_loss(1e9);
+        let result = tuner.tune(&platform, &space, &loss, &budget).unwrap();
+        assert!(result.converged);
+        assert_eq!(result.epochs_used(), 1);
+    }
+
+    #[test]
+    fn zero_epoch_budget_is_an_error() {
+        let platform = fast_platform();
+        let space = small_space();
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let mut tuner = GradientDescentTuner::default();
+        let err = tuner
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(0))
+            .unwrap_err();
+        assert_eq!(err, MicroGradError::NoEvaluations);
+    }
+
+    #[test]
+    fn initial_config_is_respected() {
+        let platform = fast_platform();
+        let space = small_space();
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let start = space.midpoint_config();
+        let mut tuner = GradientDescentTuner::new(GdParams::default())
+            .with_initial_config(start.clone());
+        let result = tuner
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(1))
+            .unwrap();
+        // With a single epoch the best config is within one step of the start.
+        assert!(result.best_config.distance(&start) <= space.len() * 2);
+    }
+}

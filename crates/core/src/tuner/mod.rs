@@ -1,0 +1,241 @@
+//! Tuning mechanisms: gradient descent, the GA baseline, brute force and
+//! random search.
+
+mod brute;
+mod genetic;
+mod gradient;
+mod random;
+
+pub use brute::BruteForceTuner;
+pub use genetic::{GaParams, GeneticTuner};
+pub use gradient::{GdParams, GradientDescentTuner};
+pub use random::RandomSearchTuner;
+
+use crate::{ExecutionPlatform, KnobConfig, KnobSpace, LossFunction, Metrics, MicroGradError};
+use serde::{Deserialize, Serialize};
+
+/// Stopping criteria shared by all tuners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuningBudget {
+    /// Maximum number of tuning epochs.
+    pub max_epochs: usize,
+    /// Stop as soon as the best loss drops to this value or below.
+    pub target_loss: Option<f64>,
+}
+
+impl TuningBudget {
+    /// Creates a budget with only an epoch limit.
+    #[must_use]
+    pub fn epochs(max_epochs: usize) -> Self {
+        TuningBudget {
+            max_epochs,
+            target_loss: None,
+        }
+    }
+
+    /// Adds a target loss to stop at.
+    #[must_use]
+    pub fn with_target_loss(mut self, target_loss: f64) -> Self {
+        self.target_loss = Some(target_loss);
+        self
+    }
+
+    /// Returns `true` if `loss` satisfies the target.
+    #[must_use]
+    pub fn target_reached(&self, loss: f64) -> bool {
+        self.target_loss.is_some_and(|t| loss <= t)
+    }
+}
+
+impl Default for TuningBudget {
+    fn default() -> Self {
+        TuningBudget::epochs(60)
+    }
+}
+
+/// Progress record of one tuning epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch number, starting at 1.
+    pub epoch: usize,
+    /// Cumulative platform evaluations performed up to and including this
+    /// epoch.
+    pub evaluations: usize,
+    /// Best (lowest) loss seen so far.
+    pub best_loss: f64,
+    /// Loss of this epoch's base/representative configuration.
+    pub epoch_loss: f64,
+    /// Metric vector of the best configuration so far.
+    pub best_metrics: Metrics,
+    /// Best configuration so far.
+    pub best_config: KnobConfig,
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// Best configuration found.
+    pub best_config: KnobConfig,
+    /// Metric vector of the best configuration.
+    pub best_metrics: Metrics,
+    /// Loss of the best configuration.
+    pub best_loss: f64,
+    /// Per-epoch progress, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Total number of platform evaluations performed.
+    pub total_evaluations: usize,
+    /// Whether the tuner stopped because it converged or hit the target
+    /// loss (as opposed to exhausting the epoch budget).
+    pub converged: bool,
+}
+
+impl TuningResult {
+    /// Number of epochs actually run.
+    #[must_use]
+    pub fn epochs_used(&self) -> usize {
+        self.epochs.len()
+    }
+}
+
+/// A tuning mechanism.
+///
+/// The paper's key claim is that the same centralized framework can host
+/// different tuning mechanisms behind one interface; this trait is that
+/// interface.  Implementations evaluate knob configurations on an
+/// [`ExecutionPlatform`] and minimize a [`LossFunction`] within a
+/// [`TuningBudget`].
+pub trait Tuner {
+    /// Tuner name, for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Runs the tuning loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MicroGradError`] if the platform rejects a configuration
+    /// or the budget permits no evaluation at all.
+    fn tune(
+        &mut self,
+        platform: &dyn ExecutionPlatform,
+        space: &KnobSpace,
+        loss: &dyn LossFunction,
+        budget: &TuningBudget,
+    ) -> Result<TuningResult, MicroGradError>;
+}
+
+/// Shared bookkeeping used by all tuner implementations: evaluates
+/// configurations, counts evaluations and tracks the best result.
+pub(crate) struct Evaluator<'a> {
+    platform: &'a dyn ExecutionPlatform,
+    space: &'a KnobSpace,
+    loss: &'a dyn LossFunction,
+    seed: u64,
+    pub evaluations: usize,
+    pub best: Option<(KnobConfig, Metrics, f64)>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub(crate) fn new(
+        platform: &'a dyn ExecutionPlatform,
+        space: &'a KnobSpace,
+        loss: &'a dyn LossFunction,
+        seed: u64,
+    ) -> Self {
+        Evaluator {
+            platform,
+            space,
+            loss,
+            seed,
+            evaluations: 0,
+            best: None,
+        }
+    }
+
+    /// Evaluates `config`, returning its metrics and loss, and updates the
+    /// best-so-far record.
+    pub(crate) fn evaluate(
+        &mut self,
+        config: &KnobConfig,
+    ) -> Result<(Metrics, f64), MicroGradError> {
+        let input = self.space.resolve(config, self.seed)?;
+        let metrics = self.platform.evaluate(&input)?;
+        let loss = self.loss.loss(&metrics);
+        self.evaluations += 1;
+        let improved = self.best.as_ref().map_or(true, |(_, _, b)| loss < *b);
+        if improved {
+            self.best = Some((config.clone(), metrics.clone(), loss));
+        }
+        Ok((metrics, loss))
+    }
+
+    /// The best `(config, metrics, loss)` seen so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::NoEvaluations`] if nothing was evaluated.
+    pub(crate) fn best(&self) -> Result<(KnobConfig, Metrics, f64), MicroGradError> {
+        self.best.clone().ok_or(MicroGradError::NoEvaluations)
+    }
+
+    /// Builds an epoch record from the current best.
+    pub(crate) fn epoch_record(
+        &self,
+        epoch: usize,
+        epoch_loss: f64,
+    ) -> Result<EpochRecord, MicroGradError> {
+        let (config, metrics, best_loss) = self.best()?;
+        Ok(EpochRecord {
+            epoch,
+            evaluations: self.evaluations,
+            best_loss,
+            epoch_loss,
+            best_metrics: metrics,
+            best_config: config,
+        })
+    }
+
+    /// Finishes the run into a [`TuningResult`].
+    pub(crate) fn finish(
+        &self,
+        epochs: Vec<EpochRecord>,
+        converged: bool,
+    ) -> Result<TuningResult, MicroGradError> {
+        let (best_config, best_metrics, best_loss) = self.best()?;
+        Ok(TuningResult {
+            best_config,
+            best_metrics,
+            best_loss,
+            epochs,
+            total_evaluations: self.evaluations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_target_detection() {
+        let b = TuningBudget::epochs(10).with_target_loss(0.5);
+        assert!(b.target_reached(0.4));
+        assert!(b.target_reached(0.5));
+        assert!(!b.target_reached(0.6));
+        assert!(!TuningBudget::epochs(10).target_reached(0.0));
+        assert_eq!(TuningBudget::default().max_epochs, 60);
+    }
+
+    #[test]
+    fn tuning_result_reports_epoch_count() {
+        let r = TuningResult {
+            best_config: KnobConfig::new(vec![0]),
+            best_metrics: Metrics::new(),
+            best_loss: 0.0,
+            epochs: vec![],
+            total_evaluations: 0,
+            converged: false,
+        };
+        assert_eq!(r.epochs_used(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Random-search baseline tuner.
+
+use super::{EpochRecord, Evaluator, Tuner, TuningBudget, TuningResult};
+use crate::{ExecutionPlatform, KnobSpace, LossFunction, MicroGradError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform random search over the knob space.
+///
+/// Not part of the paper's evaluation, but a useful sanity baseline: any
+/// intelligent tuner should beat it at equal evaluation budgets, and the
+/// integration tests use it for exactly that check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomSearchTuner {
+    /// Evaluations per reported epoch.
+    pub evaluations_per_epoch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSearchTuner {
+    /// Creates a random-search tuner.
+    #[must_use]
+    pub fn new(evaluations_per_epoch: usize, seed: u64) -> Self {
+        RandomSearchTuner {
+            evaluations_per_epoch: evaluations_per_epoch.max(1),
+            seed,
+        }
+    }
+}
+
+impl Default for RandomSearchTuner {
+    fn default() -> Self {
+        Self::new(20, 31)
+    }
+}
+
+impl Tuner for RandomSearchTuner {
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+
+    fn tune(
+        &mut self,
+        platform: &dyn ExecutionPlatform,
+        space: &KnobSpace,
+        loss: &dyn LossFunction,
+        budget: &TuningBudget,
+    ) -> Result<TuningResult, MicroGradError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut evaluator = Evaluator::new(platform, space, loss, self.seed);
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+        let mut converged = false;
+
+        for epoch in 0..budget.max_epochs {
+            let mut epoch_best = f64::INFINITY;
+            for _ in 0..self.evaluations_per_epoch {
+                let config = space.random_config(&mut rng);
+                let (_, l) = evaluator.evaluate(&config)?;
+                epoch_best = epoch_best.min(l);
+            }
+            epochs.push(evaluator.epoch_record(epoch + 1, epoch_best)?);
+            if budget.target_reached(evaluator.best()?.2) {
+                converged = true;
+                break;
+            }
+        }
+        evaluator.finish(epochs, converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KnobSpace, MetricKind, SimPlatform, StressGoal, StressLoss};
+    use micrograd_sim::CoreConfig;
+
+    #[test]
+    fn random_search_runs_the_requested_budget() {
+        let platform = SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(4_000)
+            .with_seed(2);
+        let mut space = KnobSpace::instruction_fractions();
+        space.loop_size = 80;
+        let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+        let mut tuner = RandomSearchTuner::new(5, 1);
+        let result = tuner
+            .tune(&platform, &space, &loss, &TuningBudget::epochs(3))
+            .unwrap();
+        assert_eq!(result.total_evaluations, 15);
+        assert_eq!(result.epochs_used(), 3);
+        // best loss never increases across epochs
+        for pair in result.epochs.windows(2) {
+            assert!(pair[1].best_loss <= pair[0].best_loss + 1e-12);
+        }
+    }
+
+    #[test]
+    fn evaluations_per_epoch_is_never_zero() {
+        assert_eq!(RandomSearchTuner::new(0, 1).evaluations_per_epoch, 1);
+        assert_eq!(RandomSearchTuner::default().evaluations_per_epoch, 20);
+    }
+}

@@ -1,0 +1,214 @@
+//! Bottleneck analysis: the "further use case" sketched in the paper's
+//! conclusion — sweep one knob over its range and quantify its
+//! bottle-necking impact on overall execution.
+
+use crate::{ExecutionPlatform, KnobConfig, KnobSpace, MetricKind, Metrics, MicroGradError};
+use serde::{Deserialize, Serialize};
+
+/// One point of a bottleneck sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Ladder index of the swept knob.
+    pub index: usize,
+    /// Resolved knob value at this point.
+    pub knob_value: f64,
+    /// Full metric vector measured at this point.
+    pub metrics: Metrics,
+}
+
+/// Result of a bottleneck sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    /// Name of the swept knob.
+    pub knob_name: String,
+    /// The metric whose sensitivity is being analyzed.
+    pub observed_metric: MetricKind,
+    /// The sweep, in ladder order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl BottleneckReport {
+    /// The observed metric's value at every sweep point, in ladder order.
+    #[must_use]
+    pub fn observed_series(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|p| p.metrics.value_or_zero(self.observed_metric))
+            .collect()
+    }
+
+    /// Relative swing of the observed metric across the sweep:
+    /// `(max − min) / max`, in `[0, 1]`.  A large swing means the swept
+    /// knob is a first-order bottleneck for that metric.
+    #[must_use]
+    pub fn sensitivity(&self) -> f64 {
+        let series = self.observed_series();
+        let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+        if !max.is_finite() || !min.is_finite() || max <= 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+/// The bottleneck-analysis task: hold every knob at a baseline and sweep one
+/// knob over its whole ladder, recording the metric response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckTask {
+    /// Index of the knob to sweep within the knob space.
+    pub knob: usize,
+    /// The metric to observe (default IPC).
+    pub observed_metric: MetricKind,
+    /// Baseline configuration; defaults to the ladder midpoints.
+    pub baseline: Option<KnobConfig>,
+}
+
+impl BottleneckTask {
+    /// Creates a sweep of knob `knob` observing IPC.
+    #[must_use]
+    pub fn new(knob: usize) -> Self {
+        BottleneckTask {
+            knob,
+            observed_metric: MetricKind::Ipc,
+            baseline: None,
+        }
+    }
+
+    /// Sets the observed metric.
+    #[must_use]
+    pub fn observing(mut self, metric: MetricKind) -> Self {
+        self.observed_metric = metric;
+        self
+    }
+
+    /// Sets an explicit baseline configuration.
+    #[must_use]
+    pub fn with_baseline(mut self, baseline: KnobConfig) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::InvalidInput`] if the knob index is out of
+    /// range, and propagates platform failures.
+    pub fn run(
+        &self,
+        platform: &dyn ExecutionPlatform,
+        space: &KnobSpace,
+    ) -> Result<BottleneckReport, MicroGradError> {
+        if self.knob >= space.len() {
+            return Err(MicroGradError::InvalidInput {
+                field: "knob".into(),
+                reason: format!(
+                    "index {} out of range for a {}-knob space",
+                    self.knob,
+                    space.len()
+                ),
+            });
+        }
+        let baseline = self
+            .baseline
+            .clone()
+            .unwrap_or_else(|| space.midpoint_config());
+        space.validate(&baseline)?;
+
+        let spec = &space.specs()[self.knob];
+        let mut points = Vec::with_capacity(spec.len());
+        for index in 0..spec.len() {
+            let mut indices = baseline.indices().to_vec();
+            indices[self.knob] = index;
+            let config = KnobConfig::new(indices);
+            let input = space.resolve(&config, 0)?;
+            let metrics = platform.evaluate(&input)?;
+            points.push(SweepPoint {
+                index,
+                knob_value: spec.value_at(index),
+                metrics,
+            });
+        }
+        Ok(BottleneckReport {
+            knob_name: spec.name.clone(),
+            observed_metric: self.observed_metric,
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KnobTarget, SimPlatform};
+    use micrograd_sim::CoreConfig;
+
+    fn platform() -> SimPlatform {
+        SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(6_000)
+            .with_seed(3)
+    }
+
+    fn space() -> KnobSpace {
+        let mut s = KnobSpace::full();
+        s.loop_size = 100;
+        s
+    }
+
+    #[test]
+    fn sweeping_mem_size_degrades_dc_hit_rate_monotonically_enough() {
+        let space = space();
+        let knob = space
+            .specs()
+            .iter()
+            .position(|s| matches!(s.target, KnobTarget::MemoryFootprintKb))
+            .unwrap();
+        let task = BottleneckTask::new(knob).observing(MetricKind::L1dHitRate);
+        let report = task.run(&platform(), &space).unwrap();
+        assert_eq!(report.points.len(), space.specs()[knob].len());
+        let series = report.observed_series();
+        assert!(
+            series.first().unwrap() > series.last().unwrap(),
+            "DC hit rate should fall as the footprint grows: {series:?}"
+        );
+        assert!(report.sensitivity() > 0.05);
+        assert_eq!(report.knob_name, "MEM_SIZE");
+    }
+
+    #[test]
+    fn sweeping_dependency_distance_moves_ipc() {
+        let space = space();
+        let knob = space
+            .specs()
+            .iter()
+            .position(|s| matches!(s.target, KnobTarget::DependencyDistance))
+            .unwrap();
+        let report = BottleneckTask::new(knob).run(&platform(), &space).unwrap();
+        let series = report.observed_series();
+        assert!(
+            series.last().unwrap() > series.first().unwrap(),
+            "IPC should rise with dependency distance: {series:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_knob_is_rejected() {
+        let space = space();
+        let err = BottleneckTask::new(999).run(&platform(), &space).unwrap_err();
+        assert!(matches!(err, MicroGradError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn explicit_baseline_is_respected() {
+        let space = space();
+        let baseline = space.midpoint_config();
+        let task = BottleneckTask::new(0)
+            .with_baseline(baseline.clone())
+            .observing(MetricKind::DynamicPower);
+        let report = task.run(&platform(), &space).unwrap();
+        assert_eq!(report.observed_metric, MetricKind::DynamicPower);
+        assert!(report.points.iter().all(|p| p.metrics.len() > 0));
+    }
+}

@@ -1,0 +1,9 @@
+//! The MicroGrad use cases: workload cloning and stress testing.
+
+mod bottleneck;
+mod cloning;
+mod stress;
+
+pub use bottleneck::{BottleneckReport, BottleneckTask, SweepPoint};
+pub use cloning::{CloneReport, CloningTask};
+pub use stress::{StressReport, StressTask};

@@ -1,0 +1,216 @@
+//! The stress-testing use case.
+
+use crate::tuner::{EpochRecord, Tuner, TuningBudget};
+use crate::{
+    ExecutionPlatform, KnobConfig, KnobSpace, MetricKind, Metrics, MicroGradError, StressGoal,
+    StressLoss,
+};
+use micrograd_isa::InstrClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Result of a stress-testing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StressReport {
+    /// The stress metric.
+    pub metric: MetricKind,
+    /// The stress direction.
+    pub goal: StressGoal,
+    /// Best (most stressful) metric value found.
+    pub best_value: f64,
+    /// Metric vector of the best test case.
+    pub best_metrics: Metrics,
+    /// Knob configuration of the best test case.
+    pub best_config: KnobConfig,
+    /// Instruction-class distribution of the best test case — the quantity
+    /// Table III of the paper reports for the power virus.
+    pub instruction_mix: BTreeMap<InstrClass, f64>,
+    /// Best stress-metric value after each epoch (the curves of
+    /// Figs. 5 and 6).
+    pub progression: Vec<f64>,
+    /// Number of tuning epochs used.
+    pub epochs_used: usize,
+    /// Number of platform evaluations used.
+    pub evaluations: usize,
+    /// Whether tuning converged before exhausting its budget.
+    pub converged: bool,
+    /// Per-epoch tuning progress.
+    pub epochs: Vec<EpochRecord>,
+}
+
+/// The stress-testing task: drive a metric to its worst (or best) case.
+///
+/// The paper's two scenarios are the *performance virus* (minimize IPC on
+/// the Large core, Fig. 5) and the *power virus* (maximize dynamic power,
+/// Fig. 6, with the resulting instruction mix in Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressTask {
+    /// The metric to stress.
+    pub metric: MetricKind,
+    /// Whether to maximize or minimize it.
+    pub goal: StressGoal,
+    /// Maximum number of tuning epochs.
+    pub max_epochs: usize,
+}
+
+impl StressTask {
+    /// The paper's performance-virus scenario: worst-case IPC.
+    #[must_use]
+    pub fn performance_virus(max_epochs: usize) -> Self {
+        StressTask {
+            metric: MetricKind::Ipc,
+            goal: StressGoal::Minimize,
+            max_epochs,
+        }
+    }
+
+    /// The paper's power-virus scenario: maximum dynamic power.
+    #[must_use]
+    pub fn power_virus(max_epochs: usize) -> Self {
+        StressTask {
+            metric: MetricKind::DynamicPower,
+            goal: StressGoal::Maximize,
+            max_epochs,
+        }
+    }
+
+    /// Validates the task parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::InvalidInput`] when the epoch budget is
+    /// zero.
+    pub fn validate(&self) -> Result<(), MicroGradError> {
+        if self.max_epochs == 0 {
+            return Err(MicroGradError::InvalidInput {
+                field: "max_epochs".into(),
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the stress test with the given tuner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and tuner failures, and rejects invalid task
+    /// parameters.
+    pub fn run(
+        &self,
+        platform: &dyn ExecutionPlatform,
+        space: &KnobSpace,
+        tuner: &mut dyn Tuner,
+    ) -> Result<StressReport, MicroGradError> {
+        self.validate()?;
+        let loss = StressLoss::new(self.metric, self.goal);
+        let budget = TuningBudget::epochs(self.max_epochs);
+        let result = tuner.tune(platform, space, &loss, &budget)?;
+
+        let progression: Vec<f64> = result
+            .epochs
+            .iter()
+            .map(|e| e.best_metrics.value_or_zero(self.metric))
+            .collect();
+        let instruction_mix: BTreeMap<InstrClass, f64> = [
+            (InstrClass::Integer, MetricKind::IntegerFraction),
+            (InstrClass::Float, MetricKind::FloatFraction),
+            (InstrClass::Branch, MetricKind::BranchFraction),
+            (InstrClass::Load, MetricKind::LoadFraction),
+            (InstrClass::Store, MetricKind::StoreFraction),
+        ]
+        .into_iter()
+        .map(|(class, kind)| (class, result.best_metrics.value_or_zero(kind)))
+        .collect();
+
+        Ok(StressReport {
+            metric: self.metric,
+            goal: self.goal,
+            best_value: result.best_metrics.value_or_zero(self.metric),
+            best_metrics: result.best_metrics.clone(),
+            best_config: result.best_config.clone(),
+            instruction_mix,
+            progression,
+            epochs_used: result.epochs_used(),
+            evaluations: result.total_evaluations,
+            converged: result.converged,
+            epochs: result.epochs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::{GdParams, GradientDescentTuner, RandomSearchTuner};
+    use crate::{KnobSpace, SimPlatform};
+    use micrograd_sim::CoreConfig;
+
+    fn platform() -> SimPlatform {
+        SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(8_000)
+            .with_seed(31)
+    }
+
+    fn space() -> KnobSpace {
+        let mut s = KnobSpace::instruction_fractions();
+        s.loop_size = 120;
+        s
+    }
+
+    #[test]
+    fn scenario_constructors_match_the_paper() {
+        let perf = StressTask::performance_virus(30);
+        assert_eq!(perf.metric, MetricKind::Ipc);
+        assert_eq!(perf.goal, StressGoal::Minimize);
+        let power = StressTask::power_virus(25);
+        assert_eq!(power.metric, MetricKind::DynamicPower);
+        assert_eq!(power.goal, StressGoal::Maximize);
+        assert!(StressTask::performance_virus(0).validate().is_err());
+    }
+
+    #[test]
+    fn performance_virus_lowers_ipc_below_a_random_baseline() {
+        let platform = platform();
+        let space = space();
+        let task = StressTask::performance_virus(6);
+        let mut gd = GradientDescentTuner::new(GdParams { seed: 5, ..GdParams::default() });
+        let report = task.run(&platform, &space, &mut gd).unwrap();
+
+        // A random config's IPC should be no better (lower) than the virus's.
+        let mut random = RandomSearchTuner::new(3, 77);
+        let random_report = task.run(&platform, &space, &mut random).unwrap();
+        assert!(report.best_value > 0.0);
+        assert!(
+            report.best_value <= random_report.epochs.first().unwrap().epoch_loss + 1e-9,
+            "virus IPC {} should not exceed an early random IPC {}",
+            report.best_value,
+            random_report.epochs.first().unwrap().epoch_loss
+        );
+
+        // progression is monotically non-increasing for a minimization goal
+        for pair in report.progression.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9);
+        }
+        assert_eq!(report.progression.len(), report.epochs_used);
+        let mix_total: f64 = report.instruction_mix.values().sum();
+        assert!((mix_total - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn power_virus_raises_power_over_epochs() {
+        let platform = platform();
+        let mut space = KnobSpace::full();
+        space.loop_size = 120;
+        let task = StressTask::power_virus(6);
+        let mut gd = GradientDescentTuner::new(GdParams { seed: 9, ..GdParams::default() });
+        let report = task.run(&platform, &space, &mut gd).unwrap();
+        assert!(report.best_value > 0.0);
+        // progression is monotonically non-decreasing for maximization
+        for pair in report.progression.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9);
+        }
+        assert!(report.best_value >= report.progression[0] - 1e-9);
+        assert_eq!(report.metric, MetricKind::DynamicPower);
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution latencies and functional-unit mapping.
+
+use crate::{InstrClass, Opcode};
+use serde::{Deserialize, Serialize};
+
+/// Functional unit types of the out-of-order core model.
+///
+/// Table II of the paper sizes three pools per core (`ALU/SIMD/FP`); we map
+/// integer ALU ops and branches to the ALU pool, integer multiply/divide to
+/// the SIMD/complex pool, floating point to the FP pool, and memory ops to
+/// the load/store pipeline (bounded by the LSQ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuncUnit {
+    /// Simple integer ALU (also executes branch comparisons).
+    Alu,
+    /// Complex integer unit (multiply / divide), the "SIMD" pool of Table II.
+    Complex,
+    /// Floating point unit.
+    Fp,
+    /// Load/store pipeline (address generation + cache port).
+    Mem,
+}
+
+impl FuncUnit {
+    /// All functional unit kinds.
+    pub const ALL: [FuncUnit; 4] = [FuncUnit::Alu, FuncUnit::Complex, FuncUnit::Fp, FuncUnit::Mem];
+}
+
+/// Per-opcode execution latencies (in cycles) used by the core model.
+///
+/// Latencies are *execution* latencies only: memory instructions add the
+/// cache-hierarchy latency on top of [`LatencyModel::latency`], and branch
+/// mispredictions add the front-end redirect penalty, both of which are
+/// properties of the core configuration rather than the ISA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    int_alu: u32,
+    int_mul: u32,
+    int_div: u32,
+    fp_add: u32,
+    fp_mul: u32,
+    fp_div: u32,
+    fp_sqrt: u32,
+    branch: u32,
+    agen: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // Typical mid-range out-of-order core latencies.
+        LatencyModel {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 12,
+            fp_add: 3,
+            fp_mul: 4,
+            fp_div: 12,
+            fp_sqrt: 16,
+            branch: 1,
+            agen: 1,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Creates the default latency model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execution latency (cycles) of `opcode`, excluding memory hierarchy
+    /// latency for loads/stores.
+    #[must_use]
+    pub fn latency(&self, opcode: Opcode) -> u32 {
+        use Opcode::*;
+        match opcode {
+            Mul | Mulh => self.int_mul,
+            Div | Rem => self.int_div,
+            FaddD | FsubD | FcvtDW => self.fp_add,
+            FmulD | FmaddD => self.fp_mul,
+            FdivD => self.fp_div,
+            FsqrtD => self.fp_sqrt,
+            Beq | Bne | Blt | Bge | Jal | Jalr => self.branch,
+            Ld | Lw | Lh | Lb | Fld | Sd | Sw | Sh | Sb | Fsd => self.agen,
+            _ => self.int_alu,
+        }
+    }
+
+    /// The functional unit `opcode` executes on.
+    #[must_use]
+    pub fn unit(&self, opcode: Opcode) -> FuncUnit {
+        use Opcode::*;
+        match opcode.class() {
+            InstrClass::Load | InstrClass::Store => FuncUnit::Mem,
+            InstrClass::Float => FuncUnit::Fp,
+            InstrClass::Branch => FuncUnit::Alu,
+            InstrClass::Integer => match opcode {
+                Mul | Mulh | Div | Rem => FuncUnit::Complex,
+                _ => FuncUnit::Alu,
+            },
+        }
+    }
+
+    /// Relative dynamic energy weight of `opcode`, used by the power model
+    /// to scale per-instruction execution energy (integer ALU = 1.0).
+    #[must_use]
+    pub fn energy_weight(&self, opcode: Opcode) -> f64 {
+        use Opcode::*;
+        match opcode {
+            Mul | Mulh => 2.5,
+            Div | Rem => 5.0,
+            FaddD | FsubD | FcvtDW => 3.0,
+            FmulD => 4.0,
+            FmaddD => 5.5,
+            FdivD => 8.0,
+            FsqrtD => 9.0,
+            Ld | Lw | Lh | Lb | Fld => 2.0,
+            Sd | Sw | Sh | Sb | Fsd => 2.2,
+            Beq | Bne | Blt | Bge | Jal | Jalr => 1.2,
+            Nop => 0.2,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_are_sane() {
+        let m = LatencyModel::new();
+        for op in Opcode::ALL {
+            let l = m.latency(op);
+            assert!(l >= 1, "{op:?} latency must be at least 1");
+            assert!(l <= 32, "{op:?} latency {l} unreasonably large");
+        }
+    }
+
+    #[test]
+    fn fp_slower_than_int_alu() {
+        let m = LatencyModel::default();
+        assert!(m.latency(Opcode::FmulD) > m.latency(Opcode::Add));
+        assert!(m.latency(Opcode::FdivD) > m.latency(Opcode::FmulD));
+        assert!(m.latency(Opcode::Div) > m.latency(Opcode::Mul));
+    }
+
+    #[test]
+    fn unit_assignment_matches_class() {
+        let m = LatencyModel::default();
+        assert_eq!(m.unit(Opcode::Add), FuncUnit::Alu);
+        assert_eq!(m.unit(Opcode::Mul), FuncUnit::Complex);
+        assert_eq!(m.unit(Opcode::FaddD), FuncUnit::Fp);
+        assert_eq!(m.unit(Opcode::Ld), FuncUnit::Mem);
+        assert_eq!(m.unit(Opcode::Sd), FuncUnit::Mem);
+        assert_eq!(m.unit(Opcode::Beq), FuncUnit::Alu);
+    }
+
+    #[test]
+    fn every_opcode_maps_to_a_unit() {
+        let m = LatencyModel::default();
+        for op in Opcode::ALL {
+            // must not panic and must be one of the known kinds
+            assert!(FuncUnit::ALL.contains(&m.unit(op)));
+        }
+    }
+
+    #[test]
+    fn energy_weights_reflect_complexity() {
+        let m = LatencyModel::default();
+        assert!(m.energy_weight(Opcode::FmulD) > m.energy_weight(Opcode::Add));
+        assert!(m.energy_weight(Opcode::Sd) > m.energy_weight(Opcode::Add));
+        assert!(m.energy_weight(Opcode::Nop) < m.energy_weight(Opcode::Add));
+        for op in Opcode::ALL {
+            assert!(m.energy_weight(op) > 0.0);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = LatencyModel::default();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LatencyModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,434 @@
+//! Opcodes and instruction classes for the RISC-V subset.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Coarse instruction classes.
+///
+/// These are the categories the MicroGrad paper reports instruction
+/// distributions over (Integer, Float, Branch, Load, Store) and the
+/// categories the out-of-order core model maps onto functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Integer ALU and integer multiply/divide operations.
+    Integer,
+    /// Floating point operations (add/mul/div/fma).
+    Float,
+    /// Conditional branches and unconditional jumps.
+    Branch,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+}
+
+impl InstrClass {
+    /// All classes in a fixed, canonical order.
+    ///
+    /// The order matches the columns of Table III in the paper
+    /// (Integer, Float, Branch, Load, Store).
+    pub const ALL: [InstrClass; 5] = [
+        InstrClass::Integer,
+        InstrClass::Float,
+        InstrClass::Branch,
+        InstrClass::Load,
+        InstrClass::Store,
+    ];
+
+    /// Returns `true` for classes that access data memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+
+    /// A short lowercase name (`"integer"`, `"float"`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InstrClass::Integer => "integer",
+            InstrClass::Float => "float",
+            InstrClass::Branch => "branch",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Opcodes of the RISC-V subset used by the synthetic test cases.
+///
+/// The set covers every instruction knob listed in Listing 1 of the paper
+/// plus enough variety (shifts, logic ops, FP divide / FMA, byte/halfword
+/// memory ops, compares) for the SPEC-like application models to have
+/// realistic instruction mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // each variant is a standard RISC-V mnemonic
+pub enum Opcode {
+    // ---- integer ALU ----
+    Add,
+    Addi,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Lui,
+    // ---- integer multiply / divide ----
+    Mul,
+    Mulh,
+    Div,
+    Rem,
+    // ---- floating point (double precision) ----
+    FaddD,
+    FsubD,
+    FmulD,
+    FdivD,
+    FmaddD,
+    FsqrtD,
+    FcvtDW,
+    // ---- control flow ----
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Jal,
+    Jalr,
+    // ---- loads ----
+    Ld,
+    Lw,
+    Lh,
+    Lb,
+    Fld,
+    // ---- stores ----
+    Sd,
+    Sw,
+    Sh,
+    Sb,
+    Fsd,
+    // ---- misc ----
+    Nop,
+}
+
+impl Opcode {
+    /// Every opcode, in a fixed canonical order.
+    pub const ALL: [Opcode; 39] = [
+        Opcode::Add,
+        Opcode::Addi,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Lui,
+        Opcode::Mul,
+        Opcode::Mulh,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::FaddD,
+        Opcode::FsubD,
+        Opcode::FmulD,
+        Opcode::FdivD,
+        Opcode::FmaddD,
+        Opcode::FsqrtD,
+        Opcode::FcvtDW,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Jal,
+        Opcode::Jalr,
+        Opcode::Ld,
+        Opcode::Lw,
+        Opcode::Lh,
+        Opcode::Lb,
+        Opcode::Fld,
+        Opcode::Sd,
+        Opcode::Sw,
+        Opcode::Sh,
+        Opcode::Sb,
+        Opcode::Fsd,
+        Opcode::Nop,
+    ];
+
+    /// The coarse class of this opcode.
+    #[must_use]
+    pub fn class(self) -> InstrClass {
+        use Opcode::*;
+        match self {
+            Add | Addi | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Lui | Mul | Mulh | Div
+            | Rem | FcvtDW | Nop => InstrClass::Integer,
+            FaddD | FsubD | FmulD | FdivD | FmaddD | FsqrtD => InstrClass::Float,
+            Beq | Bne | Blt | Bge | Jal | Jalr => InstrClass::Branch,
+            Ld | Lw | Lh | Lb | Fld => InstrClass::Load,
+            Sd | Sw | Sh | Sb | Fsd => InstrClass::Store,
+        }
+    }
+
+    /// Returns `true` if this opcode reads or writes data memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        self.class().is_memory()
+    }
+
+    /// Returns `true` if this opcode is a conditional branch
+    /// (i.e. its direction depends on its operands).
+    #[must_use]
+    pub fn is_conditional_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// Returns `true` if the destination register (if any) is a floating
+    /// point register.
+    #[must_use]
+    pub fn writes_fp_reg(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            FaddD | FsubD | FmulD | FdivD | FmaddD | FsqrtD | Fld
+        )
+    }
+
+    /// Returns `true` if the source registers are floating point registers.
+    #[must_use]
+    pub fn reads_fp_regs(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            FaddD | FsubD | FmulD | FdivD | FmaddD | FsqrtD | FcvtDW | Fsd
+        )
+    }
+
+    /// Number of source register operands this opcode consumes.
+    #[must_use]
+    pub fn num_sources(self) -> usize {
+        use Opcode::*;
+        match self {
+            Nop | Lui | Jal => 0,
+            Addi | Sll | Srl | Sra | FsqrtD | FcvtDW | Ld | Lw | Lh | Lb | Fld | Jalr => 1,
+            FmaddD => 3,
+            // stores read the data register and the address register
+            Sd | Sw | Sh | Sb | Fsd => 2,
+            _ => 2,
+        }
+    }
+
+    /// Returns `true` if this opcode produces a register result.
+    #[must_use]
+    pub fn has_dest(self) -> bool {
+        use Opcode::*;
+        !matches!(self, Beq | Bne | Blt | Bge | Sd | Sw | Sh | Sb | Fsd | Nop)
+    }
+
+    /// Number of bytes accessed by a memory opcode (0 for non-memory ops).
+    #[must_use]
+    pub fn access_bytes(self) -> u64 {
+        use Opcode::*;
+        match self {
+            Ld | Sd | Fld | Fsd => 8,
+            Lw | Sw => 4,
+            Lh | Sh => 2,
+            Lb | Sb => 1,
+            _ => 0,
+        }
+    }
+
+    /// The standard RISC-V mnemonic, lowercase with `.` separators
+    /// (e.g. `"fadd.d"`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Addi => "addi",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Lui => "lui",
+            Mul => "mul",
+            Mulh => "mulh",
+            Div => "div",
+            Rem => "rem",
+            FaddD => "fadd.d",
+            FsubD => "fsub.d",
+            FmulD => "fmul.d",
+            FdivD => "fdiv.d",
+            FmaddD => "fmadd.d",
+            FsqrtD => "fsqrt.d",
+            FcvtDW => "fcvt.d.w",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Jal => "jal",
+            Jalr => "jalr",
+            Ld => "ld",
+            Lw => "lw",
+            Lh => "lh",
+            Lb => "lb",
+            Fld => "fld",
+            Sd => "sd",
+            Sw => "sw",
+            Sh => "sh",
+            Sb => "sb",
+            Fsd => "fsd",
+            Nop => "nop",
+        }
+    }
+
+    /// Representative opcodes for a class, used when expanding a class-level
+    /// instruction profile into concrete opcodes.
+    #[must_use]
+    pub fn representatives(class: InstrClass) -> &'static [Opcode] {
+        use Opcode::*;
+        match class {
+            InstrClass::Integer => &[Add, Addi, Sub, And, Or, Xor, Sll, Mul],
+            InstrClass::Float => &[FaddD, FmulD, FsubD, FmaddD],
+            InstrClass::Branch => &[Beq, Bne, Blt, Bge],
+            InstrClass::Load => &[Ld, Lw],
+            InstrClass::Store => &[Sd, Sw],
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an [`Opcode`] from a mnemonic fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpcodeError {
+    text: String,
+}
+
+impl fmt::Display for ParseOpcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown opcode mnemonic `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseOpcodeError {}
+
+impl FromStr for Opcode {
+    type Err = ParseOpcodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        Opcode::ALL
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == lower)
+            .ok_or(ParseOpcodeError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_opcode_once() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op), "duplicate opcode {op:?} in ALL");
+        }
+        assert_eq!(seen.len(), Opcode::ALL.len());
+    }
+
+    #[test]
+    fn class_partitions_are_consistent() {
+        for op in Opcode::ALL {
+            match op.class() {
+                InstrClass::Load => assert!(op.is_memory() && op.access_bytes() > 0),
+                InstrClass::Store => assert!(op.is_memory() && op.access_bytes() > 0),
+                _ => assert!(!op.is_memory()),
+            }
+        }
+    }
+
+    #[test]
+    fn stores_and_branches_have_no_dest() {
+        assert!(!Opcode::Sd.has_dest());
+        assert!(!Opcode::Beq.has_dest());
+        assert!(Opcode::Add.has_dest());
+        assert!(Opcode::Ld.has_dest());
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for op in Opcode::ALL {
+            let parsed: Opcode = op.mnemonic().parse().expect("round trip");
+            assert_eq!(parsed, op);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(" FADD.D ".parse::<Opcode>().unwrap(), Opcode::FaddD);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "frobnicate".parse::<Opcode>().unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn representatives_match_their_class() {
+        for class in InstrClass::ALL {
+            for op in Opcode::representatives(class) {
+                assert_eq!(op.class(), class, "{op:?} listed under {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_branches_are_branch_class() {
+        for op in Opcode::ALL {
+            if op.is_conditional_branch() {
+                assert_eq!(op.class(), InstrClass::Branch);
+            }
+        }
+    }
+
+    #[test]
+    fn fp_register_usage_is_consistent() {
+        assert!(Opcode::FaddD.writes_fp_reg());
+        assert!(Opcode::Fld.writes_fp_reg());
+        assert!(!Opcode::Fld.reads_fp_regs());
+        assert!(Opcode::Fsd.reads_fp_regs());
+        assert!(!Opcode::Add.writes_fp_reg());
+    }
+
+    #[test]
+    fn instr_class_display_names() {
+        assert_eq!(InstrClass::Integer.to_string(), "integer");
+        assert_eq!(InstrClass::Float.to_string(), "float");
+        assert_eq!(InstrClass::ALL.len(), 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&Opcode::FmulD).unwrap();
+        let back: Opcode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Opcode::FmulD);
+    }
+}

@@ -1,0 +1,157 @@
+//! Architectural registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer architectural registers (`x0`–`x31`).
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating point architectural registers (`f0`–`f31`).
+pub const NUM_FP_REGS: u8 = 32;
+
+/// The register file a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register file (`x` registers).
+    Int,
+    /// Floating point register file (`f` registers).
+    Fp,
+}
+
+/// An architectural register of the RISC-V subset.
+///
+/// `x0` is hard-wired to zero, as in real RISC-V: writes to it are dropped
+/// and reads always return zero; the simulator treats it as having no
+/// producer so it never creates dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg {
+    class: RegClass,
+    index: u8,
+}
+
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg {
+        class: RegClass::Int,
+        index: 0,
+    };
+
+    /// Creates an integer register `x{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn x(index: u8) -> Reg {
+        assert!(index < NUM_INT_REGS, "integer register index {index} out of range");
+        Reg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating point register `f{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn f(index: u8) -> Reg {
+        assert!(index < NUM_FP_REGS, "fp register index {index} out of range");
+        Reg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// The register file this register belongs to.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within its register file.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// Returns `true` if this is the hard-wired zero register `x0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO
+    }
+
+    /// A flat identifier unique across both register files
+    /// (`x` registers occupy 0–31, `f` registers 32–63).
+    ///
+    /// Useful for indexing dependence-tracking tables in the simulator.
+    #[must_use]
+    pub fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_REGS as usize + self.index as usize,
+        }
+    }
+
+    /// Total number of distinct flat indices ([`Reg::flat_index`]).
+    pub const FLAT_COUNT: usize = NUM_INT_REGS as usize + NUM_FP_REGS as usize;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "x{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reg::x(5).to_string(), "x5");
+        assert_eq!(Reg::f(12).to_string(), "f12");
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::x(0).is_zero());
+        assert!(!Reg::x(1).is_zero());
+        assert!(!Reg::f(0).is_zero());
+        assert_eq!(Reg::ZERO, Reg::x(0));
+    }
+
+    #[test]
+    fn flat_index_is_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..NUM_INT_REGS {
+            assert!(seen.insert(Reg::x(i).flat_index()));
+        }
+        for i in 0..NUM_FP_REGS {
+            assert!(seen.insert(Reg::f(i).flat_index()));
+        }
+        assert_eq!(seen.len(), Reg::FLAT_COUNT);
+        assert!(seen.iter().all(|&i| i < Reg::FLAT_COUNT));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = Reg::x(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_index_out_of_range_panics() {
+        let _ = Reg::f(32);
+    }
+
+    #[test]
+    fn ordering_groups_by_class() {
+        assert!(Reg::x(31) < Reg::f(0));
+        assert!(Reg::x(3) < Reg::x(4));
+    }
+}

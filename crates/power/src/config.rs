@@ -1,0 +1,152 @@
+//! Per-event energy configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energies (picojoules) and leakage power (watts) for one core.
+///
+/// The presets are calibrated so that the *Large* core lands in the
+/// 1.3–2.3 W dynamic-power range the paper's Fig. 6 reports for its power
+/// virus search, with the same ordering of contributors (memory and floating
+/// point activity dominate, integer ALU activity is cheap).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Name of the configuration (matches the core configuration name).
+    pub name: String,
+    /// Front-end energy per fetched instruction (fetch/decode/rename).
+    pub fetch_pj: f64,
+    /// Energy per architectural register file read.
+    pub regfile_read_pj: f64,
+    /// Energy per architectural register file write.
+    pub regfile_write_pj: f64,
+    /// Energy per reorder-buffer allocation.
+    pub rob_pj: f64,
+    /// Energy per load/store-queue operation.
+    pub lsq_pj: f64,
+    /// Energy per simple integer ALU operation.
+    pub int_alu_pj: f64,
+    /// Energy per complex integer (multiply/divide) operation.
+    pub int_complex_pj: f64,
+    /// Energy per floating point operation.
+    pub fp_pj: f64,
+    /// Energy per branch-predictor lookup.
+    pub bpred_pj: f64,
+    /// Energy per L1 instruction cache access.
+    pub l1i_pj: f64,
+    /// Energy per L1 data cache access.
+    pub l1d_pj: f64,
+    /// Energy per L2 cache access.
+    pub l2_pj: f64,
+    /// Energy per DRAM access.
+    pub dram_pj: f64,
+    /// Additional per-instruction energy multiplier applied to the
+    /// latency-model execution-energy weights, capturing datapath width
+    /// differences between opcodes.
+    pub exec_weight_pj: f64,
+    /// Leakage (static) power in watts.
+    pub leakage_watts: f64,
+}
+
+impl PowerConfig {
+    /// Energy preset matched to the Table II *Small* core.
+    #[must_use]
+    pub fn small_core() -> Self {
+        PowerConfig {
+            name: "small".to_owned(),
+            fetch_pj: 55.0,
+            regfile_read_pj: 6.0,
+            regfile_write_pj: 9.0,
+            rob_pj: 8.0,
+            lsq_pj: 10.0,
+            int_alu_pj: 35.0,
+            int_complex_pj: 90.0,
+            fp_pj: 160.0,
+            bpred_pj: 4.0,
+            l1i_pj: 30.0,
+            l1d_pj: 55.0,
+            l2_pj: 240.0,
+            dram_pj: 1800.0,
+            exec_weight_pj: 12.0,
+            leakage_watts: 0.25,
+        }
+    }
+
+    /// Energy preset matched to the Table II *Large* core.
+    #[must_use]
+    pub fn large_core() -> Self {
+        PowerConfig {
+            name: "large".to_owned(),
+            fetch_pj: 120.0,
+            regfile_read_pj: 12.0,
+            regfile_write_pj: 18.0,
+            rob_pj: 16.0,
+            lsq_pj: 20.0,
+            int_alu_pj: 45.0,
+            int_complex_pj: 130.0,
+            fp_pj: 260.0,
+            bpred_pj: 8.0,
+            l1i_pj: 45.0,
+            l1d_pj: 85.0,
+            l2_pj: 420.0,
+            dram_pj: 2400.0,
+            exec_weight_pj: 18.0,
+            leakage_watts: 0.65,
+        }
+    }
+
+    /// Chooses the preset matching a core configuration by name, falling
+    /// back to the large-core preset.
+    #[must_use]
+    pub fn for_core(core_name: &str) -> Self {
+        match core_name {
+            "small" => Self::small_core(),
+            _ => Self::large_core(),
+        }
+    }
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        Self::large_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_core_events_cost_more_than_small_core() {
+        let s = PowerConfig::small_core();
+        let l = PowerConfig::large_core();
+        assert!(l.fetch_pj > s.fetch_pj);
+        assert!(l.fp_pj > s.fp_pj);
+        assert!(l.l2_pj > s.l2_pj);
+        assert!(l.leakage_watts > s.leakage_watts);
+    }
+
+    #[test]
+    fn fp_ops_cost_more_than_int_ops() {
+        for cfg in [PowerConfig::small_core(), PowerConfig::large_core()] {
+            assert!(cfg.fp_pj > cfg.int_complex_pj);
+            assert!(cfg.int_complex_pj > cfg.int_alu_pj);
+            assert!(cfg.dram_pj > cfg.l2_pj);
+            assert!(cfg.l2_pj > cfg.l1d_pj);
+        }
+    }
+
+    #[test]
+    fn for_core_selects_by_name() {
+        assert_eq!(PowerConfig::for_core("small").name, "small");
+        assert_eq!(PowerConfig::for_core("large").name, "large");
+        assert_eq!(PowerConfig::for_core("unknown").name, "large");
+        assert_eq!(PowerConfig::default(), PowerConfig::large_core());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = PowerConfig::small_core();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PowerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

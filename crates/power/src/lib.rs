@@ -1,0 +1,44 @@
+//! # micrograd-power
+//!
+//! An activity-based dynamic power model — the McPAT-like substrate of the
+//! MicroGrad reproduction.
+//!
+//! The paper estimates dynamic power by transferring Gem5 execution
+//! statistics into McPAT.  McPAT's core abstraction is simple: every
+//! micro-architectural event (an ALU operation, a register-file read, a
+//! cache access, a DRAM access, …) costs a fixed per-event energy that
+//! depends on the component's size and technology; dynamic power is the sum
+//! of event energies divided by execution time, and leakage is added on top.
+//!
+//! This crate reproduces that structure.  [`PowerConfig`] holds the
+//! per-event energies (with [`PowerConfig::small_core`] /
+//! [`PowerConfig::large_core`] presets matched to the Table II cores), and
+//! [`PowerModel::estimate`] turns the [`micrograd_sim::SimStats`] of a run
+//! into a [`PowerReport`] with a per-component breakdown.
+//!
+//! # Example
+//!
+//! ```
+//! use micrograd_power::{PowerConfig, PowerModel};
+//! use micrograd_sim::SimStats;
+//!
+//! let mut stats = SimStats::default();
+//! stats.instructions = 1_000_000;
+//! stats.cycles = 500_000;
+//! stats.frequency_hz = 2_000_000_000;
+//! stats.activity.fetched = 1_000_000;
+//! stats.activity.int_alu_ops = 800_000;
+//!
+//! let report = PowerModel::new(PowerConfig::large_core()).estimate(&stats);
+//! assert!(report.dynamic_watts > 0.0);
+//! assert!(report.total_watts() > report.dynamic_watts);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod model;
+
+pub use config::PowerConfig;
+pub use model::{Component, PowerModel, PowerReport};

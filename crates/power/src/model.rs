@@ -1,0 +1,310 @@
+//! The power model: activity counts × per-event energies / time.
+
+use crate::PowerConfig;
+use micrograd_sim::SimStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Micro-architectural components reported in the power breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Fetch / decode / rename front end.
+    Frontend,
+    /// Branch predictor.
+    BranchPredictor,
+    /// Architectural register files.
+    RegisterFile,
+    /// Reorder buffer and scheduler.
+    Window,
+    /// Load/store queue.
+    Lsq,
+    /// Simple integer ALUs.
+    IntAlu,
+    /// Complex integer (multiply/divide) units.
+    IntComplex,
+    /// Floating point units.
+    Fpu,
+    /// L1 instruction cache.
+    L1i,
+    /// L1 data cache.
+    L1d,
+    /// Unified L2 cache.
+    L2,
+    /// DRAM.
+    Dram,
+}
+
+impl Component {
+    /// All components in canonical order.
+    pub const ALL: [Component; 12] = [
+        Component::Frontend,
+        Component::BranchPredictor,
+        Component::RegisterFile,
+        Component::Window,
+        Component::Lsq,
+        Component::IntAlu,
+        Component::IntComplex,
+        Component::Fpu,
+        Component::L1i,
+        Component::L1d,
+        Component::L2,
+        Component::Dram,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Component::Frontend => "frontend",
+            Component::BranchPredictor => "branch-predictor",
+            Component::RegisterFile => "register-file",
+            Component::Window => "window",
+            Component::Lsq => "lsq",
+            Component::IntAlu => "int-alu",
+            Component::IntComplex => "int-complex",
+            Component::Fpu => "fpu",
+            Component::L1i => "l1i",
+            Component::L1d => "l1d",
+            Component::L2 => "l2",
+            Component::Dram => "dram",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The result of a power estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Dynamic power in watts.
+    pub dynamic_watts: f64,
+    /// Leakage (static) power in watts.
+    pub leakage_watts: f64,
+    /// Total dynamic energy in joules.
+    pub dynamic_energy_joules: f64,
+    /// Execution time in seconds the energy was spread over.
+    pub seconds: f64,
+    /// Dynamic power per component, in watts.
+    pub breakdown: BTreeMap<Component, f64>,
+}
+
+impl PowerReport {
+    /// Total (dynamic + leakage) power in watts.
+    #[must_use]
+    pub fn total_watts(&self) -> f64 {
+        self.dynamic_watts + self.leakage_watts
+    }
+
+    /// Energy per instruction in joules (0.0 when nothing ran).
+    #[must_use]
+    pub fn energy_per_instruction(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.dynamic_energy_joules / instructions as f64
+        }
+    }
+}
+
+/// The activity-based power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    config: PowerConfig,
+}
+
+const PJ: f64 = 1e-12;
+
+impl PowerModel {
+    /// Creates a power model from an energy configuration.
+    #[must_use]
+    pub fn new(config: PowerConfig) -> Self {
+        PowerModel { config }
+    }
+
+    /// The energy configuration.
+    #[must_use]
+    pub fn config(&self) -> &PowerConfig {
+        &self.config
+    }
+
+    /// Estimates power for one simulation run.
+    ///
+    /// Dynamic power is the sum over components of
+    /// `events × energy-per-event` divided by the run's wall-clock time; a
+    /// run that executed nothing reports zero dynamic power.
+    #[must_use]
+    pub fn estimate(&self, stats: &SimStats) -> PowerReport {
+        let c = &self.config;
+        let a = &stats.activity;
+        let h = &stats.hierarchy;
+
+        let mut energy: BTreeMap<Component, f64> = BTreeMap::new();
+        let mut add = |component: Component, events: f64, pj_per_event: f64| {
+            *energy.entry(component).or_insert(0.0) += events * pj_per_event * PJ;
+        };
+
+        add(Component::Frontend, a.fetched as f64, c.fetch_pj);
+        add(Component::BranchPredictor, a.branches as f64, c.bpred_pj);
+        add(Component::RegisterFile, a.regfile_reads as f64, c.regfile_read_pj);
+        add(Component::RegisterFile, a.regfile_writes as f64, c.regfile_write_pj);
+        add(Component::Window, a.rob_writes as f64, c.rob_pj);
+        add(Component::Lsq, a.lsq_ops as f64, c.lsq_pj);
+        add(Component::IntAlu, a.int_alu_ops as f64, c.int_alu_pj);
+        add(Component::IntComplex, a.int_complex_ops as f64, c.int_complex_pj);
+        add(Component::Fpu, a.fp_ops as f64, c.fp_pj);
+        add(Component::IntAlu, a.weighted_exec_energy, c.exec_weight_pj);
+        add(Component::L1i, h.l1i.accesses as f64, c.l1i_pj);
+        add(Component::L1d, h.l1d.accesses as f64, c.l1d_pj);
+        add(
+            Component::L2,
+            (h.l2.accesses + h.l2.prefetch_fills) as f64,
+            c.l2_pj,
+        );
+        add(Component::Dram, h.dram_accesses as f64, c.dram_pj);
+
+        let total_energy: f64 = energy.values().sum();
+        let seconds = stats.seconds();
+        let breakdown: BTreeMap<Component, f64> = if seconds > 0.0 {
+            energy.iter().map(|(k, e)| (*k, e / seconds)).collect()
+        } else {
+            energy.keys().map(|k| (*k, 0.0)).collect()
+        };
+        let dynamic_watts = if seconds > 0.0 {
+            total_energy / seconds
+        } else {
+            0.0
+        };
+
+        PowerReport {
+            dynamic_watts,
+            leakage_watts: c.leakage_watts,
+            dynamic_energy_joules: total_energy,
+            seconds,
+            breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micrograd_codegen::{Generator, GeneratorInput, TraceExpander};
+    use micrograd_isa::Opcode;
+    use micrograd_sim::{CoreConfig, Simulator};
+
+    fn stats_for(mutate: impl FnOnce(&mut GeneratorInput), core: CoreConfig) -> SimStats {
+        let mut input = GeneratorInput {
+            loop_size: 200,
+            seed: 23,
+            ..GeneratorInput::default()
+        };
+        mutate(&mut input);
+        let tc = Generator::new().generate(&input).unwrap();
+        let trace = TraceExpander::new(30_000, 23).expand(&tc);
+        Simulator::new(core).run(&trace)
+    }
+
+    #[test]
+    fn empty_run_reports_zero_dynamic_power() {
+        let report = PowerModel::new(PowerConfig::large_core()).estimate(&SimStats::default());
+        assert_eq!(report.dynamic_watts, 0.0);
+        assert_eq!(report.dynamic_energy_joules, 0.0);
+        assert_eq!(report.energy_per_instruction(0), 0.0);
+        assert!(report.total_watts() > 0.0, "leakage is always present");
+    }
+
+    #[test]
+    fn dynamic_power_is_in_a_plausible_range_for_the_large_core() {
+        let stats = stats_for(|_| {}, CoreConfig::large());
+        let report = PowerModel::new(PowerConfig::large_core()).estimate(&stats);
+        assert!(
+            (0.3..=4.0).contains(&report.dynamic_watts),
+            "dynamic power {} W out of plausible range",
+            report.dynamic_watts
+        );
+        let sum: f64 = report.breakdown.values().sum();
+        assert!((sum - report.dynamic_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_and_memory_heavy_workloads_burn_more_power_than_int_only() {
+        let int_only = stats_for(
+            |input| {
+                for w in input.instr_weights.values_mut() {
+                    *w = 0.0;
+                }
+                input.set_weight(Opcode::Add, 10.0);
+                input.mem_footprint_kb = 4;
+            },
+            CoreConfig::large(),
+        );
+        let fp_mem = stats_for(
+            |input| {
+                for w in input.instr_weights.values_mut() {
+                    *w = 0.0;
+                }
+                input.set_weight(Opcode::FmulD, 3.0);
+                input.set_weight(Opcode::FaddD, 2.0);
+                input.set_weight(Opcode::Ld, 3.0);
+                input.set_weight(Opcode::Sd, 2.0);
+                input.mem_footprint_kb = 2048;
+                input.reg_dependency_distance = 10;
+            },
+            CoreConfig::large(),
+        );
+        let model = PowerModel::new(PowerConfig::large_core());
+        let p_int = model.estimate(&int_only);
+        let p_fp = model.estimate(&fp_mem);
+        assert!(
+            p_fp.energy_per_instruction(fp_mem.instructions)
+                > p_int.energy_per_instruction(int_only.instructions) * 1.3,
+            "fp/mem EPI {} vs int EPI {}",
+            p_fp.energy_per_instruction(fp_mem.instructions),
+            p_int.energy_per_instruction(int_only.instructions)
+        );
+    }
+
+    #[test]
+    fn small_core_burns_less_power_than_large_core() {
+        let stats_small = stats_for(|_| {}, CoreConfig::small());
+        let stats_large = stats_for(|_| {}, CoreConfig::large());
+        let p_small = PowerModel::new(PowerConfig::small_core()).estimate(&stats_small);
+        let p_large = PowerModel::new(PowerConfig::large_core()).estimate(&stats_large);
+        assert!(p_small.total_watts() < p_large.total_watts());
+    }
+
+    #[test]
+    fn breakdown_contains_every_active_component() {
+        let stats = stats_for(|_| {}, CoreConfig::large());
+        let report = PowerModel::new(PowerConfig::large_core()).estimate(&stats);
+        for component in [
+            Component::Frontend,
+            Component::RegisterFile,
+            Component::IntAlu,
+            Component::Fpu,
+            Component::L1d,
+            Component::L2,
+        ] {
+            assert!(
+                report.breakdown.get(&component).copied().unwrap_or(0.0) > 0.0,
+                "{component} should contribute"
+            );
+        }
+    }
+
+    #[test]
+    fn component_display_names_are_stable() {
+        assert_eq!(Component::Fpu.to_string(), "fpu");
+        assert_eq!(Component::BranchPredictor.to_string(), "branch-predictor");
+        assert_eq!(Component::ALL.len(), 12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let stats = stats_for(|_| {}, CoreConfig::small());
+        let report = PowerModel::new(PowerConfig::small_core()).estimate(&stats);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PowerReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

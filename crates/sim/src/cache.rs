@@ -1,0 +1,238 @@
+//! Set-associative LRU cache model.
+
+use crate::config::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups.
+    pub accesses: u64,
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Lines installed by the prefetcher.
+    pub prefetch_fills: u64,
+}
+
+impl CacheStats {
+    /// Number of misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; defined as 1.0 when there were no accesses
+    /// (an idle cache is not a mis-behaving cache).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// The model tracks tags only (no data): `access` reports whether the line
+/// was present and installs it if it was not, which is all the timing model
+/// needs.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[set][way] = (tag, last_use_stamp)`, `u64::MAX` tag = invalid.
+    sets: Vec<Vec<(u64, u64)>>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets() as usize;
+        let ways = config.associativity.max(1) as usize;
+        Cache {
+            config,
+            sets: vec![vec![(u64::MAX, 0); ways]; num_sets],
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Hit latency of this cache.
+    #[must_use]
+    pub fn hit_latency(&self) -> u32 {
+        self.config.hit_latency
+    }
+
+    fn set_and_tag(&self, address: u64) -> (usize, u64) {
+        let line = address / self.config.line_bytes.max(1);
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Looks up `address`; returns `true` on hit.  On a miss the line is
+    /// installed, evicting the LRU way.
+    pub fn access(&mut self, address: u64) -> bool {
+        self.stamp += 1;
+        let (set_idx, tag) = self.set_and_tag(address);
+        let set = &mut self.sets[set_idx];
+        self.stats.accesses += 1;
+        if let Some(way) = set.iter_mut().find(|(t, _)| *t == tag) {
+            way.1 = self.stamp;
+            self.stats.hits += 1;
+            return true;
+        }
+        // miss: replace LRU
+        let victim = set
+            .iter_mut()
+            .min_by_key(|(_, stamp)| *stamp)
+            .expect("cache set has at least one way");
+        *victim = (tag, self.stamp);
+        false
+    }
+
+    /// Installs `address` without counting an access (prefetch fill).
+    /// Returns `true` if the line was already present.
+    pub fn fill(&mut self, address: u64) -> bool {
+        self.stamp += 1;
+        let (set_idx, tag) = self.set_and_tag(address);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|(t, _)| *t == tag) {
+            way.1 = self.stamp;
+            return true;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|(_, stamp)| *stamp)
+            .expect("cache set has at least one way");
+        *victim = (tag, self.stamp);
+        self.stats.prefetch_fills += 1;
+        false
+    }
+
+    /// Checks presence of `address` without updating LRU state or stats.
+    #[must_use]
+    pub fn probe(&self, address: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(address);
+        self.sets[set_idx].iter().any(|(t, _)| *t == tag)
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = (u64::MAX, 0);
+            }
+        }
+        self.stamp = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig::new(512, 2, 64, 1))
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1010)); // same line
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small_cache();
+        // 32 distinct lines (2 KiB) in a 512 B cache, streamed twice
+        for _round in 0..2 {
+            for i in 0..32u64 {
+                c.access(i * 64);
+            }
+        }
+        assert!(c.stats().hit_rate() < 0.1, "hit rate {}", c.stats().hit_rate());
+    }
+
+    #[test]
+    fn working_set_that_fits_gets_high_hit_rate() {
+        let mut c = small_cache();
+        // 4 lines fit comfortably in 8 lines of capacity; stream 100 times
+        for _ in 0..100 {
+            for i in 0..4u64 {
+                c.access(i * 64);
+            }
+        }
+        assert!(c.stats().hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = Cache::new(CacheConfig::new(128, 2, 64, 1)); // 1 set, 2 ways
+        c.access(0); // line A
+        c.access(64); // line B
+        c.access(0); // touch A so B is LRU
+        c.access(128); // line C evicts B
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn fill_installs_without_counting_access() {
+        let mut c = small_cache();
+        assert!(!c.fill(0x2000));
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert!(c.access(0x2000));
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn hit_rate_of_idle_cache_is_one() {
+        let c = small_cache();
+        assert_eq!(c.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = small_cache();
+        c.access(0x40);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.probe(0x40));
+    }
+
+    #[test]
+    fn probe_does_not_change_stats() {
+        let mut c = small_cache();
+        c.access(0x80);
+        let before = c.stats();
+        let _ = c.probe(0x80);
+        let _ = c.probe(0xdead_0000);
+        assert_eq!(c.stats(), before);
+    }
+}

@@ -1,0 +1,254 @@
+//! Core and memory-hierarchy configuration (Table II of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    #[must_use]
+    pub fn new(size_bytes: u64, associativity: u32, line_bytes: u64, hit_latency: u32) -> Self {
+        CacheConfig {
+            size_bytes,
+            associativity,
+            line_bytes,
+            hit_latency,
+        }
+    }
+
+    /// Number of sets implied by the size, associativity and line size.
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        (self.size_bytes / self.line_bytes / u64::from(self.associativity)).max(1)
+    }
+}
+
+/// Branch predictor configuration (gshare + BTB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchPredictorConfig {
+    /// Number of 2-bit counters in the pattern history table (power of two).
+    pub table_entries: usize,
+    /// Global history length in bits.
+    pub history_bits: u32,
+    /// Misprediction redirect penalty in cycles.
+    pub mispredict_penalty: u32,
+}
+
+/// Prefetcher configuration for the data-side hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Whether the prefetcher is enabled.
+    pub enabled: bool,
+    /// How many consecutive lines to prefetch on a miss.
+    pub degree: u32,
+}
+
+/// Full core configuration.
+///
+/// The `small` and `large` constructors reproduce Table II of the paper:
+///
+/// | Parameter        | Small        | Large            |
+/// |------------------|--------------|------------------|
+/// | Frequency        | 2 GHz        | 2 GHz            |
+/// | Front-end width  | 3            | 8                |
+/// | ROB/LSQ/RSE      | 40/16/32     | 160/64/128       |
+/// | ALU/SIMD/FP      | 3/2/2        | 6/4/4            |
+/// | L1/L2            | 16k/256k     | 32k/1M + prefetch|
+/// | Memory           | 1 GB         | 1 GB             |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Human-readable configuration name (`"small"`, `"large"`, …).
+    pub name: String,
+    /// Core clock frequency in hertz.
+    pub frequency_hz: u64,
+    /// Front-end (fetch/decode/rename) width in instructions per cycle.
+    pub frontend_width: u32,
+    /// Reorder buffer capacity.
+    pub rob_entries: u32,
+    /// Load/store queue capacity.
+    pub lsq_entries: u32,
+    /// Reservation-station (scheduler) capacity.
+    pub rs_entries: u32,
+    /// Number of simple integer ALUs.
+    pub alu_units: u32,
+    /// Number of complex integer (mul/div, "SIMD") units.
+    pub complex_units: u32,
+    /// Number of floating point units.
+    pub fp_units: u32,
+    /// Number of load/store pipelines (cache ports).
+    pub mem_units: u32,
+    /// Front-end pipeline depth used as the minimum fetch-to-execute delay.
+    pub frontend_depth: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// DRAM access latency in cycles.
+    pub memory_latency: u32,
+    /// Main memory capacity in bytes (1 GB in the paper).
+    pub memory_bytes: u64,
+    /// Branch predictor.
+    pub branch_predictor: BranchPredictorConfig,
+    /// Data prefetcher.
+    pub prefetch: PrefetchConfig,
+}
+
+impl CoreConfig {
+    /// The *Small* core of Table II.
+    #[must_use]
+    pub fn small() -> Self {
+        CoreConfig {
+            name: "small".to_owned(),
+            frequency_hz: 2_000_000_000,
+            frontend_width: 3,
+            rob_entries: 40,
+            lsq_entries: 16,
+            rs_entries: 32,
+            alu_units: 3,
+            complex_units: 2,
+            fp_units: 2,
+            mem_units: 1,
+            frontend_depth: 6,
+            l1i: CacheConfig::new(16 * 1024, 2, 64, 2),
+            l1d: CacheConfig::new(16 * 1024, 2, 64, 2),
+            l2: CacheConfig::new(256 * 1024, 8, 64, 12),
+            memory_latency: 160,
+            memory_bytes: 1 << 30,
+            branch_predictor: BranchPredictorConfig {
+                table_entries: 4096,
+                history_bits: 8,
+                mispredict_penalty: 9,
+            },
+            prefetch: PrefetchConfig {
+                enabled: false,
+                degree: 0,
+            },
+        }
+    }
+
+    /// The *Large* core of Table II.
+    #[must_use]
+    pub fn large() -> Self {
+        CoreConfig {
+            name: "large".to_owned(),
+            frequency_hz: 2_000_000_000,
+            frontend_width: 8,
+            rob_entries: 160,
+            lsq_entries: 64,
+            rs_entries: 128,
+            alu_units: 6,
+            complex_units: 4,
+            fp_units: 4,
+            mem_units: 2,
+            frontend_depth: 8,
+            l1i: CacheConfig::new(32 * 1024, 4, 64, 2),
+            l1d: CacheConfig::new(32 * 1024, 4, 64, 3),
+            l2: CacheConfig::new(1024 * 1024, 16, 64, 14),
+            memory_latency: 160,
+            memory_bytes: 1 << 30,
+            branch_predictor: BranchPredictorConfig {
+                table_entries: 16384,
+                history_bits: 12,
+                mispredict_penalty: 14,
+            },
+            prefetch: PrefetchConfig {
+                enabled: true,
+                degree: 2,
+            },
+        }
+    }
+
+    /// Units available for each functional unit kind.
+    #[must_use]
+    pub fn units_for(&self, unit: micrograd_isa::FuncUnit) -> u32 {
+        match unit {
+            micrograd_isa::FuncUnit::Alu => self.alu_units,
+            micrograd_isa::FuncUnit::Complex => self.complex_units,
+            micrograd_isa::FuncUnit::Fp => self.fp_units,
+            micrograd_isa::FuncUnit::Mem => self.mem_units,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::large()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micrograd_isa::FuncUnit;
+
+    #[test]
+    fn table2_small_core_parameters() {
+        let c = CoreConfig::small();
+        assert_eq!(c.frequency_hz, 2_000_000_000);
+        assert_eq!(c.frontend_width, 3);
+        assert_eq!(c.rob_entries, 40);
+        assert_eq!(c.lsq_entries, 16);
+        assert_eq!(c.rs_entries, 32);
+        assert_eq!((c.alu_units, c.complex_units, c.fp_units), (3, 2, 2));
+        assert_eq!(c.l1d.size_bytes, 16 * 1024);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert!(!c.prefetch.enabled);
+        assert_eq!(c.memory_bytes, 1 << 30);
+    }
+
+    #[test]
+    fn table2_large_core_parameters() {
+        let c = CoreConfig::large();
+        assert_eq!(c.frontend_width, 8);
+        assert_eq!(c.rob_entries, 160);
+        assert_eq!(c.lsq_entries, 64);
+        assert_eq!(c.rs_entries, 128);
+        assert_eq!((c.alu_units, c.complex_units, c.fp_units), (6, 4, 4));
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+        assert!(c.prefetch.enabled);
+    }
+
+    #[test]
+    fn cache_sets_are_positive_and_consistent() {
+        let c = CacheConfig::new(16 * 1024, 2, 64, 2);
+        assert_eq!(c.num_sets(), 128);
+        let tiny = CacheConfig::new(64, 4, 64, 1);
+        assert_eq!(tiny.num_sets(), 1);
+    }
+
+    #[test]
+    fn units_for_maps_all_kinds() {
+        let c = CoreConfig::large();
+        assert_eq!(c.units_for(FuncUnit::Alu), 6);
+        assert_eq!(c.units_for(FuncUnit::Complex), 4);
+        assert_eq!(c.units_for(FuncUnit::Fp), 4);
+        assert_eq!(c.units_for(FuncUnit::Mem), 2);
+    }
+
+    #[test]
+    fn default_is_large() {
+        assert_eq!(CoreConfig::default(), CoreConfig::large());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = CoreConfig::small();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CoreConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

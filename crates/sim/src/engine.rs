@@ -1,0 +1,428 @@
+//! The cycle-approximate out-of-order core model.
+
+use crate::config::CoreConfig;
+use crate::hierarchy::MemoryHierarchy;
+use crate::stats::{ActivityCounts, SimStats};
+use crate::GsharePredictor;
+use micrograd_codegen::Trace;
+use micrograd_isa::{FuncUnit, InstrClass, LatencyModel, Opcode, Reg};
+
+/// A scoreboard-style out-of-order core simulator.
+///
+/// The model processes the dynamic trace in program order and computes, for
+/// every instruction, the cycle at which it fetches, dispatches, issues and
+/// completes, subject to the structural and data constraints of the
+/// configured core:
+///
+/// * **front-end width** — at most `frontend_width` instructions enter the
+///   pipeline per cycle, and instruction-cache misses stall the fetch
+///   stream;
+/// * **branch prediction** — mispredicted conditional branches redirect the
+///   front end after the branch resolves plus the redirect penalty;
+/// * **windows** — dispatch is limited by ROB, reservation-station and (for
+///   memory operations) LSQ occupancy;
+/// * **data dependences** — an instruction issues only after all of its
+///   source registers' producers have completed, which is how the register
+///   dependency distance knob shapes ILP;
+/// * **functional units** — each instruction occupies one unit of its class
+///   (unpipelined for divides), bounding per-class throughput;
+/// * **memory hierarchy** — loads pay the L1D/L2/DRAM latency of their
+///   address; stores retire through a store buffer.
+///
+/// The result is not a cycle-accurate Gem5 replacement, but it reproduces
+/// the first-order sensitivities the MicroGrad tuning loop depends on, at a
+/// cost of well under a microsecond per simulated instruction.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: CoreConfig,
+    latency: LatencyModel,
+}
+
+impl Simulator {
+    /// Creates a simulator for a core configuration.
+    #[must_use]
+    pub fn new(config: CoreConfig) -> Self {
+        Simulator {
+            config,
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// The core configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Runs the dynamic trace to completion and returns the statistics.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> SimStats {
+        let mut stats = SimStats {
+            frequency_hz: self.config.frequency_hz,
+            ..SimStats::default()
+        };
+        let n = trace.len();
+        if n == 0 {
+            return stats;
+        }
+
+        let cfg = &self.config;
+        let mut hierarchy = MemoryHierarchy::new(cfg);
+        let mut predictor = GsharePredictor::new(cfg.branch_predictor);
+        let mut activity = ActivityCounts::default();
+
+        // Completion cycle of every dynamic instruction (ROB/RS/LSQ limits).
+        let mut completion: Vec<u64> = vec![0; n];
+        let mut issue_cycle: Vec<u64> = vec![0; n];
+        // Indices (into the dynamic stream) of memory operations, for LSQ.
+        let mut mem_op_indices: Vec<usize> = Vec::new();
+        // Cycle at which each architectural register's value is available.
+        let mut reg_ready: Vec<u64> = vec![0; Reg::FLAT_COUNT];
+        // Next-free cycle per functional unit instance.
+        let mut unit_free: [Vec<u64>; 4] = [
+            vec![0; cfg.units_for(FuncUnit::Alu).max(1) as usize],
+            vec![0; cfg.units_for(FuncUnit::Complex).max(1) as usize],
+            vec![0; cfg.units_for(FuncUnit::Fp).max(1) as usize],
+            vec![0; cfg.units_for(FuncUnit::Mem).max(1) as usize],
+        ];
+        let unit_slot = |u: FuncUnit| -> usize {
+            match u {
+                FuncUnit::Alu => 0,
+                FuncUnit::Complex => 1,
+                FuncUnit::Fp => 2,
+                FuncUnit::Mem => 3,
+            }
+        };
+
+        let mut fetch_cycle: u64 = 0;
+        let mut fetched_this_cycle: u32 = 0;
+        let mut fetch_stall_until: u64 = 0;
+        let mut last_fetch_line: u64 = u64::MAX;
+        let line_bytes = cfg.l1i.line_bytes.max(1);
+        let mut max_completion: u64 = 0;
+
+        for (i, dynamic) in trace.dynamics().iter().enumerate() {
+            let instr = trace.static_of(dynamic);
+            let opcode = instr.opcode();
+            let class = opcode.class();
+
+            // ---------------- fetch ----------------
+            if fetched_this_cycle >= cfg.frontend_width {
+                fetch_cycle += 1;
+                fetched_this_cycle = 0;
+            }
+            if fetch_cycle < fetch_stall_until {
+                fetch_cycle = fetch_stall_until;
+                fetched_this_cycle = 0;
+            }
+            // Instruction cache: one access per line transition.
+            let line = dynamic.pc / line_bytes;
+            if line != last_fetch_line {
+                let lat = hierarchy.access_instruction(dynamic.pc);
+                let extra = lat.saturating_sub(cfg.l1i.hit_latency);
+                if extra > 0 {
+                    fetch_cycle += u64::from(extra);
+                    fetched_this_cycle = 0;
+                }
+                last_fetch_line = line;
+            }
+            let this_fetch = fetch_cycle;
+            fetched_this_cycle += 1;
+            activity.fetched += 1;
+
+            // ---------------- dispatch (window constraints) ----------------
+            let mut dispatch = this_fetch + u64::from(cfg.frontend_depth);
+            if i >= cfg.rob_entries as usize {
+                dispatch = dispatch.max(completion[i - cfg.rob_entries as usize]);
+            }
+            if i >= cfg.rs_entries as usize {
+                dispatch = dispatch.max(issue_cycle[i - cfg.rs_entries as usize]);
+            }
+            let is_mem = class.is_memory();
+            if is_mem {
+                let lsq = cfg.lsq_entries as usize;
+                if mem_op_indices.len() >= lsq {
+                    let blocking = mem_op_indices[mem_op_indices.len() - lsq];
+                    dispatch = dispatch.max(completion[blocking]);
+                }
+                mem_op_indices.push(i);
+            }
+            activity.rob_writes += 1;
+            if is_mem {
+                activity.lsq_ops += 1;
+            }
+
+            // ---------------- issue (data deps + functional units) --------
+            let mut ready = dispatch;
+            for src in instr.sources() {
+                if src.is_zero() {
+                    continue;
+                }
+                ready = ready.max(reg_ready[src.flat_index()]);
+                activity.regfile_reads += 1;
+            }
+            let unit = self.latency.unit(opcode);
+            let slot = unit_slot(unit);
+            let (unit_idx, unit_avail) = unit_free[slot]
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|(_, c)| *c)
+                .expect("at least one functional unit per class");
+            let issue = ready.max(unit_avail);
+            issue_cycle[i] = issue;
+            // Divides and square roots occupy their unit unpipelined.
+            let occupancy = match opcode {
+                Opcode::Div | Opcode::Rem | Opcode::FdivD | Opcode::FsqrtD => {
+                    u64::from(self.latency.latency(opcode))
+                }
+                _ => 1,
+            };
+            unit_free[slot][unit_idx] = issue + occupancy;
+
+            // ---------------- execute / memory ----------------
+            let exec_latency = u64::from(self.latency.latency(opcode));
+            let mut complete = issue + exec_latency;
+            match class {
+                InstrClass::Load => {
+                    let addr = dynamic.mem_addr.unwrap_or(0);
+                    let lat = hierarchy.access_data(dynamic.pc, addr);
+                    complete += u64::from(lat);
+                    activity.loads += 1;
+                }
+                InstrClass::Store => {
+                    // Stores retire through the store buffer: the cache
+                    // access happens off the critical path but is counted.
+                    let addr = dynamic.mem_addr.unwrap_or(0);
+                    let _ = hierarchy.access_data(dynamic.pc, addr);
+                    activity.stores += 1;
+                }
+                InstrClass::Branch => {
+                    activity.branches += 1;
+                    if opcode.is_conditional_branch() {
+                        let taken = dynamic.taken.unwrap_or(false);
+                        let correct = predictor.predict_and_update(dynamic.pc, taken);
+                        if !correct {
+                            let redirect =
+                                complete + u64::from(cfg.branch_predictor.mispredict_penalty);
+                            fetch_stall_until = fetch_stall_until.max(redirect);
+                        }
+                    }
+                }
+                InstrClass::Integer => {
+                    match unit {
+                        FuncUnit::Complex => activity.int_complex_ops += 1,
+                        _ => activity.int_alu_ops += 1,
+                    };
+                }
+                InstrClass::Float => {
+                    activity.fp_ops += 1;
+                }
+            }
+            activity.weighted_exec_energy += self.latency.energy_weight(opcode);
+
+            // ---------------- writeback ----------------
+            if let Some(dest) = instr.dest() {
+                if !dest.is_zero() {
+                    reg_ready[dest.flat_index()] = complete;
+                    activity.regfile_writes += 1;
+                }
+            }
+            completion[i] = complete;
+            max_completion = max_completion.max(complete);
+            *stats.class_counts.entry(class).or_insert(0) += 1;
+        }
+
+        stats.instructions = n as u64;
+        stats.cycles = max_completion.max(fetch_cycle + 1);
+        stats.hierarchy = hierarchy.stats();
+        stats.branch = predictor.stats();
+        stats.activity = activity;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micrograd_codegen::{Generator, GeneratorInput, TraceExpander};
+    use micrograd_isa::Opcode;
+
+    const TRACE_LEN: usize = 40_000;
+
+    fn trace_for(mutate: impl FnOnce(&mut GeneratorInput)) -> Trace {
+        let mut input = GeneratorInput {
+            loop_size: 200,
+            seed: 17,
+            ..GeneratorInput::default()
+        };
+        mutate(&mut input);
+        let tc = Generator::new().generate(&input).unwrap();
+        TraceExpander::new(TRACE_LEN, 17).expand(&tc)
+    }
+
+    #[test]
+    fn empty_trace_produces_zero_stats() {
+        let sim = Simulator::new(CoreConfig::small());
+        let stats = sim.run(&Trace::new(Vec::new(), Vec::new()));
+        assert_eq!(stats.instructions, 0);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_is_positive_and_bounded_by_width() {
+        let trace = trace_for(|_| {});
+        for config in [CoreConfig::small(), CoreConfig::large()] {
+            let width = config.frontend_width as f64;
+            let stats = Simulator::new(config).run(&trace);
+            assert_eq!(stats.instructions, TRACE_LEN as u64);
+            assert!(stats.ipc() > 0.05, "ipc {}", stats.ipc());
+            assert!(stats.ipc() <= width, "ipc {} exceeds width {width}", stats.ipc());
+        }
+    }
+
+    #[test]
+    fn large_core_is_at_least_as_fast_as_small_core() {
+        let trace = trace_for(|_| {});
+        let small = Simulator::new(CoreConfig::small()).run(&trace);
+        let large = Simulator::new(CoreConfig::large()).run(&trace);
+        assert!(
+            large.ipc() >= small.ipc() * 0.95,
+            "large {} vs small {}",
+            large.ipc(),
+            small.ipc()
+        );
+    }
+
+    #[test]
+    fn dependency_distance_increases_ipc() {
+        let serial = trace_for(|input| {
+            input.reg_dependency_distance = 1;
+        });
+        let parallel = trace_for(|input| {
+            input.reg_dependency_distance = 10;
+        });
+        let sim = Simulator::new(CoreConfig::large());
+        let ipc_serial = sim.run(&serial).ipc();
+        let ipc_parallel = sim.run(&parallel).ipc();
+        assert!(
+            ipc_parallel > ipc_serial * 1.2,
+            "expected ILP to raise IPC: serial {ipc_serial}, parallel {ipc_parallel}"
+        );
+    }
+
+    #[test]
+    fn larger_footprint_lowers_data_hit_rate_and_ipc() {
+        let small_fp = trace_for(|input| {
+            input.mem_footprint_kb = 8;
+        });
+        let huge_fp = trace_for(|input| {
+            input.mem_footprint_kb = 8 * 1024; // 8 MiB, far beyond the L2
+            input.mem_stride = 64;
+        });
+        let sim = Simulator::new(CoreConfig::small());
+        let near = sim.run(&small_fp);
+        let far = sim.run(&huge_fp);
+        assert!(
+            far.l1d_hit_rate() < near.l1d_hit_rate() - 0.1,
+            "hit rates: near {} far {}",
+            near.l1d_hit_rate(),
+            far.l1d_hit_rate()
+        );
+        assert!(far.ipc() < near.ipc());
+    }
+
+    #[test]
+    fn branch_randomness_raises_mispredict_rate_and_lowers_ipc() {
+        let predictable = trace_for(|input| {
+            input.branch_randomness = 0.0;
+        });
+        let random = trace_for(|input| {
+            input.branch_randomness = 1.0;
+        });
+        let sim = Simulator::new(CoreConfig::large());
+        let p = sim.run(&predictable);
+        let r = sim.run(&random);
+        assert!(p.branch_mispredict_rate() < 0.05, "{}", p.branch_mispredict_rate());
+        assert!(r.branch_mispredict_rate() > 0.2, "{}", r.branch_mispredict_rate());
+        assert!(r.ipc() < p.ipc());
+    }
+
+    #[test]
+    fn class_fractions_match_the_trace() {
+        let trace = trace_for(|_| {});
+        let stats = Simulator::new(CoreConfig::small()).run(&trace);
+        let expected = trace.class_distribution();
+        for (class, frac) in expected {
+            assert!(
+                (stats.class_fraction(class) - frac).abs() < 1e-9,
+                "{class:?} fraction mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn float_heavy_workload_stresses_fp_units() {
+        let fp_heavy = trace_for(|input| {
+            for w in input.instr_weights.values_mut() {
+                *w = 0.0;
+            }
+            input.set_weight(Opcode::FmulD, 8.0);
+            input.set_weight(Opcode::Add, 2.0);
+        });
+        let int_heavy = trace_for(|input| {
+            for w in input.instr_weights.values_mut() {
+                *w = 0.0;
+            }
+            input.set_weight(Opcode::Add, 10.0);
+        });
+        let sim = Simulator::new(CoreConfig::small());
+        let fp = sim.run(&fp_heavy);
+        let int = sim.run(&int_heavy);
+        assert!(fp.activity.fp_ops > int.activity.fp_ops);
+        assert!(
+            fp.ipc() < int.ipc(),
+            "fp-heavy {} should be slower than int-heavy {} on 2 FP units",
+            fp.ipc(),
+            int.ipc()
+        );
+        assert!(fp.activity.weighted_exec_energy > int.activity.weighted_exec_energy);
+    }
+
+    #[test]
+    fn activity_counts_are_consistent_with_instruction_counts() {
+        let trace = trace_for(|_| {});
+        let stats = Simulator::new(CoreConfig::large()).run(&trace);
+        let a = &stats.activity;
+        assert_eq!(a.fetched, stats.instructions);
+        assert_eq!(a.rob_writes, stats.instructions);
+        assert_eq!(
+            a.loads + a.stores,
+            stats.class_counts.get(&InstrClass::Load).copied().unwrap_or(0)
+                + stats.class_counts.get(&InstrClass::Store).copied().unwrap_or(0)
+        );
+        assert_eq!(a.lsq_ops, a.loads + a.stores);
+        assert!(a.regfile_reads > 0);
+        assert!(a.regfile_writes > 0);
+        assert!(a.weighted_exec_energy > 0.0);
+    }
+
+    #[test]
+    fn narrow_frontend_caps_throughput() {
+        // A fully parallel integer workload should be limited by the
+        // front-end width on the small core (3) vs the large core (8).
+        let trace = trace_for(|input| {
+            for w in input.instr_weights.values_mut() {
+                *w = 0.0;
+            }
+            input.set_weight(Opcode::Add, 1.0);
+            input.reg_dependency_distance = 10;
+            input.mem_footprint_kb = 4;
+        });
+        let small = Simulator::new(CoreConfig::small()).run(&trace);
+        let large = Simulator::new(CoreConfig::large()).run(&trace);
+        assert!(small.ipc() <= 3.0 + 1e-9);
+        assert!(large.ipc() > small.ipc());
+    }
+}

@@ -1,0 +1,196 @@
+//! The memory hierarchy: L1I + L1D + unified L2 + DRAM, with prefetching.
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::CoreConfig;
+use crate::prefetch::{PrefetchStats, StridePrefetcher};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of the memory hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 instruction cache.
+    pub l1i: CacheStats,
+    /// L1 data cache.
+    pub l1d: CacheStats,
+    /// Unified L2 cache.
+    pub l2: CacheStats,
+    /// Prefetcher.
+    pub prefetch: PrefetchStats,
+    /// Demand accesses that reached DRAM.
+    pub dram_accesses: u64,
+}
+
+/// The data/instruction memory hierarchy model.
+///
+/// Latency composition:
+/// * L1 hit → L1 hit latency;
+/// * L1 miss, L2 hit → L1 + L2 latency;
+/// * L2 miss → L1 + L2 + DRAM latency.
+///
+/// The Large core of Table II adds a stride prefetcher that trains on L1D
+/// demand misses and fills both the L1D and the L2.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    prefetcher: StridePrefetcher,
+    memory_latency: u32,
+    line_bytes: u64,
+    dram_accesses: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy described by a core configuration.
+    #[must_use]
+    pub fn new(config: &CoreConfig) -> Self {
+        MemoryHierarchy {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            prefetcher: StridePrefetcher::new(config.prefetch),
+            memory_latency: config.memory_latency,
+            line_bytes: config.l1d.line_bytes,
+            dram_accesses: 0,
+        }
+    }
+
+    /// Fetches the instruction at `pc`; returns the access latency.
+    pub fn access_instruction(&mut self, pc: u64) -> u32 {
+        let mut latency = self.l1i.hit_latency();
+        if !self.l1i.access(pc) {
+            latency += self.l2.hit_latency();
+            if !self.l2.access(pc) {
+                latency += self.memory_latency;
+                self.dram_accesses += 1;
+            }
+        }
+        latency
+    }
+
+    /// Performs a demand data access from static instruction `pc` to
+    /// `address`; returns the access latency.
+    pub fn access_data(&mut self, pc: u64, address: u64) -> u32 {
+        let mut latency = self.l1d.hit_latency();
+        if !self.l1d.access(address) {
+            latency += self.l2.hit_latency();
+            let l2_hit = self.l2.access(address);
+            if !l2_hit {
+                latency += self.memory_latency;
+                self.dram_accesses += 1;
+            }
+            // Train the prefetcher on the demand miss and install the
+            // predicted lines.
+            let line_addr = address & !(self.line_bytes - 1);
+            for target in self.prefetcher.observe(pc, line_addr, self.line_bytes) {
+                self.l2.fill(target);
+                self.l1d.fill(target);
+            }
+        }
+        latency
+    }
+
+    /// Latency of an L1D hit (the common case for stores draining from the
+    /// store buffer).
+    #[must_use]
+    pub fn l1d_hit_latency(&self) -> u32 {
+        self.l1d.hit_latency()
+    }
+
+    /// Collected statistics.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            prefetch: self.prefetcher.stats(),
+            dram_accesses: self.dram_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_fetch_latencies_compose() {
+        let mut h = MemoryHierarchy::new(&CoreConfig::small());
+        let cold = h.access_instruction(0x40_0000);
+        let warm = h.access_instruction(0x40_0000);
+        assert!(cold > warm);
+        assert_eq!(warm, CoreConfig::small().l1i.hit_latency);
+        assert_eq!(
+            cold,
+            CoreConfig::small().l1i.hit_latency
+                + CoreConfig::small().l2.hit_latency
+                + CoreConfig::small().memory_latency
+        );
+        assert_eq!(h.stats().dram_accesses, 1);
+    }
+
+    #[test]
+    fn data_access_hits_after_warmup() {
+        let mut h = MemoryHierarchy::new(&CoreConfig::small());
+        let cold = h.access_data(0x400, 0x1000_0000);
+        let warm = h.access_data(0x400, 0x1000_0000);
+        assert!(cold > warm);
+        assert_eq!(h.stats().l1d.accesses, 2);
+        assert_eq!(h.stats().l1d.hits, 1);
+    }
+
+    #[test]
+    fn small_core_streaming_misses_more_than_large_core() {
+        // Stream 512 KiB repeatedly: fits in the Large L2 (1 MiB) but not in
+        // the Small L2 (256 KiB).
+        let run = |config: &CoreConfig| {
+            let mut h = MemoryHierarchy::new(config);
+            for round in 0..4u64 {
+                for i in 0..(512 * 1024 / 64) {
+                    let _ = h.access_data(0x400, i * 64);
+                }
+                let _ = round;
+            }
+            h.stats()
+        };
+        let small = run(&CoreConfig::small());
+        let large = run(&CoreConfig::large());
+        assert!(
+            large.l2.hit_rate() > small.l2.hit_rate(),
+            "large L2 {} vs small L2 {}",
+            large.l2.hit_rate(),
+            small.l2.hit_rate()
+        );
+        assert!(large.dram_accesses < small.dram_accesses);
+    }
+
+    #[test]
+    fn prefetcher_improves_sequential_stream_on_large_core() {
+        let stream = |prefetch_enabled: bool| {
+            let mut config = CoreConfig::large();
+            config.prefetch.enabled = prefetch_enabled;
+            let mut h = MemoryHierarchy::new(&config);
+            // sequential stream, 8 MiB, one pass: no reuse at all
+            for i in 0..(8 * 1024 * 1024 / 64u64) {
+                let _ = h.access_data(0x800, i * 64);
+            }
+            h.stats()
+        };
+        let without = stream(false);
+        let with = stream(true);
+        assert!(
+            with.l1d.hit_rate() > without.l1d.hit_rate() + 0.2,
+            "prefetching should raise the L1D hit rate: {} vs {}",
+            with.l1d.hit_rate(),
+            without.l1d.hit_rate()
+        );
+        assert!(with.prefetch.issued > 0);
+    }
+
+    #[test]
+    fn store_hit_latency_matches_l1d() {
+        let h = MemoryHierarchy::new(&CoreConfig::large());
+        assert_eq!(h.l1d_hit_latency(), CoreConfig::large().l1d.hit_latency);
+    }
+}

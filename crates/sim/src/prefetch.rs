@@ -1,0 +1,148 @@
+//! A simple stride/next-line data prefetcher.
+
+use crate::config::PrefetchConfig;
+use serde::{Deserialize, Serialize};
+
+/// Statistics for the prefetcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchStats {
+    /// Prefetch requests issued.
+    pub issued: u64,
+    /// Demand misses observed (training events).
+    pub trained: u64,
+}
+
+/// A per-PC stride prefetcher with next-line fallback.
+///
+/// The Large core of Table II has a prefetcher on its L1/L2; this model
+/// trains on demand misses, detects a constant stride per (static) load PC
+/// and issues `degree` prefetches along that stride (or the next line when
+/// no stable stride exists yet).
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    config: PrefetchConfig,
+    /// (pc, last address, last stride, confidence) entries, small table.
+    table: Vec<(u64, u64, i64, u8)>,
+    capacity: usize,
+    stats: PrefetchStats,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher with a 64-entry training table.
+    #[must_use]
+    pub fn new(config: PrefetchConfig) -> Self {
+        StridePrefetcher {
+            config,
+            table: Vec::new(),
+            capacity: 64,
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    /// Whether the prefetcher is enabled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled && self.config.degree > 0
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+
+    /// Observes a demand access from `pc` to `address` (line-aligned
+    /// addresses recommended) and returns the addresses to prefetch.
+    pub fn observe(&mut self, pc: u64, address: u64, line_bytes: u64) -> Vec<u64> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        self.stats.trained += 1;
+        let line = line_bytes.max(1);
+        let mut predicted_stride = line as i64;
+        if let Some(entry) = self.table.iter_mut().find(|(p, _, _, _)| *p == pc) {
+            let observed = address as i64 - entry.1 as i64;
+            if observed == entry.2 && observed != 0 {
+                entry.3 = entry.3.saturating_add(1);
+            } else {
+                entry.2 = observed;
+                entry.3 = 0;
+            }
+            entry.1 = address;
+            if entry.3 >= 1 && entry.2 != 0 {
+                predicted_stride = entry.2;
+            }
+        } else {
+            if self.table.len() >= self.capacity {
+                self.table.remove(0);
+            }
+            self.table.push((pc, address, 0, 0));
+        }
+        let mut out = Vec::with_capacity(self.config.degree as usize);
+        for i in 1..=i64::from(self.config.degree) {
+            let target = address as i64 + predicted_stride * i;
+            if target >= 0 {
+                out.push(target as u64);
+                self.stats.issued += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled(degree: u32) -> PrefetchConfig {
+        PrefetchConfig {
+            enabled: true,
+            degree,
+        }
+    }
+
+    #[test]
+    fn disabled_prefetcher_issues_nothing() {
+        let mut p = StridePrefetcher::new(PrefetchConfig {
+            enabled: false,
+            degree: 2,
+        });
+        assert!(!p.enabled());
+        assert!(p.observe(0x400, 0x1000, 64).is_empty());
+        assert_eq!(p.stats().issued, 0);
+    }
+
+    #[test]
+    fn next_line_prefetch_without_training() {
+        let mut p = StridePrefetcher::new(enabled(1));
+        let out = p.observe(0x400, 0x1000, 64);
+        assert_eq!(out, vec![0x1040]);
+    }
+
+    #[test]
+    fn learns_constant_stride() {
+        let mut p = StridePrefetcher::new(enabled(1));
+        p.observe(0x400, 0x1000, 64);
+        p.observe(0x400, 0x1100, 64); // stride 0x100 observed
+        let out = p.observe(0x400, 0x1200, 64); // stride confirmed
+        assert_eq!(out, vec![0x1300]);
+    }
+
+    #[test]
+    fn degree_controls_prefetch_count() {
+        let mut p = StridePrefetcher::new(enabled(4));
+        let out = p.observe(0x100, 0x8000, 64);
+        assert_eq!(out.len(), 4);
+        assert_eq!(p.stats().issued, 4);
+        assert_eq!(p.stats().trained, 1);
+    }
+
+    #[test]
+    fn table_capacity_is_bounded() {
+        let mut p = StridePrefetcher::new(enabled(1));
+        for pc in 0..200u64 {
+            p.observe(pc * 4, pc * 0x100, 64);
+        }
+        assert!(p.table.len() <= 64);
+    }
+}

@@ -1,0 +1,392 @@
+//! Expanding an application model into a dynamic trace.
+
+use crate::{ApplicationProfile, PhaseProfile};
+use micrograd_codegen::{DynamicInstr, Trace};
+use micrograd_isa::{InstrClass, Instruction, MemAccess, Opcode, Reg};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates dynamic traces from [`ApplicationProfile`]s.
+///
+/// The generator builds, per phase, a static code region of
+/// `code_blocks × block_size` instructions (each block ending in a
+/// conditional branch) whose opcode mix follows the phase's class mix, and
+/// then walks those blocks for the phase's share of the dynamic budget:
+///
+/// * block selection follows a skewed (hot/cold) distribution, so different
+///   phases touch different parts of the code — which is what gives
+///   SimPoint-style interval clustering something to find;
+/// * data addresses walk a per-phase circular buffer of the phase's
+///   footprint with its dominant stride, with temporal re-use injected at
+///   the configured rate;
+/// * conditional branch directions are stable except for the configured
+///   `branch_entropy` fraction, which is random.
+///
+/// The result is a [`Trace`] directly consumable by
+/// [`micrograd_sim::Simulator`](https://docs.rs/micrograd-sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplicationTraceGenerator {
+    dynamic_len: usize,
+    seed: u64,
+}
+
+struct PhaseCode {
+    /// Index of the first static instruction of each basic block.
+    block_starts: Vec<usize>,
+    /// Number of instructions per block (last one is the block's branch).
+    block_len: usize,
+    /// Hot/cold selection weights per block.
+    block_weights: Vec<f64>,
+}
+
+impl ApplicationTraceGenerator {
+    /// Creates a generator producing `dynamic_len` instructions with `seed`.
+    #[must_use]
+    pub fn new(dynamic_len: usize, seed: u64) -> Self {
+        ApplicationTraceGenerator { dynamic_len, seed }
+    }
+
+    /// Number of dynamic instructions generated.
+    #[must_use]
+    pub fn dynamic_len(&self) -> usize {
+        self.dynamic_len
+    }
+
+    /// Generates the trace for `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no phases.
+    #[must_use]
+    pub fn generate(&self, profile: &ApplicationProfile) -> Trace {
+        assert!(
+            !profile.phases.is_empty(),
+            "application profile has no phases"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA991_CA7E);
+        let mut statics: Vec<Instruction> = Vec::new();
+        let mut phase_codes: Vec<PhaseCode> = Vec::new();
+
+        for (phase_idx, phase) in profile.phases.iter().enumerate() {
+            let code = self.build_phase_code(phase, phase_idx, &mut statics, &mut rng);
+            phase_codes.push(code);
+        }
+
+        let weights = profile.normalized_weights();
+        let mut dynamics: Vec<DynamicInstr> = Vec::with_capacity(self.dynamic_len);
+        // Per-phase data-stream positions and recent addresses for reuse.
+        let mut stream_pos: Vec<u64> = vec![0; profile.phases.len()];
+        let mut recent: Vec<Vec<u64>> = vec![Vec::new(); profile.phases.len()];
+
+        for (phase_idx, (phase, weight)) in profile.phases.iter().zip(&weights).enumerate() {
+            let phase_end = if phase_idx + 1 == profile.phases.len() {
+                self.dynamic_len
+            } else {
+                let budget = (self.dynamic_len as f64 * weight).round() as usize;
+                (dynamics.len() + budget).min(self.dynamic_len)
+            };
+            let code = &phase_codes[phase_idx];
+            let chooser = WeightedIndex::new(&code.block_weights)
+                .expect("block weights are positive");
+            while dynamics.len() < phase_end {
+                let block = chooser.sample(&mut rng);
+                let start = code.block_starts[block];
+                for offset in 0..code.block_len {
+                    if dynamics.len() >= phase_end {
+                        break;
+                    }
+                    let idx = start + offset;
+                    let instr = &statics[idx];
+                    let mem_addr = instr.mem().map(|m| {
+                        Self::next_address(
+                            m,
+                            phase,
+                            &mut stream_pos[phase_idx],
+                            &mut recent[phase_idx],
+                            &mut rng,
+                        )
+                    });
+                    let taken = if instr.opcode().is_conditional_branch() {
+                        Some(if rng.gen::<f64>() < phase.branch_entropy {
+                            rng.gen::<bool>()
+                        } else {
+                            // stable direction per static branch
+                            idx % 2 == 0
+                        })
+                    } else {
+                        None
+                    };
+                    dynamics.push(DynamicInstr {
+                        static_index: idx as u32,
+                        pc: instr.address(),
+                        mem_addr,
+                        taken,
+                    });
+                }
+            }
+        }
+        Trace::new(statics, dynamics)
+    }
+
+    fn next_address(
+        mem: &MemAccess,
+        phase: &PhaseProfile,
+        pos: &mut u64,
+        recent: &mut Vec<u64>,
+        rng: &mut ChaCha8Rng,
+    ) -> u64 {
+        let reuse = phase.temporal_reuse.clamp(0.0, 1.0);
+        let addr = if !recent.is_empty() && rng.gen::<f64>() < reuse {
+            recent[rng.gen_range(0..recent.len())]
+        } else {
+            let a = mem.address_at(*pos);
+            *pos += 1;
+            a
+        };
+        recent.push(addr);
+        if recent.len() > 32 {
+            recent.remove(0);
+        }
+        addr
+    }
+
+    fn build_phase_code(
+        &self,
+        phase: &PhaseProfile,
+        phase_idx: usize,
+        statics: &mut Vec<Instruction>,
+        rng: &mut ChaCha8Rng,
+    ) -> PhaseCode {
+        let mix = phase.normalized_mix();
+        let classes: Vec<InstrClass> = InstrClass::ALL.to_vec();
+        let class_weights: Vec<f64> = classes.iter().map(|c| mix[c].max(1e-6)).collect();
+        let class_chooser = WeightedIndex::new(&class_weights).expect("positive class weights");
+
+        let block_len = phase.block_size.max(3);
+        let pc_base = 0x0040_0000 + (phase_idx as u64) * 0x0100_0000;
+        let footprint = phase.data_footprint_kb.max(1) * 1024;
+        let data_base = 0x2000_0000 + (phase_idx as u64) * 0x1000_0000;
+
+        let mut block_starts = Vec::with_capacity(phase.code_blocks);
+        let mut recent_int: Vec<Reg> = Vec::new();
+        let mut recent_fp: Vec<Reg> = Vec::new();
+        let mut int_rr = 0u8;
+        let mut fp_rr = 0u8;
+        let dd = phase.dependency_distance.max(1) as usize;
+
+        let pick_src = |recent: &Vec<Reg>, fallback: Reg| -> Reg {
+            if recent.len() >= dd {
+                recent[recent.len() - dd]
+            } else {
+                recent.first().copied().unwrap_or(fallback)
+            }
+        };
+
+        for _block in 0..phase.code_blocks.max(1) {
+            let start = statics.len();
+            block_starts.push(start);
+            for slot in 0..block_len {
+                let pc = pc_base + (statics.len() as u64) * 4;
+                let is_last = slot + 1 == block_len;
+                let class = if is_last {
+                    InstrClass::Branch
+                } else {
+                    classes[class_chooser.sample(rng)]
+                };
+                let reps = Opcode::representatives(class);
+                let opcode = reps[rng.gen_range(0..reps.len())];
+                let mut instr = match class {
+                    InstrClass::Integer => {
+                        let dest = Reg::x(6 + (int_rr % 20));
+                        int_rr = int_rr.wrapping_add(1);
+                        let s1 = pick_src(&recent_int, Reg::x(5));
+                        let s2 = pick_src(&recent_int, Reg::x(5));
+                        let i = Instruction::rrr(opcode, dest, s1, s2);
+                        recent_int.push(dest);
+                        i
+                    }
+                    InstrClass::Float => {
+                        let dest = Reg::f(6 + (fp_rr % 20));
+                        fp_rr = fp_rr.wrapping_add(1);
+                        let s1 = pick_src(&recent_fp, Reg::f(5));
+                        let s2 = pick_src(&recent_fp, Reg::f(5));
+                        let i = Instruction::rrr(opcode, dest, s1, s2);
+                        recent_fp.push(dest);
+                        i
+                    }
+                    InstrClass::Branch => {
+                        let s1 = pick_src(&recent_int, Reg::x(5));
+                        Instruction::branch(
+                            if is_last { Opcode::Bne } else { opcode },
+                            s1,
+                            Reg::ZERO,
+                            8,
+                        )
+                    }
+                    InstrClass::Load => {
+                        let dest = Reg::x(6 + (int_rr % 20));
+                        int_rr = int_rr.wrapping_add(1);
+                        let mem = MemAccess {
+                            stream: phase_idx as u32,
+                            base: data_base,
+                            stride: phase.stride_bytes.max(1),
+                            footprint,
+                            offset: 0,
+                        };
+                        let i = Instruction::load(Opcode::Ld, dest, Reg::x(10), mem);
+                        recent_int.push(dest);
+                        i
+                    }
+                    InstrClass::Store => {
+                        let data = pick_src(&recent_int, Reg::x(5));
+                        let mem = MemAccess {
+                            stream: phase_idx as u32,
+                            base: data_base,
+                            stride: phase.stride_bytes.max(1),
+                            footprint,
+                            offset: 0,
+                        };
+                        Instruction::store(Opcode::Sd, data, Reg::x(10), mem)
+                    }
+                };
+                instr.set_address(pc);
+                if instr.opcode().is_conditional_branch() {
+                    instr.set_branch_taken_prob(phase.branch_entropy.clamp(0.0, 1.0));
+                }
+                statics.push(instr);
+            }
+            // keep dependency history bounded
+            if recent_int.len() > 64 {
+                let excess = recent_int.len() - 64;
+                recent_int.drain(0..excess);
+            }
+            if recent_fp.len() > 64 {
+                let excess = recent_fp.len() - 64;
+                recent_fp.drain(0..excess);
+            }
+        }
+
+        // Hot/cold block weights: Zipf-like skew so a handful of blocks
+        // dominate, as in real programs.
+        let block_weights: Vec<f64> = (0..block_starts.len())
+            .map(|i| 1.0 / (i as f64 + 1.0))
+            .collect();
+
+        PhaseCode {
+            block_starts,
+            block_len,
+            block_weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn trace_has_requested_length() {
+        for len in [1usize, 100, 10_000, 33_333] {
+            let trace =
+                ApplicationTraceGenerator::new(len, 1).generate(&Benchmark::Astar.profile());
+            assert_eq!(trace.len(), len);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let profile = Benchmark::Gcc.profile();
+        let a = ApplicationTraceGenerator::new(20_000, 3).generate(&profile);
+        let b = ApplicationTraceGenerator::new(20_000, 3).generate(&profile);
+        let c = ApplicationTraceGenerator::new(20_000, 4).generate(&profile);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dynamic_mix_roughly_matches_profile_mix() {
+        let profile = Benchmark::Hmmer.profile();
+        let trace = ApplicationTraceGenerator::new(60_000, 5).generate(&profile);
+        let expected = profile.aggregate_mix();
+        let actual = trace.class_distribution();
+        for class in micrograd_isa::InstrClass::ALL {
+            let e = expected.get(&class).copied().unwrap_or(0.0);
+            let a = actual.get(&class).copied().unwrap_or(0.0);
+            assert!(
+                (e - a).abs() < 0.12,
+                "{class:?}: expected ~{e:.2}, got {a:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn benchmarks_produce_distinct_traces() {
+        let len = 30_000;
+        let mcf = ApplicationTraceGenerator::new(len, 7).generate(&Benchmark::Mcf.profile());
+        let hmmer = ApplicationTraceGenerator::new(len, 7).generate(&Benchmark::Hmmer.profile());
+        // mcf touches far more unique data than hmmer
+        let unique = |t: &Trace| {
+            t.dynamics()
+                .iter()
+                .filter_map(|d| d.mem_addr.map(|a| a / 64))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        };
+        assert!(unique(&mcf) > unique(&hmmer) * 4);
+        // hmmer's branches are much more regular than sjeng's
+        let sjeng = ApplicationTraceGenerator::new(len, 7).generate(&Benchmark::Sjeng.profile());
+        let branch_bias = |t: &Trace| {
+            let (mut taken, mut total) = (0u64, 0u64);
+            for d in t.dynamics() {
+                if let Some(tk) = d.taken {
+                    total += 1;
+                    if tk {
+                        taken += 1;
+                    }
+                }
+            }
+            (taken as f64 / total as f64 - 0.5).abs()
+        };
+        assert!(branch_bias(&hmmer) > branch_bias(&sjeng) - 0.05);
+    }
+
+    #[test]
+    fn addresses_stay_within_phase_footprints() {
+        let profile = Benchmark::Bzip2.profile();
+        let trace = ApplicationTraceGenerator::new(20_000, 9).generate(&profile);
+        let max_footprint: u64 = profile
+            .phases
+            .iter()
+            .map(|p| p.data_footprint_kb * 1024)
+            .max()
+            .unwrap();
+        for d in trace.dynamics() {
+            if let Some(addr) = d.mem_addr {
+                assert!(addr >= 0x2000_0000);
+                assert!(addr < 0x2000_0000 + 0x1000_0000 * profile.phases.len() as u64 + max_footprint);
+            }
+        }
+    }
+
+    #[test]
+    fn code_footprint_scales_with_code_blocks() {
+        let big_code = ApplicationTraceGenerator::new(10_000, 2)
+            .generate(&Benchmark::Xalancbmk.profile());
+        let small_code =
+            ApplicationTraceGenerator::new(10_000, 2).generate(&Benchmark::Hmmer.profile());
+        assert!(big_code.statics().len() > small_code.statics().len() * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_profile_panics() {
+        let profile = ApplicationProfile {
+            name: "empty".into(),
+            phases: vec![],
+        };
+        let _ = ApplicationTraceGenerator::new(100, 0).generate(&profile);
+    }
+}

@@ -1,0 +1,44 @@
+//! # micrograd-workloads
+//!
+//! SPEC-like synthetic application models and SimPoint-style phase analysis
+//! — the "real application" substrate of the MicroGrad reproduction.
+//!
+//! The paper clones eight SPEC INT CPU2006 benchmarks (astar, bzip2, gcc,
+//! hmmer, libquantum, mcf, sjeng, xalancbmk) from 100 M-instruction
+//! SimPoints.  SPEC sources and reference inputs cannot be redistributed, so
+//! this crate provides *application models*: parameterized synthetic
+//! programs whose instruction mix, code/data footprints, branch behaviour
+//! and phase structure are chosen per benchmark from published
+//! characterization data, giving each benchmark a distinct fingerprint on
+//! the bundled simulator.  Cloning only needs a reference metric vector
+//! measured on the same platform, so this substitution preserves the shape
+//! of the task (see DESIGN.md).
+//!
+//! * [`ApplicationProfile`] / [`PhaseProfile`] — the model parameters.
+//! * [`Benchmark`] — the eight named SPEC-like models.
+//! * [`ApplicationTraceGenerator`] — expands a profile into a dynamic
+//!   [`micrograd_codegen::Trace`] with phase structure.
+//! * [`simpoint`] — basic-block-vector profiling, k-means clustering and
+//!   representative-interval selection (SimPoint-like).
+//!
+//! # Example
+//!
+//! ```
+//! use micrograd_workloads::{ApplicationTraceGenerator, Benchmark};
+//!
+//! let profile = Benchmark::Mcf.profile();
+//! let trace = ApplicationTraceGenerator::new(50_000, 7).generate(&profile);
+//! assert_eq!(trace.len(), 50_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod apptrace;
+mod profile;
+pub mod simpoint;
+mod spec;
+
+pub use apptrace::ApplicationTraceGenerator;
+pub use profile::{ApplicationProfile, PhaseProfile};
+pub use spec::Benchmark;

@@ -1,0 +1,211 @@
+//! Application model parameters.
+
+use micrograd_isa::InstrClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Behaviour of one execution phase of an application model.
+///
+/// A phase is a stretch of execution with stable characteristics — the same
+/// granularity SimPoint assumes.  Phases differ in instruction mix, working
+/// set and branch behaviour, which is what makes phase-aware cloning
+/// (one clone per simpoint) worthwhile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Phase name (for reporting).
+    pub name: String,
+    /// Relative share of dynamic instructions spent in this phase.
+    pub weight: f64,
+    /// Instruction-class mix of the phase (normalized internally).
+    pub class_mix: BTreeMap<InstrClass, f64>,
+    /// Number of static basic blocks the phase's code spans.
+    pub code_blocks: usize,
+    /// Average instructions per basic block.
+    pub block_size: usize,
+    /// Data working-set size in kilobytes.
+    pub data_footprint_kb: u64,
+    /// Dominant access stride in bytes.
+    pub stride_bytes: u64,
+    /// Fraction of accesses that re-use a recent address (temporal locality).
+    pub temporal_reuse: f64,
+    /// Fraction of conditional branches whose direction is effectively
+    /// random (the rest follow a stable, predictable pattern).
+    pub branch_entropy: f64,
+    /// Typical register dependency distance (instructions).
+    pub dependency_distance: u32,
+}
+
+impl PhaseProfile {
+    /// A balanced, cache-friendly default phase.
+    #[must_use]
+    pub fn balanced(name: &str) -> Self {
+        let mut class_mix = BTreeMap::new();
+        class_mix.insert(InstrClass::Integer, 0.45);
+        class_mix.insert(InstrClass::Float, 0.05);
+        class_mix.insert(InstrClass::Branch, 0.15);
+        class_mix.insert(InstrClass::Load, 0.25);
+        class_mix.insert(InstrClass::Store, 0.10);
+        PhaseProfile {
+            name: name.to_owned(),
+            weight: 1.0,
+            class_mix,
+            code_blocks: 24,
+            block_size: 12,
+            data_footprint_kb: 64,
+            stride_bytes: 16,
+            temporal_reuse: 0.3,
+            branch_entropy: 0.1,
+            dependency_distance: 4,
+        }
+    }
+
+    /// The class mix normalized to sum to 1.0 (uniform if empty/zero).
+    #[must_use]
+    pub fn normalized_mix(&self) -> BTreeMap<InstrClass, f64> {
+        let total: f64 = self.class_mix.values().filter(|v| **v > 0.0).sum();
+        if total <= 0.0 {
+            return InstrClass::ALL
+                .iter()
+                .map(|c| (*c, 1.0 / InstrClass::ALL.len() as f64))
+                .collect();
+        }
+        InstrClass::ALL
+            .iter()
+            .map(|c| {
+                let w = self.class_mix.get(c).copied().unwrap_or(0.0).max(0.0);
+                (*c, w / total)
+            })
+            .collect()
+    }
+}
+
+/// A complete application model: named phases plus global metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationProfile {
+    /// Application name (e.g. `"mcf"`).
+    pub name: String,
+    /// Execution phases, in nominal program order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl ApplicationProfile {
+    /// Creates a single-phase application from one phase profile.
+    #[must_use]
+    pub fn single_phase(name: &str, phase: PhaseProfile) -> Self {
+        ApplicationProfile {
+            name: name.to_owned(),
+            phases: vec![phase],
+        }
+    }
+
+    /// Phase weights normalized to sum to 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no phases.
+    #[must_use]
+    pub fn normalized_weights(&self) -> Vec<f64> {
+        assert!(!self.phases.is_empty(), "application profile has no phases");
+        let total: f64 = self.phases.iter().map(|p| p.weight.max(0.0)).sum();
+        if total <= 0.0 {
+            return vec![1.0 / self.phases.len() as f64; self.phases.len()];
+        }
+        self.phases
+            .iter()
+            .map(|p| p.weight.max(0.0) / total)
+            .collect()
+    }
+
+    /// Aggregate (weight-averaged) instruction-class mix across phases.
+    #[must_use]
+    pub fn aggregate_mix(&self) -> BTreeMap<InstrClass, f64> {
+        let weights = self.normalized_weights();
+        let mut mix: BTreeMap<InstrClass, f64> =
+            InstrClass::ALL.iter().map(|c| (*c, 0.0)).collect();
+        for (phase, w) in self.phases.iter().zip(weights) {
+            for (class, frac) in phase.normalized_mix() {
+                *mix.entry(class).or_insert(0.0) += frac * w;
+            }
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_phase_mix_normalizes() {
+        let p = PhaseProfile::balanced("p0");
+        let mix = p.normalized_mix();
+        let total: f64 = mix.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(mix[&InstrClass::Integer] > mix[&InstrClass::Float]);
+    }
+
+    #[test]
+    fn empty_mix_falls_back_to_uniform() {
+        let mut p = PhaseProfile::balanced("p0");
+        p.class_mix.clear();
+        let mix = p.normalized_mix();
+        for v in mix.values() {
+            assert!((*v - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let mut a = PhaseProfile::balanced("a");
+        a.weight = 3.0;
+        let mut b = PhaseProfile::balanced("b");
+        b.weight = 1.0;
+        let app = ApplicationProfile {
+            name: "x".into(),
+            phases: vec![a, b],
+        };
+        let w = app.normalized_weights();
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let mut a = PhaseProfile::balanced("a");
+        a.weight = 0.0;
+        let mut b = PhaseProfile::balanced("b");
+        b.weight = 0.0;
+        let app = ApplicationProfile {
+            name: "x".into(),
+            phases: vec![a, b],
+        };
+        let w = app.normalized_weights();
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn weights_of_empty_profile_panic() {
+        let app = ApplicationProfile {
+            name: "x".into(),
+            phases: vec![],
+        };
+        let _ = app.normalized_weights();
+    }
+
+    #[test]
+    fn aggregate_mix_sums_to_one() {
+        let app = ApplicationProfile::single_phase("x", PhaseProfile::balanced("p"));
+        let mix = app.aggregate_mix();
+        let total: f64 = mix.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let app = ApplicationProfile::single_phase("x", PhaseProfile::balanced("p"));
+        let json = serde_json::to_string(&app).unwrap();
+        let back: ApplicationProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, app);
+    }
+}

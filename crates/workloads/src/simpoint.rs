@@ -1,0 +1,323 @@
+//! SimPoint-style phase analysis: basic-block vectors, k-means clustering
+//! and representative-interval selection.
+//!
+//! The paper accepts "Application Simpoints … so as to generate a clone for
+//! each simpoint individually".  This module reproduces the SimPoint
+//! methodology at the fidelity needed for that workflow: execution is cut
+//! into fixed-length intervals, each interval is summarized by a normalized
+//! basic-block vector (BBV), the BBVs are clustered with k-means (k chosen
+//! by a simple penalized-variance criterion), and the interval closest to
+//! each centroid becomes that cluster's simpoint with a weight proportional
+//! to the cluster's size.
+
+use micrograd_codegen::Trace;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Granularity used to group static instructions into "basic blocks" for
+/// BBV purposes.
+const BLOCK_GRANULARITY: usize = 8;
+
+/// A selected representative interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Simpoint {
+    /// Index of the representative interval in the profiled trace.
+    pub interval_index: usize,
+    /// First dynamic-instruction index of the interval.
+    pub start_instruction: usize,
+    /// Fraction of execution this simpoint stands for.
+    pub weight: f64,
+    /// Cluster this simpoint represents.
+    pub cluster: usize,
+}
+
+/// Result of a phase analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseAnalysis {
+    /// Interval length in dynamic instructions.
+    pub interval_len: usize,
+    /// Cluster id assigned to every interval.
+    pub assignments: Vec<usize>,
+    /// Selected simpoints, one per cluster, sorted by cluster id.
+    pub simpoints: Vec<Simpoint>,
+}
+
+impl PhaseAnalysis {
+    /// Number of clusters (phases) found.
+    #[must_use]
+    pub fn num_phases(&self) -> usize {
+        self.simpoints.len()
+    }
+}
+
+/// Computes the normalized basic-block vector of every `interval_len`-sized
+/// interval of `trace`.
+///
+/// Returns an empty vector if the trace is shorter than one interval.
+#[must_use]
+pub fn interval_bbvs(trace: &Trace, interval_len: usize) -> Vec<Vec<f64>> {
+    if interval_len == 0 || trace.len() < interval_len {
+        return Vec::new();
+    }
+    let dims = trace.statics().len() / BLOCK_GRANULARITY + 1;
+    let num_intervals = trace.len() / interval_len;
+    let mut bbvs = Vec::with_capacity(num_intervals);
+    for interval in 0..num_intervals {
+        let mut v = vec![0.0f64; dims];
+        let start = interval * interval_len;
+        for d in &trace.dynamics()[start..start + interval_len] {
+            let block = d.static_index as usize / BLOCK_GRANULARITY;
+            v[block.min(dims - 1)] += 1.0;
+        }
+        let norm: f64 = v.iter().sum();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        bbvs.push(v);
+    }
+    bbvs
+}
+
+fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// K-means clustering with k-means++ seeding.
+///
+/// Returns `(assignments, centroids, total within-cluster variance)`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or there are fewer points than clusters.
+#[must_use]
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> (Vec<usize>, Vec<Vec<f64>>, f64) {
+    assert!(k > 0, "k must be positive");
+    assert!(points.len() >= k, "need at least k points");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dims = points[0].len();
+
+    // k-means++ initialization
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| distance_sq(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..points.len())
+        } else {
+            let mut threshold = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, d) in dists.iter().enumerate() {
+                if threshold <= *d {
+                    chosen = i;
+                    break;
+                }
+                threshold -= d;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _iter in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    distance_sq(p, &centroids[a])
+                        .partial_cmp(&distance_sq(p, &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(0);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // recompute centroids
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let variance: f64 = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| distance_sq(p, &centroids[a]))
+        .sum();
+    (assignments, centroids, variance)
+}
+
+/// Runs the full SimPoint-style analysis on a trace.
+///
+/// `max_k` bounds the number of phases considered; the chosen `k` minimizes
+/// a penalized within-cluster variance (a lightweight stand-in for
+/// SimPoint's BIC criterion).
+///
+/// Returns `None` if the trace contains fewer than one interval.
+#[must_use]
+pub fn analyze(trace: &Trace, interval_len: usize, max_k: usize, seed: u64) -> Option<PhaseAnalysis> {
+    let bbvs = interval_bbvs(trace, interval_len);
+    if bbvs.is_empty() {
+        return None;
+    }
+    let max_k = max_k.clamp(1, bbvs.len());
+    let mut best: Option<(f64, Vec<usize>, Vec<Vec<f64>>, usize)> = None;
+    for k in 1..=max_k {
+        let (assignments, centroids, variance) = kmeans(&bbvs, k, seed.wrapping_add(k as u64));
+        // Penalize extra clusters so k only grows when it buys real
+        // variance reduction.
+        let score = variance + 0.02 * k as f64;
+        if best.as_ref().map_or(true, |(s, _, _, _)| score < *s) {
+            best = Some((score, assignments, centroids, k));
+        }
+    }
+    let (_, assignments, centroids, k) = best.expect("at least one clustering attempted");
+
+    let mut simpoints = Vec::new();
+    for cluster in 0..k {
+        let members: Vec<usize> = assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == cluster)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let representative = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                distance_sq(&bbvs[a], &centroids[cluster])
+                    .partial_cmp(&distance_sq(&bbvs[b], &centroids[cluster]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("cluster has members");
+        simpoints.push(Simpoint {
+            interval_index: representative,
+            start_instruction: representative * interval_len,
+            weight: members.len() as f64 / assignments.len() as f64,
+            cluster,
+        });
+    }
+    Some(PhaseAnalysis {
+        interval_len,
+        assignments,
+        simpoints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApplicationTraceGenerator, Benchmark};
+
+    #[test]
+    fn bbvs_are_normalized_and_sized() {
+        let trace =
+            ApplicationTraceGenerator::new(40_000, 1).generate(&Benchmark::Gcc.profile());
+        let bbvs = interval_bbvs(&trace, 5_000);
+        assert_eq!(bbvs.len(), 8);
+        for v in &bbvs {
+            let total: f64 = v.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn short_trace_yields_no_intervals() {
+        let trace =
+            ApplicationTraceGenerator::new(100, 1).generate(&Benchmark::Astar.profile());
+        assert!(interval_bbvs(&trace, 1_000).is_empty());
+        assert!(analyze(&trace, 1_000, 4, 0).is_none());
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let mut points = Vec::new();
+        for i in 0..20 {
+            points.push(vec![0.0 + i as f64 * 0.001, 0.0]);
+            points.push(vec![10.0 + i as f64 * 0.001, 10.0]);
+        }
+        let (assignments, centroids, variance) = kmeans(&points, 2, 1);
+        assert_eq!(centroids.len(), 2);
+        assert!(variance < 0.1);
+        // points alternate cluster a, cluster b
+        for pair in assignments.chunks(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn kmeans_rejects_zero_k() {
+        let _ = kmeans(&[vec![0.0]], 0, 0);
+    }
+
+    #[test]
+    fn analysis_weights_sum_to_one() {
+        let trace =
+            ApplicationTraceGenerator::new(60_000, 3).generate(&Benchmark::Xalancbmk.profile());
+        let analysis = analyze(&trace, 5_000, 5, 3).unwrap();
+        let total: f64 = analysis.simpoints.iter().map(|s| s.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(analysis.num_phases() >= 1);
+        assert_eq!(analysis.assignments.len(), 12);
+        for sp in &analysis.simpoints {
+            assert_eq!(sp.start_instruction, sp.interval_index * 5_000);
+            assert!(sp.interval_index < analysis.assignments.len());
+        }
+    }
+
+    #[test]
+    fn multi_phase_application_yields_multiple_phases() {
+        // gcc has three phases touching different code regions; the analysis
+        // should find more than one cluster.
+        let trace =
+            ApplicationTraceGenerator::new(80_000, 11).generate(&Benchmark::Gcc.profile());
+        let analysis = analyze(&trace, 4_000, 6, 11).unwrap();
+        assert!(
+            analysis.num_phases() >= 2,
+            "expected at least 2 phases, got {}",
+            analysis.num_phases()
+        );
+    }
+
+    #[test]
+    fn single_phase_application_tends_to_one_phase() {
+        let trace =
+            ApplicationTraceGenerator::new(60_000, 13).generate(&Benchmark::Hmmer.profile());
+        let analysis = analyze(&trace, 5_000, 6, 13).unwrap();
+        assert!(
+            analysis.num_phases() <= 2,
+            "hmmer is single-phase, got {}",
+            analysis.num_phases()
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! The eight SPEC INT CPU2006-like benchmark models used in the paper.
+
+use crate::{ApplicationProfile, PhaseProfile};
+use micrograd_isa::InstrClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// The eight SPEC INT CPU2006 benchmarks the paper clones.
+///
+/// Each variant maps to an [`ApplicationProfile`] whose parameters follow
+/// the published characterization of the corresponding benchmark: pointer
+/// chasing and huge working sets for `mcf`, highly predictable streaming for
+/// `libquantum`, branchy control for `sjeng`/`gcc`, large instruction
+/// footprint for `xalancbmk`/`gcc`, and so on.  The absolute numbers are not
+/// (and need not be) exact — the cloning experiment only requires that each
+/// benchmark exhibits a distinct, stable fingerprint on the bundled
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are benchmark names
+pub enum Benchmark {
+    Astar,
+    Bzip2,
+    Gcc,
+    Hmmer,
+    Libquantum,
+    Mcf,
+    Sjeng,
+    Xalancbmk,
+}
+
+impl Benchmark {
+    /// All eight benchmarks, in the order the paper's figures list them.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Astar,
+        Benchmark::Bzip2,
+        Benchmark::Gcc,
+        Benchmark::Hmmer,
+        Benchmark::Libquantum,
+        Benchmark::Mcf,
+        Benchmark::Sjeng,
+        Benchmark::Xalancbmk,
+    ];
+
+    /// The lowercase benchmark name used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Astar => "astar",
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Hmmer => "hmmer",
+            Benchmark::Libquantum => "libquantum",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Sjeng => "sjeng",
+            Benchmark::Xalancbmk => "xalancbmk",
+        }
+    }
+
+    /// The application model for this benchmark.
+    #[must_use]
+    pub fn profile(self) -> ApplicationProfile {
+        match self {
+            Benchmark::Astar => astar(),
+            Benchmark::Bzip2 => bzip2(),
+            Benchmark::Gcc => gcc(),
+            Benchmark::Hmmer => hmmer(),
+            Benchmark::Libquantum => libquantum(),
+            Benchmark::Mcf => mcf(),
+            Benchmark::Sjeng => sjeng(),
+            Benchmark::Xalancbmk => xalancbmk(),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a benchmark name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError(String);
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == lower)
+            .ok_or_else(|| ParseBenchmarkError(s.to_owned()))
+    }
+}
+
+fn mix(int: f64, float: f64, branch: f64, load: f64, store: f64) -> BTreeMap<InstrClass, f64> {
+    let mut m = BTreeMap::new();
+    m.insert(InstrClass::Integer, int);
+    m.insert(InstrClass::Float, float);
+    m.insert(InstrClass::Branch, branch);
+    m.insert(InstrClass::Load, load);
+    m.insert(InstrClass::Store, store);
+    m
+}
+
+#[allow(clippy::too_many_arguments)]
+fn phase(
+    name: &str,
+    weight: f64,
+    class_mix: BTreeMap<InstrClass, f64>,
+    code_blocks: usize,
+    block_size: usize,
+    data_footprint_kb: u64,
+    stride_bytes: u64,
+    temporal_reuse: f64,
+    branch_entropy: f64,
+    dependency_distance: u32,
+) -> PhaseProfile {
+    PhaseProfile {
+        name: name.to_owned(),
+        weight,
+        class_mix,
+        code_blocks,
+        block_size,
+        data_footprint_kb,
+        stride_bytes,
+        temporal_reuse,
+        branch_entropy,
+        dependency_distance,
+    }
+}
+
+/// `astar`: path-finding; pointer-heavy graph traversal with moderately
+/// unpredictable branches and a medium working set.
+fn astar() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "astar".to_owned(),
+        phases: vec![
+            phase("search", 0.7, mix(0.42, 0.01, 0.17, 0.28, 0.12), 30, 10, 256, 24, 0.35, 0.35, 3),
+            phase("expand", 0.3, mix(0.48, 0.01, 0.14, 0.26, 0.11), 22, 12, 96, 16, 0.45, 0.25, 4),
+        ],
+    }
+}
+
+/// `bzip2`: compression; tight integer loops, small hot code, good branch
+/// behaviour, modest working set with strong temporal locality.
+fn bzip2() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "bzip2".to_owned(),
+        phases: vec![
+            phase("compress", 0.6, mix(0.52, 0.0, 0.13, 0.24, 0.11), 16, 14, 192, 8, 0.5, 0.18, 5),
+            phase("sort", 0.4, mix(0.47, 0.0, 0.15, 0.27, 0.11), 14, 12, 384, 16, 0.35, 0.25, 3),
+        ],
+    }
+}
+
+/// `gcc`: compilation; very large instruction footprint, branchy, irregular
+/// data accesses across many small structures.
+fn gcc() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "gcc".to_owned(),
+        phases: vec![
+            phase("parse", 0.35, mix(0.44, 0.0, 0.21, 0.24, 0.11), 120, 9, 512, 32, 0.3, 0.3, 3),
+            phase("optimize", 0.4, mix(0.46, 0.01, 0.19, 0.23, 0.11), 150, 8, 768, 40, 0.25, 0.35, 3),
+            phase("emit", 0.25, mix(0.42, 0.0, 0.18, 0.25, 0.15), 90, 10, 256, 24, 0.35, 0.25, 4),
+        ],
+    }
+}
+
+/// `hmmer`: hidden-Markov-model search; dominated by a regular inner loop
+/// with high ILP, very predictable branches and small working set.
+fn hmmer() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "hmmer".to_owned(),
+        phases: vec![phase(
+            "viterbi",
+            1.0,
+            mix(0.50, 0.03, 0.08, 0.28, 0.11),
+            12,
+            22,
+            48,
+            8,
+            0.55,
+            0.05,
+            7,
+        )],
+    }
+}
+
+/// `libquantum`: quantum simulation; long streaming loops over a large
+/// array, extremely predictable branches, poor temporal locality.
+fn libquantum() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "libquantum".to_owned(),
+        phases: vec![
+            phase("toffoli", 0.75, mix(0.38, 0.02, 0.14, 0.30, 0.16), 8, 16, 4096, 64, 0.05, 0.03, 6),
+            phase("measure", 0.25, mix(0.42, 0.02, 0.16, 0.28, 0.12), 10, 12, 2048, 64, 0.1, 0.08, 5),
+        ],
+    }
+}
+
+/// `mcf`: network-simplex optimization; pointer chasing over a working set
+/// far larger than any cache, very low IPC.
+fn mcf() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "mcf".to_owned(),
+        phases: vec![
+            phase("pricing", 0.55, mix(0.36, 0.0, 0.16, 0.34, 0.14), 26, 9, 16 * 1024, 96, 0.08, 0.3, 2),
+            phase("refresh", 0.45, mix(0.40, 0.0, 0.14, 0.32, 0.14), 20, 10, 8 * 1024, 64, 0.12, 0.25, 3),
+        ],
+    }
+}
+
+/// `sjeng`: chess search; deep recursion, branchy and hard to predict,
+/// moderate working set.
+fn sjeng() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "sjeng".to_owned(),
+        phases: vec![
+            phase("search", 0.8, mix(0.46, 0.0, 0.22, 0.21, 0.11), 60, 9, 384, 32, 0.3, 0.4, 3),
+            phase("evaluate", 0.2, mix(0.52, 0.0, 0.16, 0.22, 0.10), 40, 11, 128, 16, 0.4, 0.25, 4),
+        ],
+    }
+}
+
+/// `xalancbmk`: XSLT processing; very large instruction footprint (deep
+/// C++ call chains), indirect-branch heavy, scattered data accesses.
+fn xalancbmk() -> ApplicationProfile {
+    ApplicationProfile {
+        name: "xalancbmk".to_owned(),
+        phases: vec![
+            phase("parse", 0.4, mix(0.41, 0.0, 0.23, 0.25, 0.11), 180, 7, 512, 48, 0.25, 0.3, 3),
+            phase("transform", 0.6, mix(0.43, 0.0, 0.21, 0.25, 0.11), 220, 7, 1024, 56, 0.2, 0.35, 3),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_profiles_with_valid_phases() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert_eq!(p.name, b.name());
+            assert!(!p.phases.is_empty());
+            for phase in &p.phases {
+                let mix_total: f64 = phase.normalized_mix().values().sum();
+                assert!((mix_total - 1.0).abs() < 1e-9);
+                assert!(phase.code_blocks > 0);
+                assert!(phase.block_size > 2);
+                assert!(phase.data_footprint_kb > 0);
+                assert!((0.0..=1.0).contains(&phase.branch_entropy));
+                assert!((0.0..=1.0).contains(&phase.temporal_reuse));
+                assert!(phase.dependency_distance >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn benchmarks_have_distinct_fingerprints() {
+        // The models must differ in at least footprint or branch entropy so
+        // the cloning experiment has eight genuinely different targets.
+        let footprints: Vec<u64> = Benchmark::ALL
+            .iter()
+            .map(|b| b.profile().phases[0].data_footprint_kb)
+            .collect();
+        let entropies: Vec<u64> = Benchmark::ALL
+            .iter()
+            .map(|b| (b.profile().phases[0].branch_entropy * 100.0) as u64)
+            .collect();
+        let distinct_fp: std::collections::BTreeSet<_> = footprints.iter().collect();
+        let distinct_be: std::collections::BTreeSet<_> = entropies.iter().collect();
+        assert!(distinct_fp.len() >= 5, "footprints too uniform: {footprints:?}");
+        assert!(distinct_be.len() >= 4, "branch entropies too uniform: {entropies:?}");
+    }
+
+    #[test]
+    fn mcf_has_the_largest_working_set_and_libquantum_streams() {
+        let mcf = Benchmark::Mcf.profile();
+        let libq = Benchmark::Libquantum.profile();
+        let hmmer = Benchmark::Hmmer.profile();
+        assert!(mcf.phases[0].data_footprint_kb > libq.phases[0].data_footprint_kb);
+        assert!(libq.phases[0].data_footprint_kb > hmmer.phases[0].data_footprint_kb);
+        assert!(libq.phases[0].branch_entropy < 0.1);
+        assert!(hmmer.phases[0].branch_entropy < 0.1);
+    }
+
+    #[test]
+    fn branchy_benchmarks_have_high_branch_fractions() {
+        for b in [Benchmark::Sjeng, Benchmark::Gcc, Benchmark::Xalancbmk] {
+            let p = b.profile();
+            let agg = p.aggregate_mix();
+            assert!(
+                agg[&InstrClass::Branch] > 0.15,
+                "{b} branch fraction {}",
+                agg[&InstrClass::Branch]
+            );
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for b in Benchmark::ALL {
+            let parsed: Benchmark = b.name().parse().unwrap();
+            assert_eq!(parsed, b);
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert!("doom".parse::<Benchmark>().is_err());
+        assert!(" MCF ".parse::<Benchmark>().unwrap() == Benchmark::Mcf);
+    }
+
+    #[test]
+    fn there_are_exactly_eight_benchmarks() {
+        assert_eq!(Benchmark::ALL.len(), 8);
+        let set: std::collections::BTreeSet<_> = Benchmark::ALL.iter().collect();
+        assert_eq!(set.len(), 8);
+    }
+}

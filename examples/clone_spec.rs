@@ -1,0 +1,85 @@
+//! Clone one of the bundled SPEC-like benchmarks (the Fig. 2 workflow).
+//!
+//! The benchmark is characterized on the Large core, then the
+//! gradient-descent tuner evolves a ~500-instruction synthetic clone until
+//! its instruction mix, cache hit rates, branch misprediction rate and IPC
+//! match the original.  The printed table is one "radar chart" of Fig. 2 in
+//! tabular form.
+//!
+//! Run with (benchmark name optional, default `mcf`):
+//!
+//! ```text
+//! cargo run --release --example clone_spec -- sjeng
+//! ```
+
+use micrograd::core::{
+    CoreKind, FrameworkConfig, KnobSpaceKind, MicroGrad, MicroGradError, TunerKind, UseCaseConfig,
+};
+use micrograd::workloads::Benchmark;
+
+fn main() -> Result<(), MicroGradError> {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mcf".to_owned())
+        .to_lowercase();
+    if benchmark.parse::<Benchmark>().is_err() {
+        eprintln!(
+            "unknown benchmark `{benchmark}`; choose one of: {}",
+            Benchmark::ALL
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    }
+
+    let config = FrameworkConfig {
+        core: CoreKind::Large,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::Full,
+        use_case: UseCaseConfig::CloneBenchmark {
+            benchmark: benchmark.clone(),
+            accuracy_target: 0.99,
+        },
+        max_epochs: 40,
+        dynamic_len: 50_000,
+        reference_len: 100_000,
+        seed: 7,
+    };
+
+    println!("cloning `{benchmark}` on the Large core (Table II) ...");
+    let output = MicroGrad::new(config).run()?;
+    let report = output.as_clone().expect("cloning run");
+
+    println!();
+    println!(
+        "clone ready after {} epochs / {} evaluations (converged: {})",
+        report.epochs_used, report.evaluations, report.converged
+    );
+    println!();
+    println!("{:<18} {:>12} {:>12} {:>8}", "metric", "original", "clone", "ratio");
+    for (kind, ratio) in &report.ratios {
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>8.3}",
+            kind.label(),
+            report.target.value_or_zero(*kind),
+            report.clone_metrics.value_or_zero(*kind),
+            ratio
+        );
+    }
+    println!();
+    println!("mean accuracy: {:.2}%", report.mean_accuracy * 100.0);
+    if let Some((worst, acc)) = report.worst_metric() {
+        println!("worst metric:  {} at {:.2}%", worst.label(), acc * 100.0);
+    }
+    println!();
+    println!("epoch progression (best loss):");
+    for record in &report.epochs {
+        println!(
+            "  epoch {:>3}: loss {:>9.5}  (evaluations so far: {})",
+            record.epoch, record.best_loss, record.evaluations
+        );
+    }
+    Ok(())
+}

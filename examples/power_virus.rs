@@ -1,0 +1,54 @@
+//! Generate a power virus (the Fig. 6 / Table III workflow).
+//!
+//! Gradient descent drives the full knob set towards the configuration that
+//! maximizes dynamic power on the Large core, then prints the per-epoch
+//! progression (Fig. 6) and the instruction distribution of the resulting
+//! virus (Table III).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example power_virus
+//! ```
+
+use micrograd::core::usecase::StressTask;
+use micrograd::core::tuner::{GdParams, GradientDescentTuner};
+use micrograd::core::{KnobSpace, MicroGradError, SimPlatform};
+use micrograd::isa::InstrClass;
+use micrograd::sim::CoreConfig;
+
+fn main() -> Result<(), MicroGradError> {
+    let platform = SimPlatform::new(CoreConfig::large())
+        .with_dynamic_len(40_000)
+        .with_seed(11);
+    let space = KnobSpace::full();
+    let task = StressTask::power_virus(25);
+    let mut tuner = GradientDescentTuner::new(GdParams {
+        seed: 11,
+        ..GdParams::default()
+    });
+
+    println!("searching for a power virus on the Large core (25 epochs max) ...");
+    let report = task.run(&platform, &space, &mut tuner)?;
+
+    println!();
+    println!("dynamic power progression (W):");
+    for (epoch, power) in report.progression.iter().enumerate() {
+        let bar_len = (power * 20.0).round() as usize;
+        println!("  epoch {:>3}: {:>6.3} {}", epoch + 1, power, "#".repeat(bar_len));
+    }
+
+    println!();
+    println!(
+        "best dynamic power: {:.3} W after {} epochs ({} evaluations)",
+        report.best_value, report.epochs_used, report.evaluations
+    );
+
+    println!();
+    println!("power virus instruction distribution (Table III):");
+    for class in InstrClass::ALL {
+        let fraction = report.instruction_mix.get(&class).copied().unwrap_or(0.0);
+        println!("  {:<8} {:>6.1}%", class.to_string(), fraction * 100.0);
+    }
+    Ok(())
+}

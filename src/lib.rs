@@ -1,0 +1,51 @@
+//! # micrograd
+//!
+//! Facade crate for the MicroGrad reproduction: a centralized framework for
+//! **workload cloning** and **stress testing** driven by gradient-descent
+//! tuning over an abstract workload model, together with every substrate it
+//! needs (a Microprobe-like code generator, a Gem5-like out-of-order core
+//! simulator, a McPAT-like power model, SPEC-like application models and
+//! SimPoint-style phase analysis).
+//!
+//! Most users only need this crate: it re-exports each component crate
+//! under a short module name.
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`core`] | `micrograd-core` | knobs, losses, tuners, use cases, framework facade |
+//! | [`codegen`] | `micrograd-codegen` | pass-based synthetic test-case generation |
+//! | [`sim`] | `micrograd-sim` | out-of-order core + cache hierarchy simulator |
+//! | [`power`] | `micrograd-power` | activity-based dynamic power model |
+//! | [`workloads`] | `micrograd-workloads` | SPEC-like application models, SimPoint analysis |
+//! | [`isa`] | `micrograd-isa` | RISC-V subset instruction definitions |
+//!
+//! # Quick start
+//!
+//! ```
+//! use micrograd::core::{CoreKind, FrameworkConfig, KnobSpaceKind, MicroGrad};
+//!
+//! // Stress-test the small core for worst-case IPC with a tiny budget.
+//! let config = FrameworkConfig {
+//!     core: CoreKind::Small,
+//!     knob_space: KnobSpaceKind::InstructionFractions,
+//!     max_epochs: 2,
+//!     dynamic_len: 4_000,
+//!     ..FrameworkConfig::default()
+//! };
+//! let output = MicroGrad::new(config).run()?;
+//! println!("worst-case IPC: {:.3}", output.as_stress().unwrap().best_value);
+//! # Ok::<(), micrograd::core::MicroGradError>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios
+//! (`quickstart`, `clone_spec`, `power_virus`, `bottleneck_sweep`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use micrograd_codegen as codegen;
+pub use micrograd_core as core;
+pub use micrograd_isa as isa;
+pub use micrograd_power as power;
+pub use micrograd_sim as sim;
+pub use micrograd_workloads as workloads;

@@ -1,0 +1,103 @@
+//! Integration tests of the configuration-file driven framework facade.
+
+use micrograd::core::{
+    CoreKind, FrameworkConfig, KnobSpaceKind, MetricKind, MicroGrad, StressGoal, TunerKind,
+    UseCaseConfig,
+};
+
+#[test]
+fn a_json_configuration_drives_a_full_stress_run() {
+    let json = r#"{
+        "core": "small",
+        "tuner": "gradient-descent",
+        "knob_space": "instruction-fractions",
+        "use_case": { "kind": "stress", "metric": "Ipc", "goal": "Minimize" },
+        "max_epochs": 3,
+        "dynamic_len": 5000,
+        "reference_len": 5000,
+        "seed": 3
+    }"#;
+    let config = FrameworkConfig::from_json(json).expect("valid config");
+    assert_eq!(config.core, CoreKind::Small);
+    assert_eq!(config.tuner, TunerKind::GradientDescent);
+    assert_eq!(config.knob_space, KnobSpaceKind::InstructionFractions);
+
+    let output = MicroGrad::new(config).run().expect("run succeeds");
+    let report = output.as_stress().expect("stress report");
+    assert_eq!(report.metric, MetricKind::Ipc);
+    assert_eq!(report.goal, StressGoal::Minimize);
+    assert!(report.best_value > 0.0);
+    assert!(report.epochs_used <= 3);
+}
+
+#[test]
+fn a_json_configuration_drives_a_benchmark_cloning_run() {
+    let json = r#"{
+        "core": "small",
+        "tuner": "gradient-descent",
+        "knob_space": "full",
+        "use_case": { "kind": "clone-benchmark", "benchmark": "hmmer", "accuracy_target": 0.95 },
+        "max_epochs": 4,
+        "dynamic_len": 6000,
+        "reference_len": 8000,
+        "seed": 11
+    }"#;
+    let config = FrameworkConfig::from_json(json).expect("valid config");
+    let framework = MicroGrad::new(config);
+
+    // the benchmark can be characterized stand-alone, as the paper's
+    // "application binary + inputs" mode would do
+    let target = framework.characterize_benchmark("hmmer").unwrap();
+    assert!(target.value_or_zero(MetricKind::Ipc) > 0.0);
+
+    let output = framework.run().expect("run succeeds");
+    let report = output.as_clone().expect("clone report");
+    assert_eq!(report.workload, "hmmer");
+    assert!(report.mean_accuracy > 0.5);
+    assert!(report.epochs_used <= 4);
+}
+
+#[test]
+fn all_tuner_kinds_run_the_same_use_case() {
+    for tuner in [
+        TunerKind::GradientDescent,
+        TunerKind::Genetic,
+        TunerKind::RandomSearch,
+    ] {
+        let config = FrameworkConfig {
+            core: CoreKind::Small,
+            tuner,
+            knob_space: KnobSpaceKind::InstructionFractions,
+            use_case: UseCaseConfig::Stress {
+                metric: MetricKind::Ipc,
+                goal: StressGoal::Minimize,
+            },
+            max_epochs: 2,
+            dynamic_len: 4_000,
+            reference_len: 4_000,
+            seed: 5,
+        };
+        let output = MicroGrad::new(config).run().expect("run succeeds");
+        let report = output.as_stress().expect("stress report");
+        assert!(report.best_value > 0.0, "{tuner:?} produced no stress value");
+    }
+}
+
+#[test]
+fn default_configuration_serializes_with_documented_fields() {
+    let json = FrameworkConfig::default().to_json();
+    for field in [
+        "core",
+        "tuner",
+        "knob_space",
+        "use_case",
+        "max_epochs",
+        "dynamic_len",
+        "reference_len",
+        "seed",
+    ] {
+        assert!(json.contains(field), "field `{field}` missing from {json}");
+    }
+    let back = FrameworkConfig::from_json(&json).unwrap();
+    assert_eq!(back, FrameworkConfig::default());
+}

@@ -1,0 +1,184 @@
+//! Integration tests for the workload-cloning pipeline, spanning
+//! codegen → sim → power → workloads → core.
+
+use micrograd::core::tuner::{GaParams, GdParams, GeneticTuner, GradientDescentTuner};
+use micrograd::core::usecase::CloningTask;
+use micrograd::core::{ExecutionPlatform, KnobSpace, MetricKind, SimPlatform};
+use micrograd::sim::CoreConfig;
+use micrograd::workloads::{ApplicationTraceGenerator, Benchmark};
+
+fn small_platform(seed: u64) -> SimPlatform {
+    SimPlatform::new(CoreConfig::small())
+        .with_dynamic_len(10_000)
+        .with_seed(seed)
+}
+
+fn cloning_space() -> KnobSpace {
+    let mut space = KnobSpace::full();
+    space.loop_size = 150;
+    space
+}
+
+#[test]
+fn cloning_a_spec_like_benchmark_beats_an_untuned_guess() {
+    let platform = small_platform(17);
+    let space = cloning_space();
+
+    // Characterize the reference application.
+    let trace = ApplicationTraceGenerator::new(20_000, 17).generate(&Benchmark::Bzip2.profile());
+    let target = platform.measure_trace(&trace);
+
+    // Accuracy of an untuned midpoint configuration.
+    let midpoint_input = space.resolve(&space.midpoint_config(), 17).unwrap();
+    let midpoint_metrics = platform.evaluate(&midpoint_input).unwrap();
+    let untuned_accuracy = midpoint_metrics.mean_accuracy(&target, &MetricKind::CLONING);
+
+    // Accuracy after gradient-descent cloning.
+    let task = CloningTask {
+        max_epochs: 12,
+        ..CloningTask::default()
+    };
+    let warm = CloningTask::warm_start_config(&space, &target);
+    let mut tuner = GradientDescentTuner::new(GdParams {
+        seed: 4,
+        ..GdParams::default()
+    })
+    .with_initial_config(warm);
+    let report = task
+        .run(&platform, &space, "bzip2", &target, &mut tuner)
+        .unwrap();
+
+    assert!(
+        report.mean_accuracy > untuned_accuracy,
+        "tuned accuracy {:.3} should beat untuned accuracy {:.3}",
+        report.mean_accuracy,
+        untuned_accuracy
+    );
+    assert!(
+        report.mean_accuracy > 0.80,
+        "tuned accuracy {:.3} unexpectedly low",
+        report.mean_accuracy
+    );
+    // Every cloning metric is present in the report.
+    for kind in MetricKind::CLONING {
+        assert!(report.ratios.contains_key(&kind));
+        assert!(report.clone_metrics.get(kind).is_some());
+    }
+}
+
+#[test]
+fn gradient_descent_beats_the_ga_baseline_at_equal_epoch_budgets() {
+    // The core quantitative claim of the paper's Fig. 2 vs Fig. 4
+    // comparison: at the same number of epochs, GD clones are considerably
+    // more accurate than GA clones (and each GA epoch costs more
+    // evaluations on top of that).
+    let platform = small_platform(23);
+    let space = cloning_space();
+    let trace = ApplicationTraceGenerator::new(20_000, 23).generate(&Benchmark::Astar.profile());
+    let target = platform.measure_trace(&trace);
+
+    let epochs = 8;
+    let task = CloningTask {
+        max_epochs: epochs,
+        ..CloningTask::default()
+    };
+
+    let warm = CloningTask::warm_start_config(&space, &target);
+    let mut gd = GradientDescentTuner::new(GdParams {
+        seed: 5,
+        ..GdParams::default()
+    })
+    .with_initial_config(warm);
+    let gd_report = task
+        .run(&platform, &space, "astar", &target, &mut gd)
+        .unwrap();
+
+    // Table I parameters: a GA epoch costs 50 evaluations, a GD epoch
+    // costs at most 2 × knobs + 1.
+    let mut ga = GeneticTuner::new(GaParams {
+        seed: 5,
+        ..GaParams::paper()
+    });
+    let ga_report = task
+        .run(&platform, &space, "astar", &target, &mut ga)
+        .unwrap();
+
+    assert!(
+        gd_report.mean_accuracy >= ga_report.mean_accuracy - 0.02,
+        "GD accuracy {:.3} should be at least as good as GA accuracy {:.3}",
+        gd_report.mean_accuracy,
+        ga_report.mean_accuracy
+    );
+    assert!(
+        gd_report.evaluations < ga_report.evaluations,
+        "GD should use fewer evaluations ({} vs {})",
+        gd_report.evaluations,
+        ga_report.evaluations
+    );
+}
+
+#[test]
+fn clones_of_different_benchmarks_differ() {
+    // Clones are workload-specific: the knob configuration cloned for a
+    // memory-bound benchmark must differ from the one cloned for a
+    // compute-friendly benchmark.
+    let platform = small_platform(29);
+    let space = cloning_space();
+    let task = CloningTask {
+        max_epochs: 6,
+        ..CloningTask::default()
+    };
+
+    let mut reports = Vec::new();
+    for benchmark in [Benchmark::Mcf, Benchmark::Hmmer] {
+        let trace =
+            ApplicationTraceGenerator::new(15_000, 29).generate(&benchmark.profile());
+        let target = platform.measure_trace(&trace);
+        let warm = CloningTask::warm_start_config(&space, &target);
+        let mut tuner = GradientDescentTuner::new(GdParams {
+            seed: 6,
+            ..GdParams::default()
+        })
+        .with_initial_config(warm);
+        reports.push(
+            task.run(&platform, &space, benchmark.name(), &target, &mut tuner)
+                .unwrap(),
+        );
+    }
+    let mcf = &reports[0];
+    let hmmer = &reports[1];
+    assert_ne!(mcf.knob_config, hmmer.knob_config);
+    // mcf's clone should see a lower data-cache hit rate than hmmer's clone
+    let mcf_dc = mcf.clone_metrics.value_or_zero(MetricKind::L1dHitRate);
+    let hmmer_dc = hmmer.clone_metrics.value_or_zero(MetricKind::L1dHitRate);
+    assert!(
+        mcf_dc < hmmer_dc + 0.02,
+        "mcf clone DC hit rate {mcf_dc:.3} should not exceed hmmer clone {hmmer_dc:.3}"
+    );
+}
+
+#[test]
+fn epoch_progression_is_recorded_and_monotone() {
+    let platform = small_platform(31);
+    let space = cloning_space();
+    let trace = ApplicationTraceGenerator::new(15_000, 31).generate(&Benchmark::Sjeng.profile());
+    let target = platform.measure_trace(&trace);
+    let task = CloningTask {
+        max_epochs: 5,
+        ..CloningTask::default()
+    };
+    let mut tuner = GradientDescentTuner::new(GdParams {
+        seed: 8,
+        ..GdParams::default()
+    });
+    let report = task
+        .run(&platform, &space, "sjeng", &target, &mut tuner)
+        .unwrap();
+    assert!(!report.epochs.is_empty());
+    assert!(report.epochs.len() <= 5);
+    for pair in report.epochs.windows(2) {
+        assert!(pair[1].best_loss <= pair[0].best_loss + 1e-12);
+        assert!(pair[1].evaluations > pair[0].evaluations);
+        assert_eq!(pair[1].epoch, pair[0].epoch + 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Integration test of the SimPoint workflow: phase analysis of an
+//! application model followed by per-phase characterization, mirroring the
+//! "Application Simpoints can be provided, so as to generate a clone for
+//! each simpoint individually" input mode of the paper.
+
+use micrograd::core::{ExecutionPlatform, MetricKind, SimPlatform};
+use micrograd::codegen::Trace;
+use micrograd::sim::CoreConfig;
+use micrograd::workloads::{simpoint, ApplicationTraceGenerator, Benchmark};
+
+#[test]
+fn simpoints_partition_execution_and_characterize_distinct_phases() {
+    let trace = ApplicationTraceGenerator::new(60_000, 3).generate(&Benchmark::Gcc.profile());
+    let analysis = simpoint::analyze(&trace, 5_000, 5, 3).expect("trace long enough");
+
+    // weights form a distribution over phases
+    let total: f64 = analysis.simpoints.iter().map(|s| s.weight).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    assert!(analysis.num_phases() >= 1);
+
+    // characterize each simpoint interval on the platform
+    let platform = SimPlatform::new(CoreConfig::small())
+        .with_dynamic_len(5_000)
+        .with_seed(3);
+    let mut per_phase_ipc = Vec::new();
+    for sp in &analysis.simpoints {
+        let start = sp.start_instruction;
+        let slice: Vec<_> = trace.dynamics()[start..start + analysis.interval_len].to_vec();
+        let sub_trace = Trace::new(trace.statics().to_vec(), slice);
+        let metrics = platform.measure_trace(&sub_trace);
+        let ipc = metrics.value_or_zero(MetricKind::Ipc);
+        assert!(ipc > 0.0);
+        per_phase_ipc.push(ipc);
+    }
+    assert_eq!(per_phase_ipc.len(), analysis.num_phases());
+}
+
+#[test]
+fn whole_program_metrics_are_approximated_by_the_weighted_simpoints() {
+    // The point of SimPoint: the weighted combination of per-simpoint
+    // metrics approximates the whole-program metrics.
+    let trace =
+        ApplicationTraceGenerator::new(80_000, 5).generate(&Benchmark::Libquantum.profile());
+    let analysis = simpoint::analyze(&trace, 8_000, 4, 5).expect("trace long enough");
+
+    let platform = SimPlatform::new(CoreConfig::small())
+        .with_dynamic_len(8_000)
+        .with_seed(5);
+    let full = platform.measure_trace(&trace);
+
+    let mut weighted_ipc = 0.0;
+    for sp in &analysis.simpoints {
+        let start = sp.start_instruction;
+        let slice: Vec<_> = trace.dynamics()[start..start + analysis.interval_len].to_vec();
+        let sub_trace = Trace::new(trace.statics().to_vec(), slice);
+        let metrics = platform.measure_trace(&sub_trace);
+        weighted_ipc += sp.weight * metrics.value_or_zero(MetricKind::Ipc);
+    }
+    let full_ipc = full.value_or_zero(MetricKind::Ipc);
+    let relative_error = (weighted_ipc - full_ipc).abs() / full_ipc;
+    assert!(
+        relative_error < 0.25,
+        "weighted simpoint IPC {weighted_ipc:.3} should approximate full IPC {full_ipc:.3} \
+         (relative error {relative_error:.2})"
+    );
+}

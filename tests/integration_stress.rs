@@ -1,0 +1,151 @@
+//! Integration tests for the stress-testing pipeline.
+
+use micrograd::core::tuner::{
+    BruteForceTuner, GdParams, GradientDescentTuner, RandomSearchTuner, Tuner, TuningBudget,
+};
+use micrograd::core::usecase::StressTask;
+use micrograd::core::{
+    KnobSpace, KnobSpec, KnobTarget, MetricKind, SimPlatform, StressGoal, StressLoss,
+};
+use micrograd::isa::{InstrClass, Opcode};
+use micrograd::sim::CoreConfig;
+
+fn platform(core: CoreConfig, seed: u64) -> SimPlatform {
+    SimPlatform::new(core).with_dynamic_len(10_000).with_seed(seed)
+}
+
+fn compute_space() -> KnobSpace {
+    let mut space = KnobSpace::instruction_fractions();
+    space.loop_size = 150;
+    space
+}
+
+#[test]
+fn performance_virus_found_by_gd_is_close_to_the_coarse_brute_force_optimum() {
+    // The Fig. 5 structure: brute force establishes the worst-case
+    // performance over a coarse grid; gradient descent should get close to
+    // it with far fewer evaluations.
+    let platform = platform(CoreConfig::large(), 41);
+    // Keep the space tiny so the brute-force grid is genuinely exhaustive.
+    let mut space = KnobSpace::new(vec![
+        KnobSpec::new(
+            "ADD",
+            KnobTarget::InstructionWeight(Opcode::Add),
+            vec![1.0, 5.0, 10.0],
+        ),
+        KnobSpec::new(
+            "FMULD",
+            KnobTarget::InstructionWeight(Opcode::FmulD),
+            vec![1.0, 5.0, 10.0],
+        ),
+        KnobSpec::new(
+            "LD",
+            KnobTarget::InstructionWeight(Opcode::Ld),
+            vec![1.0, 5.0, 10.0],
+        ),
+        KnobSpec::new("REG_DIST", KnobTarget::DependencyDistance, vec![1.0, 5.0, 10.0]),
+    ]);
+    space.loop_size = 150;
+    let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+
+    let mut brute = BruteForceTuner::new(3, 200);
+    let brute_result = brute
+        .tune(&platform, &space, &loss, &TuningBudget::epochs(100))
+        .unwrap();
+    assert!(brute_result.converged, "grid should be exhausted");
+
+    let mut gd = GradientDescentTuner::new(GdParams {
+        seed: 2,
+        ..GdParams::default()
+    });
+    let gd_result = gd
+        .tune(&platform, &space, &loss, &TuningBudget::epochs(12))
+        .unwrap();
+
+    let optimum = brute_result.best_metrics.value_or_zero(MetricKind::Ipc);
+    let gd_ipc = gd_result.best_metrics.value_or_zero(MetricKind::Ipc);
+    assert!(
+        gd_ipc <= optimum * 1.25,
+        "GD worst-case IPC {gd_ipc:.3} should be within 25% of the brute-force optimum {optimum:.3}"
+    );
+    assert!(gd_result.total_evaluations < brute_result.total_evaluations * 2);
+}
+
+#[test]
+fn gd_stress_beats_random_search_at_equal_evaluation_budgets() {
+    let platform = platform(CoreConfig::small(), 43);
+    let space = compute_space();
+    let epochs = 25;
+    let task = StressTask::performance_virus(epochs);
+
+    let mut gd = GradientDescentTuner::new(GdParams {
+        seed: 3,
+        ..GdParams::default()
+    });
+    let gd_report = task.run(&platform, &space, &mut gd).unwrap();
+
+    // Random search with the same number of total evaluations.
+    let evals_per_epoch = (gd_report.evaluations / epochs).max(1);
+    let mut random = RandomSearchTuner::new(evals_per_epoch, 77);
+    let random_report = task.run(&platform, &space, &mut random).unwrap();
+
+    assert!(
+        gd_report.best_value <= random_report.best_value * 1.35,
+        "GD virus IPC {:.3} should be roughly as stressful as random search {:.3}",
+        gd_report.best_value,
+        random_report.best_value
+    );
+}
+
+#[test]
+fn power_virus_prefers_memory_and_fp_over_integer_ops() {
+    // Table III of the paper: the power virus is dominated by memory and
+    // floating point operations, with integer ops in the single digits.
+    let platform = platform(CoreConfig::large(), 47);
+    let mut space = KnobSpace::full();
+    space.loop_size = 150;
+    let task = StressTask::power_virus(10);
+    let mut gd = GradientDescentTuner::new(GdParams {
+        seed: 9,
+        ..GdParams::default()
+    });
+    let report = task.run(&platform, &space, &mut gd).unwrap();
+
+    let int = report.instruction_mix[&InstrClass::Integer];
+    let float = report.instruction_mix[&InstrClass::Float];
+    let memory = report.instruction_mix[&InstrClass::Load]
+        + report.instruction_mix[&InstrClass::Store];
+    assert!(
+        float + memory > int,
+        "power virus should favour FP+memory ({:.2}) over integer ({:.2})",
+        float + memory,
+        int
+    );
+    assert!(report.best_value > 0.5, "dynamic power {:.2} W implausibly low", report.best_value);
+}
+
+#[test]
+fn stress_on_large_core_draws_more_power_than_on_small_core() {
+    let space = {
+        let mut s = KnobSpace::full();
+        s.loop_size = 120;
+        s
+    };
+    let task = StressTask::power_virus(5);
+
+    let mut results = Vec::new();
+    for core in [CoreConfig::small(), CoreConfig::large()] {
+        let platform = platform(core, 53);
+        let mut gd = GradientDescentTuner::new(GdParams {
+            seed: 4,
+            ..GdParams::default()
+        });
+        results.push(task.run(&platform, &space, &mut gd).unwrap().best_value);
+    }
+    assert!(
+        results[1] > results[0],
+        "large-core virus ({:.2} W) should draw more power than small-core virus ({:.2} W)",
+        results[1],
+        results[0]
+    );
+}

@@ -1,0 +1,148 @@
+//! Property-based tests on cross-crate invariants.
+
+use micrograd::codegen::{Generator, GeneratorInput, TraceExpander};
+use micrograd::core::{ExecutionPlatform, KnobConfig, KnobSpace, MetricKind, Metrics, SimPlatform};
+use micrograd::isa::Opcode;
+use micrograd::sim::{CoreConfig, Simulator};
+use proptest::prelude::*;
+
+/// Strategy for a valid knob configuration of the full space.
+fn knob_config_strategy(space: &KnobSpace) -> impl Strategy<Value = KnobConfig> {
+    let lens: Vec<usize> = (0..space.len()).map(|k| space.max_index(k) + 1).collect();
+    lens.into_iter()
+        .map(|len| (0..len).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(KnobConfig::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every knob configuration of the full space resolves, generates and
+    /// simulates into metrics that respect their physical bounds.
+    #[test]
+    fn any_knob_config_yields_bounded_metrics(config in knob_config_strategy(&KnobSpace::full())) {
+        let mut space = KnobSpace::full();
+        space.loop_size = 64;
+        let platform = SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(3_000)
+            .with_seed(1);
+        let input = space.resolve(&config, 1).unwrap();
+        let metrics = platform.evaluate(&input).unwrap();
+
+        for kind in [
+            MetricKind::IntegerFraction,
+            MetricKind::FloatFraction,
+            MetricKind::LoadFraction,
+            MetricKind::StoreFraction,
+            MetricKind::BranchFraction,
+            MetricKind::BranchMispredictRate,
+            MetricKind::L1iHitRate,
+            MetricKind::L1dHitRate,
+            MetricKind::L2HitRate,
+        ] {
+            let v = metrics.value_or_zero(kind);
+            prop_assert!((0.0..=1.0).contains(&v), "{kind} = {v} out of [0,1]");
+        }
+        let fraction_sum: f64 = [
+            MetricKind::IntegerFraction,
+            MetricKind::FloatFraction,
+            MetricKind::LoadFraction,
+            MetricKind::StoreFraction,
+            MetricKind::BranchFraction,
+        ]
+        .iter()
+        .map(|k| metrics.value_or_zero(*k))
+        .sum();
+        prop_assert!((fraction_sum - 1.0).abs() < 1e-9);
+
+        let ipc = metrics.value_or_zero(MetricKind::Ipc);
+        prop_assert!(ipc > 0.0);
+        prop_assert!(ipc <= CoreConfig::small().frontend_width as f64 + 1e-9);
+        prop_assert!(metrics.value_or_zero(MetricKind::DynamicPower) >= 0.0);
+    }
+
+    /// The dynamic instruction mix of an expanded trace tracks the static
+    /// mix of its test case.
+    #[test]
+    fn trace_mix_tracks_testcase_mix(seed in 0u64..1000, loop_size in 16usize..200) {
+        let input = GeneratorInput { loop_size, seed, ..GeneratorInput::default() };
+        let tc = Generator::new().generate(&input).unwrap();
+        let trace = TraceExpander::new(20_000, seed).expand(&tc);
+        let static_mix = tc.class_distribution();
+        let dynamic_mix = trace.class_distribution();
+        for (class, frac) in static_mix {
+            let d = dynamic_mix.get(&class).copied().unwrap_or(0.0);
+            prop_assert!((frac - d).abs() < 0.05, "{class:?}: static {frac} dynamic {d}");
+        }
+    }
+
+    /// Simulation is deterministic: the same trace yields identical stats.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..500) {
+        let input = GeneratorInput { loop_size: 80, seed, ..GeneratorInput::default() };
+        let tc = Generator::new().generate(&input).unwrap();
+        let trace = TraceExpander::new(5_000, seed).expand(&tc);
+        let a = Simulator::new(CoreConfig::large()).run(&trace);
+        let b = Simulator::new(CoreConfig::large()).run(&trace);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The large core never executes a trace slower than the small core by
+    /// more than a small tolerance (it has strictly more of every resource).
+    #[test]
+    fn large_core_is_not_slower_than_small_core(seed in 0u64..200) {
+        let input = GeneratorInput { loop_size: 100, seed, ..GeneratorInput::default() };
+        let tc = Generator::new().generate(&input).unwrap();
+        let trace = TraceExpander::new(8_000, seed).expand(&tc);
+        let small = Simulator::new(CoreConfig::small()).run(&trace).ipc();
+        let large = Simulator::new(CoreConfig::large()).run(&trace).ipc();
+        prop_assert!(large >= small * 0.9, "large {large} vs small {small}");
+    }
+
+    /// Metric accuracy is symmetric in its arguments' roles only at 1.0 and
+    /// always stays within [0, 1].
+    #[test]
+    fn accuracy_is_bounded(target in 0.01f64..10.0, measured in 0.01f64..10.0) {
+        let t: Metrics = [(MetricKind::Ipc, target)].into_iter().collect();
+        let m: Metrics = [(MetricKind::Ipc, measured)].into_iter().collect();
+        let acc = m.accuracy_to(&t, MetricKind::Ipc);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let self_acc = t.accuracy_to(&t, MetricKind::Ipc);
+        prop_assert!((self_acc - 1.0).abs() < 1e-12);
+    }
+
+    /// Knob stepping never leaves the ladder and distance is consistent.
+    #[test]
+    fn knob_stepping_stays_in_bounds(
+        knob in 0usize..16,
+        delta in -20isize..20,
+        start in 0usize..10,
+    ) {
+        let space = KnobSpace::full();
+        let knob = knob % space.len();
+        let start = start.min(space.max_index(knob));
+        let mut indices = space.midpoint_config().indices().to_vec();
+        indices[knob] = start;
+        let config = KnobConfig::new(indices);
+        let stepped = config.stepped(knob, delta, space.max_index(knob));
+        prop_assert!(stepped.index(knob) <= space.max_index(knob));
+        prop_assert!(stepped.distance(&config) <= delta.unsigned_abs());
+    }
+
+    /// The instruction-weight knobs dominate the generated static mix: an
+    /// all-FP configuration produces a float-heavy test case.
+    #[test]
+    fn fp_only_weights_produce_fp_heavy_testcases(seed in 0u64..100) {
+        let mut input = GeneratorInput { loop_size: 200, seed, ..GeneratorInput::default() };
+        for w in input.instr_weights.values_mut() {
+            *w = 0.0;
+        }
+        input.set_weight(Opcode::FaddD, 5.0);
+        input.set_weight(Opcode::FmulD, 5.0);
+        let tc = Generator::new().generate(&input).unwrap();
+        let dist = tc.class_distribution();
+        let float = dist.get(&micrograd::isa::InstrClass::Float).copied().unwrap_or(0.0);
+        prop_assert!(float > 0.9, "float fraction {float}");
+    }
+}
