@@ -1,0 +1,75 @@
+//! Criterion bench: sequential vs parallel batch evaluation throughput.
+//!
+//! Measures `ExecutionPlatform::evaluate_batch` on an epoch-shaped batch of
+//! distinct generator inputs (the ladder probes of one gradient-descent
+//! epoch on the Small core), comparing the sequential path against worker
+//! pools of increasing size.  This is the speedup the batch-parallel
+//! evaluation pipeline exists for; on a multi-core host the `workers-N`
+//! variants should scale towards N× until memory bandwidth intervenes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use micrograd_codegen::GeneratorInput;
+use micrograd_core::{ExecutionPlatform, KnobSpace, SimPlatform};
+use micrograd_sim::CoreConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One epoch's worth of distinct evaluation inputs.
+fn epoch_batch(space: &KnobSpace, count: usize) -> Vec<GeneratorInput> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    (0..count)
+        .map(|_| {
+            space
+                .resolve(&space.random_config(&mut rng), 1)
+                .expect("valid random config")
+        })
+        .collect()
+}
+
+fn batch_evaluation(c: &mut Criterion) {
+    let space = {
+        let mut s = KnobSpace::instruction_fractions();
+        s.loop_size = 150;
+        s
+    };
+    let batch = epoch_batch(&space, 24);
+
+    let host_workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut worker_counts = vec![1usize, 2, 4];
+    if !worker_counts.contains(&host_workers) {
+        worker_counts.push(host_workers);
+    }
+
+    let mut group = c.benchmark_group("batch_evaluation");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            // A fresh platform per iteration so memoization does not hide
+            // the evaluation cost.
+            let platform = SimPlatform::new(CoreConfig::small())
+                .with_dynamic_len(10_000)
+                .with_seed(1);
+            platform.evaluate_batch(&batch)
+        });
+    });
+    for workers in worker_counts {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let platform = SimPlatform::new(CoreConfig::small())
+                        .with_dynamic_len(10_000)
+                        .with_seed(1)
+                        .with_parallelism(Some(workers));
+                    platform.evaluate_batch(&batch)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_evaluation);
+criterion_main!(benches);

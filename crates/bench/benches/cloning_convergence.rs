@@ -21,8 +21,8 @@ fn cloning_convergence(c: &mut Criterion) {
                     .with_seed(5);
                 let mut space = KnobSpace::full();
                 space.loop_size = 150;
-                let trace = ApplicationTraceGenerator::new(15_000, 5)
-                    .generate(&benchmark.profile());
+                let trace =
+                    ApplicationTraceGenerator::new(15_000, 5).generate(&benchmark.profile());
                 let target = platform.measure_trace(&trace);
                 let task = CloningTask {
                     max_epochs: 5,
@@ -30,8 +30,8 @@ fn cloning_convergence(c: &mut Criterion) {
                 };
                 b.iter(|| {
                     let warm = CloningTask::warm_start_config(&space, &target);
-                    let mut tuner = GradientDescentTuner::new(GdParams::default())
-                        .with_initial_config(warm);
+                    let mut tuner =
+                        GradientDescentTuner::new(GdParams::default()).with_initial_config(warm);
                     task.run(&platform, &space, benchmark.name(), &target, &mut tuner)
                         .expect("cloning run")
                 });

@@ -44,6 +44,28 @@ fn tuning_epoch(c: &mut Criterion) {
             tuner.tune(&platform, &space, &loss, &budget).expect("tune")
         });
     });
+    // Same epochs with the batch-parallel evaluation pipeline on all
+    // available cores: results are bit-identical, only wall-clock changes.
+    group.bench_function("gradient_descent_parallel", |b| {
+        b.iter(|| {
+            let platform = SimPlatform::new(CoreConfig::large())
+                .with_dynamic_len(10_000)
+                .with_seed(1)
+                .with_parallelism(Some(0));
+            let mut tuner = GradientDescentTuner::new(GdParams::default());
+            tuner.tune(&platform, &space, &loss, &budget).expect("tune")
+        });
+    });
+    group.bench_function("genetic_algorithm_table1_parallel", |b| {
+        b.iter(|| {
+            let platform = SimPlatform::new(CoreConfig::large())
+                .with_dynamic_len(10_000)
+                .with_seed(1)
+                .with_parallelism(Some(0));
+            let mut tuner = GeneticTuner::new(GaParams::paper());
+            tuner.tune(&platform, &space, &loss, &budget).expect("tune")
+        });
+    });
     group.finish();
 }
 

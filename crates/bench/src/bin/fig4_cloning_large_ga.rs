@@ -23,9 +23,11 @@ fn main() {
             &MetricKind::CLONING,
         )
     );
-    let ga_mean: f64 =
-        ga_rows.iter().map(|r| r.mean_accuracy).sum::<f64>() / ga_rows.len() as f64;
-    println!("average GA accuracy across benchmarks: {:.2}%", ga_mean * 100.0);
+    let ga_mean: f64 = ga_rows.iter().map(|r| r.mean_accuracy).sum::<f64>() / ga_rows.len() as f64;
+    println!(
+        "average GA accuracy across benchmarks: {:.2}%",
+        ga_mean * 100.0
+    );
     println!(
         "average GA error: {:.1}% (the paper reports ~30% GA error vs <1% for GD)",
         (1.0 - ga_mean) * 100.0

@@ -69,9 +69,12 @@ fn main() {
         "{}",
         format_ratio_table("clone/original ratios", &rows, &MetricKind::CLONING)
     );
-    let fig2_mean =
-        fig2.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig2.len() as f64;
-    println!("average GD accuracy (Large): {:.2}%   [{:.1?}]", fig2_mean * 100.0, t.elapsed());
+    let fig2_mean = fig2.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig2.len() as f64;
+    println!(
+        "average GD accuracy (Large): {:.2}%   [{:.1?}]",
+        fig2_mean * 100.0,
+        t.elapsed()
+    );
 
     // ---------------- Fig. 3 ----------------
     banner("Fig. 3: cloning, Small core, Gradient Descent");
@@ -85,9 +88,12 @@ fn main() {
         "{}",
         format_ratio_table("clone/original ratios", &rows, &MetricKind::CLONING)
     );
-    let fig3_mean =
-        fig3.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig3.len() as f64;
-    println!("average GD accuracy (Small): {:.2}%   [{:.1?}]", fig3_mean * 100.0, t.elapsed());
+    let fig3_mean = fig3.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig3.len() as f64;
+    println!(
+        "average GD accuracy (Small): {:.2}%   [{:.1?}]",
+        fig3_mean * 100.0,
+        t.elapsed()
+    );
 
     // ---------------- Fig. 4 ----------------
     banner("Fig. 4: cloning, Large core, Genetic Algorithm");
@@ -101,9 +107,12 @@ fn main() {
         "{}",
         format_ratio_table("clone/original ratios", &rows, &MetricKind::CLONING)
     );
-    let fig4_mean =
-        fig4.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig4.len() as f64;
-    println!("average GA accuracy (Large): {:.2}%   [{:.1?}]", fig4_mean * 100.0, t.elapsed());
+    let fig4_mean = fig4.iter().map(|r| r.mean_accuracy).sum::<f64>() / fig4.len() as f64;
+    println!(
+        "average GA accuracy (Large): {:.2}%   [{:.1?}]",
+        fig4_mean * 100.0,
+        t.elapsed()
+    );
     println!(
         "GD vs GA accuracy gap: {:.1} percentage points (paper: ~25-30%)",
         (fig2_mean - fig4_mean) * 100.0

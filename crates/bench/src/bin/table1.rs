@@ -6,15 +6,18 @@ use micrograd_core::tuner::GaParams;
 fn main() {
     let p = GaParams::paper();
     println!("Table I: GA parameters (baseline tuner)");
-    println!("{:<28}{}", "Parameter", "Value");
+    println!("{:<28}Value", "Parameter");
     println!("{:<28}{}", "Population Size", p.population_size);
-    println!("{:<28}{}", "Individual Size (# knobs)", "as many as the knob space defines");
+    println!(
+        "{:<28}as many as the knob space defines",
+        "Individual Size (# knobs)"
+    );
     println!("{:<28}{}%", "Mutation Rate", p.mutation_rate * 100.0);
-    println!("{:<28}{}", "Mutation position", "Random");
-    println!("{:<28}{}", "Mutation type", "Random");
-    println!("{:<28}{}", "Crossover Operator", "1-point");
+    println!("{:<28}Random", "Mutation position");
+    println!("{:<28}Random", "Mutation type");
+    println!("{:<28}1-point", "Crossover Operator");
     println!("{:<28}{}%", "Crossover Rate", p.crossover_rate * 100.0);
-    println!("{:<28}{}", "Crossover Position", "Random");
+    println!("{:<28}Random", "Crossover Position");
     println!("{:<28}{}", "Elitism", p.elite_count > 0);
     println!("{:<28}{}", "Tournament Size", p.tournament_size);
 }

@@ -21,19 +21,35 @@ fn main() {
     println!(
         "{:<22}{:>18}{:>24}",
         "ROB/LSQ/RSE",
-        format!("{}/{}/{}", small.rob_entries, small.lsq_entries, small.rs_entries),
-        format!("{}/{}/{}", large.rob_entries, large.lsq_entries, large.rs_entries)
+        format!(
+            "{}/{}/{}",
+            small.rob_entries, small.lsq_entries, small.rs_entries
+        ),
+        format!(
+            "{}/{}/{}",
+            large.rob_entries, large.lsq_entries, large.rs_entries
+        )
     );
     println!(
         "{:<22}{:>18}{:>24}",
         "ALU/SIMD/FP",
-        format!("{}/{}/{}", small.alu_units, small.complex_units, small.fp_units),
-        format!("{}/{}/{}", large.alu_units, large.complex_units, large.fp_units)
+        format!(
+            "{}/{}/{}",
+            small.alu_units, small.complex_units, small.fp_units
+        ),
+        format!(
+            "{}/{}/{}",
+            large.alu_units, large.complex_units, large.fp_units
+        )
     );
     println!(
         "{:<22}{:>18}{:>24}",
         "L1/L2 Cache",
-        format!("{}k/{}k", small.l1d.size_bytes / 1024, small.l2.size_bytes / 1024),
+        format!(
+            "{}k/{}k",
+            small.l1d.size_bytes / 1024,
+            small.l2.size_bytes / 1024
+        ),
         format!(
             "{}k/{}M + prefetch",
             large.l1d.size_bytes / 1024,

@@ -43,7 +43,8 @@ pub fn run_cloning_experiment(
 ) -> Vec<CloneRow> {
     let platform = SimPlatform::new(core)
         .with_dynamic_len(sizes.dynamic_len)
-        .with_seed(sizes.seed);
+        .with_seed(sizes.seed)
+        .with_parallelism(sizes.parallelism);
     let mut space = KnobSpace::full();
     space.loop_size = sizes.loop_size;
     let task = CloningTask {

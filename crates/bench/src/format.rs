@@ -22,7 +22,10 @@ pub fn format_ratio_table(
     for (name, ratios, epochs) in rows {
         out.push_str(&format!("{name:<12}"));
         for kind in kinds {
-            out.push_str(&format!("{:>15.3}", ratios.get(kind).copied().unwrap_or(f64::NAN)));
+            out.push_str(&format!(
+                "{:>15.3}",
+                ratios.get(kind).copied().unwrap_or(f64::NAN)
+            ));
         }
         out.push_str(&format!("{epochs:>9}\n"));
     }
@@ -32,7 +35,11 @@ pub fn format_ratio_table(
 /// Formats one or more per-epoch series side by side (the curves of
 /// Figs. 5 and 6).
 #[must_use]
-pub fn format_series(title: &str, columns: &[(&str, &[f64])], reference: Option<(&str, f64)>) -> String {
+pub fn format_series(
+    title: &str,
+    columns: &[(&str, &[f64])],
+    reference: Option<(&str, f64)>,
+) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
@@ -68,11 +75,7 @@ mod tests {
         ratios.insert(MetricKind::Ipc, 0.98);
         ratios.insert(MetricKind::L1dHitRate, 1.02);
         let rows = vec![("astar".to_owned(), ratios, 10)];
-        let table = format_ratio_table(
-            "Fig. 2",
-            &rows,
-            &[MetricKind::Ipc, MetricKind::L1dHitRate],
-        );
+        let table = format_ratio_table("Fig. 2", &rows, &[MetricKind::Ipc, MetricKind::L1dHitRate]);
         assert!(table.contains("Fig. 2"));
         assert!(table.contains("astar"));
         assert!(table.contains("0.980"));

@@ -28,6 +28,11 @@ pub struct ExperimentSizes {
     pub brute_max_evals: usize,
     /// Seed shared by the experiments.
     pub seed: u64,
+    /// Batch-evaluation worker setting handed to the platform
+    /// (`None` = sequential, `Some(0)` = all available cores).  Results are
+    /// bit-identical across settings, so experiments default to using every
+    /// core.
+    pub parallelism: Option<usize>,
 }
 
 impl ExperimentSizes {
@@ -44,6 +49,7 @@ impl ExperimentSizes {
             brute_levels: 2,
             brute_max_evals: 4096,
             seed: 7,
+            parallelism: Some(0),
         }
     }
 
@@ -60,6 +66,7 @@ impl ExperimentSizes {
             brute_levels: 2,
             brute_max_evals: 256,
             seed: 7,
+            parallelism: Some(0),
         }
     }
 

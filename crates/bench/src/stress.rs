@@ -61,13 +61,19 @@ pub fn run_stress_comparison(
 ) -> StressCurves {
     let platform = SimPlatform::new(core)
         .with_dynamic_len(sizes.dynamic_len)
-        .with_seed(sizes.seed);
+        .with_seed(sizes.seed)
+        .with_parallelism(sizes.parallelism);
 
     // Brute-force reference over a coarse grid.
     let loss = StressLoss::new(metric, goal);
     let mut brute = BruteForceTuner::new(sizes.brute_levels, sizes.brute_max_evals);
     let brute_result = brute
-        .tune(&platform, space, &loss, &TuningBudget::epochs(usize::MAX / 2))
+        .tune(
+            &platform,
+            space,
+            &loss,
+            &TuningBudget::epochs(usize::MAX / 2),
+        )
         .expect("brute-force run succeeds");
     let brute_force_optimum = brute_result.best_metrics.value_or_zero(metric);
 

@@ -47,7 +47,11 @@ impl AssemblyEmitter {
     pub fn emit(&self, test_case: &TestCase) -> String {
         let mut out = String::new();
         if self.include_comments {
-            let _ = writeln!(out, "# MicroGrad synthetic test case: {}", test_case.metadata().name);
+            let _ = writeln!(
+                out,
+                "# MicroGrad synthetic test case: {}",
+                test_case.metadata().name
+            );
             let _ = writeln!(out, "# seed: {}", test_case.metadata().seed);
             let _ = writeln!(
                 out,
@@ -69,8 +73,7 @@ impl AssemblyEmitter {
         let _ = writeln!(out, "    li x5, {init}");
         let _ = writeln!(out, "    fcvt.d.w f5, x5");
         for stream in test_case.streams() {
-            let base_reg =
-                crate::passes::GenericMemoryStreamsPass::stream_base_reg(stream.id);
+            let base_reg = crate::passes::GenericMemoryStreamsPass::stream_base_reg(stream.id);
             let _ = writeln!(out, "    la {base_reg}, stream_{}", stream.id);
         }
         let _ = writeln!(out, "    li x31, 0");
@@ -79,7 +82,12 @@ impl AssemblyEmitter {
         let _ = writeln!(out, "loop_body:");
         for instr in test_case.block().iter() {
             if self.include_comments {
-                let _ = writeln!(out, "    {:<40} # pc {:#x}", instr.to_asm(), instr.address());
+                let _ = writeln!(
+                    out,
+                    "    {:<40} # pc {:#x}",
+                    instr.to_asm(),
+                    instr.address()
+                );
             } else {
                 let _ = writeln!(out, "    {}", instr.to_asm());
             }

@@ -34,7 +34,10 @@ impl fmt::Display for CodegenError {
                 write!(f, "invalid generator parameter `{parameter}`: {reason}")
             }
             CodegenError::EmptyProfile => {
-                write!(f, "instruction profile is empty or has non-positive total weight")
+                write!(
+                    f,
+                    "instruction profile is empty or has non-positive total weight"
+                )
             }
         }
     }

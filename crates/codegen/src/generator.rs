@@ -87,10 +87,7 @@ impl GeneratorInput {
     /// The instruction profile implied by the weights.
     #[must_use]
     pub fn profile(&self) -> InstructionProfile {
-        self.instr_weights
-            .iter()
-            .map(|(op, w)| (*op, *w))
-            .collect()
+        self.instr_weights.iter().map(|(op, w)| (*op, *w)).collect()
     }
 
     /// Validates the parameter ranges.
@@ -215,8 +212,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let mut input = GeneratorInput::default();
-        input.loop_size = 100;
+        let mut input = GeneratorInput {
+            loop_size: 100,
+            ..GeneratorInput::default()
+        };
         let a = Generator::new().generate(&input).unwrap();
         let b = Generator::new().generate(&input).unwrap();
         input.seed = 99;
@@ -243,24 +242,32 @@ mod tests {
 
     #[test]
     fn footprint_knob_scales_stream_footprints() {
-        let mut input = GeneratorInput::default();
-        input.mem_footprint_kb = 2048;
+        let input = GeneratorInput {
+            mem_footprint_kb: 2048,
+            ..GeneratorInput::default()
+        };
         let tc = Generator::new().generate(&input).unwrap();
         assert_eq!(tc.total_footprint(), 2048 * 1024);
     }
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        let mut input = GeneratorInput::default();
-        input.loop_size = 2;
+        let input = GeneratorInput {
+            loop_size: 2,
+            ..GeneratorInput::default()
+        };
         assert!(input.validate().is_err());
 
-        let mut input = GeneratorInput::default();
-        input.branch_randomness = 2.0;
+        let input = GeneratorInput {
+            branch_randomness: 2.0,
+            ..GeneratorInput::default()
+        };
         assert!(input.validate().is_err());
 
-        let mut input = GeneratorInput::default();
-        input.mem_stride = 0;
+        let input = GeneratorInput {
+            mem_stride: 0,
+            ..GeneratorInput::default()
+        };
         assert!(input.validate().is_err());
 
         let mut input = GeneratorInput::default();

@@ -88,8 +88,12 @@ mod tests {
     fn addresses_are_sequential() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(0);
-        SimpleBuildingBlockPass::new(32).apply(&mut tc, &mut ctx).unwrap();
-        UpdateInstructionAddressesPass::new().apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(32)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
+        UpdateInstructionAddressesPass::new()
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         let instrs = tc.block().instructions();
         for (i, instr) in instrs.iter().enumerate() {
             assert_eq!(
@@ -103,8 +107,12 @@ mod tests {
     fn backedge_targets_loop_start() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(0);
-        SimpleBuildingBlockPass::new(32).apply(&mut tc, &mut ctx).unwrap();
-        UpdateInstructionAddressesPass::new().apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(32)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
+        UpdateInstructionAddressesPass::new()
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         let last = tc.block().instructions().last().unwrap();
         assert_eq!(last.imm(), Some(-(31 * 4)));
         let target = (last.address() as i64 + last.imm().unwrap()) as u64;
@@ -115,7 +123,9 @@ mod tests {
     fn custom_text_base() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(0);
-        SimpleBuildingBlockPass::new(8).apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(8)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         UpdateInstructionAddressesPass::with_text_base(0x8000)
             .apply(&mut tc, &mut ctx)
             .unwrap();

@@ -93,7 +93,9 @@ mod tests {
     fn branchy_testcase() -> (TestCase, PassContext) {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(5);
-        SimpleBuildingBlockPass::new(66).apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(66)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         let profile = InstructionProfile::new()
             .with(Opcode::Add, 1.0)
             .with(Opcode::Beq, 1.0)
@@ -114,7 +116,11 @@ mod tests {
         for (i, instr) in tc.block().iter().enumerate() {
             if instr.opcode().is_conditional_branch() {
                 if i + 1 == len {
-                    assert_eq!(instr.branch_taken_prob(), 0.0, "back-edge must stay deterministic");
+                    assert_eq!(
+                        instr.branch_taken_prob(),
+                        0.0,
+                        "back-edge must stay deterministic"
+                    );
                 } else {
                     assert!((instr.branch_taken_prob() - 0.7).abs() < 1e-12);
                 }

@@ -91,7 +91,9 @@ mod tests {
     fn creates_requested_number_of_slots() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(1);
-        SimpleBuildingBlockPass::new(100).apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(100)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         assert_eq!(tc.block().len(), 100);
         let last = tc.block().instructions().last().unwrap();
         assert_eq!(last.opcode(), Opcode::Bne);
@@ -104,7 +106,9 @@ mod tests {
     fn rejects_tiny_loops() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(1);
-        let err = SimpleBuildingBlockPass::new(2).apply(&mut tc, &mut ctx).unwrap_err();
+        let err = SimpleBuildingBlockPass::new(2)
+            .apply(&mut tc, &mut ctx)
+            .unwrap_err();
         assert!(matches!(err, CodegenError::InvalidParameter { .. }));
     }
 
@@ -122,7 +126,9 @@ mod tests {
     fn placeholder_slots_are_nops() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(1);
-        SimpleBuildingBlockPass::new(16).apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(16)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         let nops = tc
             .block()
             .iter()

@@ -178,7 +178,9 @@ mod tests {
     fn memory_heavy_testcase() -> (TestCase, PassContext) {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(9);
-        SimpleBuildingBlockPass::new(202).apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(202)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         let profile = InstructionProfile::new()
             .with(Opcode::Ld, 2.0)
             .with(Opcode::Sd, 1.0)
@@ -207,7 +209,10 @@ mod tests {
         .unwrap();
         for instr in tc.block().iter() {
             if instr.opcode().is_memory() {
-                assert!(instr.mem().is_some(), "memory instruction without stream: {instr}");
+                assert!(
+                    instr.mem().is_some(),
+                    "memory instruction without stream: {instr}"
+                );
             } else {
                 assert!(instr.mem().is_none());
             }
@@ -247,7 +252,10 @@ mod tests {
         let total = counts[0] + counts[1];
         assert!(total > 50);
         let frac0 = counts[0] as f64 / total as f64;
-        assert!((frac0 - 0.75).abs() < 0.05, "expected ~75% on stream 0, got {frac0}");
+        assert!(
+            (frac0 - 0.75).abs() < 0.05,
+            "expected ~75% on stream 0, got {frac0}"
+        );
     }
 
     #[test]
@@ -262,7 +270,9 @@ mod tests {
     #[test]
     fn rejects_empty_or_zero_ratio_specs() {
         let (mut tc, mut ctx) = memory_heavy_testcase();
-        let err = GenericMemoryStreamsPass::new(vec![]).apply(&mut tc, &mut ctx).unwrap_err();
+        let err = GenericMemoryStreamsPass::new(vec![])
+            .apply(&mut tc, &mut ctx)
+            .unwrap_err();
         assert!(matches!(err, CodegenError::InvalidParameter { .. }));
 
         let err = GenericMemoryStreamsPass::new(vec![MemoryStreamSpec {

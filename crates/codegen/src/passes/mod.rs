@@ -17,9 +17,7 @@ pub use branch::RandomizeByTypePass;
 pub use building_block::SimpleBuildingBlockPass;
 pub use memory::{GenericMemoryStreamsPass, MemoryStreamSpec};
 pub use profile_pass::SetInstructionTypeByProfilePass;
-pub use registers::{
-    DefaultRegisterAllocationPass, InitializeRegistersPass, ReserveRegistersPass,
-};
+pub use registers::{DefaultRegisterAllocationPass, InitializeRegistersPass, ReserveRegistersPass};
 
 use crate::{CodegenError, TestCase};
 use rand::SeedableRng;

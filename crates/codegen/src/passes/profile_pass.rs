@@ -62,7 +62,7 @@ impl Pass for SetInstructionTypeByProfilePass {
         let apportioned = self.profile.apportion(slots.len())?;
         let mut opcodes: Vec<Opcode> = Vec::with_capacity(slots.len());
         for (op, count) in apportioned {
-            opcodes.extend(std::iter::repeat(op).take(count));
+            opcodes.extend(std::iter::repeat_n(op, count));
         }
         opcodes.shuffle(ctx.rng());
 
@@ -83,7 +83,9 @@ mod tests {
     fn prepared_testcase(loop_size: usize) -> (TestCase, PassContext) {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(11);
-        SimpleBuildingBlockPass::new(loop_size).apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(loop_size)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         (tc, ctx)
     }
 
@@ -94,7 +96,9 @@ mod tests {
             .with(Opcode::Add, 5.0)
             .with(Opcode::Ld, 3.0)
             .with(Opcode::Sd, 2.0);
-        SetInstructionTypeByProfilePass::new(profile).apply(&mut tc, &mut ctx).unwrap();
+        SetInstructionTypeByProfilePass::new(profile)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         assert!(tc.block().iter().all(|i| i.opcode() != Opcode::Nop));
     }
 
@@ -106,7 +110,9 @@ mod tests {
             .with(Opcode::FmulD, 3.0)
             .with(Opcode::Ld, 2.0)
             .with(Opcode::Sd, 1.0);
-        SetInstructionTypeByProfilePass::new(profile).apply(&mut tc, &mut ctx).unwrap();
+        SetInstructionTypeByProfilePass::new(profile)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         let dist = tc.class_distribution();
         // 500 profile slots + 2 loop-control instructions, so fractions are
         // within ~1% of the requested 0.4 / 0.3 / 0.2 / 0.1 split.
@@ -125,14 +131,13 @@ mod tests {
         let run = |seed: u64| {
             let mut tc = TestCase::new();
             let mut ctx = PassContext::new(seed);
-            SimpleBuildingBlockPass::new(64).apply(&mut tc, &mut ctx).unwrap();
+            SimpleBuildingBlockPass::new(64)
+                .apply(&mut tc, &mut ctx)
+                .unwrap();
             SetInstructionTypeByProfilePass::new(profile.clone())
                 .apply(&mut tc, &mut ctx)
                 .unwrap();
-            tc.block()
-                .iter()
-                .map(|i| i.opcode())
-                .collect::<Vec<_>>()
+            tc.block().iter().map(|i| i.opcode()).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -151,11 +156,10 @@ mod tests {
     fn requires_building_block() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(0);
-        let err = SetInstructionTypeByProfilePass::new(
-            InstructionProfile::new().with(Opcode::Add, 1.0),
-        )
-        .apply(&mut tc, &mut ctx)
-        .unwrap_err();
+        let err =
+            SetInstructionTypeByProfilePass::new(InstructionProfile::new().with(Opcode::Add, 1.0))
+                .apply(&mut tc, &mut ctx)
+                .unwrap_err();
         assert!(matches!(err, CodegenError::InvalidState { .. }));
     }
 }

@@ -110,7 +110,12 @@ impl DefaultRegisterAllocationPass {
 
     /// Finds the destination register of the nearest producer at or before
     /// `target` (falling back to any earlier producer) in `dests`.
-    fn producer_at_distance(dests: &[Option<(Reg, bool)>], index: usize, dd: usize, want_fp: bool) -> Option<Reg> {
+    fn producer_at_distance(
+        dests: &[Option<(Reg, bool)>],
+        index: usize,
+        dd: usize,
+        want_fp: bool,
+    ) -> Option<Reg> {
         if index == 0 {
             return None;
         }
@@ -124,11 +129,9 @@ impl DefaultRegisterAllocationPass {
             }
         }
         // otherwise search forward between target and the current instruction
-        for j in target.min(index - 1)..index {
-            if let Some((reg, is_fp)) = dests[j] {
-                if is_fp == want_fp {
-                    return Some(reg);
-                }
+        for (reg, is_fp) in dests[target.min(index - 1)..index].iter().flatten() {
+            if *is_fp == want_fp {
+                return Some(*reg);
             }
         }
         None
@@ -189,12 +192,13 @@ impl Pass for DefaultRegisterAllocationPass {
                     let n_src = opcode.num_sources();
                     let mut sources = Vec::with_capacity(n_src);
                     for k in 0..n_src {
-                        let src = Self::producer_at_distance(&dests, i, dd + k, want_fp)
-                            .unwrap_or(if want_fp {
+                        let src = Self::producer_at_distance(&dests, i, dd + k, want_fp).unwrap_or(
+                            if want_fp {
                                 Self::fp_init_reg()
                             } else {
                                 Self::int_init_reg()
-                            });
+                            },
+                        );
                         sources.push(src);
                     }
                     instr.set_sources(sources);
@@ -241,13 +245,12 @@ impl Pass for DefaultRegisterAllocationPass {
                     // wire the store data register to a producer at the
                     // requested distance; keep the base register
                     let want_fp = opcode.reads_fp_regs();
-                    let data = Self::producer_at_distance(&dests, i, dd, want_fp).unwrap_or(
-                        if want_fp {
+                    let data =
+                        Self::producer_at_distance(&dests, i, dd, want_fp).unwrap_or(if want_fp {
                             Self::fp_init_reg()
                         } else {
                             Self::int_init_reg()
-                        },
-                    );
+                        });
                     let mut sources = instr.sources().to_vec();
                     if sources.is_empty() {
                         sources = vec![data, Reg::x(10)];
@@ -272,7 +275,9 @@ mod tests {
     fn build_block(dd: usize, profile: &InstructionProfile) -> TestCase {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(3);
-        SimpleBuildingBlockPass::new(64).apply(&mut tc, &mut ctx).unwrap();
+        SimpleBuildingBlockPass::new(64)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         ReserveRegistersPass::new(vec![
             SimpleBuildingBlockPass::loop_counter_reg(),
             SimpleBuildingBlockPass::loop_bound_reg(),
@@ -282,7 +287,9 @@ mod tests {
         SetInstructionTypeByProfilePass::new(profile.clone())
             .apply(&mut tc, &mut ctx)
             .unwrap();
-        DefaultRegisterAllocationPass::new(dd).apply(&mut tc, &mut ctx).unwrap();
+        DefaultRegisterAllocationPass::new(dd)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         tc
     }
 
@@ -304,7 +311,9 @@ mod tests {
     fn initialize_registers_records_value() {
         let mut tc = TestCase::new();
         let mut ctx = PassContext::new(0);
-        InitializeRegistersPass::new(0x1234).apply(&mut tc, &mut ctx).unwrap();
+        InitializeRegistersPass::new(0x1234)
+            .apply(&mut tc, &mut ctx)
+            .unwrap();
         assert_eq!(tc.metadata().init_reg_value, 0x1234);
     }
 
@@ -323,10 +332,12 @@ mod tests {
         let tc = build_block(3, &int_profile());
         for instr in tc.block().iter() {
             if let Some(d) = instr.dest() {
-                if instr.opcode() != Opcode::Addi || d != SimpleBuildingBlockPass::loop_counter_reg()
+                if instr.opcode() != Opcode::Addi
+                    || d != SimpleBuildingBlockPass::loop_counter_reg()
                 {
                     assert!(
-                        !tc.reserved_regs().contains(&d) || d == SimpleBuildingBlockPass::loop_counter_reg(),
+                        !tc.reserved_regs().contains(&d)
+                            || d == SimpleBuildingBlockPass::loop_counter_reg(),
                         "reserved register {d} used as destination by {instr}"
                     );
                 }

@@ -236,8 +236,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut p: InstructionProfile =
-            vec![(Opcode::Add, 1.0), (Opcode::Ld, 2.0)].into_iter().collect();
+        let mut p: InstructionProfile = vec![(Opcode::Add, 1.0), (Opcode::Ld, 2.0)]
+            .into_iter()
+            .collect();
         p.extend(vec![(Opcode::Sd, 3.0)]);
         assert_eq!(p.weight(Opcode::Sd), 3.0);
         assert_eq!(p.weight(Opcode::Ld), 2.0);

@@ -39,7 +39,10 @@ impl std::fmt::Debug for Synthesizer {
         f.debug_struct("Synthesizer")
             .field("seed", &self.seed)
             .field("name", &self.name)
-            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

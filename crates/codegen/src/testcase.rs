@@ -234,7 +234,12 @@ mod tests {
     fn building_block_push_and_len() {
         let mut b = BuildingBlock::new();
         assert!(b.is_empty());
-        b.push(Instruction::rrr(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)));
+        b.push(Instruction::rrr(
+            Opcode::Add,
+            Reg::x(1),
+            Reg::x(2),
+            Reg::x(3),
+        ));
         b.push(Instruction::new(Opcode::Nop));
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
@@ -246,9 +251,19 @@ mod tests {
     fn class_distribution_normalizes() {
         let mut b = BuildingBlock::new();
         for _ in 0..3 {
-            b.push(Instruction::rrr(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)));
+            b.push(Instruction::rrr(
+                Opcode::Add,
+                Reg::x(1),
+                Reg::x(2),
+                Reg::x(3),
+            ));
         }
-        b.push(Instruction::rrr(Opcode::FaddD, Reg::f(1), Reg::f(2), Reg::f(3)));
+        b.push(Instruction::rrr(
+            Opcode::FaddD,
+            Reg::f(1),
+            Reg::f(2),
+            Reg::f(3),
+        ));
         let d = b.class_distribution();
         assert!((d[&InstrClass::Integer] - 0.75).abs() < 1e-12);
         assert!((d[&InstrClass::Float] - 0.25).abs() < 1e-12);
@@ -314,8 +329,12 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let mut tc = TestCase::new();
-        tc.block_mut()
-            .push(Instruction::rrr(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)));
+        tc.block_mut().push(Instruction::rrr(
+            Opcode::Add,
+            Reg::x(1),
+            Reg::x(2),
+            Reg::x(3),
+        ));
         tc.metadata_mut().name = "t".into();
         let json = serde_json::to_string(&tc).unwrap();
         let back: TestCase = serde_json::from_str(&json).unwrap();

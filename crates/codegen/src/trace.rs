@@ -164,10 +164,7 @@ impl TraceExpander {
                 }
                 let is_last_static = idx + 1 == body_len;
                 let mem_addr = instr.mem().map(|m| {
-                    let (prob, window) = reuse_prob
-                        .get(&m.stream)
-                        .copied()
-                        .unwrap_or((0.0, 1));
+                    let (prob, window) = reuse_prob.get(&m.stream).copied().unwrap_or((0.0, 1));
                     let history = recent.entry(m.stream).or_default();
                     let addr = if prob > 0.0 && !history.is_empty() && rng.gen::<f64>() < prob {
                         let pick = rng.gen_range(0..history.len().min(window.max(1)));
@@ -348,11 +345,8 @@ mod tests {
             };
             let tc = Generator::new().generate(&input).unwrap();
             let trace = TraceExpander::new(30_000, 8).expand(&tc);
-            let set: std::collections::BTreeSet<u64> = trace
-                .dynamics()
-                .iter()
-                .filter_map(|d| d.mem_addr)
-                .collect();
+            let set: std::collections::BTreeSet<u64> =
+                trace.dynamics().iter().filter_map(|d| d.mem_addr).collect();
             set.len()
         };
         let no_reuse = unique_addrs(1);

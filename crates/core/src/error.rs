@@ -82,7 +82,9 @@ mod tests {
             reason: "must be within (0, 1]".into(),
         };
         assert!(e.to_string().contains("accuracy_target"));
-        assert!(MicroGradError::NoEvaluations.to_string().contains("no evaluations"));
+        assert!(MicroGradError::NoEvaluations
+            .to_string()
+            .contains("no evaluations"));
     }
 
     #[test]

@@ -148,6 +148,12 @@ pub struct FrameworkConfig {
     pub reference_len: usize,
     /// Seed for all stochastic decisions.
     pub seed: u64,
+    /// Batch-evaluation worker count: `None` evaluates sequentially,
+    /// `Some(n)` uses up to `n` worker threads, `Some(0)` auto-sizes to the
+    /// host's available parallelism.  Results are bit-identical across all
+    /// settings; this knob only trades wall-clock for cores.
+    #[serde(default)]
+    pub parallelism: Option<usize>,
 }
 
 impl Default for FrameworkConfig {
@@ -164,6 +170,7 @@ impl Default for FrameworkConfig {
             dynamic_len: SimPlatform::DEFAULT_DYNAMIC_LEN,
             reference_len: 100_000,
             seed: 1,
+            parallelism: None,
         }
     }
 }
@@ -261,6 +268,7 @@ impl MicroGrad {
         SimPlatform::new(self.config.core.config())
             .with_dynamic_len(self.config.dynamic_len)
             .with_seed(self.config.seed)
+            .with_parallelism(self.config.parallelism)
     }
 
     /// Runs the configured use case to completion.

@@ -191,7 +191,10 @@ impl KnobSpace {
         specs.push(KnobSpec::new(
             "MEM_SIZE",
             KnobTarget::MemoryFootprintKb,
-            vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 16384.0],
+            vec![
+                2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+                16384.0,
+            ],
         ));
         specs.push(KnobSpec::new(
             "MEM_STRIDE",
@@ -294,7 +297,11 @@ impl KnobSpace {
     ///
     /// Returns [`MicroGradError::KnobMismatch`] if the configuration does
     /// not match this space.
-    pub fn resolve(&self, config: &KnobConfig, seed: u64) -> Result<GeneratorInput, MicroGradError> {
+    pub fn resolve(
+        &self,
+        config: &KnobConfig,
+        seed: u64,
+    ) -> Result<GeneratorInput, MicroGradError> {
         self.validate(config)?;
         let mut input = GeneratorInput {
             loop_size: self.loop_size,
@@ -353,8 +360,22 @@ mod tests {
         assert_eq!(space.len(), 16);
         let names: Vec<&str> = space.specs().iter().map(|s| s.name.as_str()).collect();
         for expected in [
-            "ADD", "MUL", "FADDD", "FMULD", "BEQ", "BNE", "LD", "LW", "SD", "SW", "REG_DIST",
-            "MEM_SIZE", "MEM_STRIDE", "MEM_TEMP1", "MEM_TEMP2", "B_PATTERN",
+            "ADD",
+            "MUL",
+            "FADDD",
+            "FMULD",
+            "BEQ",
+            "BNE",
+            "LD",
+            "LW",
+            "SD",
+            "SW",
+            "REG_DIST",
+            "MEM_SIZE",
+            "MEM_STRIDE",
+            "MEM_TEMP1",
+            "MEM_TEMP2",
+            "B_PATTERN",
         ] {
             assert!(names.contains(&expected), "missing knob {expected}");
         }
@@ -365,13 +386,10 @@ mod tests {
     fn instruction_fraction_space_is_compute_focused() {
         let space = KnobSpace::instruction_fractions();
         assert_eq!(space.len(), 11);
-        assert!(space
-            .specs()
-            .iter()
-            .all(|s| matches!(
-                s.target,
-                KnobTarget::InstructionWeight(_) | KnobTarget::DependencyDistance
-            )));
+        assert!(space.specs().iter().all(|s| matches!(
+            s.target,
+            KnobTarget::InstructionWeight(_) | KnobTarget::DependencyDistance
+        )));
     }
 
     #[test]
@@ -429,7 +447,13 @@ mod tests {
     fn resolve_rejects_mismatched_config() {
         let space = KnobSpace::full();
         let err = space.resolve(&KnobConfig::new(vec![0, 1]), 0).unwrap_err();
-        assert!(matches!(err, MicroGradError::KnobMismatch { expected: 16, actual: 2 }));
+        assert!(matches!(
+            err,
+            MicroGradError::KnobMismatch {
+                expected: 16,
+                actual: 2
+            }
+        ));
     }
 
     #[test]
@@ -455,7 +479,9 @@ mod tests {
         let space = KnobSpace::full();
         let config = space.midpoint_config();
         let input = space.resolve(&config, 7).unwrap();
-        let tc = micrograd_codegen::Generator::new().generate(&input).unwrap();
+        let tc = micrograd_codegen::Generator::new()
+            .generate(&input)
+            .unwrap();
         assert_eq!(tc.block().len(), 500);
     }
 

@@ -19,7 +19,10 @@
 //! * **evaluation platforms** ([`SimPlatform`]: generator → simulator →
 //!   power model), behind the [`ExecutionPlatform`] trait so other
 //!   platforms (native hardware counters, other simulators) can be plugged
-//!   in;
+//!   in; all tuners submit their independent evaluations through
+//!   [`ExecutionPlatform::evaluate_batch`], which [`SimPlatform`] runs on a
+//!   configurable worker pool with bit-identical results
+//!   ([`SimPlatform::with_parallelism`], `FrameworkConfig::parallelism`);
 //! * the **use cases** ([`usecase::CloningTask`], [`usecase::StressTask`])
 //!   and the configuration-file driven facade ([`MicroGrad`],
 //!   [`FrameworkConfig`]).
@@ -56,8 +59,7 @@ pub mod usecase;
 
 pub use error::MicroGradError;
 pub use framework::{
-    CoreKind, FrameworkConfig, FrameworkOutput, KnobSpaceKind, MicroGrad, TunerKind,
-    UseCaseConfig,
+    CoreKind, FrameworkConfig, FrameworkOutput, KnobSpaceKind, MicroGrad, TunerKind, UseCaseConfig,
 };
 pub use knob::{KnobConfig, KnobSpace, KnobSpec, KnobTarget};
 pub use loss::{CloneLogLoss, LossFunction, StressGoal, StressLoss};

@@ -179,6 +179,9 @@ mod tests {
         assert!(min_ipc.loss(&b) < min_ipc.loss(&a));
         assert_eq!(max_power.metric(), MetricKind::DynamicPower);
         assert_eq!(min_ipc.goal(), StressGoal::Minimize);
-        assert_eq!(max_power.metrics_of_interest(), vec![MetricKind::DynamicPower]);
+        assert_eq!(
+            max_power.metrics_of_interest(),
+            vec![MetricKind::DynamicPower]
+        );
     }
 }

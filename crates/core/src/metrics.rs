@@ -113,12 +113,30 @@ impl Metrics {
     #[must_use]
     pub fn from_run(stats: &SimStats, power: Option<&PowerReport>) -> Self {
         let mut m = Metrics::new();
-        m.set(MetricKind::IntegerFraction, stats.class_fraction(InstrClass::Integer));
-        m.set(MetricKind::FloatFraction, stats.class_fraction(InstrClass::Float));
-        m.set(MetricKind::LoadFraction, stats.class_fraction(InstrClass::Load));
-        m.set(MetricKind::StoreFraction, stats.class_fraction(InstrClass::Store));
-        m.set(MetricKind::BranchFraction, stats.class_fraction(InstrClass::Branch));
-        m.set(MetricKind::BranchMispredictRate, stats.branch_mispredict_rate());
+        m.set(
+            MetricKind::IntegerFraction,
+            stats.class_fraction(InstrClass::Integer),
+        );
+        m.set(
+            MetricKind::FloatFraction,
+            stats.class_fraction(InstrClass::Float),
+        );
+        m.set(
+            MetricKind::LoadFraction,
+            stats.class_fraction(InstrClass::Load),
+        );
+        m.set(
+            MetricKind::StoreFraction,
+            stats.class_fraction(InstrClass::Store),
+        );
+        m.set(
+            MetricKind::BranchFraction,
+            stats.class_fraction(InstrClass::Branch),
+        );
+        m.set(
+            MetricKind::BranchMispredictRate,
+            stats.branch_mispredict_rate(),
+        );
         m.set(MetricKind::L1iHitRate, stats.l1i_hit_rate());
         m.set(MetricKind::L1dHitRate, stats.l1d_hit_rate());
         m.set(MetricKind::L2HitRate, stats.l2_hit_rate());

@@ -5,7 +5,10 @@ use micrograd_codegen::{Generator, GeneratorInput, TestCase, Trace, TraceExpande
 use micrograd_power::{PowerConfig, PowerModel};
 use micrograd_sim::{CoreConfig, SimStats, Simulator};
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An execution platform MicroGrad can evaluate test cases on.
 ///
@@ -25,23 +28,103 @@ pub trait ExecutionPlatform {
     /// Returns a [`MicroGradError`] if code generation fails.
     fn evaluate(&self, input: &GeneratorInput) -> Result<Metrics, MicroGradError>;
 
+    /// Evaluates a batch of independent generator inputs, returning one
+    /// result per input, in input order.
+    ///
+    /// This is the scaling interface of the framework: all tuners submit
+    /// their independent evaluations (gradient ladder probes, GA
+    /// generations, brute-force grid chunks, random samples) through this
+    /// method, so a platform that can run evaluations concurrently — like
+    /// [`SimPlatform`] with a `parallelism` setting, or a future
+    /// distributed backend — speeds up every tuning mechanism at once.
+    ///
+    /// The default implementation evaluates sequentially via
+    /// [`evaluate`](Self::evaluate), so existing platform implementations
+    /// keep working unchanged.  Implementations must preserve input order
+    /// and per-input results regardless of internal scheduling.
+    fn evaluate_batch(&self, inputs: &[GeneratorInput]) -> Vec<Result<Metrics, MicroGradError>> {
+        inputs.iter().map(|input| self.evaluate(input)).collect()
+    }
+
     /// Measures the metric vector of an existing dynamic trace (used to
     /// characterize reference applications for cloning targets).
     fn measure_trace(&self, trace: &Trace) -> Metrics;
 }
 
+/// Number of independent memoization shards; reduces lock contention when
+/// many workers evaluate concurrently.
+const CACHE_SHARDS: usize = 16;
+
+/// A stable 64-bit fingerprint of a generator input, used as the
+/// memoization key.
+///
+/// The previous implementation keyed the cache on
+/// `serde_json::to_string(input)` — an allocation per lookup, and a silent
+/// cache bypass whenever serialization failed.  Hashing the fields directly
+/// (with `f64::to_bits` for float knobs) is allocation-free and total.
+/// Cache hits additionally verify the stored input for equality, so a hash
+/// collision degrades to a recomputation instead of wrong metrics.
+#[must_use]
+pub(crate) fn input_fingerprint(input: &GeneratorInput) -> u64 {
+    // Exhaustive destructuring (no `..`): adding a field to
+    // `GeneratorInput` must fail to compile here rather than silently
+    // fall out of the cache key.
+    let GeneratorInput {
+        loop_size,
+        instr_weights,
+        reg_dependency_distance,
+        mem_footprint_kb,
+        mem_stride,
+        mem_temporal_window,
+        mem_temporal_period,
+        branch_randomness,
+        init_reg_value,
+        seed,
+        name,
+    } = input;
+    let mut h = DefaultHasher::new();
+    loop_size.hash(&mut h);
+    for (op, w) in instr_weights {
+        op.hash(&mut h);
+        w.to_bits().hash(&mut h);
+    }
+    reg_dependency_distance.hash(&mut h);
+    mem_footprint_kb.hash(&mut h);
+    mem_stride.hash(&mut h);
+    mem_temporal_window.hash(&mut h);
+    mem_temporal_period.hash(&mut h);
+    branch_randomness.to_bits().hash(&mut h);
+    init_reg_value.hash(&mut h);
+    seed.hash(&mut h);
+    name.hash(&mut h);
+    h.finish()
+}
+
 /// The bundled evaluation platform: Microprobe-like code generation, the
 /// cycle-approximate simulator and the activity-based power model.
 ///
-/// Evaluations are memoized per generator input, because gradient-descent
-/// epochs repeatedly re-evaluate the epoch's base configuration.
+/// Evaluations are memoized per generator input (keyed by a stable `u64`
+/// fingerprint in a sharded cache), because gradient-descent epochs
+/// repeatedly re-evaluate the epoch's base configuration.
+///
+/// # Parallelism
+///
+/// [`evaluate_batch`](ExecutionPlatform::evaluate_batch) runs the batch on
+/// a worker pool sized by [`with_parallelism`](Self::with_parallelism):
+/// `None` evaluates sequentially, `Some(n)` uses up to `n` worker threads,
+/// and `Some(0)` auto-sizes to the host's available parallelism.  Each
+/// worker instantiates its own [`Simulator`] per evaluation, and duplicate
+/// inputs within one batch are evaluated only once.  Results are identical
+/// to sequential evaluation regardless of the worker count: every
+/// evaluation is a pure, seeded function of its input.
 #[derive(Debug)]
 pub struct SimPlatform {
     core: CoreConfig,
     power: PowerConfig,
     dynamic_len: usize,
     seed: u64,
-    cache: Mutex<HashMap<String, Metrics>>,
+    parallelism: Option<usize>,
+    cache: Vec<Mutex<HashMap<u64, (GeneratorInput, Metrics)>>>,
 }
 
 impl SimPlatform {
@@ -65,7 +148,10 @@ impl SimPlatform {
             power,
             dynamic_len: Self::DEFAULT_DYNAMIC_LEN,
             seed: 1,
-            cache: Mutex::new(HashMap::new()),
+            parallelism: None,
+            cache: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -81,6 +167,32 @@ impl SimPlatform {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the batch-evaluation worker count: `None` for sequential
+    /// evaluation, `Some(n)` for up to `n` workers, `Some(0)` to auto-size
+    /// to the host.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured batch-evaluation worker setting.
+    #[must_use]
+    pub fn parallelism(&self) -> Option<usize> {
+        self.parallelism
+    }
+
+    /// The number of worker threads a batch of `jobs` evaluations would use.
+    #[must_use]
+    pub fn workers_for(&self, jobs: usize) -> usize {
+        let configured = match self.parallelism {
+            None => 1,
+            Some(0) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            Some(n) => n,
+        };
+        configured.max(1).min(jobs.max(1))
     }
 
     /// The core configuration this platform simulates.
@@ -130,7 +242,31 @@ impl SimPlatform {
     /// Number of evaluations currently memoized.
     #[must_use]
     pub fn cached_evaluations(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.iter().map(|shard| shard.lock().len()).sum()
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn shard(&self, fingerprint: u64) -> &Mutex<HashMap<u64, (GeneratorInput, Metrics)>> {
+        &self.cache[(fingerprint % CACHE_SHARDS as u64) as usize]
+    }
+
+    fn evaluate_fingerprinted(
+        &self,
+        fingerprint: u64,
+        input: &GeneratorInput,
+    ) -> Result<Metrics, MicroGradError> {
+        if let Some((cached_input, hit)) = self.shard(fingerprint).lock().get(&fingerprint) {
+            // Verify the stored input so a 64-bit hash collision degrades
+            // to a recomputation instead of returning wrong metrics.
+            if cached_input == input {
+                return Ok(hit.clone());
+            }
+        }
+        let (metrics, _) = self.evaluate_detailed(input)?;
+        self.shard(fingerprint)
+            .lock()
+            .insert(fingerprint, (input.clone(), metrics.clone()));
+        Ok(metrics)
     }
 }
 
@@ -140,17 +276,62 @@ impl ExecutionPlatform for SimPlatform {
     }
 
     fn evaluate(&self, input: &GeneratorInput) -> Result<Metrics, MicroGradError> {
-        let key = serde_json::to_string(input).unwrap_or_default();
-        if !key.is_empty() {
-            if let Some(hit) = self.cache.lock().get(&key) {
-                return Ok(hit.clone());
+        self.evaluate_fingerprinted(input_fingerprint(input), input)
+    }
+
+    fn evaluate_batch(&self, inputs: &[GeneratorInput]) -> Vec<Result<Metrics, MicroGradError>> {
+        let workers = self.workers_for(inputs.len());
+        if workers <= 1 || inputs.len() <= 1 {
+            return inputs.iter().map(|input| self.evaluate(input)).collect();
+        }
+
+        // Deduplicate within the batch so concurrent workers do not redo
+        // identical evaluations (tuners routinely probe the same
+        // configuration from several ladder positions).  Candidates are
+        // grouped by fingerprint but confirmed by input equality, so a
+        // hash collision yields two distinct evaluations, never a shared
+        // result.
+        let fingerprints: Vec<u64> = inputs.iter().map(input_fingerprint).collect();
+        let mut by_fingerprint: HashMap<u64, Vec<usize>> = HashMap::with_capacity(inputs.len());
+        let mut unique: Vec<usize> = Vec::with_capacity(inputs.len());
+        let mut assignment: Vec<usize> = Vec::with_capacity(inputs.len());
+        for (i, fp) in fingerprints.iter().enumerate() {
+            let candidates = by_fingerprint.entry(*fp).or_default();
+            if let Some(&u) = candidates.iter().find(|&&u| inputs[unique[u]] == inputs[i]) {
+                assignment.push(u);
+            } else {
+                unique.push(i);
+                candidates.push(unique.len() - 1);
+                assignment.push(unique.len() - 1);
             }
         }
-        let (metrics, _) = self.evaluate_detailed(input)?;
-        if !key.is_empty() {
-            self.cache.lock().insert(key, metrics.clone());
-        }
-        Ok(metrics)
+
+        let slots: Vec<Mutex<Option<Result<Metrics, MicroGradError>>>> =
+            unique.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(unique.len()) {
+                scope.spawn(|| loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= unique.len() {
+                        break;
+                    }
+                    let input = &inputs[unique[u]];
+                    let result = self.evaluate_fingerprinted(fingerprints[unique[u]], input);
+                    *slots[u].lock() = Some(result);
+                });
+            }
+        });
+
+        assignment
+            .iter()
+            .map(|&slot| {
+                slots[slot]
+                    .lock()
+                    .clone()
+                    .expect("worker pool filled every slot")
+            })
+            .collect()
     }
 
     fn measure_trace(&self, trace: &Trace) -> Metrics {
@@ -202,6 +383,79 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_distinguishes_inputs_and_is_stable() {
+        let base = GeneratorInput::default();
+        let mut other = base.clone();
+        other.mem_stride = base.mem_stride + 8;
+        assert_eq!(input_fingerprint(&base), input_fingerprint(&base.clone()));
+        assert_ne!(input_fingerprint(&base), input_fingerprint(&other));
+
+        let mut float_tweak = base.clone();
+        float_tweak.branch_randomness += 1e-9;
+        assert_ne!(input_fingerprint(&base), input_fingerprint(&float_tweak));
+    }
+
+    #[test]
+    fn batch_matches_sequential_evaluation() {
+        let sequential = platform();
+        let parallel = platform().with_parallelism(Some(4));
+        let inputs: Vec<GeneratorInput> = (1..6)
+            .map(|i| GeneratorInput {
+                loop_size: 60 + i * 30,
+                reg_dependency_distance: i as u32,
+                ..GeneratorInput::default()
+            })
+            .collect();
+        let seq: Vec<_> = inputs.iter().map(|i| sequential.evaluate(i)).collect();
+        let par = parallel.evaluate_batch(&inputs);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn batch_deduplicates_identical_inputs() {
+        let p = platform().with_parallelism(Some(4));
+        let input = GeneratorInput {
+            loop_size: 80,
+            ..GeneratorInput::default()
+        };
+        let batch = vec![input.clone(), input.clone(), input];
+        let results = p.evaluate_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert_eq!(p.cached_evaluations(), 1);
+    }
+
+    #[test]
+    fn batch_reports_errors_in_position() {
+        let p = platform().with_parallelism(Some(2));
+        let good = GeneratorInput {
+            loop_size: 80,
+            ..GeneratorInput::default()
+        };
+        let bad = GeneratorInput {
+            loop_size: 1,
+            ..GeneratorInput::default()
+        };
+        let results = p.evaluate_batch(&[good.clone(), bad, good]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(MicroGradError::Codegen(_))));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn worker_sizing_honors_configuration() {
+        let p = platform();
+        assert_eq!(p.workers_for(100), 1);
+        assert_eq!(p.parallelism(), None);
+        let p = platform().with_parallelism(Some(4));
+        assert_eq!(p.workers_for(100), 4);
+        assert_eq!(p.workers_for(2), 2);
+        let p = platform().with_parallelism(Some(0));
+        assert!(p.workers_for(100) >= 1);
+    }
+
+    #[test]
     fn different_cores_give_different_ipc() {
         let input = GeneratorInput {
             loop_size: 200,
@@ -244,8 +498,10 @@ mod tests {
     #[test]
     fn invalid_input_surfaces_codegen_error() {
         let p = platform();
-        let mut input = GeneratorInput::default();
-        input.loop_size = 1;
+        let input = GeneratorInput {
+            loop_size: 1,
+            ..GeneratorInput::default()
+        };
         assert!(matches!(
             p.evaluate(&input),
             Err(MicroGradError::Codegen(_))

@@ -89,44 +89,63 @@ impl Tuner for BruteForceTuner {
         let grids: Vec<Vec<usize>> = (0..space.len())
             .map(|k| self.grid_indices(space.max_index(k)))
             .collect();
-        // Odometer-style enumeration of the Cartesian product.
+        // Odometer-style enumeration of the Cartesian product, submitted in
+        // epoch-sized chunks through the platform's batch interface: grid
+        // points are independent, so each chunk may run in parallel while
+        // epoch records and the evaluation cap behave exactly as in the
+        // one-at-a-time loop.
         let mut cursor = vec![0usize; space.len()];
         let mut epoch_best = f64::INFINITY;
         let mut done = space.is_empty();
 
         while !done && evaluator.evaluations < self.max_evaluations {
-            let config = KnobConfig::new(
-                cursor
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &i)| grids[k][i])
-                    .collect(),
-            );
-            let (_, l) = evaluator.evaluate(&config)?;
-            epoch_best = epoch_best.min(l);
+            let chunk_target = self
+                .evaluations_per_epoch
+                .min(self.max_evaluations - evaluator.evaluations);
+            let mut chunk: Vec<KnobConfig> = Vec::with_capacity(chunk_target);
+            while chunk.len() < chunk_target && !done {
+                chunk.push(KnobConfig::new(
+                    cursor
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &i)| grids[k][i])
+                        .collect(),
+                ));
+                // advance the odometer
+                done = true;
+                for k in (0..space.len()).rev() {
+                    cursor[k] += 1;
+                    if cursor[k] < grids[k].len() {
+                        done = false;
+                        break;
+                    }
+                    cursor[k] = 0;
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            let results = evaluator.evaluate_many(&chunk)?;
+            for (_, l) in &results {
+                epoch_best = epoch_best.min(*l);
+            }
 
-            if evaluator.evaluations % self.evaluations_per_epoch == 0 {
+            if evaluator
+                .evaluations
+                .is_multiple_of(self.evaluations_per_epoch)
+            {
                 epochs.push(evaluator.epoch_record(epochs.len() + 1, epoch_best)?);
                 epoch_best = f64::INFINITY;
-                if budget.target_reached(evaluator.best()?.2)
-                    || epochs.len() >= budget.max_epochs
-                {
+                if budget.target_reached(evaluator.best()?.2) || epochs.len() >= budget.max_epochs {
                     break;
                 }
-            }
-
-            // advance the odometer
-            done = true;
-            for k in (0..space.len()).rev() {
-                cursor[k] += 1;
-                if cursor[k] < grids[k].len() {
-                    done = false;
-                    break;
-                }
-                cursor[k] = 0;
             }
         }
-        if evaluator.evaluations % self.evaluations_per_epoch != 0 && evaluator.evaluations > 0 {
+        if !evaluator
+            .evaluations
+            .is_multiple_of(self.evaluations_per_epoch)
+            && evaluator.evaluations > 0
+        {
             epochs.push(evaluator.epoch_record(epochs.len() + 1, epoch_best)?);
         }
         // Brute force "converges" by construction when it finishes its grid.

@@ -97,7 +97,7 @@ impl GeneticTuner {
         let mut best: Option<&(KnobConfig, f64)> = None;
         for _ in 0..self.params.tournament_size.max(1) {
             let candidate = &scored[rng.gen_range(0..scored.len())];
-            if best.map_or(true, |b| candidate.1 < b.1) {
+            if best.is_none_or(|b| candidate.1 < b.1) {
                 best = Some(candidate);
             }
         }
@@ -161,11 +161,12 @@ impl Tuner for GeneticTuner {
             .collect();
 
         for epoch in 0..budget.max_epochs {
-            // evaluate the generation
+            // evaluate the whole generation as one batch — every individual
+            // is independent, so the platform may run them in parallel
+            let results = evaluator.evaluate_many(&population)?;
             let mut scored: Vec<(KnobConfig, f64)> = Vec::with_capacity(population.len());
             let mut generation_best = f64::INFINITY;
-            for individual in &population {
-                let (_, l) = evaluator.evaluate(individual)?;
+            for (individual, (_, l)) in population.iter().zip(results) {
                 generation_best = generation_best.min(l);
                 scored.push((individual.clone(), l));
             }

@@ -172,49 +172,80 @@ impl Tuner for GradientDescentTuner {
             // early epochs) so plateaus wider than one ladder position —
             // e.g. footprints that stay within the same cache level — still
             // produce a usable gradient signal.
+            //
+            // All ladder probes of the epoch are independent, so they are
+            // submitted as one batch through the platform's batch interface
+            // and post-processed in submission order — identical results to
+            // the one-at-a-time loop, but the platform may run them in
+            // parallel.
             let skip_prob = self.skip_probability(epoch);
             let step = self.step_size(epoch);
             let delta = (self.params.delta.max(1) as f64).max(step.round()) as isize;
             let mut gradients = vec![0.0f64; space.len()];
-            let mut any_checked = false;
             let mut best_neighbor: Option<(KnobConfig, f64)> = None;
-            let consider = |config: &KnobConfig, loss: f64, best: &mut Option<(KnobConfig, f64)>| {
-                if best.as_ref().map_or(true, |(_, b)| loss < *b) {
-                    *best = Some((config.clone(), loss));
-                }
-            };
+            let consider =
+                |config: &KnobConfig, loss: f64, best: &mut Option<(KnobConfig, f64)>| {
+                    if best.as_ref().is_none_or(|(_, b)| loss < *b) {
+                        *best = Some((config.clone(), loss));
+                    }
+                };
+            // Skip decisions first (same RNG consumption order as before),
+            // then the probe list in (up, down) order per probed knob.
+            struct KnobProbe {
+                knob: usize,
+                up: KnobConfig,
+                down: KnobConfig,
+                up_idx: Option<usize>,
+                down_idx: Option<usize>,
+            }
+            let mut probes: Vec<KnobConfig> = Vec::with_capacity(2 * space.len());
+            let mut knob_probes: Vec<KnobProbe> = Vec::with_capacity(space.len());
             for knob in 0..space.len() {
                 if skip_prob > 0.0 && rng.gen::<f64>() < skip_prob {
                     continue;
                 }
-                any_checked = true;
                 let up = current.stepped(knob, delta, space.max_index(knob));
                 let down = current.stepped(knob, -delta, space.max_index(knob));
-                let loss_up = if up == current {
-                    base_loss
-                } else {
-                    let l = evaluator.evaluate(&up)?.1;
-                    consider(&up, l, &mut best_neighbor);
+                let up_idx = (up != current).then(|| {
+                    probes.push(up.clone());
+                    probes.len() - 1
+                });
+                let down_idx = (down != current).then(|| {
+                    probes.push(down.clone());
+                    probes.len() - 1
+                });
+                knob_probes.push(KnobProbe {
+                    knob,
+                    up,
+                    down,
+                    up_idx,
+                    down_idx,
+                });
+            }
+            let any_checked = !knob_probes.is_empty();
+            let probe_results = evaluator.evaluate_many(&probes)?;
+            for probe in &knob_probes {
+                let loss_up = probe.up_idx.map_or(base_loss, |i| {
+                    let l = probe_results[i].1;
+                    consider(&probe.up, l, &mut best_neighbor);
                     l
-                };
-                let loss_down = if down == current {
-                    base_loss
-                } else {
-                    let l = evaluator.evaluate(&down)?.1;
-                    consider(&down, l, &mut best_neighbor);
+                });
+                let loss_down = probe.down_idx.map_or(base_loss, |i| {
+                    let l = probe_results[i].1;
+                    consider(&probe.down, l, &mut best_neighbor);
                     l
-                };
-                let span = (up.index(knob) as f64 - down.index(knob) as f64).max(1.0);
-                gradients[knob] = (loss_up - loss_down) / span;
+                });
+                let span = (probe.up.index(probe.knob) as f64
+                    - probe.down.index(probe.knob) as f64)
+                    .max(1.0);
+                gradients[probe.knob] = (loss_up - loss_down) / span;
             }
 
             // 4. move knobs: the steepest gradient moves a full step, the
             // others proportionally (but every knob with a non-negligible
             // gradient moves at least one ladder position, so progress is
             // not serialized onto a single dominant knob).
-            let max_grad = gradients
-                .iter()
-                .fold(0.0f64, |acc, g| acc.max(g.abs()));
+            let max_grad = gradients.iter().fold(0.0f64, |acc, g| acc.max(g.abs()));
             let mut next = current.clone();
             if any_checked && max_grad > 0.0 {
                 for (knob, grad) in gradients.iter().enumerate() {
@@ -266,7 +297,9 @@ impl Tuner for GradientDescentTuner {
                 // Mid-exploration: keep following the gradient from the
                 // kicked/restarted point.
                 current = next;
-            } else if stagnant_epochs >= kick_after && stagnant_epochs % (2 * kick_after) == 0 {
+            } else if stagnant_epochs >= kick_after
+                && stagnant_epochs.is_multiple_of(2 * kick_after)
+            {
                 // Escalation: after repeated unsuccessful kicks, restart the
                 // search from a fresh random configuration (multi-start);
                 // the best result so far is retained by the evaluator.
@@ -410,8 +443,8 @@ mod tests {
         let space = small_space();
         let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
         let start = space.midpoint_config();
-        let mut tuner = GradientDescentTuner::new(GdParams::default())
-            .with_initial_config(start.clone());
+        let mut tuner =
+            GradientDescentTuner::new(GdParams::default()).with_initial_config(start.clone());
         let result = tuner
             .tune(&platform, &space, &loss, &TuningBudget::epochs(1))
             .unwrap();

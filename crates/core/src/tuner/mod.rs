@@ -159,13 +159,50 @@ impl<'a> Evaluator<'a> {
     ) -> Result<(Metrics, f64), MicroGradError> {
         let input = self.space.resolve(config, self.seed)?;
         let metrics = self.platform.evaluate(&input)?;
+        Ok(self.record(config, metrics))
+    }
+
+    /// Evaluates a batch of configurations through the platform's batch
+    /// interface, returning `(metrics, loss)` per configuration in input
+    /// order.
+    ///
+    /// This is the batch scheduler every tuner submits through: the
+    /// platform may evaluate the batch in parallel, but results are
+    /// post-processed strictly in input order, so the evaluation counter
+    /// and the deterministic best-so-far tie-breaking (first configuration
+    /// wins on equal loss) are bit-identical to evaluating the same
+    /// configurations one by one.
+    pub(crate) fn evaluate_many(
+        &mut self,
+        configs: &[KnobConfig],
+    ) -> Result<Vec<(Metrics, f64)>, MicroGradError> {
+        let inputs = configs
+            .iter()
+            .map(|c| self.space.resolve(c, self.seed))
+            .collect::<Result<Vec<_>, _>>()?;
+        let results = self.platform.evaluate_batch(&inputs);
+        assert_eq!(
+            results.len(),
+            configs.len(),
+            "ExecutionPlatform::evaluate_batch must return one result per input"
+        );
+        let mut out = Vec::with_capacity(configs.len());
+        for (config, result) in configs.iter().zip(results) {
+            let metrics = result?;
+            out.push(self.record(config, metrics));
+        }
+        Ok(out)
+    }
+
+    /// Counts one evaluation and updates the best-so-far record.
+    fn record(&mut self, config: &KnobConfig, metrics: Metrics) -> (Metrics, f64) {
         let loss = self.loss.loss(&metrics);
         self.evaluations += 1;
-        let improved = self.best.as_ref().map_or(true, |(_, _, b)| loss < *b);
+        let improved = self.best.as_ref().is_none_or(|(_, _, b)| loss < *b);
         if improved {
             self.best = Some((config.clone(), metrics.clone(), loss));
         }
-        Ok((metrics, loss))
+        (metrics, loss)
     }
 
     /// The best `(config, metrics, loss)` seen so far.

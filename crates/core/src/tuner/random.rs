@@ -54,12 +54,16 @@ impl Tuner for RandomSearchTuner {
         let mut converged = false;
 
         for epoch in 0..budget.max_epochs {
-            let mut epoch_best = f64::INFINITY;
-            for _ in 0..self.evaluations_per_epoch {
-                let config = space.random_config(&mut rng);
-                let (_, l) = evaluator.evaluate(&config)?;
-                epoch_best = epoch_best.min(l);
-            }
+            // Draw the whole epoch's sample up front and submit it as one
+            // batch; the samples are independent, so the platform may run
+            // them in parallel.
+            let configs: Vec<_> = (0..self.evaluations_per_epoch)
+                .map(|_| space.random_config(&mut rng))
+                .collect();
+            let results = evaluator.evaluate_many(&configs)?;
+            let epoch_best = results
+                .iter()
+                .fold(f64::INFINITY, |best, (_, l)| best.min(*l));
             epochs.push(evaluator.epoch_record(epoch + 1, epoch_best)?);
             if budget.target_reached(evaluator.best()?.2) {
                 converged = true;

@@ -196,7 +196,9 @@ mod tests {
     #[test]
     fn out_of_range_knob_is_rejected() {
         let space = space();
-        let err = BottleneckTask::new(999).run(&platform(), &space).unwrap_err();
+        let err = BottleneckTask::new(999)
+            .run(&platform(), &space)
+            .unwrap_err();
         assert!(matches!(err, MicroGradError::InvalidInput { .. }));
     }
 
@@ -209,6 +211,6 @@ mod tests {
             .observing(MetricKind::DynamicPower);
         let report = task.run(&platform(), &space).unwrap();
         assert_eq!(report.observed_metric, MetricKind::DynamicPower);
-        assert!(report.points.iter().all(|p| p.metrics.len() > 0));
+        assert!(report.points.iter().all(|p| !p.metrics.is_empty()));
     }
 }

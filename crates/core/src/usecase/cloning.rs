@@ -206,7 +206,9 @@ impl CloningTask {
             .iter()
             .map(|k| (*k, result.best_metrics.ratio_to(target, *k)))
             .collect();
-        let mean_accuracy = result.best_metrics.mean_accuracy(target, &self.metric_kinds);
+        let mean_accuracy = result
+            .best_metrics
+            .mean_accuracy(target, &self.metric_kinds);
 
         Ok(CloneReport {
             workload: workload_name.to_owned(),
@@ -256,11 +258,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        let mut t = CloningTask::default();
-        t.accuracy_target = 0.0;
+        let t = CloningTask {
+            accuracy_target: 0.0,
+            ..CloningTask::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = CloningTask::default();
-        t.max_epochs = 0;
+        let t = CloningTask {
+            max_epochs: 0,
+            ..CloningTask::default()
+        };
         assert!(t.validate().is_err());
         let mut t = CloningTask::default();
         t.metric_kinds.clear();
@@ -301,9 +307,11 @@ mod tests {
             ..CloningTask::default()
         };
         let start = CloningTask::warm_start_config(&space, &target);
-        let mut tuner =
-            GradientDescentTuner::new(GdParams { seed: 2, ..GdParams::default() })
-                .with_initial_config(start);
+        let mut tuner = GradientDescentTuner::new(GdParams {
+            seed: 2,
+            ..GdParams::default()
+        })
+        .with_initial_config(start);
         let report = task
             .run(&platform, &space, "self-target", &target, &mut tuner)
             .unwrap();

@@ -174,7 +174,10 @@ mod tests {
         let platform = platform();
         let space = space();
         let task = StressTask::performance_virus(6);
-        let mut gd = GradientDescentTuner::new(GdParams { seed: 5, ..GdParams::default() });
+        let mut gd = GradientDescentTuner::new(GdParams {
+            seed: 5,
+            ..GdParams::default()
+        });
         let report = task.run(&platform, &space, &mut gd).unwrap();
 
         // A random config's IPC should be no better (lower) than the virus's.
@@ -203,7 +206,10 @@ mod tests {
         let mut space = KnobSpace::full();
         space.loop_size = 120;
         let task = StressTask::power_virus(6);
-        let mut gd = GradientDescentTuner::new(GdParams { seed: 9, ..GdParams::default() });
+        let mut gd = GradientDescentTuner::new(GdParams {
+            seed: 9,
+            ..GdParams::default()
+        });
         let report = task.run(&platform, &space, &mut gd).unwrap();
         assert!(report.best_value > 0.0);
         // progression is monotonically non-decreasing for maximization

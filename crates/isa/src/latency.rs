@@ -23,7 +23,12 @@ pub enum FuncUnit {
 
 impl FuncUnit {
     /// All functional unit kinds.
-    pub const ALL: [FuncUnit; 4] = [FuncUnit::Alu, FuncUnit::Complex, FuncUnit::Fp, FuncUnit::Mem];
+    pub const ALL: [FuncUnit; 4] = [
+        FuncUnit::Alu,
+        FuncUnit::Complex,
+        FuncUnit::Fp,
+        FuncUnit::Mem,
+    ];
 }
 
 /// Per-opcode execution latencies (in cycles) used by the core model.

@@ -194,10 +194,7 @@ impl Opcode {
     #[must_use]
     pub fn writes_fp_reg(self) -> bool {
         use Opcode::*;
-        matches!(
-            self,
-            FaddD | FsubD | FmulD | FdivD | FmaddD | FsqrtD | Fld
-        )
+        matches!(self, FaddD | FsubD | FmulD | FdivD | FmaddD | FsqrtD | Fld)
     }
 
     /// Returns `true` if the source registers are floating point registers.

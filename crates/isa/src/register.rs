@@ -42,7 +42,10 @@ impl Reg {
     /// Panics if `index >= 32`.
     #[must_use]
     pub fn x(index: u8) -> Reg {
-        assert!(index < NUM_INT_REGS, "integer register index {index} out of range");
+        assert!(
+            index < NUM_INT_REGS,
+            "integer register index {index} out of range"
+        );
         Reg {
             class: RegClass::Int,
             index,
@@ -56,7 +59,10 @@ impl Reg {
     /// Panics if `index >= 32`.
     #[must_use]
     pub fn f(index: u8) -> Reg {
-        assert!(index < NUM_FP_REGS, "fp register index {index} out of range");
+        assert!(
+            index < NUM_FP_REGS,
+            "fp register index {index} out of range"
+        );
         Reg {
             class: RegClass::Fp,
             index,

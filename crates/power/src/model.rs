@@ -145,12 +145,24 @@ impl PowerModel {
 
         add(Component::Frontend, a.fetched as f64, c.fetch_pj);
         add(Component::BranchPredictor, a.branches as f64, c.bpred_pj);
-        add(Component::RegisterFile, a.regfile_reads as f64, c.regfile_read_pj);
-        add(Component::RegisterFile, a.regfile_writes as f64, c.regfile_write_pj);
+        add(
+            Component::RegisterFile,
+            a.regfile_reads as f64,
+            c.regfile_read_pj,
+        );
+        add(
+            Component::RegisterFile,
+            a.regfile_writes as f64,
+            c.regfile_write_pj,
+        );
         add(Component::Window, a.rob_writes as f64, c.rob_pj);
         add(Component::Lsq, a.lsq_ops as f64, c.lsq_pj);
         add(Component::IntAlu, a.int_alu_ops as f64, c.int_alu_pj);
-        add(Component::IntComplex, a.int_complex_ops as f64, c.int_complex_pj);
+        add(
+            Component::IntComplex,
+            a.int_complex_ops as f64,
+            c.int_complex_pj,
+        );
         add(Component::Fpu, a.fp_ops as f64, c.fp_pj);
         add(Component::IntAlu, a.weighted_exec_energy, c.exec_weight_pj);
         add(Component::L1i, h.l1i.accesses as f64, c.l1i_pj);

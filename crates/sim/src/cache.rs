@@ -174,7 +174,11 @@ mod tests {
                 c.access(i * 64);
             }
         }
-        assert!(c.stats().hit_rate() < 0.1, "hit rate {}", c.stats().hit_rate());
+        assert!(
+            c.stats().hit_rate() < 0.1,
+            "hit rate {}",
+            c.stats().hit_rate()
+        );
     }
 
     #[test]

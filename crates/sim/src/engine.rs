@@ -278,7 +278,11 @@ mod tests {
             let stats = Simulator::new(config).run(&trace);
             assert_eq!(stats.instructions, TRACE_LEN as u64);
             assert!(stats.ipc() > 0.05, "ipc {}", stats.ipc());
-            assert!(stats.ipc() <= width, "ipc {} exceeds width {width}", stats.ipc());
+            assert!(
+                stats.ipc() <= width,
+                "ipc {} exceeds width {width}",
+                stats.ipc()
+            );
         }
     }
 
@@ -344,8 +348,16 @@ mod tests {
         let sim = Simulator::new(CoreConfig::large());
         let p = sim.run(&predictable);
         let r = sim.run(&random);
-        assert!(p.branch_mispredict_rate() < 0.05, "{}", p.branch_mispredict_rate());
-        assert!(r.branch_mispredict_rate() > 0.2, "{}", r.branch_mispredict_rate());
+        assert!(
+            p.branch_mispredict_rate() < 0.05,
+            "{}",
+            p.branch_mispredict_rate()
+        );
+        assert!(
+            r.branch_mispredict_rate() > 0.2,
+            "{}",
+            r.branch_mispredict_rate()
+        );
         assert!(r.ipc() < p.ipc());
     }
 
@@ -399,8 +411,16 @@ mod tests {
         assert_eq!(a.rob_writes, stats.instructions);
         assert_eq!(
             a.loads + a.stores,
-            stats.class_counts.get(&InstrClass::Load).copied().unwrap_or(0)
-                + stats.class_counts.get(&InstrClass::Store).copied().unwrap_or(0)
+            stats
+                .class_counts
+                .get(&InstrClass::Load)
+                .copied()
+                .unwrap_or(0)
+                + stats
+                    .class_counts
+                    .get(&InstrClass::Store)
+                    .copied()
+                    .unwrap_or(0)
         );
         assert_eq!(a.lsq_ops, a.loads + a.stores);
         assert!(a.regfile_reads > 0);

@@ -88,8 +88,8 @@ impl ApplicationTraceGenerator {
                 (dynamics.len() + budget).min(self.dynamic_len)
             };
             let code = &phase_codes[phase_idx];
-            let chooser = WeightedIndex::new(&code.block_weights)
-                .expect("block weights are positive");
+            let chooser =
+                WeightedIndex::new(&code.block_weights).expect("block weights are positive");
             while dynamics.len() < phase_end {
                 let block = chooser.sample(&mut rng);
                 let start = code.block_starts[block];
@@ -113,7 +113,7 @@ impl ApplicationTraceGenerator {
                             rng.gen::<bool>()
                         } else {
                             // stable direction per static branch
-                            idx % 2 == 0
+                            idx.is_multiple_of(2)
                         })
                     } else {
                         None
@@ -366,15 +366,17 @@ mod tests {
         for d in trace.dynamics() {
             if let Some(addr) = d.mem_addr {
                 assert!(addr >= 0x2000_0000);
-                assert!(addr < 0x2000_0000 + 0x1000_0000 * profile.phases.len() as u64 + max_footprint);
+                assert!(
+                    addr < 0x2000_0000 + 0x1000_0000 * profile.phases.len() as u64 + max_footprint
+                );
             }
         }
     }
 
     #[test]
     fn code_footprint_scales_with_code_blocks() {
-        let big_code = ApplicationTraceGenerator::new(10_000, 2)
-            .generate(&Benchmark::Xalancbmk.profile());
+        let big_code =
+            ApplicationTraceGenerator::new(10_000, 2).generate(&Benchmark::Xalancbmk.profile());
         let small_code =
             ApplicationTraceGenerator::new(10_000, 2).generate(&Benchmark::Hmmer.profile());
         assert!(big_code.statics().len() > small_code.statics().len() * 3);

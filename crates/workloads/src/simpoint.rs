@@ -181,26 +181,32 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> (Vec<usize>, Vec<Vec<
 ///
 /// Returns `None` if the trace contains fewer than one interval.
 #[must_use]
-pub fn analyze(trace: &Trace, interval_len: usize, max_k: usize, seed: u64) -> Option<PhaseAnalysis> {
+pub fn analyze(
+    trace: &Trace,
+    interval_len: usize,
+    max_k: usize,
+    seed: u64,
+) -> Option<PhaseAnalysis> {
     let bbvs = interval_bbvs(trace, interval_len);
     if bbvs.is_empty() {
         return None;
     }
     let max_k = max_k.clamp(1, bbvs.len());
-    let mut best: Option<(f64, Vec<usize>, Vec<Vec<f64>>, usize)> = None;
+    type Clustering = (f64, Vec<usize>, Vec<Vec<f64>>, usize);
+    let mut best: Option<Clustering> = None;
     for k in 1..=max_k {
         let (assignments, centroids, variance) = kmeans(&bbvs, k, seed.wrapping_add(k as u64));
         // Penalize extra clusters so k only grows when it buys real
         // variance reduction.
         let score = variance + 0.02 * k as f64;
-        if best.as_ref().map_or(true, |(s, _, _, _)| score < *s) {
+        if best.as_ref().is_none_or(|(s, _, _, _)| score < *s) {
             best = Some((score, assignments, centroids, k));
         }
     }
     let (_, assignments, centroids, k) = best.expect("at least one clustering attempted");
 
     let mut simpoints = Vec::new();
-    for cluster in 0..k {
+    for (cluster, centroid) in centroids.iter().enumerate().take(k) {
         let members: Vec<usize> = assignments
             .iter()
             .enumerate()
@@ -214,8 +220,8 @@ pub fn analyze(trace: &Trace, interval_len: usize, max_k: usize, seed: u64) -> O
             .iter()
             .copied()
             .min_by(|&a, &b| {
-                distance_sq(&bbvs[a], &centroids[cluster])
-                    .partial_cmp(&distance_sq(&bbvs[b], &centroids[cluster]))
+                distance_sq(&bbvs[a], centroid)
+                    .partial_cmp(&distance_sq(&bbvs[b], centroid))
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("cluster has members");
@@ -240,8 +246,7 @@ mod tests {
 
     #[test]
     fn bbvs_are_normalized_and_sized() {
-        let trace =
-            ApplicationTraceGenerator::new(40_000, 1).generate(&Benchmark::Gcc.profile());
+        let trace = ApplicationTraceGenerator::new(40_000, 1).generate(&Benchmark::Gcc.profile());
         let bbvs = interval_bbvs(&trace, 5_000);
         assert_eq!(bbvs.len(), 8);
         for v in &bbvs {
@@ -252,8 +257,7 @@ mod tests {
 
     #[test]
     fn short_trace_yields_no_intervals() {
-        let trace =
-            ApplicationTraceGenerator::new(100, 1).generate(&Benchmark::Astar.profile());
+        let trace = ApplicationTraceGenerator::new(100, 1).generate(&Benchmark::Astar.profile());
         assert!(interval_bbvs(&trace, 1_000).is_empty());
         assert!(analyze(&trace, 1_000, 4, 0).is_none());
     }
@@ -299,8 +303,7 @@ mod tests {
     fn multi_phase_application_yields_multiple_phases() {
         // gcc has three phases touching different code regions; the analysis
         // should find more than one cluster.
-        let trace =
-            ApplicationTraceGenerator::new(80_000, 11).generate(&Benchmark::Gcc.profile());
+        let trace = ApplicationTraceGenerator::new(80_000, 11).generate(&Benchmark::Gcc.profile());
         let analysis = analyze(&trace, 4_000, 6, 11).unwrap();
         assert!(
             analysis.num_phases() >= 2,

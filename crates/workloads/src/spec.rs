@@ -148,8 +148,30 @@ fn astar() -> ApplicationProfile {
     ApplicationProfile {
         name: "astar".to_owned(),
         phases: vec![
-            phase("search", 0.7, mix(0.42, 0.01, 0.17, 0.28, 0.12), 30, 10, 256, 24, 0.35, 0.35, 3),
-            phase("expand", 0.3, mix(0.48, 0.01, 0.14, 0.26, 0.11), 22, 12, 96, 16, 0.45, 0.25, 4),
+            phase(
+                "search",
+                0.7,
+                mix(0.42, 0.01, 0.17, 0.28, 0.12),
+                30,
+                10,
+                256,
+                24,
+                0.35,
+                0.35,
+                3,
+            ),
+            phase(
+                "expand",
+                0.3,
+                mix(0.48, 0.01, 0.14, 0.26, 0.11),
+                22,
+                12,
+                96,
+                16,
+                0.45,
+                0.25,
+                4,
+            ),
         ],
     }
 }
@@ -160,8 +182,30 @@ fn bzip2() -> ApplicationProfile {
     ApplicationProfile {
         name: "bzip2".to_owned(),
         phases: vec![
-            phase("compress", 0.6, mix(0.52, 0.0, 0.13, 0.24, 0.11), 16, 14, 192, 8, 0.5, 0.18, 5),
-            phase("sort", 0.4, mix(0.47, 0.0, 0.15, 0.27, 0.11), 14, 12, 384, 16, 0.35, 0.25, 3),
+            phase(
+                "compress",
+                0.6,
+                mix(0.52, 0.0, 0.13, 0.24, 0.11),
+                16,
+                14,
+                192,
+                8,
+                0.5,
+                0.18,
+                5,
+            ),
+            phase(
+                "sort",
+                0.4,
+                mix(0.47, 0.0, 0.15, 0.27, 0.11),
+                14,
+                12,
+                384,
+                16,
+                0.35,
+                0.25,
+                3,
+            ),
         ],
     }
 }
@@ -172,9 +216,42 @@ fn gcc() -> ApplicationProfile {
     ApplicationProfile {
         name: "gcc".to_owned(),
         phases: vec![
-            phase("parse", 0.35, mix(0.44, 0.0, 0.21, 0.24, 0.11), 120, 9, 512, 32, 0.3, 0.3, 3),
-            phase("optimize", 0.4, mix(0.46, 0.01, 0.19, 0.23, 0.11), 150, 8, 768, 40, 0.25, 0.35, 3),
-            phase("emit", 0.25, mix(0.42, 0.0, 0.18, 0.25, 0.15), 90, 10, 256, 24, 0.35, 0.25, 4),
+            phase(
+                "parse",
+                0.35,
+                mix(0.44, 0.0, 0.21, 0.24, 0.11),
+                120,
+                9,
+                512,
+                32,
+                0.3,
+                0.3,
+                3,
+            ),
+            phase(
+                "optimize",
+                0.4,
+                mix(0.46, 0.01, 0.19, 0.23, 0.11),
+                150,
+                8,
+                768,
+                40,
+                0.25,
+                0.35,
+                3,
+            ),
+            phase(
+                "emit",
+                0.25,
+                mix(0.42, 0.0, 0.18, 0.25, 0.15),
+                90,
+                10,
+                256,
+                24,
+                0.35,
+                0.25,
+                4,
+            ),
         ],
     }
 }
@@ -205,8 +282,30 @@ fn libquantum() -> ApplicationProfile {
     ApplicationProfile {
         name: "libquantum".to_owned(),
         phases: vec![
-            phase("toffoli", 0.75, mix(0.38, 0.02, 0.14, 0.30, 0.16), 8, 16, 4096, 64, 0.05, 0.03, 6),
-            phase("measure", 0.25, mix(0.42, 0.02, 0.16, 0.28, 0.12), 10, 12, 2048, 64, 0.1, 0.08, 5),
+            phase(
+                "toffoli",
+                0.75,
+                mix(0.38, 0.02, 0.14, 0.30, 0.16),
+                8,
+                16,
+                4096,
+                64,
+                0.05,
+                0.03,
+                6,
+            ),
+            phase(
+                "measure",
+                0.25,
+                mix(0.42, 0.02, 0.16, 0.28, 0.12),
+                10,
+                12,
+                2048,
+                64,
+                0.1,
+                0.08,
+                5,
+            ),
         ],
     }
 }
@@ -217,8 +316,30 @@ fn mcf() -> ApplicationProfile {
     ApplicationProfile {
         name: "mcf".to_owned(),
         phases: vec![
-            phase("pricing", 0.55, mix(0.36, 0.0, 0.16, 0.34, 0.14), 26, 9, 16 * 1024, 96, 0.08, 0.3, 2),
-            phase("refresh", 0.45, mix(0.40, 0.0, 0.14, 0.32, 0.14), 20, 10, 8 * 1024, 64, 0.12, 0.25, 3),
+            phase(
+                "pricing",
+                0.55,
+                mix(0.36, 0.0, 0.16, 0.34, 0.14),
+                26,
+                9,
+                16 * 1024,
+                96,
+                0.08,
+                0.3,
+                2,
+            ),
+            phase(
+                "refresh",
+                0.45,
+                mix(0.40, 0.0, 0.14, 0.32, 0.14),
+                20,
+                10,
+                8 * 1024,
+                64,
+                0.12,
+                0.25,
+                3,
+            ),
         ],
     }
 }
@@ -229,8 +350,30 @@ fn sjeng() -> ApplicationProfile {
     ApplicationProfile {
         name: "sjeng".to_owned(),
         phases: vec![
-            phase("search", 0.8, mix(0.46, 0.0, 0.22, 0.21, 0.11), 60, 9, 384, 32, 0.3, 0.4, 3),
-            phase("evaluate", 0.2, mix(0.52, 0.0, 0.16, 0.22, 0.10), 40, 11, 128, 16, 0.4, 0.25, 4),
+            phase(
+                "search",
+                0.8,
+                mix(0.46, 0.0, 0.22, 0.21, 0.11),
+                60,
+                9,
+                384,
+                32,
+                0.3,
+                0.4,
+                3,
+            ),
+            phase(
+                "evaluate",
+                0.2,
+                mix(0.52, 0.0, 0.16, 0.22, 0.10),
+                40,
+                11,
+                128,
+                16,
+                0.4,
+                0.25,
+                4,
+            ),
         ],
     }
 }
@@ -241,8 +384,30 @@ fn xalancbmk() -> ApplicationProfile {
     ApplicationProfile {
         name: "xalancbmk".to_owned(),
         phases: vec![
-            phase("parse", 0.4, mix(0.41, 0.0, 0.23, 0.25, 0.11), 180, 7, 512, 48, 0.25, 0.3, 3),
-            phase("transform", 0.6, mix(0.43, 0.0, 0.21, 0.25, 0.11), 220, 7, 1024, 56, 0.2, 0.35, 3),
+            phase(
+                "parse",
+                0.4,
+                mix(0.41, 0.0, 0.23, 0.25, 0.11),
+                180,
+                7,
+                512,
+                48,
+                0.25,
+                0.3,
+                3,
+            ),
+            phase(
+                "transform",
+                0.6,
+                mix(0.43, 0.0, 0.21, 0.25, 0.11),
+                220,
+                7,
+                1024,
+                56,
+                0.2,
+                0.35,
+                3,
+            ),
         ],
     }
 }
@@ -284,8 +449,14 @@ mod tests {
             .collect();
         let distinct_fp: std::collections::BTreeSet<_> = footprints.iter().collect();
         let distinct_be: std::collections::BTreeSet<_> = entropies.iter().collect();
-        assert!(distinct_fp.len() >= 5, "footprints too uniform: {footprints:?}");
-        assert!(distinct_be.len() >= 4, "branch entropies too uniform: {entropies:?}");
+        assert!(
+            distinct_fp.len() >= 5,
+            "footprints too uniform: {footprints:?}"
+        );
+        assert!(
+            distinct_be.len() >= 4,
+            "branch entropies too uniform: {entropies:?}"
+        );
     }
 
     #[test]

@@ -46,6 +46,8 @@ fn main() -> Result<(), MicroGradError> {
         dynamic_len: 50_000,
         reference_len: 100_000,
         seed: 7,
+        // Ladder probes of each epoch are evaluated on all available cores.
+        parallelism: Some(0),
     };
 
     println!("cloning `{benchmark}` on the Large core (Table II) ...");
@@ -58,7 +60,10 @@ fn main() -> Result<(), MicroGradError> {
         report.epochs_used, report.evaluations, report.converged
     );
     println!();
-    println!("{:<18} {:>12} {:>12} {:>8}", "metric", "original", "clone", "ratio");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "metric", "original", "clone", "ratio"
+    );
     for (kind, ratio) in &report.ratios {
         println!(
             "{:<18} {:>12.4} {:>12.4} {:>8.3}",

@@ -11,8 +11,8 @@
 //! cargo run --release --example power_virus
 //! ```
 
-use micrograd::core::usecase::StressTask;
 use micrograd::core::tuner::{GdParams, GradientDescentTuner};
+use micrograd::core::usecase::StressTask;
 use micrograd::core::{KnobSpace, MicroGradError, SimPlatform};
 use micrograd::isa::InstrClass;
 use micrograd::sim::CoreConfig;
@@ -35,7 +35,12 @@ fn main() -> Result<(), MicroGradError> {
     println!("dynamic power progression (W):");
     for (epoch, power) in report.progression.iter().enumerate() {
         let bar_len = (power * 20.0).round() as usize;
-        println!("  epoch {:>3}: {:>6.3} {}", epoch + 1, power, "#".repeat(bar_len));
+        println!(
+            "  epoch {:>3}: {:>6.3} {}",
+            epoch + 1,
+            power,
+            "#".repeat(bar_len)
+        );
     }
 
     println!();

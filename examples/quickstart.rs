@@ -40,6 +40,9 @@ fn main() -> Result<(), MicroGradError> {
         dynamic_len: 20_000,
         reference_len: 20_000,
         seed: 42,
+        // Evaluate each epoch's batch on all available cores; results are
+        // bit-identical to a sequential run.
+        parallelism: Some(0),
     };
 
     println!("MicroGrad quickstart — cloning a metric-described workload");
@@ -55,7 +58,10 @@ fn main() -> Result<(), MicroGradError> {
         "clone of `{}` after {} epochs ({} evaluations):",
         report.workload, report.epochs_used, report.evaluations
     );
-    println!("{:<18} {:>10} {:>10} {:>8}", "metric", "target", "clone", "ratio");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "metric", "target", "clone", "ratio"
+    );
     for (kind, ratio) in &report.ratios {
         println!(
             "{:<18} {:>10.4} {:>10.4} {:>8.3}",

@@ -12,7 +12,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
-//! | [`core`] | `micrograd-core` | knobs, losses, tuners, use cases, framework facade |
+//! | [`core`] | `micrograd-core` | knobs, losses, tuners, use cases, batch-parallel evaluation, framework facade |
 //! | [`codegen`] | `micrograd-codegen` | pass-based synthetic test-case generation |
 //! | [`sim`] | `micrograd-sim` | out-of-order core + cache hierarchy simulator |
 //! | [`power`] | `micrograd-power` | activity-based dynamic power model |
@@ -24,18 +24,41 @@
 //! ```
 //! use micrograd::core::{CoreKind, FrameworkConfig, KnobSpaceKind, MicroGrad};
 //!
-//! // Stress-test the small core for worst-case IPC with a tiny budget.
+//! // Stress-test the small core for worst-case IPC with a tiny budget,
+//! // evaluating each epoch's batch on all available cores.
 //! let config = FrameworkConfig {
 //!     core: CoreKind::Small,
 //!     knob_space: KnobSpaceKind::InstructionFractions,
 //!     max_epochs: 2,
 //!     dynamic_len: 4_000,
+//!     parallelism: Some(0),
 //!     ..FrameworkConfig::default()
 //! };
 //! let output = MicroGrad::new(config).run()?;
 //! println!("worst-case IPC: {:.3}", output.as_stress().unwrap().best_value);
 //! # Ok::<(), micrograd::core::MicroGradError>(())
 //! ```
+//!
+//! # Batch-parallel evaluation
+//!
+//! Tuning wall-clock is dominated by platform evaluations, and almost all
+//! of them are independent: the ladder probes of a gradient-descent epoch,
+//! a GA generation, a brute-force grid chunk, a random-search sample.
+//! Every tuner therefore submits its evaluations in batches through
+//! [`core::ExecutionPlatform::evaluate_batch`], and the bundled
+//! [`core::SimPlatform`] fans a batch out over a worker pool (one
+//! simulator instance per evaluation, a sharded memo cache keyed by a
+//! stable `u64` fingerprint of the generator input).
+//!
+//! The worker count is the `parallelism` field of
+//! [`core::FrameworkConfig`] (or [`core::SimPlatform::with_parallelism`]
+//! when driving the platform directly): `None` evaluates sequentially,
+//! `Some(n)` uses up to `n` threads, and `Some(0)` auto-sizes to the host.
+//! Results are **bit-identical across all settings** — batches are
+//! post-processed in submission order and every evaluation is a pure,
+//! seeded function of its input — so parallelism is purely a wall-clock
+//! knob (see `tests/determinism.rs` and the `batch_evaluation` /
+//! `tuning_epoch` benches).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios
 //! (`quickstart`, `clone_spec`, `power_virus`, `bottleneck_sweep`).

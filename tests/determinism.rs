@@ -1,0 +1,133 @@
+//! Parallel-evaluation determinism: tuning results must be bit-identical
+//! whatever the batch worker count.
+//!
+//! This is the central invariant of the batch-parallel evaluation pipeline:
+//! the platform may schedule a batch on any number of workers, but results
+//! are post-processed strictly in submission order, every evaluation is a
+//! pure seeded function of its input, and best-so-far tie-breaking follows
+//! input order — so `parallelism: Some(n)` must reproduce the
+//! `parallelism: None` run exactly, epoch by epoch.
+
+use micrograd::core::tuner::{
+    BruteForceTuner, GaParams, GdParams, GeneticTuner, GradientDescentTuner, RandomSearchTuner,
+    Tuner, TuningBudget, TuningResult,
+};
+use micrograd::core::{
+    CoreKind, FrameworkConfig, KnobSpace, KnobSpaceKind, MetricKind, MicroGrad, SimPlatform,
+    StressGoal, StressLoss, TunerKind, UseCaseConfig,
+};
+use micrograd::sim::CoreConfig;
+
+fn space() -> KnobSpace {
+    let mut space = KnobSpace::instruction_fractions();
+    space.loop_size = 100;
+    space
+}
+
+fn run(tuner: &mut dyn Tuner, parallelism: Option<usize>, epochs: usize) -> TuningResult {
+    let platform = SimPlatform::new(CoreConfig::small())
+        .with_dynamic_len(5_000)
+        .with_seed(9)
+        .with_parallelism(parallelism);
+    let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
+    tuner
+        .tune(&platform, &space(), &loss, &TuningBudget::epochs(epochs))
+        .expect("tuning run succeeds")
+}
+
+fn assert_identical(sequential: &TuningResult, parallel: &TuningResult, label: &str) {
+    assert_eq!(
+        sequential.best_config, parallel.best_config,
+        "{label}: best_config diverged"
+    );
+    assert_eq!(
+        sequential.best_metrics, parallel.best_metrics,
+        "{label}: best_metrics diverged"
+    );
+    assert!(
+        (sequential.best_loss - parallel.best_loss).abs() == 0.0,
+        "{label}: best_loss diverged"
+    );
+    assert_eq!(
+        sequential.total_evaluations, parallel.total_evaluations,
+        "{label}: evaluation counts diverged"
+    );
+    assert_eq!(
+        sequential.epochs, parallel.epochs,
+        "{label}: epoch records diverged"
+    );
+    assert_eq!(
+        sequential.converged, parallel.converged,
+        "{label}: convergence diverged"
+    );
+}
+
+#[test]
+fn gradient_descent_is_deterministic_under_parallelism() {
+    let mut seq = GradientDescentTuner::new(GdParams {
+        seed: 5,
+        ..GdParams::default()
+    });
+    let mut par = GradientDescentTuner::new(GdParams {
+        seed: 5,
+        ..GdParams::default()
+    });
+    let sequential = run(&mut seq, None, 5);
+    let parallel = run(&mut par, Some(4), 5);
+    assert_identical(&sequential, &parallel, "gradient-descent");
+}
+
+#[test]
+fn genetic_algorithm_is_deterministic_under_parallelism() {
+    let mut seq = GeneticTuner::new(GaParams::tiny());
+    let mut par = GeneticTuner::new(GaParams::tiny());
+    let sequential = run(&mut seq, None, 3);
+    let parallel = run(&mut par, Some(4), 3);
+    assert_identical(&sequential, &parallel, "genetic-algorithm");
+}
+
+#[test]
+fn brute_force_is_deterministic_under_parallelism() {
+    let mut seq = BruteForceTuner::new(2, 256);
+    let mut par = BruteForceTuner::new(2, 256);
+    let sequential = run(&mut seq, None, 4);
+    let parallel = run(&mut par, Some(4), 4);
+    assert_identical(&sequential, &parallel, "brute-force");
+}
+
+#[test]
+fn random_search_is_deterministic_under_parallelism() {
+    let mut seq = RandomSearchTuner::new(6, 17);
+    let mut par = RandomSearchTuner::new(6, 17);
+    let sequential = run(&mut seq, None, 3);
+    let parallel = run(&mut par, Some(4), 3);
+    assert_identical(&sequential, &parallel, "random-search");
+}
+
+#[test]
+fn framework_runs_are_deterministic_under_parallelism() {
+    // End to end through the configuration-file facade: a parallel stress
+    // run reproduces the sequential report exactly.
+    let base = FrameworkConfig {
+        core: CoreKind::Small,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::InstructionFractions,
+        use_case: UseCaseConfig::Stress {
+            metric: MetricKind::Ipc,
+            goal: StressGoal::Minimize,
+        },
+        max_epochs: 3,
+        dynamic_len: 4_000,
+        reference_len: 4_000,
+        seed: 3,
+        parallelism: None,
+    };
+    let sequential = MicroGrad::new(base.clone()).run().expect("sequential run");
+    let parallel = MicroGrad::new(FrameworkConfig {
+        parallelism: Some(4),
+        ..base
+    })
+    .run()
+    .expect("parallel run");
+    assert_eq!(sequential, parallel);
+}

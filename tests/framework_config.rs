@@ -76,10 +76,15 @@ fn all_tuner_kinds_run_the_same_use_case() {
             dynamic_len: 4_000,
             reference_len: 4_000,
             seed: 5,
+            // Exercise the batch-parallel evaluation path for every tuner.
+            parallelism: Some(2),
         };
         let output = MicroGrad::new(config).run().expect("run succeeds");
         let report = output.as_stress().expect("stress report");
-        assert!(report.best_value > 0.0, "{tuner:?} produced no stress value");
+        assert!(
+            report.best_value > 0.0,
+            "{tuner:?} produced no stress value"
+        );
     }
 }
 
@@ -95,6 +100,7 @@ fn default_configuration_serializes_with_documented_fields() {
         "dynamic_len",
         "reference_len",
         "seed",
+        "parallelism",
     ] {
         assert!(json.contains(field), "field `{field}` missing from {json}");
     }

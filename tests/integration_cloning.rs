@@ -131,8 +131,7 @@ fn clones_of_different_benchmarks_differ() {
 
     let mut reports = Vec::new();
     for benchmark in [Benchmark::Mcf, Benchmark::Hmmer] {
-        let trace =
-            ApplicationTraceGenerator::new(15_000, 29).generate(&benchmark.profile());
+        let trace = ApplicationTraceGenerator::new(15_000, 29).generate(&benchmark.profile());
         let target = platform.measure_trace(&trace);
         let warm = CloningTask::warm_start_config(&space, &target);
         let mut tuner = GradientDescentTuner::new(GdParams {

@@ -3,8 +3,8 @@
 //! "Application Simpoints can be provided, so as to generate a clone for
 //! each simpoint individually" input mode of the paper.
 
-use micrograd::core::{ExecutionPlatform, MetricKind, SimPlatform};
 use micrograd::codegen::Trace;
+use micrograd::core::{ExecutionPlatform, MetricKind, SimPlatform};
 use micrograd::sim::CoreConfig;
 use micrograd::workloads::{simpoint, ApplicationTraceGenerator, Benchmark};
 

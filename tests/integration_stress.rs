@@ -11,7 +11,9 @@ use micrograd::isa::{InstrClass, Opcode};
 use micrograd::sim::CoreConfig;
 
 fn platform(core: CoreConfig, seed: u64) -> SimPlatform {
-    SimPlatform::new(core).with_dynamic_len(10_000).with_seed(seed)
+    SimPlatform::new(core)
+        .with_dynamic_len(10_000)
+        .with_seed(seed)
 }
 
 fn compute_space() -> KnobSpace {
@@ -43,7 +45,11 @@ fn performance_virus_found_by_gd_is_close_to_the_coarse_brute_force_optimum() {
             KnobTarget::InstructionWeight(Opcode::Ld),
             vec![1.0, 5.0, 10.0],
         ),
-        KnobSpec::new("REG_DIST", KnobTarget::DependencyDistance, vec![1.0, 5.0, 10.0]),
+        KnobSpec::new(
+            "REG_DIST",
+            KnobTarget::DependencyDistance,
+            vec![1.0, 5.0, 10.0],
+        ),
     ]);
     space.loop_size = 150;
     let loss = StressLoss::new(MetricKind::Ipc, StressGoal::Minimize);
@@ -113,15 +119,19 @@ fn power_virus_prefers_memory_and_fp_over_integer_ops() {
 
     let int = report.instruction_mix[&InstrClass::Integer];
     let float = report.instruction_mix[&InstrClass::Float];
-    let memory = report.instruction_mix[&InstrClass::Load]
-        + report.instruction_mix[&InstrClass::Store];
+    let memory =
+        report.instruction_mix[&InstrClass::Load] + report.instruction_mix[&InstrClass::Store];
     assert!(
         float + memory > int,
         "power virus should favour FP+memory ({:.2}) over integer ({:.2})",
         float + memory,
         int
     );
-    assert!(report.best_value > 0.5, "dynamic power {:.2} W implausibly low", report.best_value);
+    assert!(
+        report.best_value > 0.5,
+        "dynamic power {:.2} W implausibly low",
+        report.best_value
+    );
 }
 
 #[test]

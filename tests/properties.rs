@@ -1,32 +1,40 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-style tests on cross-crate invariants.
+//!
+//! The original version of this file used `proptest`; the offline build
+//! environment cannot vendor it, so each property is exercised over a
+//! seeded random sample of its input domain instead — same invariants, a
+//! deterministic and dependency-free driver.
 
 use micrograd::codegen::{Generator, GeneratorInput, TraceExpander};
 use micrograd::core::{ExecutionPlatform, KnobConfig, KnobSpace, MetricKind, Metrics, SimPlatform};
 use micrograd::isa::Opcode;
 use micrograd::sim::{CoreConfig, Simulator};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy for a valid knob configuration of the full space.
-fn knob_config_strategy(space: &KnobSpace) -> impl Strategy<Value = KnobConfig> {
-    let lens: Vec<usize> = (0..space.len()).map(|k| space.max_index(k) + 1).collect();
-    lens.into_iter()
-        .map(|len| (0..len).boxed())
-        .collect::<Vec<_>>()
-        .prop_map(KnobConfig::new)
+const CASES: usize = 16;
+
+/// A random valid knob configuration of `space`.
+fn random_config(space: &KnobSpace, rng: &mut ChaCha8Rng) -> KnobConfig {
+    KnobConfig::new(
+        (0..space.len())
+            .map(|k| rng.gen_range(0..=space.max_index(k)))
+            .collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every knob configuration of the full space resolves, generates and
-    /// simulates into metrics that respect their physical bounds.
-    #[test]
-    fn any_knob_config_yields_bounded_metrics(config in knob_config_strategy(&KnobSpace::full())) {
-        let mut space = KnobSpace::full();
-        space.loop_size = 64;
-        let platform = SimPlatform::new(CoreConfig::small())
-            .with_dynamic_len(3_000)
-            .with_seed(1);
+/// Every knob configuration of the full space resolves, generates and
+/// simulates into metrics that respect their physical bounds.
+#[test]
+fn any_knob_config_yields_bounded_metrics() {
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    let mut space = KnobSpace::full();
+    space.loop_size = 64;
+    let platform = SimPlatform::new(CoreConfig::small())
+        .with_dynamic_len(3_000)
+        .with_seed(1);
+    for _ in 0..CASES {
+        let config = random_config(&space, &mut rng);
         let input = space.resolve(&config, 1).unwrap();
         let metrics = platform.evaluate(&input).unwrap();
 
@@ -42,7 +50,7 @@ proptest! {
             MetricKind::L2HitRate,
         ] {
             let v = metrics.value_or_zero(kind);
-            prop_assert!((0.0..=1.0).contains(&v), "{kind} = {v} out of [0,1]");
+            assert!((0.0..=1.0).contains(&v), "{kind} = {v} out of [0,1]");
         }
         let fraction_sum: f64 = [
             MetricKind::IntegerFraction,
@@ -54,87 +62,128 @@ proptest! {
         .iter()
         .map(|k| metrics.value_or_zero(*k))
         .sum();
-        prop_assert!((fraction_sum - 1.0).abs() < 1e-9);
+        assert!((fraction_sum - 1.0).abs() < 1e-9);
 
         let ipc = metrics.value_or_zero(MetricKind::Ipc);
-        prop_assert!(ipc > 0.0);
-        prop_assert!(ipc <= CoreConfig::small().frontend_width as f64 + 1e-9);
-        prop_assert!(metrics.value_or_zero(MetricKind::DynamicPower) >= 0.0);
+        assert!(ipc > 0.0);
+        assert!(ipc <= CoreConfig::small().frontend_width as f64 + 1e-9);
+        assert!(metrics.value_or_zero(MetricKind::DynamicPower) >= 0.0);
     }
+}
 
-    /// The dynamic instruction mix of an expanded trace tracks the static
-    /// mix of its test case.
-    #[test]
-    fn trace_mix_tracks_testcase_mix(seed in 0u64..1000, loop_size in 16usize..200) {
-        let input = GeneratorInput { loop_size, seed, ..GeneratorInput::default() };
+/// The dynamic instruction mix of an expanded trace tracks the static mix
+/// of its test case.
+#[test]
+fn trace_mix_tracks_testcase_mix() {
+    let mut rng = ChaCha8Rng::seed_from_u64(202);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..1000);
+        let loop_size = rng.gen_range(16usize..200);
+        let input = GeneratorInput {
+            loop_size,
+            seed,
+            ..GeneratorInput::default()
+        };
         let tc = Generator::new().generate(&input).unwrap();
         let trace = TraceExpander::new(20_000, seed).expand(&tc);
         let static_mix = tc.class_distribution();
         let dynamic_mix = trace.class_distribution();
         for (class, frac) in static_mix {
             let d = dynamic_mix.get(&class).copied().unwrap_or(0.0);
-            prop_assert!((frac - d).abs() < 0.05, "{class:?}: static {frac} dynamic {d}");
+            assert!(
+                (frac - d).abs() < 0.05,
+                "{class:?}: static {frac} dynamic {d}"
+            );
         }
     }
+}
 
-    /// Simulation is deterministic: the same trace yields identical stats.
-    #[test]
-    fn simulation_is_deterministic(seed in 0u64..500) {
-        let input = GeneratorInput { loop_size: 80, seed, ..GeneratorInput::default() };
+/// Simulation is deterministic: the same trace yields identical stats.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(303);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
+        let input = GeneratorInput {
+            loop_size: 80,
+            seed,
+            ..GeneratorInput::default()
+        };
         let tc = Generator::new().generate(&input).unwrap();
         let trace = TraceExpander::new(5_000, seed).expand(&tc);
         let a = Simulator::new(CoreConfig::large()).run(&trace);
         let b = Simulator::new(CoreConfig::large()).run(&trace);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// The large core never executes a trace slower than the small core by
-    /// more than a small tolerance (it has strictly more of every resource).
-    #[test]
-    fn large_core_is_not_slower_than_small_core(seed in 0u64..200) {
-        let input = GeneratorInput { loop_size: 100, seed, ..GeneratorInput::default() };
+/// The large core never executes a trace slower than the small core by
+/// more than a small tolerance (it has strictly more of every resource).
+#[test]
+fn large_core_is_not_slower_than_small_core() {
+    let mut rng = ChaCha8Rng::seed_from_u64(404);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..200);
+        let input = GeneratorInput {
+            loop_size: 100,
+            seed,
+            ..GeneratorInput::default()
+        };
         let tc = Generator::new().generate(&input).unwrap();
         let trace = TraceExpander::new(8_000, seed).expand(&tc);
         let small = Simulator::new(CoreConfig::small()).run(&trace).ipc();
         let large = Simulator::new(CoreConfig::large()).run(&trace).ipc();
-        prop_assert!(large >= small * 0.9, "large {large} vs small {small}");
+        assert!(large >= small * 0.9, "large {large} vs small {small}");
     }
+}
 
-    /// Metric accuracy is symmetric in its arguments' roles only at 1.0 and
-    /// always stays within [0, 1].
-    #[test]
-    fn accuracy_is_bounded(target in 0.01f64..10.0, measured in 0.01f64..10.0) {
+/// Metric accuracy always stays within [0, 1] and is exactly 1.0 against
+/// itself.
+#[test]
+fn accuracy_is_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(505);
+    for _ in 0..CASES * 4 {
+        let target = 0.01 + rng.gen::<f64>() * 9.99;
+        let measured = 0.01 + rng.gen::<f64>() * 9.99;
         let t: Metrics = [(MetricKind::Ipc, target)].into_iter().collect();
         let m: Metrics = [(MetricKind::Ipc, measured)].into_iter().collect();
         let acc = m.accuracy_to(&t, MetricKind::Ipc);
-        prop_assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&acc));
         let self_acc = t.accuracy_to(&t, MetricKind::Ipc);
-        prop_assert!((self_acc - 1.0).abs() < 1e-12);
+        assert!((self_acc - 1.0).abs() < 1e-12);
     }
+}
 
-    /// Knob stepping never leaves the ladder and distance is consistent.
-    #[test]
-    fn knob_stepping_stays_in_bounds(
-        knob in 0usize..16,
-        delta in -20isize..20,
-        start in 0usize..10,
-    ) {
-        let space = KnobSpace::full();
-        let knob = knob % space.len();
-        let start = start.min(space.max_index(knob));
+/// Knob stepping never leaves the ladder and distance is consistent.
+#[test]
+fn knob_stepping_stays_in_bounds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(606);
+    let space = KnobSpace::full();
+    for _ in 0..CASES * 4 {
+        let knob = rng.gen_range(0..space.len());
+        let delta = rng.gen_range(-20isize..20);
+        let start = rng.gen_range(0usize..10).min(space.max_index(knob));
         let mut indices = space.midpoint_config().indices().to_vec();
         indices[knob] = start;
         let config = KnobConfig::new(indices);
         let stepped = config.stepped(knob, delta, space.max_index(knob));
-        prop_assert!(stepped.index(knob) <= space.max_index(knob));
-        prop_assert!(stepped.distance(&config) <= delta.unsigned_abs());
+        assert!(stepped.index(knob) <= space.max_index(knob));
+        assert!(stepped.distance(&config) <= delta.unsigned_abs());
     }
+}
 
-    /// The instruction-weight knobs dominate the generated static mix: an
-    /// all-FP configuration produces a float-heavy test case.
-    #[test]
-    fn fp_only_weights_produce_fp_heavy_testcases(seed in 0u64..100) {
-        let mut input = GeneratorInput { loop_size: 200, seed, ..GeneratorInput::default() };
+/// The instruction-weight knobs dominate the generated static mix: an
+/// all-FP configuration produces a float-heavy test case.
+#[test]
+fn fp_only_weights_produce_fp_heavy_testcases() {
+    let mut rng = ChaCha8Rng::seed_from_u64(707);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
+        let mut input = GeneratorInput {
+            loop_size: 200,
+            seed,
+            ..GeneratorInput::default()
+        };
         for w in input.instr_weights.values_mut() {
             *w = 0.0;
         }
@@ -142,7 +191,37 @@ proptest! {
         input.set_weight(Opcode::FmulD, 5.0);
         let tc = Generator::new().generate(&input).unwrap();
         let dist = tc.class_distribution();
-        let float = dist.get(&micrograd::isa::InstrClass::Float).copied().unwrap_or(0.0);
-        prop_assert!(float > 0.9, "float fraction {float}");
+        let float = dist
+            .get(&micrograd::isa::InstrClass::Float)
+            .copied()
+            .unwrap_or(0.0);
+        assert!(float > 0.9, "float fraction {float}");
+    }
+}
+
+/// Batch evaluation through the platform is equivalent to one-by-one
+/// evaluation, with any worker count.
+#[test]
+fn batch_evaluation_is_order_preserving_and_parallel_safe() {
+    let mut rng = ChaCha8Rng::seed_from_u64(808);
+    let mut space = KnobSpace::full();
+    space.loop_size = 64;
+    let sequential = SimPlatform::new(CoreConfig::small())
+        .with_dynamic_len(3_000)
+        .with_seed(1);
+    let inputs: Vec<GeneratorInput> = (0..CASES)
+        .map(|_| space.resolve(&random_config(&space, &mut rng), 1).unwrap())
+        .collect();
+    let reference: Vec<_> = inputs.iter().map(|i| sequential.evaluate(i)).collect();
+    for workers in [1usize, 2, 4, 8] {
+        let parallel = SimPlatform::new(CoreConfig::small())
+            .with_dynamic_len(3_000)
+            .with_seed(1)
+            .with_parallelism(Some(workers));
+        assert_eq!(
+            parallel.evaluate_batch(&inputs),
+            reference,
+            "workers={workers}"
+        );
     }
 }

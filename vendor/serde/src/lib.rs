@@ -1,0 +1,410 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! minimal serialization framework under the `serde` name.  It is
+//! intentionally much simpler than real serde: serialization goes through a
+//! self-describing [`Value`] tree instead of a visitor, and the derive
+//! macros (re-exported from `serde_derive`) generate `Value` conversions
+//! honoring the subset of `#[serde(...)]` attributes this repository uses
+//! (`rename_all`, `tag`, `default`, `default = "path"`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing data value, the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and data formats such as
+/// `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer that does not fit `i64`.
+    UInt(u64),
+    /// A floating point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A key-ordered map (object).  Order is preserved for readability.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string contents of a string value.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| map_get(m, key))
+    }
+}
+
+/// Looks up `key` among map entries.
+#[must_use]
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable description including any context path.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Prepends a context path (e.g. a field name) to the error.
+    #[must_use]
+    pub fn context(mut self, ctx: &str) -> Self {
+        self.message = format!("{ctx}: {}", self.message);
+        self
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] if the value does not have the expected shape.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                #[allow(unused_comparisons, clippy::cast_possible_wrap)]
+                if (*self as i128) >= i64::MIN as i128 && (*self as i128) <= i64::MAX as i128 {
+                    Value::Int(*self as i64)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(n) => i128::from(*n),
+                    Value::UInt(n) => i128::from(*n),
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.3e18 => *f as i128,
+                    other => return Err(DeError::new(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::new(format!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    other => Err(DeError::new(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::deserialize_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+            )),
+            other => Err(DeError::new(format!("expected pair, got {other:?}"))),
+        }
+    }
+}
+
+fn key_to_string(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        Value::Int(n) => Some(n.to_string()),
+        Value::UInt(n) => Some(n.to_string()),
+        Value::Bool(b) => Some(b.to_string()),
+        _ => None,
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::deserialize_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_value(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    if s == "true" || s == "false" {
+        if let Ok(k) = K::deserialize_value(&Value::Bool(s == "true")) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::new(format!("cannot interpret map key `{s}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            match key_to_string(&k.serialize_value()) {
+                Some(key) => entries.push((key, v.serialize_value())),
+                None => {
+                    // Non-scalar keys: fall back to an array of pairs.
+                    return Value::Seq(
+                        self.iter()
+                            .map(|(k, v)| {
+                                Value::Seq(vec![k.serialize_value(), v.serialize_value()])
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let mut out = BTreeMap::new();
+        match v {
+            Value::Map(entries) => {
+                for (k, v) in entries {
+                    out.insert(key_from_string::<K>(k)?, V::deserialize_value(v)?);
+                }
+                Ok(out)
+            }
+            Value::Seq(items) => {
+                for item in items {
+                    let (k, v) = <(K, V)>::deserialize_value(item)?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+            other => Err(DeError::new(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort for a deterministic representation.
+        let sorted: BTreeMap<&K, &V> = self.iter().collect();
+        let mut entries = Vec::with_capacity(sorted.len());
+        for (k, v) in sorted {
+            match key_to_string(&k.serialize_value()) {
+                Some(key) => entries.push((key, v.serialize_value())),
+                None => {
+                    return Value::Seq(
+                        self.iter()
+                            .map(|(k, v)| {
+                                Value::Seq(vec![k.serialize_value(), v.serialize_value()])
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let mut out = HashMap::with_hasher(S::default());
+        match v {
+            Value::Map(entries) => {
+                for (k, v) in entries {
+                    out.insert(key_from_string::<K>(k)?, V::deserialize_value(v)?);
+                }
+                Ok(out)
+            }
+            Value::Seq(items) => {
+                for item in items {
+                    let (k, v) = <(K, V)>::deserialize_value(item)?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+            other => Err(DeError::new(format!("expected map, got {other:?}"))),
+        }
+    }
+}

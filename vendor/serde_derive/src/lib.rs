@@ -1,0 +1,608 @@
+//! Vendored offline derive macros for the stand-in `serde` crate.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline).  Supports
+//! the shapes this repository uses:
+//!
+//! * structs with named fields;
+//! * enums with unit, newtype and struct variants;
+//! * container attributes `#[serde(rename_all = "...")]` (`lowercase`,
+//!   `kebab-case`, `snake_case`) and `#[serde(tag = "...")]`;
+//! * field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    ty: String,
+    default: Option<Option<String>>, // None = no default; Some(None) = Default::default(); Some(Some(p)) = path
+}
+
+#[derive(Debug, Clone)]
+enum VariantData {
+    Unit,
+    Newtype(String),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    shape: Shape,
+    rename_all: Option<String>,
+    tag: Option<String>,
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    default: Option<Option<String>>,
+}
+
+fn parse_serde_attr(tokens: &[TokenTree], attrs: &mut SerdeAttrs) {
+    // tokens are the contents of the bracket group: `serde ( ... )`
+    let mut iter = tokens.iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(group)) = iter.next() else {
+        return;
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        let TokenTree::Ident(key) = &inner[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let value = if i + 2 < inner.len()
+            && matches!(&inner[i + 1], TokenTree::Punct(p) if p.as_char() == '=')
+        {
+            let v = literal_string(&inner[i + 2]);
+            i += 3;
+            v
+        } else {
+            i += 1;
+            None
+        };
+        match key.as_str() {
+            "rename_all" => attrs.rename_all = value,
+            "tag" => attrs.tag = value,
+            "default" => attrs.default = Some(value),
+            _ => {}
+        }
+        // skip a separating comma, if any
+        if i < inner.len() {
+            if let TokenTree::Punct(p) = &inner[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn literal_string(t: &TokenTree) -> Option<String> {
+    let TokenTree::Literal(lit) = t else {
+        return None;
+    };
+    let s = lit.to_string();
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(std::borrow::ToOwned::to_owned)
+}
+
+/// Consumes leading attributes, recording `#[serde(...)]` contents.
+fn take_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut SerdeAttrs) -> usize {
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        parse_serde_attr(&inner, attrs);
+        i += 2;
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = SerdeAttrs {
+        rename_all: None,
+        tag: None,
+        default: None,
+    };
+    let mut i = take_attrs(&tokens, 0, &mut attrs);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    // skip generics if present (none in this repository)
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            while i < tokens.len() {
+                if let TokenTree::Punct(p) = &tokens[i] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => {
+            let body = tokens[i..]
+                .iter()
+                .find_map(|t| match t {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("derive(Serialize/Deserialize) on `{name}`: only named-field structs are supported"));
+            Shape::Struct(parse_fields(body.stream()))
+        }
+        "enum" => {
+            let body = match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body, got {other}"),
+            };
+            Shape::Enum(parse_variants(body.stream()))
+        }
+        other => panic!("cannot derive for `{other}`"),
+    };
+    Container {
+        name,
+        shape,
+        rename_all: attrs.rename_all,
+        tag: attrs.tag,
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs {
+            rename_all: None,
+            tag: None,
+            default: None,
+        };
+        i = take_attrs(&tokens, i, &mut attrs);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other}"),
+        }
+        // collect the type until a top-level comma
+        let mut depth = 0i32;
+        let mut ty = String::new();
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        i += 1; // the comma, if any
+        fields.push(Field {
+            name,
+            ty,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs {
+            rename_all: None,
+            tag: None,
+            default: None,
+        };
+        i = take_attrs(&tokens, i, &mut attrs);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let data = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let ty = inner
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                VariantData::Newtype(ty)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        // skip to past the next top-level comma
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// name conversion
+
+fn apply_rename(rule: Option<&str>, name: &str) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("kebab-case") => camel_to_separated(name, '-'),
+        Some("snake_case") => camel_to_separated(name, '_'),
+        Some("UPPERCASE") => name.to_uppercase(),
+        _ => name.to_owned(),
+    }
+}
+
+fn camel_to_separated(name: &str, sep: char) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+
+fn gen_struct_to_map(fields: &[Field], accessor: &str) -> String {
+    let mut code = String::from("{ let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        code.push_str(&format!(
+            "entries.push((\"{name}\".to_string(), ::serde::Serialize::serialize_value({accessor}{name})));\n",
+            name = f.name,
+        ));
+    }
+    code.push_str("::serde::Value::Map(entries) }");
+    code
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Struct(fields) => gen_struct_to_map(fields, "&self."),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = apply_rename(c.rename_all.as_deref(), &v.name);
+                match (&v.data, &c.tag) {
+                    (VariantData::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{vname}\".to_string()),\n",
+                            v = v.name,
+                        ));
+                    }
+                    (VariantData::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Map(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{vname}\".to_string()))]),\n",
+                            v = v.name,
+                        ));
+                    }
+                    (VariantData::Newtype(_), None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v}(inner) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::serialize_value(inner))]),\n",
+                            v = v.name,
+                        ));
+                    }
+                    (VariantData::Newtype(_), Some(tag)) => {
+                        // Internally tagged: the inner value must serialize
+                        // to a map; prepend the tag entry.
+                        arms.push_str(&format!(
+                            "{name}::{v}(inner) => {{\n\
+                             let mut entries = vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{vname}\".to_string()))];\n\
+                             match ::serde::Serialize::serialize_value(inner) {{\n\
+                                 ::serde::Value::Map(m) => entries.extend(m),\n\
+                                 other => entries.push((\"value\".to_string(), other)),\n\
+                             }}\n\
+                             ::serde::Value::Map(entries)\n\
+                             }},\n",
+                            v = v.name,
+                        ));
+                    }
+                    (VariantData::Struct(fields), tag) => {
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut entries = String::new();
+                        if let Some(tag) = tag {
+                            entries.push_str(&format!(
+                                "entries.push((\"{tag}\".to_string(), ::serde::Value::Str(\"{vname}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            entries.push_str(&format!(
+                                "entries.push((\"{f}\".to_string(), ::serde::Serialize::serialize_value({f})));\n",
+                                f = f.name,
+                            ));
+                        }
+                        let fields_map = format!(
+                            "{{ let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n{entries}::serde::Value::Map(entries) }}"
+                        );
+                        let value = if tag.is_some() {
+                            fields_map
+                        } else {
+                            format!(
+                                "::serde::Value::Map(vec![(\"{vname}\".to_string(), {fields_map})])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {value},\n",
+                            v = v.name,
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_field_reads(c_name: &str, fields: &[Field], map_expr: &str) -> String {
+    // Produces `field: <expr>,` initializers reading from `map_expr`
+    // (an expression of type `&[(String, Value)]`).
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            Some(Some(path)) => format!("{path}()"),
+            Some(None) => "::std::default::Default::default()".to_string(),
+            None => format!(
+                "<{ty} as ::serde::Deserialize>::deserialize_value(&::serde::Value::Null)\
+                 .map_err(|e| e.context(\"{c_name}.{fname} (missing)\"))?",
+                ty = f.ty,
+                fname = f.name,
+            ),
+        };
+        out.push_str(&format!(
+            "{fname}: match ::serde::map_get({map_expr}, \"{fname}\") {{\n\
+                 Some(__v) => <{ty} as ::serde::Deserialize>::deserialize_value(__v)\
+                     .map_err(|e| e.context(\"{c_name}.{fname}\"))?,\n\
+                 None => {missing},\n\
+             }},\n",
+            fname = f.name,
+            ty = f.ty,
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Struct(fields) => {
+            let reads = gen_field_reads(name, fields, "entries");
+            format!(
+                "let entries = v.as_map().ok_or_else(|| ::serde::DeError::new(\
+                     format!(\"expected object for {name}, got {{v:?}}\")))?;\n\
+                 Ok({name} {{\n{reads}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            if let Some(tag) = &c.tag {
+                // internally tagged
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = apply_rename(c.rename_all.as_deref(), &v.name);
+                    match &v.data {
+                        VariantData::Unit => {
+                            arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{v}),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantData::Newtype(ty) => {
+                            arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{v}(<{ty} as ::serde::Deserialize>::deserialize_value(v)\
+                                     .map_err(|e| e.context(\"{name}::{v}\"))?)),\n",
+                                v = v.name,
+                            ));
+                        }
+                        VariantData::Struct(fields) => {
+                            let reads = gen_field_reads(name, fields, "entries");
+                            arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{v} {{\n{reads}}}),\n",
+                                v = v.name,
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "let entries = v.as_map().ok_or_else(|| ::serde::DeError::new(\
+                         format!(\"expected object for {name}, got {{v:?}}\")))?;\n\
+                     let tag = ::serde::map_get(entries, \"{tag}\")\
+                         .and_then(::serde::Value::as_str)\
+                         .ok_or_else(|| ::serde::DeError::new(\"missing `{tag}` tag for {name}\"))?;\n\
+                     match tag {{\n{arms}\
+                         other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }}"
+                )
+            } else {
+                // externally tagged
+                let mut str_arms = String::new();
+                let mut map_arms = String::new();
+                for v in variants {
+                    let vname = apply_rename(c.rename_all.as_deref(), &v.name);
+                    match &v.data {
+                        VariantData::Unit => {
+                            str_arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{v}),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantData::Newtype(ty) => {
+                            map_arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{v}(<{ty} as ::serde::Deserialize>::deserialize_value(inner)\
+                                     .map_err(|e| e.context(\"{name}::{v}\"))?)),\n",
+                                v = v.name,
+                            ));
+                        }
+                        VariantData::Struct(fields) => {
+                            let reads = gen_field_reads(name, fields, "entries");
+                            map_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                     let entries = inner.as_map().ok_or_else(|| ::serde::DeError::new(\
+                                         \"expected object for {name}::{v}\"))?;\n\
+                                     Ok({name}::{v} {{\n{reads}}})\n\
+                                 }},\n",
+                                v = v.name,
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n{str_arms}\
+                             other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }},\n\
+                         ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                             let (key, inner) = &m[0];\n\
+                             match key.as_str() {{\n{map_arms}\
+                                 other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }}\n\
+                         }},\n\
+                         other => Err(::serde::DeError::new(format!(\"expected {name}, got {{other:?}}\"))),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
