@@ -1,19 +1,36 @@
 //! Criterion bench: simulator throughput (dynamic instructions per second)
 //! on both Table II cores.  This is the substrate cost that every tuning
 //! evaluation pays, so it bounds how fast the whole framework can iterate.
+//!
+//! Two groups are tracked across PRs, both annotated with
+//! `Throughput::Elements` so criterion reports instructions/second:
+//!
+//! * `simulator_throughput` — the materialized baseline (`run` over a
+//!   pre-expanded 50 k trace) next to the fused streaming path
+//!   (`run_source` over a `StreamingExpander`, which pays expansion *and*
+//!   simulation in the measured region yet needs no trace allocation);
+//! * `simulator_throughput_streaming` — a large-`dynamic_len` variant
+//!   (2 M instructions) that is only affordable because the streaming path
+//!   runs in O(window) memory; the materialized two-pass equivalent is
+//!   benched alongside it for the fused-vs-two-pass comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use micrograd_codegen::{Generator, GeneratorInput, TraceExpander};
+use micrograd_codegen::{Generator, GeneratorInput, TestCase, TraceExpander};
 use micrograd_sim::{CoreConfig, Simulator};
 
-fn simulator_throughput(c: &mut Criterion) {
+fn testcase() -> TestCase {
     let input = GeneratorInput {
         loop_size: 300,
         seed: 1,
         ..GeneratorInput::default()
     };
-    let tc = Generator::new().generate(&input).expect("generate");
-    let trace = TraceExpander::new(50_000, 1).expand(&tc);
+    Generator::new().generate(&input).expect("generate")
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let tc = testcase();
+    let expander = TraceExpander::new(50_000, 1);
+    let trace = expander.expand(&tc);
 
     let mut group = c.benchmark_group("simulator_throughput");
     group.throughput(Throughput::Elements(trace.len() as u64));
@@ -21,12 +38,39 @@ fn simulator_throughput(c: &mut Criterion) {
     for config in [CoreConfig::small(), CoreConfig::large()] {
         let name = config.name.clone();
         let sim = Simulator::new(config);
-        group.bench_with_input(BenchmarkId::new("run", name), &trace, |b, trace| {
+        group.bench_with_input(BenchmarkId::new("run", &name), &trace, |b, trace| {
             b.iter(|| sim.run(trace));
+        });
+        group.bench_function(BenchmarkId::new("run_source", &name), |b| {
+            b.iter(|| sim.run_source(&mut expander.stream(&tc)));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, simulator_throughput);
+fn simulator_throughput_streaming(c: &mut Criterion) {
+    const STREAM_LEN: usize = 2_000_000;
+    let tc = testcase();
+    let expander = TraceExpander::new(STREAM_LEN, 1);
+
+    let mut group = c.benchmark_group("simulator_throughput_streaming");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.sample_size(10);
+    let sim = Simulator::new(CoreConfig::small());
+    // Fused: expansion streams straight into the simulator, O(window) memory.
+    group.bench_function("streaming", |b| {
+        b.iter(|| sim.run_source(&mut expander.stream(&tc)));
+    });
+    // Two-pass: materialize the 2 M-entry trace, then simulate it.
+    group.bench_function("materialized", |b| {
+        b.iter(|| sim.run(&expander.expand(&tc)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    simulator_throughput,
+    simulator_throughput_streaming
+);
 criterion_main!(benches);

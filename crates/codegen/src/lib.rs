@@ -25,6 +25,13 @@
 //! * [`Trace`] / [`TraceExpander`] — expansion of the static loop into a
 //!   dynamic instruction stream (branch outcomes, memory addresses) that the
 //!   performance simulator consumes.
+//! * [`TraceSource`] — the streaming trace abstraction: dynamic
+//!   instructions on demand, in O(loop size) memory.  Implemented by
+//!   [`StreamingExpander`] (the cursor form of [`TraceExpander::expand`],
+//!   bit-identical stream), [`TraceCursor`] (replay of a materialized
+//!   [`Trace`]) and [`PhaseSchedule`] (concatenation of per-phase sources —
+//!   phase-structured workloads).  See `docs/streaming.md` at the
+//!   repository root for the architecture and memory model.
 //! * [`AssemblyEmitter`] — renders the test case as RISC-V assembly text,
 //!   which is what a user would compile and run on native hardware.
 //!
@@ -57,6 +64,7 @@ mod error;
 mod generator;
 pub mod passes;
 mod profile;
+mod source;
 mod synth;
 mod testcase;
 mod trace;
@@ -65,6 +73,7 @@ pub use asm::AssemblyEmitter;
 pub use error::CodegenError;
 pub use generator::{Generator, GeneratorInput};
 pub use profile::InstructionProfile;
+pub use source::{collect_trace, PhaseSchedule, StreamingExpander, TraceCursor, TraceSource};
 pub use synth::Synthesizer;
 pub use testcase::{BuildingBlock, MemoryStream, TestCase, TestCaseMetadata};
 pub use trace::{DynamicInstr, Trace, TraceExpander};

@@ -1,0 +1,495 @@
+//! Streaming trace sources: dynamic instructions on demand.
+//!
+//! The materialized [`Trace`] is convenient for analysis but costs
+//! O(`dynamic_len`) memory and a second traversal on the hottest path of the
+//! framework (every tuning evaluation expands a trace, then simulates it).
+//! A [`TraceSource`] instead yields [`DynamicInstr`]s one at a time, so the
+//! simulator can fuse expansion and simulation into a single pass whose
+//! memory footprint is bounded by the core's window sizes — see
+//! `docs/streaming.md` for the memory model.
+//!
+//! Three implementations ship here:
+//!
+//! * [`StreamingExpander`] — the cursor form of [`TraceExpander::expand`];
+//!   same ChaCha8 seed discipline, bit-identical stream.
+//! * [`TraceCursor`] — replays an already-materialized [`Trace`]
+//!   (obtained via [`Trace::source`]).
+//! * [`PhaseSchedule`] — concatenates per-phase sources with per-phase
+//!   lengths, which is how phase-structured workloads (one behaviour per
+//!   SimPoint-like phase) are composed without ever materializing the
+//!   combined stream.
+
+use crate::trace::{DynamicInstr, Trace};
+use crate::{TestCase, TraceExpander};
+use micrograd_isa::Instruction;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// A stream of dynamic instructions plus the static code they refer to.
+///
+/// This is the contract between trace producers (the knob-driven
+/// [`TraceExpander`], application models, phase schedules, materialized
+/// traces) and trace consumers (the simulator, characterization code).  A
+/// source is an owning cursor: [`next_dynamic`](TraceSource::next_dynamic)
+/// advances it and returns `None` once the stream is exhausted.
+///
+/// `DynamicInstr::static_index` values index into
+/// [`statics`](TraceSource::statics), which must remain stable for the
+/// lifetime of the source.
+pub trait TraceSource {
+    /// The static instructions referenced by
+    /// [`DynamicInstr::static_index`].
+    fn statics(&self) -> &[Instruction];
+
+    /// Produces the next dynamic instruction, or `None` when the stream is
+    /// exhausted.
+    fn next_dynamic(&mut self) -> Option<DynamicInstr>;
+
+    /// Number of dynamic instructions left, when the source knows it.
+    fn remaining(&self) -> Option<usize>;
+}
+
+/// Drains a source into a materialized [`Trace`].
+///
+/// This is the compatibility bridge for analysis code that wants random
+/// access; the hot evaluation path feeds sources to the simulator directly.
+#[must_use]
+pub fn collect_trace<S: TraceSource + ?Sized>(source: &mut S) -> Trace {
+    let mut dynamics = Vec::with_capacity(source.remaining().unwrap_or(0));
+    while let Some(d) = source.next_dynamic() {
+        dynamics.push(d);
+    }
+    Trace::new(source.statics().to_vec(), dynamics)
+}
+
+/// A [`TraceSource`] replaying a materialized [`Trace`] in program order.
+///
+/// Created by [`Trace::source`]; lets every consumer of the streaming
+/// interface also accept recorded traces (SimPoint interval slices, test
+/// fixtures) without a copy.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Creates a cursor at the start of `trace`.
+    #[must_use]
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceCursor { trace, pos: 0 }
+    }
+}
+
+impl TraceSource for TraceCursor<'_> {
+    fn statics(&self) -> &[Instruction] {
+        self.trace.statics()
+    }
+
+    fn next_dynamic(&mut self) -> Option<DynamicInstr> {
+        let d = self.trace.dynamics().get(self.pos).copied()?;
+        self.pos += 1;
+        Some(d)
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.trace.len() - self.pos)
+    }
+}
+
+/// The streaming form of [`TraceExpander::expand`].
+///
+/// Holds the expansion state (ChaCha8 RNG, per-stream positions and re-use
+/// histories, loop cursor) and produces the **bit-identical** dynamic
+/// stream the materializing expander would, one instruction at a time.
+/// Memory is O(loop size + temporal-reuse windows) regardless of
+/// `dynamic_len`, which is what makes 100 M-instruction evaluations
+/// feasible.
+///
+/// Created by [`TraceExpander::stream`].
+#[derive(Debug, Clone)]
+pub struct StreamingExpander {
+    statics: Vec<Instruction>,
+    dynamic_len: usize,
+    emitted: usize,
+    /// Index of the next static instruction to execute.
+    cursor: usize,
+    rng: ChaCha8Rng,
+    /// Per-stream temporal-reuse state: recently issued addresses.
+    recent: BTreeMap<u32, Vec<u64>>,
+    /// Per-stream access counters (circular-buffer walk, see
+    /// [`TraceExpander`]).
+    stream_pos: BTreeMap<u32, u64>,
+    reuse_prob: BTreeMap<u32, (f64, usize)>,
+}
+
+impl StreamingExpander {
+    /// Creates a streaming expander over `test_case`, producing
+    /// `dynamic_len` instructions with `seed` — the same seed discipline as
+    /// [`TraceExpander::new`], so the stream matches the materialized
+    /// expansion bit for bit.
+    #[must_use]
+    pub fn new(test_case: &TestCase, dynamic_len: usize, seed: u64) -> Self {
+        let statics: Vec<Instruction> = test_case.block().instructions().to_vec();
+        let reuse_prob: BTreeMap<u32, (f64, usize)> = test_case
+            .streams()
+            .iter()
+            .map(|s| (s.id, (s.reuse_probability(), s.reuse_window as usize)))
+            .collect();
+        StreamingExpander {
+            statics,
+            dynamic_len,
+            emitted: 0,
+            cursor: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_7ACE),
+            recent: BTreeMap::new(),
+            stream_pos: BTreeMap::new(),
+            reuse_prob,
+        }
+    }
+
+    /// Consumes the expander, returning the static instruction table.
+    ///
+    /// [`TraceExpander::expand`] drains the cursor and then takes the
+    /// statics through here, building the materialized [`Trace`] without a
+    /// second copy of the loop body.
+    #[must_use]
+    pub fn into_statics(self) -> Vec<Instruction> {
+        self.statics
+    }
+}
+
+impl TraceSource for StreamingExpander {
+    fn statics(&self) -> &[Instruction] {
+        &self.statics
+    }
+
+    fn next_dynamic(&mut self) -> Option<DynamicInstr> {
+        if self.emitted >= self.dynamic_len || self.statics.is_empty() {
+            return None;
+        }
+        // Disjoint field borrows: the instruction is read from `statics`
+        // while the RNG and stream state advance.
+        let StreamingExpander {
+            statics,
+            dynamic_len,
+            emitted,
+            cursor,
+            rng,
+            recent,
+            stream_pos,
+            reuse_prob,
+        } = self;
+        let body_len = statics.len();
+        let idx = *cursor;
+        let instr = &statics[idx];
+        let is_last_static = idx + 1 == body_len;
+        let mem_addr = instr.mem().map(|m| {
+            let (prob, window) = reuse_prob.get(&m.stream).copied().unwrap_or((0.0, 1));
+            let history = recent.entry(m.stream).or_default();
+            let addr = if prob > 0.0 && !history.is_empty() && rng.gen::<f64>() < prob {
+                let pick = rng.gen_range(0..history.len().min(window.max(1)));
+                history[history.len() - 1 - pick]
+            } else {
+                let pos = stream_pos.entry(m.stream).or_insert(0);
+                let addr = m.address_at(*pos);
+                *pos += 1;
+                addr
+            };
+            history.push(addr);
+            let cap = window.max(1) * 2;
+            if history.len() > cap {
+                let drop = history.len() - cap;
+                history.drain(0..drop);
+            }
+            addr
+        });
+        let taken = if instr.opcode().is_conditional_branch() {
+            if is_last_static {
+                // loop back-edge: taken unless this is the final dynamic
+                // instruction
+                Some(*emitted + 1 < *dynamic_len)
+            } else {
+                // body branch: deterministic taken, flipped randomly with
+                // the randomization ratio
+                let randomize = instr.branch_taken_prob();
+                if randomize > 0.0 && rng.gen::<f64>() < randomize {
+                    Some(rng.gen::<bool>())
+                } else {
+                    Some(true)
+                }
+            }
+        } else {
+            None
+        };
+        let dynamic = DynamicInstr {
+            static_index: idx as u32,
+            pc: instr.address(),
+            mem_addr,
+            taken,
+        };
+        *emitted += 1;
+        *cursor = if is_last_static { 0 } else { idx + 1 };
+        Some(dynamic)
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        if self.statics.is_empty() {
+            Some(0)
+        } else {
+            Some(self.dynamic_len - self.emitted)
+        }
+    }
+}
+
+impl TraceExpander {
+    /// Creates the streaming cursor form of this expander over `test_case`.
+    ///
+    /// The cursor yields the bit-identical stream [`expand`] would
+    /// materialize, in O(loop size) memory.
+    ///
+    /// [`expand`]: TraceExpander::expand
+    #[must_use]
+    pub fn stream(&self, test_case: &TestCase) -> StreamingExpander {
+        StreamingExpander::new(test_case, self.dynamic_len(), self.seed())
+    }
+}
+
+struct ScheduledPhase<'a> {
+    source: Box<dyn TraceSource + 'a>,
+    len: usize,
+    emitted: usize,
+    static_base: u32,
+    pc_offset: u64,
+    data_offset: u64,
+}
+
+/// A [`TraceSource`] that concatenates per-phase sources, each cut at a
+/// per-phase dynamic length.
+///
+/// This is the combinator behind phase-structured workloads: each phase is
+/// its own source (typically a [`StreamingExpander`] over a phase-specific
+/// test case, or an application-model stream) and the schedule plays them
+/// back to back.  `static_index` values are rebased into a combined static
+/// table, so the result is a single coherent stream for the simulator.
+///
+/// [`then_in_region`](PhaseSchedule::then_in_region) additionally offsets a
+/// phase's fetch addresses and data addresses, placing phases in disjoint
+/// code/data regions — without it, phases built from similar test cases
+/// would alias in the instruction cache and branch predictor as if they
+/// shared code.
+///
+/// Because every phase streams, a schedule's memory footprint is the sum of
+/// its cursors' O(loop size) states — independent of the total dynamic
+/// length, which is what makes long multi-phase scenarios affordable.
+#[derive(Default)]
+pub struct PhaseSchedule<'a> {
+    statics: Vec<Instruction>,
+    phases: Vec<ScheduledPhase<'a>>,
+    current: usize,
+}
+
+impl<'a> PhaseSchedule<'a> {
+    /// Creates an empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a phase that plays `len` instructions from `source` (fewer
+    /// if the source runs dry first).
+    #[must_use]
+    pub fn then(self, source: impl TraceSource + 'a, len: usize) -> Self {
+        self.then_in_region(source, len, 0, 0)
+    }
+
+    /// Appends a phase like [`then`](PhaseSchedule::then), additionally
+    /// offsetting every yielded fetch address by `pc_offset` and every data
+    /// address by `data_offset`, so the phase occupies its own code and
+    /// data regions.
+    #[must_use]
+    pub fn then_in_region(
+        mut self,
+        source: impl TraceSource + 'a,
+        len: usize,
+        pc_offset: u64,
+        data_offset: u64,
+    ) -> Self {
+        let static_base =
+            u32::try_from(self.statics.len()).expect("combined static table fits u32");
+        self.statics.extend_from_slice(source.statics());
+        self.phases.push(ScheduledPhase {
+            source: Box::new(source),
+            len,
+            emitted: 0,
+            static_base,
+            pc_offset,
+            data_offset,
+        });
+        self
+    }
+
+    /// Number of scheduled phases.
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Total scheduled dynamic length (the sum of per-phase lengths; the
+    /// actual stream may be shorter if a phase source runs dry).
+    #[must_use]
+    pub fn scheduled_len(&self) -> usize {
+        self.phases.iter().map(|p| p.len).sum()
+    }
+}
+
+impl TraceSource for PhaseSchedule<'_> {
+    fn statics(&self) -> &[Instruction] {
+        &self.statics
+    }
+
+    fn next_dynamic(&mut self) -> Option<DynamicInstr> {
+        while let Some(phase) = self.phases.get_mut(self.current) {
+            if phase.emitted < phase.len {
+                if let Some(mut d) = phase.source.next_dynamic() {
+                    phase.emitted += 1;
+                    d.static_index += phase.static_base;
+                    d.pc = d.pc.wrapping_add(phase.pc_offset);
+                    d.mem_addr = d.mem_addr.map(|a| a.wrapping_add(phase.data_offset));
+                    return Some(d);
+                }
+            }
+            self.current += 1;
+        }
+        None
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        let mut total = 0usize;
+        for phase in &self.phases[self.current.min(self.phases.len())..] {
+            let budget = phase.len - phase.emitted;
+            total += match phase.source.remaining() {
+                Some(r) => budget.min(r),
+                None => return None,
+            };
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Generator, GeneratorInput};
+
+    fn testcase(seed: u64) -> TestCase {
+        let input = GeneratorInput {
+            loop_size: 80,
+            seed,
+            ..GeneratorInput::default()
+        };
+        Generator::new().generate(&input).unwrap()
+    }
+
+    #[test]
+    fn streaming_expander_is_bit_identical_to_expand() {
+        for seed in [1u64, 7, 42] {
+            let tc = testcase(seed);
+            let expander = TraceExpander::new(12_345, seed);
+            let materialized = expander.expand(&tc);
+            let streamed = collect_trace(&mut expander.stream(&tc));
+            assert_eq!(materialized, streamed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn streaming_expander_reports_remaining() {
+        let tc = testcase(3);
+        let mut s = TraceExpander::new(100, 3).stream(&tc);
+        assert_eq!(s.remaining(), Some(100));
+        for left in (0..100).rev() {
+            assert!(s.next_dynamic().is_some());
+            assert_eq!(s.remaining(), Some(left));
+        }
+        assert!(s.next_dynamic().is_none());
+        assert_eq!(s.remaining(), Some(0));
+    }
+
+    #[test]
+    fn empty_testcase_stream_is_empty() {
+        let tc = TestCase::new();
+        let mut s = TraceExpander::new(50, 1).stream(&tc);
+        assert_eq!(s.remaining(), Some(0));
+        assert!(s.next_dynamic().is_none());
+    }
+
+    #[test]
+    fn trace_cursor_replays_the_trace() {
+        let tc = testcase(5);
+        let trace = TraceExpander::new(2_000, 5).expand(&tc);
+        let replayed = collect_trace(&mut trace.source());
+        assert_eq!(trace, replayed);
+    }
+
+    #[test]
+    fn phase_schedule_concatenates_and_rebases() {
+        let tc_a = testcase(11);
+        let tc_b = testcase(12);
+        let a_len = tc_a.block().len();
+        let expander = TraceExpander::new(1_000, 11);
+        let mut schedule = PhaseSchedule::new()
+            .then(expander.stream(&tc_a), 300)
+            .then_in_region(expander.stream(&tc_b), 200, 0x0100_0000, 0x1000_0000);
+        assert_eq!(schedule.phase_count(), 2);
+        assert_eq!(schedule.scheduled_len(), 500);
+        assert_eq!(
+            schedule.statics().len(),
+            tc_a.block().len() + tc_b.block().len()
+        );
+        assert_eq!(schedule.remaining(), Some(500));
+
+        let trace = collect_trace(&mut schedule);
+        assert_eq!(trace.len(), 500);
+        // First phase indices stay in the first static table...
+        for d in &trace.dynamics()[..300] {
+            assert!((d.static_index as usize) < a_len);
+            assert!(d.pc < 0x0100_0000);
+        }
+        // ...second-phase indices and addresses are rebased.
+        for d in &trace.dynamics()[300..] {
+            assert!((d.static_index as usize) >= a_len);
+            assert!(d.pc >= 0x0100_0000);
+            if let Some(addr) = d.mem_addr {
+                assert!(addr >= 0x1000_0000);
+            }
+        }
+
+        // The first phase's prefix is the untouched underlying stream.
+        let raw = expander.expand(&tc_a);
+        assert_eq!(&trace.dynamics()[..300], &raw.dynamics()[..300]);
+    }
+
+    #[test]
+    fn phase_schedule_stops_when_a_source_runs_dry() {
+        let tc = testcase(13);
+        // Source only holds 50 instructions but the phase asks for 200.
+        let schedule = PhaseSchedule::new()
+            .then(TraceExpander::new(50, 13).stream(&tc), 200)
+            .then(TraceExpander::new(40, 13).stream(&tc), 40);
+        let mut schedule = schedule;
+        assert_eq!(schedule.remaining(), Some(90));
+        let trace = collect_trace(&mut schedule);
+        assert_eq!(trace.len(), 90);
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        let mut s = PhaseSchedule::new();
+        assert_eq!(s.remaining(), Some(0));
+        assert!(s.next_dynamic().is_none());
+        assert!(s.statics().is_empty());
+        assert_eq!(s.scheduled_len(), 0);
+    }
+}

@@ -65,18 +65,7 @@ impl BuildingBlock {
     /// (empty map if the block is empty).
     #[must_use]
     pub fn class_distribution(&self) -> BTreeMap<InstrClass, f64> {
-        let mut counts: BTreeMap<InstrClass, f64> = BTreeMap::new();
-        if self.instructions.is_empty() {
-            return counts;
-        }
-        for i in &self.instructions {
-            *counts.entry(i.class()).or_insert(0.0) += 1.0;
-        }
-        let total = self.instructions.len() as f64;
-        for v in counts.values_mut() {
-            *v /= total;
-        }
-        counts
+        micrograd_isa::class_distribution(self.instructions.iter().map(Instruction::class))
     }
 }
 

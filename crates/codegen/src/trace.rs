@@ -1,11 +1,9 @@
 //! Dynamic trace expansion: turning the static loop into the instruction
 //! stream the performance simulator consumes.
 
+use crate::source::{TraceCursor, TraceSource};
 use crate::TestCase;
 use micrograd_isa::{InstrClass, Instruction};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -75,19 +73,14 @@ impl Trace {
     /// Dynamic instruction-class distribution, normalized to 1.0.
     #[must_use]
     pub fn class_distribution(&self) -> BTreeMap<InstrClass, f64> {
-        let mut counts: BTreeMap<InstrClass, f64> = BTreeMap::new();
-        if self.dynamics.is_empty() {
-            return counts;
-        }
-        for d in &self.dynamics {
-            let class = self.static_of(d).class();
-            *counts.entry(class).or_insert(0.0) += 1.0;
-        }
-        let total = self.dynamics.len() as f64;
-        for v in counts.values_mut() {
-            *v /= total;
-        }
-        counts
+        micrograd_isa::class_distribution(self.dynamics.iter().map(|d| self.static_of(d).class()))
+    }
+
+    /// A streaming cursor over this trace (see
+    /// [`TraceSource`](crate::TraceSource)).
+    #[must_use]
+    pub fn source(&self) -> TraceCursor<'_> {
+        TraceCursor::new(self)
     }
 }
 
@@ -133,83 +126,27 @@ impl TraceExpander {
         self.dynamic_len
     }
 
-    /// Expands `test_case` into a dynamic trace.
+    /// The seed used for all stochastic decisions.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Expands `test_case` into a materialized dynamic trace.
+    ///
+    /// This drains the streaming cursor of [`stream`](TraceExpander::stream)
+    /// into a [`Trace`], so the materialized and streaming paths are
+    /// bit-identical by construction.  The hot evaluation path feeds the
+    /// cursor to the simulator directly instead (O(loop size) memory, one
+    /// pass); materialize only when random access to the dynamics is needed.
     #[must_use]
     pub fn expand(&self, test_case: &TestCase) -> Trace {
-        let statics: Vec<Instruction> = test_case.block().instructions().to_vec();
-        let mut dynamics = Vec::with_capacity(self.dynamic_len);
-        if statics.is_empty() || self.dynamic_len == 0 {
-            return Trace::new(statics, dynamics);
+        let mut source = self.stream(test_case);
+        let mut dynamics = Vec::with_capacity(source.remaining().unwrap_or(0));
+        while let Some(d) = source.next_dynamic() {
+            dynamics.push(d);
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5EED_7ACE);
-
-        // Per-stream temporal-reuse state: recently issued addresses.
-        let mut recent: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
-        // Per-stream access counters: each stream is walked as a circular
-        // buffer, advancing by its stride on every access and wrapping at
-        // its footprint, so `MEM_SIZE` directly sets the working set and
-        // `MEM_STRIDE` the spatial locality within a cache line.
-        let mut stream_pos: BTreeMap<u32, u64> = BTreeMap::new();
-        let reuse_prob: BTreeMap<u32, (f64, usize)> = test_case
-            .streams()
-            .iter()
-            .map(|s| (s.id, (s.reuse_probability(), s.reuse_window as usize)))
-            .collect();
-
-        let body_len = statics.len();
-        'outer: loop {
-            for (idx, instr) in statics.iter().enumerate() {
-                if dynamics.len() >= self.dynamic_len {
-                    break 'outer;
-                }
-                let is_last_static = idx + 1 == body_len;
-                let mem_addr = instr.mem().map(|m| {
-                    let (prob, window) = reuse_prob.get(&m.stream).copied().unwrap_or((0.0, 1));
-                    let history = recent.entry(m.stream).or_default();
-                    let addr = if prob > 0.0 && !history.is_empty() && rng.gen::<f64>() < prob {
-                        let pick = rng.gen_range(0..history.len().min(window.max(1)));
-                        history[history.len() - 1 - pick]
-                    } else {
-                        let pos = stream_pos.entry(m.stream).or_insert(0);
-                        let addr = m.address_at(*pos);
-                        *pos += 1;
-                        addr
-                    };
-                    history.push(addr);
-                    let cap = window.max(1) * 2;
-                    if history.len() > cap {
-                        let drop = history.len() - cap;
-                        history.drain(0..drop);
-                    }
-                    addr
-                });
-                let taken = if instr.opcode().is_conditional_branch() {
-                    if is_last_static {
-                        // loop back-edge: taken unless this is the final
-                        // dynamic instruction
-                        Some(dynamics.len() + 1 < self.dynamic_len)
-                    } else {
-                        // body branch: deterministic taken, flipped randomly
-                        // with the randomization ratio
-                        let randomize = instr.branch_taken_prob();
-                        if randomize > 0.0 && rng.gen::<f64>() < randomize {
-                            Some(rng.gen::<bool>())
-                        } else {
-                            Some(true)
-                        }
-                    }
-                } else {
-                    None
-                };
-                dynamics.push(DynamicInstr {
-                    static_index: idx as u32,
-                    pc: instr.address(),
-                    mem_addr,
-                    taken,
-                });
-            }
-        }
-        Trace::new(statics, dynamics)
+        Trace::new(source.into_statics(), dynamics)
     }
 }
 

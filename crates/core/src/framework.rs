@@ -257,9 +257,14 @@ impl MicroGrad {
             reason: format!("unknown benchmark `{name}`"),
         })?;
         let platform = self.platform();
-        let trace = ApplicationTraceGenerator::new(self.config.reference_len, self.config.seed)
-            .generate(&benchmark.profile());
-        Ok(platform.measure_trace(&trace))
+        // Stream the reference application straight into the simulator —
+        // the reference trace is never materialized, so `reference_len` can
+        // be raised to realistic (100 M-instruction) lengths without a
+        // memory cost.
+        let mut source =
+            ApplicationTraceGenerator::new(self.config.reference_len, self.config.seed)
+                .stream(&benchmark.profile());
+        Ok(platform.measure_source(&mut source))
     }
 
     /// The evaluation platform this framework runs on.

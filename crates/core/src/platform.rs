@@ -1,7 +1,9 @@
 //! Evaluation platforms: where generated test cases are executed.
 
 use crate::{Metrics, MicroGradError};
-use micrograd_codegen::{Generator, GeneratorInput, TestCase, Trace, TraceExpander};
+use micrograd_codegen::{
+    Generator, GeneratorInput, StreamingExpander, TestCase, Trace, TraceSource,
+};
 use micrograd_power::{PowerConfig, PowerModel};
 use micrograd_sim::{CoreConfig, SimStats, Simulator};
 use parking_lot::Mutex;
@@ -46,9 +48,21 @@ pub trait ExecutionPlatform {
         inputs.iter().map(|input| self.evaluate(input)).collect()
     }
 
-    /// Measures the metric vector of an existing dynamic trace (used to
-    /// characterize reference applications for cloning targets).
-    fn measure_trace(&self, trace: &Trace) -> Metrics;
+    /// Measures the metric vector of a streaming dynamic-instruction source
+    /// (used to characterize reference applications for cloning targets).
+    ///
+    /// This is the scaling form of reference characterization: the source
+    /// yields instructions on demand, so a 100 M-instruction reference can
+    /// be measured without ever materializing its trace.
+    fn measure_source(&self, source: &mut dyn TraceSource) -> Metrics;
+
+    /// Measures the metric vector of an existing materialized trace.
+    ///
+    /// Provided in terms of [`measure_source`](Self::measure_source) via
+    /// [`Trace::source`]; platforms only implement the streaming form.
+    fn measure_trace(&self, trace: &Trace) -> Metrics {
+        self.measure_source(&mut trace.source())
+    }
 }
 
 /// Number of independent memoization shards; reduces lock contention when
@@ -225,6 +239,12 @@ impl SimPlatform {
     /// Runs a full evaluation and returns the raw simulator statistics
     /// alongside the metric vector.
     ///
+    /// The expansion streams straight into the simulator: no
+    /// `Vec<DynamicInstr>` is ever allocated, so peak trace-layer memory is
+    /// bounded by the core's ROB/RS/LSQ windows regardless of
+    /// [`dynamic_len`](Self::dynamic_len) — which is what keeps the
+    /// worker-pool footprint flat when batches fan out.
+    ///
     /// # Errors
     ///
     /// Returns a [`MicroGradError`] if code generation fails.
@@ -233,8 +253,8 @@ impl SimPlatform {
         input: &GeneratorInput,
     ) -> Result<(Metrics, SimStats), MicroGradError> {
         let test_case = self.generate(input)?;
-        let trace = TraceExpander::new(self.dynamic_len, self.seed).expand(&test_case);
-        let stats = Simulator::new(self.core.clone()).run(&trace);
+        let mut source = StreamingExpander::new(&test_case, self.dynamic_len, self.seed);
+        let stats = Simulator::new(self.core.clone()).run_source(&mut source);
         let power = PowerModel::new(self.power.clone()).estimate(&stats);
         Ok((Metrics::from_run(&stats, Some(&power)), stats))
     }
@@ -334,8 +354,8 @@ impl ExecutionPlatform for SimPlatform {
             .collect()
     }
 
-    fn measure_trace(&self, trace: &Trace) -> Metrics {
-        let stats = Simulator::new(self.core.clone()).run(trace);
+    fn measure_source(&self, source: &mut dyn TraceSource) -> Metrics {
+        let stats = Simulator::new(self.core.clone()).run_source(source);
         let power = PowerModel::new(self.power.clone()).estimate(&stats);
         Metrics::from_run(&stats, Some(&power))
     }
@@ -493,6 +513,16 @@ mod tests {
         assert!(
             mcf.value_or_zero(MetricKind::L1dHitRate) < hmmer.value_or_zero(MetricKind::L1dHitRate)
         );
+    }
+
+    #[test]
+    fn measure_source_matches_measure_trace() {
+        let p = platform();
+        let generator = ApplicationTraceGenerator::new(20_000, 5);
+        let profile = Benchmark::Gcc.profile();
+        let materialized = p.measure_trace(&generator.generate(&profile));
+        let streamed = p.measure_source(&mut generator.stream(&profile));
+        assert_eq!(materialized, streamed);
     }
 
     #[test]

@@ -37,5 +37,5 @@ mod register;
 
 pub use instruction::{Instruction, MemAccess, Operand};
 pub use latency::{FuncUnit, LatencyModel};
-pub use opcode::{InstrClass, Opcode};
+pub use opcode::{class_distribution, InstrClass, Opcode};
 pub use register::{Reg, RegClass, NUM_FP_REGS, NUM_INT_REGS};

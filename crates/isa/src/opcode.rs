@@ -61,6 +61,31 @@ impl fmt::Display for InstrClass {
     }
 }
 
+/// Instruction-class histogram over a class stream, normalized to 1.0.
+///
+/// This is the one shared implementation behind every "class distribution"
+/// accessor in the workspace (static building blocks, dynamic traces):
+/// callers supply whatever iterator of [`InstrClass`] values describes their
+/// instruction population.  An empty stream yields an empty map.
+#[must_use]
+pub fn class_distribution<I>(classes: I) -> std::collections::BTreeMap<InstrClass, f64>
+where
+    I: IntoIterator<Item = InstrClass>,
+{
+    let mut counts: std::collections::BTreeMap<InstrClass, f64> = std::collections::BTreeMap::new();
+    let mut total = 0u64;
+    for class in classes {
+        *counts.entry(class).or_insert(0.0) += 1.0;
+        total += 1;
+    }
+    if total > 0 {
+        for v in counts.values_mut() {
+            *v /= total as f64;
+        }
+    }
+    counts
+}
+
 /// Opcodes of the RISC-V subset used by the synthetic test cases.
 ///
 /// The set covers every instruction knob listed in Listing 1 of the paper

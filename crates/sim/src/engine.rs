@@ -4,8 +4,59 @@ use crate::config::CoreConfig;
 use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{ActivityCounts, SimStats};
 use crate::GsharePredictor;
-use micrograd_codegen::Trace;
+use micrograd_codegen::{Trace, TraceSource};
 use micrograd_isa::{FuncUnit, InstrClass, LatencyModel, Opcode, Reg};
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring recording one `u64` per in-flight instruction of a
+/// window (ROB, reservation stations).
+///
+/// The simulator only ever consults the entry exactly `capacity`
+/// instructions back — "the cycle the instruction leaving the window frees
+/// its slot" — so a flat `capacity`-sized buffer with a wrapping write
+/// pointer is sufficient: right before instruction `i` overwrites the slot
+/// under the pointer, that slot still holds instruction `i - capacity`.
+/// Exactly one [`record`](WindowRing::record) per instruction keeps the
+/// pointer in lock-step with the instruction stream (no division on the hot
+/// path).
+#[derive(Debug)]
+struct WindowRing {
+    slots: Vec<u64>,
+    pos: usize,
+    filled: bool,
+}
+
+impl WindowRing {
+    fn new(capacity: usize) -> Self {
+        WindowRing {
+            slots: vec![0; capacity],
+            pos: 0,
+            filled: false,
+        }
+    }
+
+    /// The recorded value of the instruction `capacity` back, once the
+    /// window has filled.
+    fn evicted(&self) -> Option<u64> {
+        if self.filled {
+            Some(self.slots[self.pos])
+        } else {
+            None
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        self.slots[self.pos] = value;
+        self.pos += 1;
+        if self.pos == self.slots.len() {
+            self.pos = 0;
+            self.filled = true;
+        }
+    }
+}
 
 /// A scoreboard-style out-of-order core simulator.
 ///
@@ -54,28 +105,50 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs the dynamic trace to completion and returns the statistics.
+    /// Runs a materialized dynamic trace to completion and returns the
+    /// statistics.
+    ///
+    /// Thin adapter over [`run_source`](Simulator::run_source) via
+    /// [`Trace::source`]; the two paths are bit-identical.
     #[must_use]
     pub fn run(&self, trace: &Trace) -> SimStats {
+        self.run_source(&mut trace.source())
+    }
+
+    /// Runs a streaming [`TraceSource`] to exhaustion and returns the
+    /// statistics.
+    ///
+    /// This is the fused single-pass path: the source produces each dynamic
+    /// instruction on demand and the simulator retires it immediately, so
+    /// nothing is ever materialized.  The per-instruction bookkeeping that
+    /// used to live in O(`dynamic_len`) vectors (completion cycles, issue
+    /// cycles, memory-op indices) is held in ring buffers bounded by the
+    /// ROB, reservation-station and LSQ depths of the configured core —
+    /// peak memory is O(window sizes), independent of trace length, which
+    /// makes 100 M-instruction evaluations affordable.
+    #[must_use]
+    pub fn run_source<S: TraceSource + ?Sized>(&self, source: &mut S) -> SimStats {
         let mut stats = SimStats {
             frequency_hz: self.config.frequency_hz,
             ..SimStats::default()
         };
-        let n = trace.len();
-        if n == 0 {
-            return stats;
-        }
 
         let cfg = &self.config;
         let mut hierarchy = MemoryHierarchy::new(cfg);
         let mut predictor = GsharePredictor::new(cfg.branch_predictor);
         let mut activity = ActivityCounts::default();
 
-        // Completion cycle of every dynamic instruction (ROB/RS/LSQ limits).
-        let mut completion: Vec<u64> = vec![0; n];
-        let mut issue_cycle: Vec<u64> = vec![0; n];
-        // Indices (into the dynamic stream) of memory operations, for LSQ.
-        let mut mem_op_indices: Vec<usize> = Vec::new();
+        // Completion / issue cycles of the in-flight window only: dispatch
+        // of instruction `i` is gated by the instruction leaving the ROB
+        // (`i - rob_entries`) and the reservation stations
+        // (`i - rs_entries`), so a window-sized ring suffices.
+        let mut completion_ring = WindowRing::new(cfg.rob_entries as usize);
+        let mut issue_ring = WindowRing::new(cfg.rs_entries as usize);
+        // Completion cycles of the last `lsq_entries` memory operations:
+        // a new memory op waits for the one vacating the LSQ, which may be
+        // arbitrarily far back in the instruction stream.
+        let lsq = cfg.lsq_entries as usize;
+        let mut lsq_completions: VecDeque<u64> = VecDeque::with_capacity(lsq.min(4096));
         // Cycle at which each architectural register's value is available.
         let mut reg_ready: Vec<u64> = vec![0; Reg::FLAT_COUNT];
         // Next-free cycle per functional unit instance.
@@ -100,9 +173,17 @@ impl Simulator {
         let mut last_fetch_line: u64 = u64::MAX;
         let line_bytes = cfg.l1i.line_bytes.max(1);
         let mut max_completion: u64 = 0;
+        let mut n: usize = 0;
 
-        for (i, dynamic) in trace.dynamics().iter().enumerate() {
-            let instr = trace.static_of(dynamic);
+        // The static table is stable for the source's lifetime (trait
+        // contract), so copy it out once: `measure_source` hands us a trait
+        // object, and a per-instruction virtual `statics()` call would sit
+        // on the hottest loop in the framework.
+        let statics = source.statics().to_vec();
+
+        while let Some(dynamic) = source.next_dynamic() {
+            n += 1;
+            let instr = &statics[dynamic.static_index as usize];
             let opcode = instr.opcode();
             let class = opcode.class();
 
@@ -132,20 +213,17 @@ impl Simulator {
 
             // ---------------- dispatch (window constraints) ----------------
             let mut dispatch = this_fetch + u64::from(cfg.frontend_depth);
-            if i >= cfg.rob_entries as usize {
-                dispatch = dispatch.max(completion[i - cfg.rob_entries as usize]);
+            if let Some(rob_free) = completion_ring.evicted() {
+                dispatch = dispatch.max(rob_free);
             }
-            if i >= cfg.rs_entries as usize {
-                dispatch = dispatch.max(issue_cycle[i - cfg.rs_entries as usize]);
+            if let Some(rs_free) = issue_ring.evicted() {
+                dispatch = dispatch.max(rs_free);
             }
             let is_mem = class.is_memory();
-            if is_mem {
-                let lsq = cfg.lsq_entries as usize;
-                if mem_op_indices.len() >= lsq {
-                    let blocking = mem_op_indices[mem_op_indices.len() - lsq];
-                    dispatch = dispatch.max(completion[blocking]);
-                }
-                mem_op_indices.push(i);
+            if is_mem && lsq > 0 && lsq_completions.len() >= lsq {
+                // The oldest tracked memory op is the one whose retirement
+                // frees the LSQ slot this op needs.
+                dispatch = dispatch.max(lsq_completions[lsq_completions.len() - lsq]);
             }
             activity.rob_writes += 1;
             if is_mem {
@@ -170,7 +248,7 @@ impl Simulator {
                 .min_by_key(|(_, c)| *c)
                 .expect("at least one functional unit per class");
             let issue = ready.max(unit_avail);
-            issue_cycle[i] = issue;
+            issue_ring.record(issue);
             // Divides and square roots occupy their unit unpipelined.
             let occupancy = match opcode {
                 Opcode::Div | Opcode::Rem | Opcode::FdivD | Opcode::FsqrtD => {
@@ -228,11 +306,20 @@ impl Simulator {
                     activity.regfile_writes += 1;
                 }
             }
-            completion[i] = complete;
+            completion_ring.record(complete);
+            if is_mem && lsq > 0 {
+                if lsq_completions.len() >= lsq {
+                    lsq_completions.pop_front();
+                }
+                lsq_completions.push_back(complete);
+            }
             max_completion = max_completion.max(complete);
             *stats.class_counts.entry(class).or_insert(0) += 1;
         }
 
+        if n == 0 {
+            return stats;
+        }
         stats.instructions = n as u64;
         stats.cycles = max_completion.max(fetch_cycle + 1);
         stats.hierarchy = hierarchy.stats();
@@ -268,6 +355,28 @@ mod tests {
         assert_eq!(stats.instructions, 0);
         assert_eq!(stats.cycles, 0);
         assert_eq!(stats.ipc(), 0.0);
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_run() {
+        // The fused single-pass path over a StreamingExpander must produce
+        // bit-identical statistics to the two-pass materialized run, on
+        // both cores — the windows (ROB/RS/LSQ) differ between them, which
+        // exercises all three ring buffers at different depths.
+        let input = GeneratorInput {
+            loop_size: 200,
+            seed: 17,
+            ..GeneratorInput::default()
+        };
+        let tc = Generator::new().generate(&input).unwrap();
+        let expander = TraceExpander::new(TRACE_LEN, 17);
+        let trace = expander.expand(&tc);
+        for config in [CoreConfig::small(), CoreConfig::large()] {
+            let sim = Simulator::new(config);
+            let materialized = sim.run(&trace);
+            let streamed = sim.run_source(&mut expander.stream(&tc));
+            assert_eq!(materialized, streamed);
+        }
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! MicroGrad use cases consume (instruction mix, hit rates, misprediction
 //! rate, IPC) plus the activity counts the McPAT-like power model needs.
 //!
+//! The simulator is single-pass and streaming: [`Simulator::run_source`]
+//! consumes any [`micrograd_codegen::TraceSource`] with per-instruction
+//! bookkeeping held in ring buffers bounded by the ROB / reservation-station
+//! / LSQ depths, so memory is O(window sizes) regardless of trace length;
+//! [`Simulator::run`] is a thin adapter for materialized traces.  See
+//! `docs/streaming.md` at the repository root for the architecture and
+//! memory model.
+//!
 //! # Example
 //!
 //! ```

@@ -1,7 +1,7 @@
 //! Expanding an application model into a dynamic trace.
 
 use crate::{ApplicationProfile, PhaseProfile};
-use micrograd_codegen::{DynamicInstr, Trace};
+use micrograd_codegen::{collect_trace, DynamicInstr, Trace, TraceSource};
 use micrograd_isa::{InstrClass, Instruction, MemAccess, Opcode, Reg};
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::Rng;
@@ -32,6 +32,7 @@ pub struct ApplicationTraceGenerator {
     seed: u64,
 }
 
+#[derive(Debug, Clone)]
 struct PhaseCode {
     /// Index of the first static instruction of each basic block.
     block_starts: Vec<usize>,
@@ -54,13 +55,35 @@ impl ApplicationTraceGenerator {
         self.dynamic_len
     }
 
-    /// Generates the trace for `profile`.
+    /// Generates a materialized trace for `profile`.
+    ///
+    /// Drains the streaming cursor of
+    /// [`stream`](ApplicationTraceGenerator::stream), so the two paths are
+    /// bit-identical by construction.  Characterization code that only
+    /// needs metrics should feed the stream to the simulator directly.
     ///
     /// # Panics
     ///
     /// Panics if the profile has no phases.
     #[must_use]
     pub fn generate(&self, profile: &ApplicationProfile) -> Trace {
+        collect_trace(&mut self.stream(profile))
+    }
+
+    /// Creates a streaming [`TraceSource`] over `profile`.
+    ///
+    /// The source walks the same phase schedule, hot/cold block selection
+    /// and per-phase address streams as
+    /// [`generate`](ApplicationTraceGenerator::generate) — bit-identical
+    /// output — but yields instructions on demand, so a multi-phase cloning
+    /// target can be characterized at realistic (100 M-instruction) lengths
+    /// in O(static code) memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no phases.
+    #[must_use]
+    pub fn stream(&self, profile: &ApplicationProfile) -> ApplicationTraceSource {
         assert!(
             !profile.phases.is_empty(),
             "application profile has no phases"
@@ -75,59 +98,25 @@ impl ApplicationTraceGenerator {
         }
 
         let weights = profile.normalized_weights();
-        let mut dynamics: Vec<DynamicInstr> = Vec::with_capacity(self.dynamic_len);
-        // Per-phase data-stream positions and recent addresses for reuse.
-        let mut stream_pos: Vec<u64> = vec![0; profile.phases.len()];
-        let mut recent: Vec<Vec<u64>> = vec![Vec::new(); profile.phases.len()];
-
-        for (phase_idx, (phase, weight)) in profile.phases.iter().zip(&weights).enumerate() {
-            let phase_end = if phase_idx + 1 == profile.phases.len() {
-                self.dynamic_len
-            } else {
-                let budget = (self.dynamic_len as f64 * weight).round() as usize;
-                (dynamics.len() + budget).min(self.dynamic_len)
-            };
-            let code = &phase_codes[phase_idx];
-            let chooser =
-                WeightedIndex::new(&code.block_weights).expect("block weights are positive");
-            while dynamics.len() < phase_end {
-                let block = chooser.sample(&mut rng);
-                let start = code.block_starts[block];
-                for offset in 0..code.block_len {
-                    if dynamics.len() >= phase_end {
-                        break;
-                    }
-                    let idx = start + offset;
-                    let instr = &statics[idx];
-                    let mem_addr = instr.mem().map(|m| {
-                        Self::next_address(
-                            m,
-                            phase,
-                            &mut stream_pos[phase_idx],
-                            &mut recent[phase_idx],
-                            &mut rng,
-                        )
-                    });
-                    let taken = if instr.opcode().is_conditional_branch() {
-                        Some(if rng.gen::<f64>() < phase.branch_entropy {
-                            rng.gen::<bool>()
-                        } else {
-                            // stable direction per static branch
-                            idx.is_multiple_of(2)
-                        })
-                    } else {
-                        None
-                    };
-                    dynamics.push(DynamicInstr {
-                        static_index: idx as u32,
-                        pc: instr.address(),
-                        mem_addr,
-                        taken,
-                    });
-                }
-            }
-        }
-        Trace::new(statics, dynamics)
+        let phase_count = profile.phases.len();
+        let mut source = ApplicationTraceSource {
+            statics,
+            phases: profile.phases.clone(),
+            phase_codes,
+            weights,
+            rng,
+            stream_pos: vec![0; phase_count],
+            recent: vec![Vec::new(); phase_count],
+            dynamic_len: self.dynamic_len,
+            emitted: 0,
+            phase_idx: 0,
+            phase_end: 0,
+            chooser: None,
+            block_start: 0,
+            block_offset: usize::MAX,
+        };
+        source.enter_phase(0);
+        source
     }
 
     fn next_address(
@@ -282,6 +271,122 @@ impl ApplicationTraceGenerator {
     }
 }
 
+/// A streaming [`TraceSource`] over an [`ApplicationProfile`].
+///
+/// Created by [`ApplicationTraceGenerator::stream`].  The cursor owns the
+/// static phase code (built eagerly — it is small) and walks the phases'
+/// dynamic schedule on demand: memory is O(static code + re-use windows),
+/// independent of the dynamic length, and the emitted stream is
+/// bit-identical to [`ApplicationTraceGenerator::generate`].
+#[derive(Debug, Clone)]
+pub struct ApplicationTraceSource {
+    statics: Vec<Instruction>,
+    phases: Vec<PhaseProfile>,
+    phase_codes: Vec<PhaseCode>,
+    weights: Vec<f64>,
+    rng: ChaCha8Rng,
+    /// Per-phase data-stream positions and recent addresses for reuse.
+    stream_pos: Vec<u64>,
+    recent: Vec<Vec<u64>>,
+    dynamic_len: usize,
+    emitted: usize,
+    phase_idx: usize,
+    /// Dynamic-instruction count at which the current phase ends.
+    phase_end: usize,
+    chooser: Option<WeightedIndex>,
+    block_start: usize,
+    /// Offset of the next instruction within the current block;
+    /// `>= block_len` means a fresh block must be sampled.
+    block_offset: usize,
+}
+
+impl ApplicationTraceSource {
+    /// Index of the phase currently being played.
+    #[must_use]
+    pub fn phase_index(&self) -> usize {
+        self.phase_idx
+    }
+
+    fn enter_phase(&mut self, idx: usize) {
+        self.phase_idx = idx;
+        self.phase_end = if idx + 1 == self.phases.len() {
+            self.dynamic_len
+        } else {
+            let budget = (self.dynamic_len as f64 * self.weights[idx]).round() as usize;
+            (self.emitted + budget).min(self.dynamic_len)
+        };
+        self.chooser = Some(
+            WeightedIndex::new(&self.phase_codes[idx].block_weights)
+                .expect("block weights are positive"),
+        );
+        self.block_offset = usize::MAX;
+    }
+}
+
+impl TraceSource for ApplicationTraceSource {
+    fn statics(&self) -> &[Instruction] {
+        &self.statics
+    }
+
+    fn next_dynamic(&mut self) -> Option<DynamicInstr> {
+        if self.emitted >= self.dynamic_len {
+            return None;
+        }
+        // Skip any phases whose dynamic budget is already spent.
+        while self.emitted >= self.phase_end {
+            if self.phase_idx + 1 >= self.phases.len() {
+                return None;
+            }
+            let next = self.phase_idx + 1;
+            self.enter_phase(next);
+        }
+        let block_len = self.phase_codes[self.phase_idx].block_len;
+        if self.block_offset >= block_len {
+            let block = self
+                .chooser
+                .as_ref()
+                .expect("phase entered")
+                .sample(&mut self.rng);
+            self.block_start = self.phase_codes[self.phase_idx].block_starts[block];
+            self.block_offset = 0;
+        }
+        let idx = self.block_start + self.block_offset;
+        self.block_offset += 1;
+        let phase = &self.phases[self.phase_idx];
+        let instr = &self.statics[idx];
+        let mem_addr = instr.mem().map(|m| {
+            ApplicationTraceGenerator::next_address(
+                m,
+                phase,
+                &mut self.stream_pos[self.phase_idx],
+                &mut self.recent[self.phase_idx],
+                &mut self.rng,
+            )
+        });
+        let taken = if instr.opcode().is_conditional_branch() {
+            Some(if self.rng.gen::<f64>() < phase.branch_entropy {
+                self.rng.gen::<bool>()
+            } else {
+                // stable direction per static branch
+                idx.is_multiple_of(2)
+            })
+        } else {
+            None
+        };
+        self.emitted += 1;
+        Some(DynamicInstr {
+            static_index: idx as u32,
+            pc: instr.address(),
+            mem_addr,
+            taken,
+        })
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.dynamic_len - self.emitted)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +399,30 @@ mod tests {
                 ApplicationTraceGenerator::new(len, 1).generate(&Benchmark::Astar.profile());
             assert_eq!(trace.len(), len);
         }
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_generate() {
+        for benchmark in [Benchmark::Mcf, Benchmark::Gcc, Benchmark::Hmmer] {
+            let profile = benchmark.profile();
+            let generator = ApplicationTraceGenerator::new(25_000, 9);
+            let materialized = generator.generate(&profile);
+            let mut stream = generator.stream(&profile);
+            assert_eq!(stream.remaining(), Some(25_000));
+            let streamed = micrograd_codegen::collect_trace(&mut stream);
+            assert_eq!(materialized, streamed, "{benchmark:?}");
+            assert_eq!(stream.remaining(), Some(0));
+        }
+    }
+
+    #[test]
+    fn stream_reports_phase_progress() {
+        let profile = Benchmark::Gcc.profile();
+        assert!(profile.phases.len() > 1, "gcc model should be multi-phase");
+        let mut stream = ApplicationTraceGenerator::new(20_000, 3).stream(&profile);
+        assert_eq!(stream.phase_index(), 0);
+        while stream.next_dynamic().is_some() {}
+        assert_eq!(stream.phase_index(), profile.phases.len() - 1);
     }
 
     #[test]

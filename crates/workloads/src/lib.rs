@@ -17,7 +17,10 @@
 //! * [`ApplicationProfile`] / [`PhaseProfile`] — the model parameters.
 //! * [`Benchmark`] — the eight named SPEC-like models.
 //! * [`ApplicationTraceGenerator`] — expands a profile into a dynamic
-//!   [`micrograd_codegen::Trace`] with phase structure.
+//!   [`micrograd_codegen::Trace`] with phase structure, or streams it as an
+//!   [`ApplicationTraceSource`] (a [`micrograd_codegen::TraceSource`]) so
+//!   multi-phase targets can be characterized at realistic lengths in
+//!   O(static code) memory.
 //! * [`simpoint`] — basic-block-vector profiling, k-means clustering and
 //!   representative-interval selection (SimPoint-like).
 //!
@@ -39,6 +42,6 @@ mod profile;
 pub mod simpoint;
 mod spec;
 
-pub use apptrace::ApplicationTraceGenerator;
+pub use apptrace::{ApplicationTraceGenerator, ApplicationTraceSource};
 pub use profile::{ApplicationProfile, PhaseProfile};
 pub use spec::Benchmark;

@@ -1,0 +1,144 @@
+//! Phased workload: a two-phase streaming scenario the materialized trace
+//! design could not afford at realistic lengths.
+//!
+//! Real applications move through phases — the same granularity SimPoint
+//! assumes — and cloning them faithfully means composing one behaviour per
+//! phase rather than blending everything into a single loop.  This example
+//! builds a [`PhaseSchedule`] of two knob-driven phases:
+//!
+//! 1. an **mcf-like pointer-chasing phase**: load-heavy, serial dependences,
+//!    a multi-megabyte working set walked with poor locality;
+//! 2. a **libquantum-like streaming phase**: unit-stride loads/stores over a
+//!    large array with perfectly predictable branches.
+//!
+//! Each phase is a [`StreamingExpander`] cursor, so the schedule never
+//! materializes a trace: the whole scenario simulates in O(loop size)
+//! memory no matter how long the phases are.  The example measures each
+//! phase alone and then the blended schedule, showing how the blend sits
+//! between the two extremes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example phased_workload
+//! ```
+
+use micrograd::codegen::{Generator, GeneratorInput, PhaseSchedule, TestCase, TraceExpander};
+use micrograd::core::{ExecutionPlatform, MetricKind, MicroGradError, SimPlatform};
+use micrograd::isa::Opcode;
+use micrograd::sim::CoreConfig;
+
+/// Dynamic instructions per phase.  Raise this freely: the streaming path's
+/// memory footprint does not grow with it.
+const PHASE_LEN: usize = 400_000;
+const SEED: u64 = 7;
+
+/// mcf-like phase: pointer chasing through a working set far beyond the L2.
+fn pointer_chasing_phase() -> Result<TestCase, MicroGradError> {
+    let mut input = GeneratorInput {
+        loop_size: 200,
+        reg_dependency_distance: 1, // serial address chains
+        mem_footprint_kb: 8 * 1024, // 8 MiB working set
+        mem_stride: 1024,           // strides defeat the prefetcher
+        mem_temporal_window: 4,
+        mem_temporal_period: 1, // no re-use: every access is fresh
+        branch_randomness: 0.4,
+        seed: SEED,
+        name: "mcf-like".to_owned(),
+        ..GeneratorInput::default()
+    };
+    for w in input.instr_weights.values_mut() {
+        *w = 0.0;
+    }
+    input.set_weight(Opcode::Ld, 5.0);
+    input.set_weight(Opcode::Add, 3.0);
+    input.set_weight(Opcode::Bne, 1.0);
+    Ok(Generator::new().generate(&input)?)
+}
+
+/// libquantum-like phase: unit-stride streaming with predictable branches.
+fn streaming_phase() -> Result<TestCase, MicroGradError> {
+    let mut input = GeneratorInput {
+        loop_size: 200,
+        reg_dependency_distance: 8, // ample ILP
+        mem_footprint_kb: 128,      // streams within the L2
+        mem_stride: 8,              // sequential walk, prefetcher-friendly
+        mem_temporal_window: 1,
+        mem_temporal_period: 1,
+        branch_randomness: 0.0, // perfectly predictable
+        seed: SEED + 1,
+        name: "libquantum-like".to_owned(),
+        ..GeneratorInput::default()
+    };
+    for w in input.instr_weights.values_mut() {
+        *w = 0.0;
+    }
+    input.set_weight(Opcode::Ld, 3.0);
+    input.set_weight(Opcode::Sd, 1.0);
+    input.set_weight(Opcode::FaddD, 2.0);
+    input.set_weight(Opcode::Add, 3.0);
+    input.set_weight(Opcode::Bne, 1.0);
+    Ok(Generator::new().generate(&input)?)
+}
+
+fn main() -> Result<(), MicroGradError> {
+    let platform = SimPlatform::new(CoreConfig::small());
+    let chasing = pointer_chasing_phase()?;
+    let streaming = streaming_phase()?;
+    let expander = TraceExpander::new(PHASE_LEN, SEED);
+
+    println!("Phased workload — two-phase streaming scenario ({PHASE_LEN} instructions/phase)");
+    println!();
+
+    // Per-phase metrics: each phase measured alone, streamed.
+    let mcf_like = platform.measure_source(&mut expander.stream(&chasing));
+    let libquantum_like = platform.measure_source(&mut expander.stream(&streaming));
+
+    // Blended metrics: both phases concatenated into one stream, each in
+    // its own code/data region so they do not alias in the caches.
+    let mut schedule = PhaseSchedule::new()
+        .then(expander.stream(&chasing), PHASE_LEN)
+        .then_in_region(
+            expander.stream(&streaming),
+            PHASE_LEN,
+            0x0100_0000, // separate text region
+            0x4000_0000, // separate data region
+        );
+    let blended = platform.measure_source(&mut schedule);
+
+    let kinds = [
+        MetricKind::Ipc,
+        MetricKind::L1dHitRate,
+        MetricKind::L2HitRate,
+        MetricKind::BranchMispredictRate,
+        MetricKind::LoadFraction,
+        MetricKind::StoreFraction,
+        MetricKind::FloatFraction,
+    ];
+    println!(
+        "{:<22} {:>12} {:>16} {:>12}",
+        "metric", "mcf-like", "libquantum-like", "blended"
+    );
+    for kind in kinds {
+        println!(
+            "{:<22} {:>12.4} {:>16.4} {:>12.4}",
+            kind.label(),
+            mcf_like.value_or_zero(kind),
+            libquantum_like.value_or_zero(kind),
+            blended.value_or_zero(kind),
+        );
+    }
+
+    println!();
+    println!(
+        "pointer chasing is memory-bound (IPC {:.3}), streaming is not (IPC {:.3});",
+        mcf_like.value_or_zero(MetricKind::Ipc),
+        libquantum_like.value_or_zero(MetricKind::Ipc)
+    );
+    println!(
+        "the blended schedule lands in between (IPC {:.3}) — one stream, two behaviours,",
+        blended.value_or_zero(MetricKind::Ipc)
+    );
+    println!("O(loop size) memory regardless of phase length.");
+    Ok(())
+}

@@ -60,8 +60,21 @@
 //! knob (see `tests/determinism.rs` and the `batch_evaluation` /
 //! `tuning_epoch` benches).
 //!
+//! # Streaming traces
+//!
+//! The trace layer is streaming: a [`codegen::TraceSource`] yields dynamic
+//! instructions on demand and [`sim::Simulator::run_source`] consumes them
+//! in a single fused pass with ring-buffer bookkeeping bounded by the
+//! core's ROB/RS/LSQ windows, so evaluation memory is O(window sizes)
+//! regardless of `dynamic_len` — 100 M-instruction runs are affordable.
+//! Materialized [`codegen::Trace`]s remain available (and are drained from
+//! the same cursors, so the two paths are bit-identical); phase-structured
+//! scenarios compose per-phase sources with [`codegen::PhaseSchedule`].
+//! See `docs/streaming.md` for the architecture.
+//!
 //! See the `examples/` directory for runnable end-to-end scenarios
-//! (`quickstart`, `clone_spec`, `power_virus`, `bottleneck_sweep`).
+//! (`quickstart`, `clone_spec`, `power_virus`, `bottleneck_sweep`,
+//! `phased_workload`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

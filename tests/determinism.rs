@@ -1,13 +1,21 @@
-//! Parallel-evaluation determinism: tuning results must be bit-identical
-//! whatever the batch worker count.
+//! Determinism invariants of the evaluation pipeline.
 //!
-//! This is the central invariant of the batch-parallel evaluation pipeline:
-//! the platform may schedule a batch on any number of workers, but results
-//! are post-processed strictly in submission order, every evaluation is a
-//! pure seeded function of its input, and best-so-far tie-breaking follows
-//! input order — so `parallelism: Some(n)` must reproduce the
-//! `parallelism: None` run exactly, epoch by epoch.
+//! Two families of invariants live here:
+//!
+//! 1. **Parallel-evaluation determinism** — tuning results must be
+//!    bit-identical whatever the batch worker count: the platform may
+//!    schedule a batch on any number of workers, but results are
+//!    post-processed strictly in submission order, every evaluation is a
+//!    pure seeded function of its input, and best-so-far tie-breaking
+//!    follows input order — so `parallelism: Some(n)` must reproduce the
+//!    `parallelism: None` run exactly, epoch by epoch.
+//! 2. **Streaming-evaluation determinism** — the fused single-pass
+//!    `Simulator::run_source` over streaming trace sources must produce
+//!    bit-identical `SimStats` to the two-pass materialized `run`, for both
+//!    knob-driven test cases and all eight application models, so switching
+//!    the hot path to streaming changes nothing but the memory footprint.
 
+use micrograd::codegen::{Generator, GeneratorInput, TraceExpander};
 use micrograd::core::tuner::{
     BruteForceTuner, GaParams, GdParams, GeneticTuner, GradientDescentTuner, RandomSearchTuner,
     Tuner, TuningBudget, TuningResult,
@@ -16,7 +24,8 @@ use micrograd::core::{
     CoreKind, FrameworkConfig, KnobSpace, KnobSpaceKind, MetricKind, MicroGrad, SimPlatform,
     StressGoal, StressLoss, TunerKind, UseCaseConfig,
 };
-use micrograd::sim::CoreConfig;
+use micrograd::sim::{CoreConfig, Simulator};
+use micrograd::workloads::{ApplicationTraceGenerator, Benchmark};
 
 fn space() -> KnobSpace {
     let mut space = KnobSpace::instruction_fractions();
@@ -102,6 +111,47 @@ fn random_search_is_deterministic_under_parallelism() {
     let sequential = run(&mut seq, None, 3);
     let parallel = run(&mut par, Some(4), 3);
     assert_identical(&sequential, &parallel, "random-search");
+}
+
+#[test]
+fn streaming_expansion_matches_materialized_simulation() {
+    // The streaming cursor must drive the simulator to bit-identical
+    // statistics for knob-driven test cases across seeds and knob settings.
+    for (seed, dependency, footprint) in [(1u64, 2u32, 64u64), (9, 6, 512), (23, 1, 4096)] {
+        let input = GeneratorInput {
+            loop_size: 150,
+            reg_dependency_distance: dependency,
+            mem_footprint_kb: footprint,
+            seed,
+            ..GeneratorInput::default()
+        };
+        let tc = Generator::new().generate(&input).expect("generate");
+        let expander = TraceExpander::new(30_000, seed);
+        let trace = expander.expand(&tc);
+        for core in [CoreConfig::small(), CoreConfig::large()] {
+            let sim = Simulator::new(core);
+            let materialized = sim.run(&trace);
+            let streamed = sim.run_source(&mut expander.stream(&tc));
+            assert_eq!(materialized, streamed, "seed {seed} diverged");
+        }
+    }
+}
+
+#[test]
+fn streaming_application_traces_match_for_all_benchmarks() {
+    // Every one of the paper's eight application models, at several seeds,
+    // must simulate identically whether its trace is materialized first or
+    // streamed straight into the core model.
+    let sim = Simulator::new(CoreConfig::small());
+    for benchmark in Benchmark::ALL {
+        for seed in [3u64, 17] {
+            let generator = ApplicationTraceGenerator::new(12_000, seed);
+            let profile = benchmark.profile();
+            let materialized = sim.run(&generator.generate(&profile));
+            let streamed = sim.run_source(&mut generator.stream(&profile));
+            assert_eq!(materialized, streamed, "{benchmark:?} seed {seed} diverged");
+        }
+    }
 }
 
 #[test]
