@@ -13,10 +13,13 @@
 //!   (2 M instructions) that is only affordable because the streaming path
 //!   runs in O(window) memory; the materialized two-pass equivalent is
 //!   benched alongside it for the fused-vs-two-pass comparison.
+//! * `prefetcher_training` — the demand-miss training path of the stride
+//!   prefetcher in isolation, guarding the indexed-table rewrite (the old
+//!   linear `find` + `Vec::remove(0)` was O(capacity) per miss).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use micrograd_codegen::{Generator, GeneratorInput, TestCase, TraceExpander};
-use micrograd_sim::{CoreConfig, Simulator};
+use micrograd_sim::{CoreConfig, PrefetchConfig, Simulator, StridePrefetcher};
 
 fn testcase() -> TestCase {
     let input = GeneratorInput {
@@ -68,9 +71,52 @@ fn simulator_throughput_streaming(c: &mut Criterion) {
     group.finish();
 }
 
+fn prefetcher_training(c: &mut Criterion) {
+    const OBSERVATIONS: usize = 100_000;
+    let mut group = c.benchmark_group("prefetcher_training");
+    group.throughput(Throughput::Elements(OBSERVATIONS as u64));
+    group.sample_size(20);
+    // Worst case for a linear table: more hot PCs than entries, so every
+    // miss on a fresh PC pays an eviction; strided addresses per PC keep
+    // the stride detector training.
+    group.bench_function("capacity_thrash", |b| {
+        b.iter(|| {
+            let mut p = StridePrefetcher::new(PrefetchConfig {
+                enabled: true,
+                degree: 2,
+            });
+            let mut issued = 0u64;
+            for i in 0..OBSERVATIONS as u64 {
+                let pc = 0x40_0000 + (i % 96) * 4;
+                let addr = 0x2000_0000 + (i % 96) * 0x1_0000 + (i / 96) * 0x100;
+                issued += p.observe(pc, addr, 64).len() as u64;
+            }
+            issued
+        });
+    });
+    // Steady state: a handful of streaming PCs that stay resident.
+    group.bench_function("resident_streams", |b| {
+        b.iter(|| {
+            let mut p = StridePrefetcher::new(PrefetchConfig {
+                enabled: true,
+                degree: 2,
+            });
+            let mut issued = 0u64;
+            for i in 0..OBSERVATIONS as u64 {
+                let pc = 0x40_0000 + (i % 8) * 4;
+                let addr = 0x2000_0000 + (i % 8) * 0x10_0000 + (i / 8) * 0x40;
+                issued += p.observe(pc, addr, 64).len() as u64;
+            }
+            issued
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     simulator_throughput,
-    simulator_throughput_streaming
+    simulator_throughput_streaming,
+    prefetcher_training
 );
 criterion_main!(benches);

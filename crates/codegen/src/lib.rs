@@ -29,9 +29,12 @@
 //!   instructions on demand, in O(loop size) memory.  Implemented by
 //!   [`StreamingExpander`] (the cursor form of [`TraceExpander::expand`],
 //!   bit-identical stream), [`TraceCursor`] (replay of a materialized
-//!   [`Trace`]) and [`PhaseSchedule`] (concatenation of per-phase sources —
-//!   phase-structured workloads).  See `docs/streaming.md` at the
-//!   repository root for the architecture and memory model.
+//!   [`Trace`]), [`PhaseSchedule`] (concatenation of per-phase sources —
+//!   phase-structured workloads) and [`WindowedSource`]
+//!   ([`TraceSource::window`]: skip/take by dynamic index — SimPoint
+//!   interval replay without materialization, see `docs/simpoint.md`).
+//!   See `docs/streaming.md` at the repository root for the architecture
+//!   and memory model.
 //! * [`AssemblyEmitter`] — renders the test case as RISC-V assembly text,
 //!   which is what a user would compile and run on native hardware.
 //!
@@ -73,7 +76,9 @@ pub use asm::AssemblyEmitter;
 pub use error::CodegenError;
 pub use generator::{Generator, GeneratorInput};
 pub use profile::InstructionProfile;
-pub use source::{collect_trace, PhaseSchedule, StreamingExpander, TraceCursor, TraceSource};
+pub use source::{
+    collect_trace, PhaseSchedule, StreamingExpander, TraceCursor, TraceSource, WindowedSource,
+};
 pub use synth::Synthesizer;
 pub use testcase::{BuildingBlock, MemoryStream, TestCase, TestCaseMetadata};
 pub use trace::{DynamicInstr, Trace, TraceExpander};

@@ -8,7 +8,7 @@
 //! memory footprint is bounded by the core's window sizes — see
 //! `docs/streaming.md` for the memory model.
 //!
-//! Three implementations ship here:
+//! Four implementations ship here:
 //!
 //! * [`StreamingExpander`] — the cursor form of [`TraceExpander::expand`];
 //!   same ChaCha8 seed discipline, bit-identical stream.
@@ -18,6 +18,10 @@
 //!   lengths, which is how phase-structured workloads (one behaviour per
 //!   SimPoint-like phase) are composed without ever materializing the
 //!   combined stream.
+//! * [`WindowedSource`] — one dynamic-index window of another source
+//!   ([`TraceSource::window`]: skip/take), which is how per-SimPoint
+//!   reference measurement and interval replay avoid materialization
+//!   (see `docs/simpoint.md`).
 
 use crate::trace::{DynamicInstr, Trace};
 use crate::{TestCase, TraceExpander};
@@ -49,6 +53,22 @@ pub trait TraceSource {
 
     /// Number of dynamic instructions left, when the source knows it.
     fn remaining(&self) -> Option<usize>;
+
+    /// Restricts this source to the dynamic-index window
+    /// `[start, start + len)`: the first `start` instructions are consumed
+    /// and discarded (advancing the underlying stream state exactly as a
+    /// full replay would), then at most `len` are yielded.
+    ///
+    /// This is how SimPoint interval replay and per-simpoint reference
+    /// measurement work without materializing the trace: a fresh source is
+    /// windowed onto the representative interval and fed straight to the
+    /// simulator, in O(window) memory.
+    fn window(self, start: usize, len: usize) -> WindowedSource<Self>
+    where
+        Self: Sized,
+    {
+        WindowedSource::new(self, start, len)
+    }
 }
 
 /// Drains a source into a materialized [`Trace`].
@@ -96,6 +116,80 @@ impl TraceSource for TraceCursor<'_> {
 
     fn remaining(&self) -> Option<usize> {
         Some(self.trace.len() - self.pos)
+    }
+}
+
+/// A [`TraceSource`] adapter exposing one dynamic-index window of another
+/// source: skip `start` instructions, then yield at most `len`.
+///
+/// Created by [`TraceSource::window`].  The skipped prefix is *consumed*
+/// from the inner source (not recomputed), so the yielded instructions are
+/// bit-identical to positions `start..start + len` of the inner stream —
+/// which is what makes windowed replay equivalent to slicing a
+/// materialized trace's `dynamics()`, at O(window) memory instead of
+/// O(trace).  Skipping is deferred to the first
+/// [`next_dynamic`](TraceSource::next_dynamic)/
+/// [`remaining`](TraceSource::remaining) call, so constructing windows is
+/// free.
+#[derive(Debug, Clone)]
+pub struct WindowedSource<S> {
+    inner: S,
+    start: usize,
+    len: usize,
+    skipped: bool,
+    emitted: usize,
+}
+
+impl<S: TraceSource> WindowedSource<S> {
+    /// Creates a window over `inner` spanning dynamic indices
+    /// `[start, start + len)`.
+    #[must_use]
+    pub fn new(inner: S, start: usize, len: usize) -> Self {
+        WindowedSource {
+            inner,
+            start,
+            len,
+            skipped: false,
+            emitted: 0,
+        }
+    }
+
+    fn skip_prefix(&mut self) {
+        if self.skipped {
+            return;
+        }
+        for _ in 0..self.start {
+            if self.inner.next_dynamic().is_none() {
+                break;
+            }
+        }
+        self.skipped = true;
+    }
+}
+
+impl<S: TraceSource> TraceSource for WindowedSource<S> {
+    fn statics(&self) -> &[Instruction] {
+        self.inner.statics()
+    }
+
+    fn next_dynamic(&mut self) -> Option<DynamicInstr> {
+        self.skip_prefix();
+        if self.emitted >= self.len {
+            return None;
+        }
+        let d = self.inner.next_dynamic()?;
+        self.emitted += 1;
+        Some(d)
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        let budget = self.len - self.emitted;
+        let inner_left = if self.skipped {
+            self.inner.remaining()
+        } else {
+            self.inner.remaining().map(|r| r.saturating_sub(self.start))
+        };
+        inner_left.map(|r| r.min(budget))
     }
 }
 
@@ -431,6 +525,46 @@ mod tests {
         let trace = TraceExpander::new(2_000, 5).expand(&tc);
         let replayed = collect_trace(&mut trace.source());
         assert_eq!(trace, replayed);
+    }
+
+    #[test]
+    fn windowed_source_matches_materialized_slice() {
+        // A window over a fresh stream must yield exactly the dynamics()
+        // slice of the materialized expansion — the equivalence per-simpoint
+        // replay relies on.
+        let tc = testcase(21);
+        let expander = TraceExpander::new(5_000, 21);
+        let trace = expander.expand(&tc);
+        for (start, len) in [(0usize, 500usize), (1_234, 777), (4_900, 100), (4_900, 500)] {
+            let mut window = expander.stream(&tc).window(start, len);
+            assert_eq!(window.statics(), trace.statics());
+            let windowed = collect_trace(&mut window);
+            let end = (start + len).min(trace.len());
+            assert_eq!(
+                windowed.dynamics(),
+                &trace.dynamics()[start.min(trace.len())..end],
+                "window [{start}, {start}+{len})"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_source_reports_remaining() {
+        let tc = testcase(22);
+        let expander = TraceExpander::new(1_000, 22);
+        // Before any pull, remaining accounts for the still-unskipped prefix.
+        let mut w = expander.stream(&tc).window(200, 300);
+        assert_eq!(w.remaining(), Some(300));
+        assert!(w.next_dynamic().is_some());
+        assert_eq!(w.remaining(), Some(299));
+        // A window extending past the stream is truncated.
+        let mut tail = expander.stream(&tc).window(900, 300);
+        assert_eq!(tail.remaining(), Some(100));
+        assert_eq!(collect_trace(&mut tail).len(), 100);
+        // A window starting past the stream is empty.
+        let mut past = expander.stream(&tc).window(2_000, 10);
+        assert_eq!(past.remaining(), Some(0));
+        assert!(past.next_dynamic().is_none());
     }
 
     #[test]

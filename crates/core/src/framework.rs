@@ -10,7 +10,9 @@ use crate::tuner::{
     BruteForceTuner, GaParams, GdParams, GeneticTuner, GradientDescentTuner, RandomSearchTuner,
     Tuner,
 };
-use crate::usecase::{CloneReport, CloningTask, StressReport, StressTask};
+use crate::usecase::{
+    CloneReport, CloningTask, SimpointCloneReport, SimpointCloningTask, StressReport, StressTask,
+};
 use crate::{
     ExecutionPlatform, KnobSpace, MetricKind, Metrics, MicroGradError, SimPlatform, StressGoal,
 };
@@ -105,6 +107,24 @@ pub enum UseCaseConfig {
         #[serde(default = "default_accuracy")]
         accuracy_target: f64,
     },
+    /// Clone a bundled SPEC-like benchmark one simpoint at a time and
+    /// recombine the tuned per-phase clones into a weighted composite
+    /// (the "Application Simpoints can be provided, so as to generate a
+    /// clone for each simpoint individually" mode of Section III-A).
+    CloneSimpoints {
+        /// Benchmark name (e.g. `"gcc"`).
+        benchmark: String,
+        /// Required accuracy of each per-phase clone (default 0.99).
+        #[serde(default = "default_accuracy")]
+        accuracy_target: f64,
+        /// Phase-analysis interval length in dynamic instructions
+        /// (default 10 000).
+        #[serde(default = "default_interval_len")]
+        interval_len: usize,
+        /// Maximum number of phases to cluster into (default 5).
+        #[serde(default = "default_max_phases")]
+        max_phases: usize,
+    },
     /// Clone a workload described directly by its metric values
     /// (the "numerical values … provided as input" mode of Section III-A).
     CloneMetrics {
@@ -127,6 +147,14 @@ pub enum UseCaseConfig {
 
 fn default_accuracy() -> f64 {
     0.99
+}
+
+fn default_interval_len() -> usize {
+    10_000
+}
+
+fn default_max_phases() -> usize {
+    5
 }
 
 /// The framework configuration ("input file").
@@ -201,6 +229,8 @@ impl FrameworkConfig {
 pub enum FrameworkOutput {
     /// Output of a cloning run.
     Clone(CloneReport),
+    /// Output of a clone-per-SimPoint run.
+    SimpointClone(SimpointCloneReport),
     /// Output of a stress-testing run.
     Stress(StressReport),
 }
@@ -211,7 +241,16 @@ impl FrameworkOutput {
     pub fn as_clone(&self) -> Option<&CloneReport> {
         match self {
             FrameworkOutput::Clone(r) => Some(r),
-            FrameworkOutput::Stress(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The simpoint-clone report, if this was a clone-per-SimPoint run.
+    #[must_use]
+    pub fn as_simpoint_clone(&self) -> Option<&SimpointCloneReport> {
+        match self {
+            FrameworkOutput::SimpointClone(r) => Some(r),
+            _ => None,
         }
     }
 
@@ -219,8 +258,8 @@ impl FrameworkOutput {
     #[must_use]
     pub fn as_stress(&self) -> Option<&StressReport> {
         match self {
-            FrameworkOutput::Clone(_) => None,
             FrameworkOutput::Stress(r) => Some(r),
+            _ => None,
         }
     }
 }
@@ -267,6 +306,61 @@ impl MicroGrad {
         Ok(platform.measure_source(&mut source))
     }
 
+    /// Clones a bundled benchmark one simpoint at a time and recombines
+    /// the tuned per-phase clones into a weighted composite validated
+    /// against the whole-program original.
+    ///
+    /// The target model is phase-analyzed in a single streaming pass
+    /// (`simpoint::analyze_source`), each simpoint's reference metrics are
+    /// measured on an interval-windowed stream, one clone is tuned per
+    /// simpoint with this framework's tuner (probes batched through
+    /// [`crate::ExecutionPlatform::evaluate_batch`]), and the composite is
+    /// a weighted `PhaseSchedule` of the tuned per-phase generators — all
+    /// in O(window) trace memory.  See `docs/simpoint.md` for the
+    /// workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::InvalidInput`] for an unknown benchmark
+    /// name or a reference stream shorter than half an interval (no
+    /// foldable interval at all), and propagates platform and tuner
+    /// failures.
+    pub fn clone_simpoints(
+        &self,
+        name: &str,
+        interval_len: usize,
+        max_phases: usize,
+        accuracy_target: f64,
+    ) -> Result<SimpointCloneReport, MicroGradError> {
+        let benchmark: Benchmark = name.parse().map_err(|_| MicroGradError::InvalidInput {
+            field: "benchmark".into(),
+            reason: format!("unknown benchmark `{name}`"),
+        })?;
+        let platform = self.platform();
+        let space = self.config.knob_space.build();
+        let task = SimpointCloningTask {
+            cloning: CloningTask {
+                accuracy_target,
+                max_epochs: self.config.max_epochs,
+                ..CloningTask::default()
+            },
+            interval_len,
+            max_phases,
+            clone_len: self.config.dynamic_len,
+            seed: self.config.seed,
+        };
+        let generator = ApplicationTraceGenerator::new(self.config.reference_len, self.config.seed);
+        let tuner_kind = self.config.tuner;
+        task.run(
+            &platform,
+            &space,
+            benchmark.name(),
+            &generator,
+            &benchmark.profile(),
+            &mut |seed| tuner_kind.build(seed),
+        )
+    }
+
     /// The evaluation platform this framework runs on.
     #[must_use]
     pub fn platform(&self) -> SimPlatform {
@@ -299,6 +393,16 @@ impl MicroGrad {
                 };
                 let report = task.run(&platform, &space, benchmark, &target, tuner.as_mut())?;
                 Ok(FrameworkOutput::Clone(report))
+            }
+            UseCaseConfig::CloneSimpoints {
+                benchmark,
+                accuracy_target,
+                interval_len,
+                max_phases,
+            } => {
+                let report =
+                    self.clone_simpoints(benchmark, *interval_len, *max_phases, *accuracy_target)?;
+                Ok(FrameworkOutput::SimpointClone(report))
             }
             UseCaseConfig::CloneMetrics {
                 name,
@@ -383,6 +487,70 @@ mod tests {
         assert_eq!(report.workload, "bzip2");
         assert!(report.mean_accuracy > 0.0);
         assert!(!report.epochs.is_empty());
+    }
+
+    #[test]
+    fn clone_simpoints_run_produces_a_simpoint_clone_report() {
+        let config = FrameworkConfig {
+            use_case: UseCaseConfig::CloneSimpoints {
+                benchmark: "gcc".into(),
+                accuracy_target: 0.99,
+                interval_len: 5_000,
+                max_phases: 3,
+            },
+            max_epochs: 2,
+            reference_len: 20_000,
+            ..fast_config()
+        };
+        let framework = MicroGrad::new(config);
+        let output = framework.run().unwrap();
+        let report = output.as_simpoint_clone().expect("simpoint-clone output");
+        assert_eq!(report.workload, "gcc");
+        assert_eq!(report.interval_len, 5_000);
+        assert!(report.num_phases() >= 1);
+        assert!(report.mean_accuracy > 0.0);
+        assert!(output.as_clone().is_none());
+        assert!(output.as_stress().is_none());
+    }
+
+    #[test]
+    fn clone_simpoints_config_round_trips_with_defaults() {
+        let json = r#"{
+            "core": "small",
+            "tuner": "gradient-descent",
+            "knob_space": "instruction-fractions",
+            "use_case": {"kind": "clone-simpoints", "benchmark": "mcf"},
+            "max_epochs": 2,
+            "dynamic_len": 4000,
+            "reference_len": 8000,
+            "seed": 1
+        }"#;
+        let config = FrameworkConfig::from_json(json).unwrap();
+        match &config.use_case {
+            UseCaseConfig::CloneSimpoints {
+                benchmark,
+                accuracy_target,
+                interval_len,
+                max_phases,
+            } => {
+                assert_eq!(benchmark, "mcf");
+                assert!((accuracy_target - 0.99).abs() < 1e-12);
+                assert_eq!(*interval_len, 10_000);
+                assert_eq!(*max_phases, 5);
+            }
+            other => panic!("expected clone-simpoints, got {other:?}"),
+        }
+        let back = FrameworkConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn clone_simpoints_rejects_unknown_benchmark() {
+        let framework = MicroGrad::new(fast_config());
+        let err = framework
+            .clone_simpoints("quake", 5_000, 3, 0.99)
+            .unwrap_err();
+        assert!(matches!(err, MicroGradError::InvalidInput { .. }));
     }
 
     #[test]

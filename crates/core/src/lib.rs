@@ -23,9 +23,11 @@
 //!   [`ExecutionPlatform::evaluate_batch`], which [`SimPlatform`] runs on a
 //!   configurable worker pool with bit-identical results
 //!   ([`SimPlatform::with_parallelism`], `FrameworkConfig::parallelism`);
-//! * the **use cases** ([`usecase::CloningTask`], [`usecase::StressTask`])
-//!   and the configuration-file driven facade ([`MicroGrad`],
-//!   [`FrameworkConfig`]).
+//! * the **use cases** ([`usecase::CloningTask`],
+//!   [`usecase::SimpointCloningTask`] — one tuned clone per SimPoint,
+//!   recombined into a weighted composite, see `docs/simpoint.md` —
+//!   and [`usecase::StressTask`]) and the configuration-file driven facade
+//!   ([`MicroGrad`], [`FrameworkConfig`]).
 //!
 //! # Example: a small stress test
 //!

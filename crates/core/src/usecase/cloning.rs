@@ -48,10 +48,7 @@ impl CloneReport {
     /// The metric with the worst accuracy and that accuracy.
     #[must_use]
     pub fn worst_metric(&self) -> Option<(MetricKind, f64)> {
-        self.ratios
-            .iter()
-            .map(|(k, r)| (*k, 1.0 - (r - 1.0).abs()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        super::worst_metric(&self.ratios)
     }
 }
 

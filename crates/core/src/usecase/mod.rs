@@ -2,8 +2,23 @@
 
 mod bottleneck;
 mod cloning;
+mod simpoints;
 mod stress;
 
 pub use bottleneck::{BottleneckReport, BottleneckTask, SweepPoint};
 pub use cloning::{CloneReport, CloningTask};
+pub use simpoints::{PhaseCloneReport, SimpointCloneReport, SimpointCloningTask};
 pub use stress::{StressReport, StressTask};
+
+use crate::MetricKind;
+use std::collections::BTreeMap;
+
+/// The metric whose clone/original ratio is furthest from 1.0, with its
+/// accuracy (`1 - |ratio - 1|`) — shared by every report that carries a
+/// radar-chart ratio map.
+pub(crate) fn worst_metric(ratios: &BTreeMap<MetricKind, f64>) -> Option<(MetricKind, f64)> {
+    ratios
+        .iter()
+        .map(|(k, r)| (*k, 1.0 - (r - 1.0).abs()))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}

@@ -263,16 +263,23 @@ impl Simulator {
             let mut complete = issue + exec_latency;
             match class {
                 InstrClass::Load => {
-                    let addr = dynamic.mem_addr.unwrap_or(0);
-                    let lat = hierarchy.access_data(dynamic.pc, addr);
-                    complete += u64::from(lat);
+                    // An addressless load (no stream descriptor behind the
+                    // static instruction) must not touch the hierarchy: a
+                    // fabricated address 0 would alias line 0 / set 0 and
+                    // pollute the L1D statistics of unrelated accesses.
+                    if let Some(addr) = dynamic.mem_addr {
+                        let lat = hierarchy.access_data(dynamic.pc, addr);
+                        complete += u64::from(lat);
+                    }
                     activity.loads += 1;
                 }
                 InstrClass::Store => {
                     // Stores retire through the store buffer: the cache
                     // access happens off the critical path but is counted.
-                    let addr = dynamic.mem_addr.unwrap_or(0);
-                    let _ = hierarchy.access_data(dynamic.pc, addr);
+                    // Addressless stores skip the hierarchy like loads.
+                    if let Some(addr) = dynamic.mem_addr {
+                        let _ = hierarchy.access_data(dynamic.pc, addr);
+                    }
                     activity.stores += 1;
                 }
                 InstrClass::Branch => {
@@ -377,6 +384,54 @@ mod tests {
             let streamed = sim.run_source(&mut expander.stream(&tc));
             assert_eq!(materialized, streamed);
         }
+    }
+
+    #[test]
+    fn addressless_memory_ops_do_not_touch_the_hierarchy() {
+        // A memory op whose dynamic instance carries no effective address
+        // must be counted (it occupies the LSQ and a memory unit) without
+        // performing a hierarchy access — a fabricated address 0 would
+        // alias line 0 / set 0 and pollute the L1D statistics.
+        use micrograd_codegen::DynamicInstr;
+        use micrograd_isa::{MemAccess, Reg};
+
+        let mem = MemAccess {
+            stream: 0,
+            base: 0x2000_0000,
+            stride: 64,
+            footprint: 4096,
+            offset: 0,
+        };
+        let mut load = micrograd_isa::Instruction::load(Opcode::Ld, Reg::x(6), Reg::x(10), mem);
+        load.set_address(0x40_0000);
+        let mut store = micrograd_isa::Instruction::store(Opcode::Sd, Reg::x(6), Reg::x(10), mem);
+        store.set_address(0x40_0004);
+        let statics = vec![load, store];
+        let dynamic = |static_index: u32, mem_addr: Option<u64>| DynamicInstr {
+            static_index,
+            pc: 0x40_0000 + u64::from(static_index) * 4,
+            mem_addr,
+            taken: None,
+        };
+
+        // One addressed load + one addressed store, then a run of
+        // addressless ones.
+        let dynamics = vec![
+            dynamic(0, Some(0x2000_0000)),
+            dynamic(1, Some(0x2000_0040)),
+            dynamic(0, None),
+            dynamic(1, None),
+            dynamic(0, None),
+        ];
+        let stats = Simulator::new(CoreConfig::small()).run(&Trace::new(statics, dynamics));
+
+        assert_eq!(stats.instructions, 5);
+        assert_eq!(stats.activity.loads, 3);
+        assert_eq!(stats.activity.stores, 2);
+        assert_eq!(stats.activity.lsq_ops, 5);
+        // Only the two addressed ops reached the L1D; the addressless ones
+        // must not appear as (fake) address-0 accesses.
+        assert_eq!(stats.hierarchy.l1d.accesses, 2);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::PrefetchConfig;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 
 /// Statistics for the prefetcher.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -12,17 +13,35 @@ pub struct PrefetchStats {
     pub trained: u64,
 }
 
+/// One training-table entry: the last observed address, the last observed
+/// stride and a saturating confidence counter.
+#[derive(Debug, Clone, Copy)]
+struct StrideEntry {
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+}
+
 /// A per-PC stride prefetcher with next-line fallback.
 ///
 /// The Large core of Table II has a prefetcher on its L1/L2; this model
 /// trains on demand misses, detects a constant stride per (static) load PC
 /// and issues `degree` prefetches along that stride (or the next line when
 /// no stable stride exists yet).
+///
+/// [`observe`](StridePrefetcher::observe) sits on the demand-miss path of
+/// every simulated evaluation, so the training table is indexed: a hash map
+/// keyed by PC for O(1) lookup, plus a FIFO ring of insertion order for
+/// O(1) eviction.  Prediction behaviour is identical to the previous linear
+/// table (entries update in place, eviction follows first-insertion order).
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
     config: PrefetchConfig,
-    /// (pc, last address, last stride, confidence) entries, small table.
-    table: Vec<(u64, u64, i64, u8)>,
+    /// PC-indexed training entries.
+    table: HashMap<u64, StrideEntry>,
+    /// Insertion-order ring over the table's PCs; the front is the next
+    /// eviction victim.
+    fifo: VecDeque<u64>,
     capacity: usize,
     stats: PrefetchStats,
 }
@@ -31,10 +50,12 @@ impl StridePrefetcher {
     /// Creates a prefetcher with a 64-entry training table.
     #[must_use]
     pub fn new(config: PrefetchConfig) -> Self {
+        const CAPACITY: usize = 64;
         StridePrefetcher {
             config,
-            table: Vec::new(),
-            capacity: 64,
+            table: HashMap::with_capacity(CAPACITY),
+            fifo: VecDeque::with_capacity(CAPACITY),
+            capacity: CAPACITY,
             stats: PrefetchStats::default(),
         }
     }
@@ -60,23 +81,33 @@ impl StridePrefetcher {
         self.stats.trained += 1;
         let line = line_bytes.max(1);
         let mut predicted_stride = line as i64;
-        if let Some(entry) = self.table.iter_mut().find(|(p, _, _, _)| *p == pc) {
-            let observed = address as i64 - entry.1 as i64;
-            if observed == entry.2 && observed != 0 {
-                entry.3 = entry.3.saturating_add(1);
+        if let Some(entry) = self.table.get_mut(&pc) {
+            let observed = address as i64 - entry.last_addr as i64;
+            if observed == entry.stride && observed != 0 {
+                entry.confidence = entry.confidence.saturating_add(1);
             } else {
-                entry.2 = observed;
-                entry.3 = 0;
+                entry.stride = observed;
+                entry.confidence = 0;
             }
-            entry.1 = address;
-            if entry.3 >= 1 && entry.2 != 0 {
-                predicted_stride = entry.2;
+            entry.last_addr = address;
+            if entry.confidence >= 1 && entry.stride != 0 {
+                predicted_stride = entry.stride;
             }
         } else {
             if self.table.len() >= self.capacity {
-                self.table.remove(0);
+                if let Some(victim) = self.fifo.pop_front() {
+                    self.table.remove(&victim);
+                }
             }
-            self.table.push((pc, address, 0, 0));
+            self.fifo.push_back(pc);
+            self.table.insert(
+                pc,
+                StrideEntry {
+                    last_addr: address,
+                    stride: 0,
+                    confidence: 0,
+                },
+            );
         }
         let mut out = Vec::with_capacity(self.config.degree as usize);
         for i in 1..=i64::from(self.config.degree) {
@@ -144,5 +175,36 @@ mod tests {
             p.observe(pc * 4, pc * 0x100, 64);
         }
         assert!(p.table.len() <= 64);
+        assert_eq!(p.fifo.len(), p.table.len());
+    }
+
+    #[test]
+    fn eviction_follows_insertion_order() {
+        // Fill the table, then keep re-training the very first PC: updates
+        // must not refresh its eviction slot (first-insertion order, as in
+        // the original linear table), so one more new PC evicts it.
+        let mut p = StridePrefetcher::new(enabled(1));
+        for pc in 0..64u64 {
+            p.observe(0x1000 + pc * 4, pc * 0x100, 64);
+        }
+        p.observe(0x1000, 0x10_0000, 64);
+        p.observe(0x1000, 0x10_0100, 64);
+        assert!(p.table.contains_key(&0x1000));
+        p.observe(0x9999, 0x55_0000, 64); // new PC → evicts the oldest
+        assert!(!p.table.contains_key(&0x1000));
+        assert!(p.table.contains_key(&0x9999));
+        assert_eq!(p.table.len(), 64);
+    }
+
+    #[test]
+    fn stride_relearns_after_a_break() {
+        let mut p = StridePrefetcher::new(enabled(1));
+        p.observe(0x400, 0x1000, 64);
+        p.observe(0x400, 0x1100, 64);
+        assert_eq!(p.observe(0x400, 0x1200, 64), vec![0x1300]);
+        // Break the pattern: falls back to next-line until re-confirmed.
+        assert_eq!(p.observe(0x400, 0x5000, 64), vec![0x5040]);
+        p.observe(0x400, 0x5200, 64);
+        assert_eq!(p.observe(0x400, 0x5400, 64), vec![0x5600]);
     }
 }

@@ -22,7 +22,11 @@
 //!   multi-phase targets can be characterized at realistic lengths in
 //!   O(static code) memory.
 //! * [`simpoint`] — basic-block-vector profiling, k-means clustering and
-//!   representative-interval selection (SimPoint-like).
+//!   representative-interval selection (SimPoint-like).  Profiling is
+//!   streaming ([`simpoint::analyze_source`] consumes any `TraceSource` in
+//!   one pass, bit-identical to the materialized [`simpoint::analyze`]),
+//!   which is what the clone-per-simpoint pipeline builds on — see
+//!   `docs/simpoint.md` at the repository root.
 //!
 //! # Example
 //!

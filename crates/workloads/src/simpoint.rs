@@ -8,9 +8,19 @@
 //! basic-block vector (BBV), the BBVs are clustered with k-means (k chosen
 //! by a simple penalized-variance criterion), and the interval closest to
 //! each centroid becomes that cluster's simpoint with a weight proportional
-//! to the cluster's size.
+//! to the cluster's share of profiled instructions.
+//!
+//! Profiling is **streaming**: [`analyze_source`] consumes any
+//! [`TraceSource`] in a single pass, so a 100 M-instruction target can be
+//! phase-analyzed in O(BBV) memory without ever materializing its trace.
+//! [`analyze`] is a thin adapter over [`Trace::source`] and produces a
+//! bit-identical [`PhaseAnalysis`].  A trailing partial interval of at
+//! least half the interval length is folded into a final (short) interval
+//! so the simpoint weights account for (nearly) all profiled instructions;
+//! shorter tails are dropped.  See `docs/simpoint.md` for the
+//! clone-per-simpoint workflow built on top of this module.
 
-use micrograd_codegen::Trace;
+use micrograd_codegen::{Trace, TraceSource};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -40,6 +50,10 @@ pub struct PhaseAnalysis {
     pub interval_len: usize,
     /// Cluster id assigned to every interval.
     pub assignments: Vec<usize>,
+    /// Dynamic instructions in each interval.  Every interval spans
+    /// `interval_len` instructions except possibly the last, which may be a
+    /// folded tail of at least `interval_len / 2`.
+    pub interval_lengths: Vec<usize>,
     /// Selected simpoints, one per cluster, sorted by cluster id.
     pub simpoints: Vec<Simpoint>,
 }
@@ -50,36 +64,79 @@ impl PhaseAnalysis {
     pub fn num_phases(&self) -> usize {
         self.simpoints.len()
     }
+
+    /// Total dynamic instructions covered by the intervals (full intervals
+    /// plus a folded tail; a dropped sub-half-interval tail is excluded).
+    #[must_use]
+    pub fn profiled_instructions(&self) -> usize {
+        self.interval_lengths.iter().sum()
+    }
+
+    /// Dynamic instructions in interval `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is out of range.
+    #[must_use]
+    pub fn interval_length(&self, interval: usize) -> usize {
+        self.interval_lengths[interval]
+    }
 }
 
-/// Computes the normalized basic-block vector of every `interval_len`-sized
-/// interval of `trace`.
+/// Computes the normalized basic-block vector of every interval of `trace`.
 ///
-/// Returns an empty vector if the trace is shorter than one interval.
+/// Thin adapter over [`interval_bbvs_source`] via [`Trace::source`];
+/// returns an empty vector if no interval (not even a foldable tail) fits.
 #[must_use]
 pub fn interval_bbvs(trace: &Trace, interval_len: usize) -> Vec<Vec<f64>> {
-    if interval_len == 0 || trace.len() < interval_len {
-        return Vec::new();
+    interval_bbvs_source(&mut trace.source(), interval_len).0
+}
+
+/// Streams `source` to exhaustion, computing the normalized basic-block
+/// vector and instruction count of every `interval_len`-sized interval in
+/// one pass — O(BBV dimensions) memory, independent of the stream length.
+///
+/// A trailing partial interval of at least `interval_len / 2` instructions
+/// is folded into a final (short) interval so downstream weights can
+/// account for it; a shorter tail is dropped.  Returns `(bbvs, lengths)`
+/// with one entry per interval; both are empty if the stream is shorter
+/// than half an interval or `interval_len` is zero.
+pub fn interval_bbvs_source<S: TraceSource + ?Sized>(
+    source: &mut S,
+    interval_len: usize,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    if interval_len == 0 {
+        return (Vec::new(), Vec::new());
     }
-    let dims = trace.statics().len() / BLOCK_GRANULARITY + 1;
-    let num_intervals = trace.len() / interval_len;
-    let mut bbvs = Vec::with_capacity(num_intervals);
-    for interval in 0..num_intervals {
-        let mut v = vec![0.0f64; dims];
-        let start = interval * interval_len;
-        for d in &trace.dynamics()[start..start + interval_len] {
-            let block = d.static_index as usize / BLOCK_GRANULARITY;
-            v[block.min(dims - 1)] += 1.0;
-        }
+    let dims = source.statics().len() / BLOCK_GRANULARITY + 1;
+    let mut bbvs = Vec::new();
+    let mut lengths = Vec::new();
+    let mut v = vec![0.0f64; dims];
+    let mut count = 0usize;
+    let mut flush = |v: &mut Vec<f64>, count: &mut usize| {
         let norm: f64 = v.iter().sum();
         if norm > 0.0 {
-            for x in &mut v {
+            for x in v.iter_mut() {
                 *x /= norm;
             }
         }
-        bbvs.push(v);
+        bbvs.push(std::mem::replace(v, vec![0.0f64; dims]));
+        lengths.push(std::mem::take(count));
+    };
+    while let Some(d) = source.next_dynamic() {
+        let block = d.static_index as usize / BLOCK_GRANULARITY;
+        v[block.min(dims - 1)] += 1.0;
+        count += 1;
+        if count == interval_len {
+            flush(&mut v, &mut count);
+        }
     }
-    bbvs
+    // Fold a tail of at least half an interval into a final interval so its
+    // instructions are represented; drop anything shorter.
+    if count * 2 >= interval_len {
+        flush(&mut v, &mut count);
+    }
+    (bbvs, lengths)
 }
 
 fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
@@ -115,18 +172,30 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> (Vec<usize>, Vec<Vec<
             .collect();
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
+            // Every remaining point coincides with an existing centroid;
+            // duplicates are unavoidable.
             rng.gen_range(0..points.len())
         } else {
+            // Roulette over the positive-distance points only: a
+            // zero-distance point *is* an existing centroid, and picking it
+            // (via the `threshold <= d` boundary at threshold 0, or the
+            // old last-index fallback) would seed a duplicate centroid and
+            // an empty cluster.
             let mut threshold = rng.gen::<f64>() * total;
-            let mut chosen = points.len() - 1;
+            let mut chosen = None;
             for (i, d) in dists.iter().enumerate() {
+                if *d <= 0.0 {
+                    continue;
+                }
+                // Track the last positive-distance candidate so rounding
+                // drift in the running subtraction cannot fall off the end.
+                chosen = Some(i);
                 if threshold <= *d {
-                    chosen = i;
                     break;
                 }
                 threshold -= d;
             }
-            chosen
+            chosen.expect("positive total implies a positive-distance point")
         };
         centroids.push(points[next].clone());
     }
@@ -173,13 +242,11 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> (Vec<usize>, Vec<Vec<
     (assignments, centroids, variance)
 }
 
-/// Runs the full SimPoint-style analysis on a trace.
+/// Runs the full SimPoint-style analysis on a materialized trace.
 ///
-/// `max_k` bounds the number of phases considered; the chosen `k` minimizes
-/// a penalized within-cluster variance (a lightweight stand-in for
-/// SimPoint's BIC criterion).
-///
-/// Returns `None` if the trace contains fewer than one interval.
+/// Thin adapter over [`analyze_source`] via [`Trace::source`]; the two
+/// paths produce bit-identical [`PhaseAnalysis`] results (proved across
+/// all eight benchmark models in `tests/determinism.rs`).
 #[must_use]
 pub fn analyze(
     trace: &Trace,
@@ -187,7 +254,27 @@ pub fn analyze(
     max_k: usize,
     seed: u64,
 ) -> Option<PhaseAnalysis> {
-    let bbvs = interval_bbvs(trace, interval_len);
+    analyze_source(&mut trace.source(), interval_len, max_k, seed)
+}
+
+/// Runs the full SimPoint-style analysis over a streaming [`TraceSource`],
+/// profiling basic-block vectors in a single pass (O(BBV) memory).
+///
+/// `max_k` bounds the number of phases considered; the chosen `k` minimizes
+/// a penalized within-cluster variance (a lightweight stand-in for
+/// SimPoint's BIC criterion).  Simpoint weights are proportional to the
+/// dynamic instructions their cluster covers, so a folded tail interval
+/// (see [`interval_bbvs_source`]) is weighted by its actual length and the
+/// weights sum to 1.0 over every profiled instruction.
+///
+/// Returns `None` if the stream contains fewer than half an interval.
+pub fn analyze_source<S: TraceSource + ?Sized>(
+    source: &mut S,
+    interval_len: usize,
+    max_k: usize,
+    seed: u64,
+) -> Option<PhaseAnalysis> {
+    let (bbvs, interval_lengths) = interval_bbvs_source(source, interval_len);
     if bbvs.is_empty() {
         return None;
     }
@@ -205,6 +292,7 @@ pub fn analyze(
     }
     let (_, assignments, centroids, k) = best.expect("at least one clustering attempted");
 
+    let profiled: usize = interval_lengths.iter().sum();
     let mut simpoints = Vec::new();
     for (cluster, centroid) in centroids.iter().enumerate().take(k) {
         let members: Vec<usize> = assignments
@@ -225,16 +313,18 @@ pub fn analyze(
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("cluster has members");
+        let covered: usize = members.iter().map(|&i| interval_lengths[i]).sum();
         simpoints.push(Simpoint {
             interval_index: representative,
             start_instruction: representative * interval_len,
-            weight: members.len() as f64 / assignments.len() as f64,
+            weight: covered as f64 / profiled as f64,
             cluster,
         });
     }
     Some(PhaseAnalysis {
         interval_len,
         assignments,
+        interval_lengths,
         simpoints,
     })
 }
@@ -263,6 +353,58 @@ mod tests {
     }
 
     #[test]
+    fn tail_of_at_least_half_an_interval_is_folded() {
+        // 23_000 instructions at interval 5_000: four full intervals plus a
+        // 3_000-instruction tail (>= half an interval), which must become a
+        // fifth, short interval so no execution is dropped.
+        let trace = ApplicationTraceGenerator::new(23_000, 7).generate(&Benchmark::Gcc.profile());
+        let (bbvs, lengths) = interval_bbvs_source(&mut trace.source(), 5_000);
+        assert_eq!(bbvs.len(), 5);
+        assert_eq!(lengths, vec![5_000, 5_000, 5_000, 5_000, 3_000]);
+        for v in &bbvs {
+            let total: f64 = v.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        let analysis = analyze(&trace, 5_000, 4, 7).unwrap();
+        assert_eq!(analysis.assignments.len(), 5);
+        assert_eq!(analysis.profiled_instructions(), 23_000);
+        // Weighted coverage accounts for every profiled instruction.
+        let covered: f64 = analysis
+            .simpoints
+            .iter()
+            .map(|s| s.weight * analysis.profiled_instructions() as f64)
+            .sum();
+        assert!((covered - 23_000.0).abs() < 1e-6);
+        let total_weight: f64 = analysis.simpoints.iter().map(|s| s.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_below_half_an_interval_is_dropped() {
+        // 21_000 instructions at interval 5_000: the 1_000-instruction tail
+        // is below half an interval and stays excluded.
+        let trace = ApplicationTraceGenerator::new(21_000, 7).generate(&Benchmark::Gcc.profile());
+        let (bbvs, lengths) = interval_bbvs_source(&mut trace.source(), 5_000);
+        assert_eq!(bbvs.len(), 4);
+        assert_eq!(lengths, vec![5_000; 4]);
+        let analysis = analyze(&trace, 5_000, 4, 7).unwrap();
+        assert_eq!(analysis.profiled_instructions(), 20_000);
+    }
+
+    #[test]
+    fn streaming_analysis_matches_materialized_analysis() {
+        for benchmark in [Benchmark::Gcc, Benchmark::Mcf, Benchmark::Hmmer] {
+            let generator = ApplicationTraceGenerator::new(33_000, 11);
+            let profile = benchmark.profile();
+            let materialized = analyze(&generator.generate(&profile), 4_000, 5, 11);
+            let streamed = analyze_source(&mut generator.stream(&profile), 4_000, 5, 11);
+            assert_eq!(materialized, streamed, "{benchmark:?}");
+            assert!(materialized.is_some());
+        }
+    }
+
+    #[test]
     fn kmeans_separates_obvious_clusters() {
         let mut points = Vec::new();
         for i in 0..20 {
@@ -282,6 +424,37 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn kmeans_rejects_zero_k() {
         let _ = kmeans(&[vec![0.0]], 0, 0);
+    }
+
+    #[test]
+    fn kmeans_seeding_never_duplicates_centroids() {
+        // Heavy duplication: only three distinct points, most of them
+        // copies of one value.  The old roulette could land on a
+        // zero-distance point (an existing centroid) via the
+        // `threshold <= d` boundary or the last-index fallback, seeding a
+        // duplicate centroid and an empty cluster.
+        let mut points: Vec<Vec<f64>> = vec![vec![0.0, 0.0]; 30];
+        points.push(vec![5.0, 5.0]);
+        points.push(vec![9.0, 1.0]);
+        for seed in 0..200u64 {
+            let (assignments, centroids, _) = kmeans(&points, 3, seed);
+            for (i, a) in centroids.iter().enumerate() {
+                for b in centroids.iter().skip(i + 1) {
+                    assert!(
+                        distance_sq(a, b) > 0.0,
+                        "seed {seed} produced duplicate centroids {a:?}"
+                    );
+                }
+            }
+            // All three distinct values form their own cluster: no cluster
+            // may come out empty.
+            for cluster in 0..3 {
+                assert!(
+                    assignments.contains(&cluster),
+                    "seed {seed} left cluster {cluster} empty"
+                );
+            }
+        }
     }
 
     #[test]

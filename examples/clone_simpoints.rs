@@ -1,0 +1,114 @@
+//! Clone-per-SimPoint: one tuned clone per execution phase, recombined
+//! into a weighted composite (the third input mode of Section III-A).
+//!
+//! The phased gcc-like application model is analyzed in a single streaming
+//! pass (`simpoint::analyze_source`), each simpoint's reference metrics are
+//! measured on an interval-windowed stream, the gradient-descent tuner
+//! clones each simpoint individually (every probe batched through
+//! `evaluate_batch`), and the tuned per-phase generators are stitched into
+//! a weighted `PhaseSchedule` composite whose blended metrics are validated
+//! against the whole-program original.  No trace is materialized at any
+//! stage — the whole workflow runs in O(window) trace memory.
+//!
+//! Run with (benchmark name optional, default `gcc`):
+//!
+//! ```text
+//! cargo run --release --example clone_simpoints -- xalancbmk
+//! ```
+
+use micrograd::core::{
+    CoreKind, FrameworkConfig, KnobSpaceKind, MicroGrad, MicroGradError, TunerKind, UseCaseConfig,
+};
+use micrograd::workloads::Benchmark;
+
+fn main() -> Result<(), MicroGradError> {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gcc".to_owned())
+        .to_lowercase();
+    if benchmark.parse::<Benchmark>().is_err() {
+        eprintln!(
+            "unknown benchmark `{benchmark}`; choose one of: {}",
+            Benchmark::ALL
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    }
+
+    let config = FrameworkConfig {
+        core: CoreKind::Small,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::Full,
+        use_case: UseCaseConfig::CloneSimpoints {
+            benchmark: benchmark.clone(),
+            accuracy_target: 0.99,
+            interval_len: 10_000,
+            max_phases: 4,
+        },
+        max_epochs: 8,
+        dynamic_len: 20_000,
+        reference_len: 60_000,
+        seed: 7,
+        // Ladder probes of every per-phase epoch run on all available cores.
+        parallelism: Some(0),
+    };
+
+    println!("clone-per-SimPoint for `{benchmark}` on the Small core ...");
+    let output = MicroGrad::new(config).run()?;
+    let report = output.as_simpoint_clone().expect("simpoint-clone run");
+
+    println!();
+    println!(
+        "phase analysis: {} intervals of {} instructions -> {} simpoints",
+        report.num_intervals,
+        report.interval_len,
+        report.num_phases()
+    );
+    for phase in &report.phases {
+        println!(
+            "  simpoint {}: interval {:>2} (weight {:>5.1}%), cloned to {:>5.1}% accuracy \
+             in {} epochs / {} evaluations",
+            phase.simpoint.cluster,
+            phase.simpoint.interval_index,
+            phase.simpoint.weight * 100.0,
+            phase.report.mean_accuracy * 100.0,
+            phase.report.epochs_used,
+            phase.report.evaluations,
+        );
+    }
+
+    println!();
+    println!("blended composite vs whole-program original (radar-chart axes):");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "metric", "original", "composite", "ratio"
+    );
+    for (kind, ratio) in &report.ratios {
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>8.3}",
+            kind.label(),
+            report.blended_target.value_or_zero(*kind),
+            report.blended_metrics.value_or_zero(*kind),
+            ratio
+        );
+    }
+
+    println!();
+    println!(
+        "blended mean accuracy: {:.2}% over {} per-phase clones ({} evaluations total)",
+        report.mean_accuracy * 100.0,
+        report.num_phases(),
+        report.evaluations
+    );
+    if let Some((worst, acc)) = report.worst_metric() {
+        println!(
+            "worst blended metric:  {} at {:.2}%",
+            worst.label(),
+            acc * 100.0
+        );
+    }
+    Ok(())
+}

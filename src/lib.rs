@@ -12,11 +12,11 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
-//! | [`core`] | `micrograd-core` | knobs, losses, tuners, use cases, batch-parallel evaluation, framework facade |
-//! | [`codegen`] | `micrograd-codegen` | pass-based synthetic test-case generation |
+//! | [`core`] | `micrograd-core` | knobs, losses, tuners, use cases (cloning, clone-per-SimPoint, stress), batch-parallel evaluation, framework facade |
+//! | [`codegen`] | `micrograd-codegen` | pass-based synthetic test-case generation, streaming/windowed trace sources |
 //! | [`sim`] | `micrograd-sim` | out-of-order core + cache hierarchy simulator |
 //! | [`power`] | `micrograd-power` | activity-based dynamic power model |
-//! | [`workloads`] | `micrograd-workloads` | SPEC-like application models, SimPoint analysis |
+//! | [`workloads`] | `micrograd-workloads` | SPEC-like application models, streaming SimPoint analysis |
 //! | [`isa`] | `micrograd-isa` | RISC-V subset instruction definitions |
 //!
 //! # Quick start
@@ -72,9 +72,23 @@
 //! scenarios compose per-phase sources with [`codegen::PhaseSchedule`].
 //! See `docs/streaming.md` for the architecture.
 //!
+//! # Clone-per-SimPoint
+//!
+//! The paper's third input mode — "Application Simpoints can be provided,
+//! so as to generate a clone for each simpoint individually" — is a full
+//! pipeline: [`workloads::simpoint::analyze_source`] phase-analyzes the
+//! target in one streaming pass, each simpoint's reference metrics are
+//! measured on an interval-windowed stream
+//! ([`codegen::TraceSource::window`]), one clone is tuned per simpoint
+//! (probes batched through [`core::ExecutionPlatform::evaluate_batch`]),
+//! and the tuned phases are recombined into a weighted
+//! [`codegen::PhaseSchedule`] composite validated against the original —
+//! [`core::MicroGrad::clone_simpoints`], or the `clone-simpoints` use case
+//! in the configuration file.  See `docs/simpoint.md` for the workflow.
+//!
 //! See the `examples/` directory for runnable end-to-end scenarios
-//! (`quickstart`, `clone_spec`, `power_virus`, `bottleneck_sweep`,
-//! `phased_workload`).
+//! (`quickstart`, `clone_spec`, `clone_simpoints`, `power_virus`,
+//! `bottleneck_sweep`, `phased_workload`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -14,6 +14,10 @@
 //!    bit-identical `SimStats` to the two-pass materialized `run`, for both
 //!    knob-driven test cases and all eight application models, so switching
 //!    the hot path to streaming changes nothing but the memory footprint.
+//!    The same holds one layer up: `simpoint::analyze_source` (the one-pass
+//!    streaming BBV profiler) must produce a bit-identical `PhaseAnalysis`
+//!    to the materialized `simpoint::analyze`, and the clone-per-SimPoint
+//!    facade run must be bit-identical whatever the batch worker count.
 
 use micrograd::codegen::{Generator, GeneratorInput, TraceExpander};
 use micrograd::core::tuner::{
@@ -25,7 +29,7 @@ use micrograd::core::{
     StressGoal, StressLoss, TunerKind, UseCaseConfig,
 };
 use micrograd::sim::{CoreConfig, Simulator};
-use micrograd::workloads::{ApplicationTraceGenerator, Benchmark};
+use micrograd::workloads::{simpoint, ApplicationTraceGenerator, Benchmark};
 
 fn space() -> KnobSpace {
     let mut space = KnobSpace::instruction_fractions();
@@ -152,6 +156,63 @@ fn streaming_application_traces_match_for_all_benchmarks() {
             assert_eq!(materialized, streamed, "{benchmark:?} seed {seed} diverged");
         }
     }
+}
+
+#[test]
+fn streaming_phase_analysis_matches_materialized_for_all_benchmarks() {
+    // The one-pass streaming BBV profiler must produce a bit-identical
+    // `PhaseAnalysis` to the materialized path for every one of the paper's
+    // eight application models, at several seeds, including a length that
+    // exercises the folded-tail interval (50_000 % 4_000 = 2_000 >= half).
+    for benchmark in Benchmark::ALL {
+        for seed in [3u64, 17, 29] {
+            let generator = ApplicationTraceGenerator::new(50_000, seed);
+            let profile = benchmark.profile();
+            let materialized = simpoint::analyze(&generator.generate(&profile), 4_000, 5, seed);
+            let streamed =
+                simpoint::analyze_source(&mut generator.stream(&profile), 4_000, 5, seed);
+            assert_eq!(materialized, streamed, "{benchmark:?} seed {seed} diverged");
+            let analysis = streamed.expect("stream long enough");
+            assert_eq!(analysis.profiled_instructions(), 50_000);
+            let total: f64 = analysis.simpoints.iter().map(|s| s.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{benchmark:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn clone_simpoints_is_deterministic_under_parallelism() {
+    // End to end through the clone-per-SimPoint facade entry: per-phase
+    // tuning submits its probes through `evaluate_batch`, so the whole
+    // report — phase analysis, per-phase clones, composite validation —
+    // must be bit-identical whatever the worker count.
+    let base = FrameworkConfig {
+        core: CoreKind::Small,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::InstructionFractions,
+        use_case: UseCaseConfig::CloneSimpoints {
+            benchmark: "gcc".into(),
+            accuracy_target: 0.99,
+            interval_len: 5_000,
+            max_phases: 3,
+        },
+        max_epochs: 2,
+        dynamic_len: 4_000,
+        reference_len: 20_000,
+        seed: 3,
+        parallelism: None,
+    };
+    let sequential = MicroGrad::new(base.clone()).run().expect("sequential run");
+    let parallel = MicroGrad::new(FrameworkConfig {
+        parallelism: Some(4),
+        ..base
+    })
+    .run()
+    .expect("parallel run");
+    assert_eq!(sequential, parallel);
+    let report = sequential.as_simpoint_clone().expect("simpoint output");
+    assert!(report.num_phases() >= 1);
+    assert!(report.evaluations > 0);
 }
 
 #[test]

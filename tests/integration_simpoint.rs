@@ -1,33 +1,41 @@
-//! Integration test of the SimPoint workflow: phase analysis of an
-//! application model followed by per-phase characterization, mirroring the
-//! "Application Simpoints can be provided, so as to generate a clone for
-//! each simpoint individually" input mode of the paper.
+//! Integration test of the SimPoint workflow: streaming phase analysis of
+//! an application model followed by per-phase characterization on
+//! interval-windowed sources, mirroring the "Application Simpoints can be
+//! provided, so as to generate a clone for each simpoint individually"
+//! input mode of the paper.
+//!
+//! No trace is materialized anywhere in this file: analysis is a single
+//! `analyze_source` pass and every per-simpoint measurement windows a fresh
+//! stream onto the representative interval (`TraceSource::window`), which
+//! replaced the old `trace.dynamics()` slicing.
 
-use micrograd::codegen::Trace;
+use micrograd::codegen::TraceSource;
 use micrograd::core::{ExecutionPlatform, MetricKind, SimPlatform};
 use micrograd::sim::CoreConfig;
 use micrograd::workloads::{simpoint, ApplicationTraceGenerator, Benchmark};
 
 #[test]
 fn simpoints_partition_execution_and_characterize_distinct_phases() {
-    let trace = ApplicationTraceGenerator::new(60_000, 3).generate(&Benchmark::Gcc.profile());
-    let analysis = simpoint::analyze(&trace, 5_000, 5, 3).expect("trace long enough");
+    let generator = ApplicationTraceGenerator::new(60_000, 3);
+    let profile = Benchmark::Gcc.profile();
+    let analysis = simpoint::analyze_source(&mut generator.stream(&profile), 5_000, 5, 3)
+        .expect("stream long enough");
 
     // weights form a distribution over phases
     let total: f64 = analysis.simpoints.iter().map(|s| s.weight).sum();
     assert!((total - 1.0).abs() < 1e-9);
     assert!(analysis.num_phases() >= 1);
+    assert_eq!(analysis.profiled_instructions(), 60_000);
 
-    // characterize each simpoint interval on the platform
+    // characterize each simpoint on an interval-windowed stream
     let platform = SimPlatform::new(CoreConfig::small())
         .with_dynamic_len(5_000)
         .with_seed(3);
     let mut per_phase_ipc = Vec::new();
     for sp in &analysis.simpoints {
-        let start = sp.start_instruction;
-        let slice: Vec<_> = trace.dynamics()[start..start + analysis.interval_len].to_vec();
-        let sub_trace = Trace::new(trace.statics().to_vec(), slice);
-        let metrics = platform.measure_trace(&sub_trace);
+        let len = analysis.interval_length(sp.interval_index);
+        let mut window = generator.stream(&profile).window(sp.start_instruction, len);
+        let metrics = platform.measure_source(&mut window);
         let ipc = metrics.value_or_zero(MetricKind::Ipc);
         assert!(ipc > 0.0);
         per_phase_ipc.push(ipc);
@@ -39,21 +47,21 @@ fn simpoints_partition_execution_and_characterize_distinct_phases() {
 fn whole_program_metrics_are_approximated_by_the_weighted_simpoints() {
     // The point of SimPoint: the weighted combination of per-simpoint
     // metrics approximates the whole-program metrics.
-    let trace =
-        ApplicationTraceGenerator::new(80_000, 5).generate(&Benchmark::Libquantum.profile());
-    let analysis = simpoint::analyze(&trace, 8_000, 4, 5).expect("trace long enough");
+    let generator = ApplicationTraceGenerator::new(80_000, 5);
+    let profile = Benchmark::Libquantum.profile();
+    let analysis = simpoint::analyze_source(&mut generator.stream(&profile), 8_000, 4, 5)
+        .expect("stream long enough");
 
     let platform = SimPlatform::new(CoreConfig::small())
         .with_dynamic_len(8_000)
         .with_seed(5);
-    let full = platform.measure_trace(&trace);
+    let full = platform.measure_source(&mut generator.stream(&profile));
 
     let mut weighted_ipc = 0.0;
     for sp in &analysis.simpoints {
-        let start = sp.start_instruction;
-        let slice: Vec<_> = trace.dynamics()[start..start + analysis.interval_len].to_vec();
-        let sub_trace = Trace::new(trace.statics().to_vec(), slice);
-        let metrics = platform.measure_trace(&sub_trace);
+        let len = analysis.interval_length(sp.interval_index);
+        let mut window = generator.stream(&profile).window(sp.start_instruction, len);
+        let metrics = platform.measure_source(&mut window);
         weighted_ipc += sp.weight * metrics.value_or_zero(MetricKind::Ipc);
     }
     let full_ipc = full.value_or_zero(MetricKind::Ipc);
@@ -63,4 +71,30 @@ fn whole_program_metrics_are_approximated_by_the_weighted_simpoints() {
         "weighted simpoint IPC {weighted_ipc:.3} should approximate full IPC {full_ipc:.3} \
          (relative error {relative_error:.2})"
     );
+}
+
+#[test]
+fn windowed_interval_measurement_matches_materialized_slicing() {
+    // The windowed replay path must measure exactly what the old
+    // `trace.dynamics()` slicing measured: the skipped prefix advances the
+    // stream state, so the window is bit-identical to the slice.
+    let generator = ApplicationTraceGenerator::new(40_000, 9);
+    let profile = Benchmark::Bzip2.profile();
+    let trace = generator.generate(&profile);
+    let analysis = simpoint::analyze(&trace, 5_000, 4, 9).expect("trace long enough");
+
+    let platform = SimPlatform::new(CoreConfig::small())
+        .with_dynamic_len(5_000)
+        .with_seed(9);
+    for sp in &analysis.simpoints {
+        let len = analysis.interval_length(sp.interval_index);
+        let slice: Vec<_> =
+            trace.dynamics()[sp.start_instruction..sp.start_instruction + len].to_vec();
+        let sub_trace = micrograd::codegen::Trace::new(trace.statics().to_vec(), slice);
+        let sliced = platform.measure_trace(&sub_trace);
+
+        let mut window = generator.stream(&profile).window(sp.start_instruction, len);
+        let windowed = platform.measure_source(&mut window);
+        assert_eq!(sliced, windowed, "cluster {}", sp.cluster);
+    }
 }
