@@ -1,0 +1,148 @@
+//! Criterion bench: service-layer throughput.
+//!
+//! Two costs gate how much traffic one `microgradd` can absorb: the wire
+//! protocol (every request/response crosses `encode_line`/`decode_*`) and
+//! the scheduler's submit→execute→fetch pipeline.  The protocol group
+//! measures encode/decode round-trips for the hot message shapes (a submit
+//! request and a full report response); the scheduler group measures
+//! jobs/sec through a workerless (inline-stepped) scheduler against a cold
+//! store — every job pays a real tuning run — and against a warm durable
+//! store, where every submission is answered from disk without executing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use micrograd_core::{
+    CoreKind, FrameworkConfig, KnobSpaceKind, MetricKind, MicroGrad, StressGoal, TunerKind,
+    UseCaseConfig,
+};
+use micrograd_service::{
+    decode_request, decode_response, encode_line, Request, RequestBody, Response, ResponseBody,
+    ResultStore, Scheduler, SchedulerConfig,
+};
+
+fn tiny_config(seed: u64) -> FrameworkConfig {
+    FrameworkConfig {
+        core: CoreKind::Small,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::InstructionFractions,
+        use_case: UseCaseConfig::Stress {
+            metric: MetricKind::Ipc,
+            goal: StressGoal::Minimize,
+        },
+        max_epochs: 1,
+        dynamic_len: 2_000,
+        reference_len: 2_000,
+        seed,
+        ..FrameworkConfig::default()
+    }
+}
+
+/// The batch of distinct jobs one scheduler iteration pushes through.
+fn job_batch() -> Vec<FrameworkConfig> {
+    (0..4).map(tiny_config).collect()
+}
+
+fn protocol_roundtrip(c: &mut Criterion) {
+    let submit = Request::new(RequestBody::Submit {
+        config: tiny_config(1),
+        priority: 3,
+    });
+    let submit_line = encode_line(&submit);
+
+    // A real report response, so the decode side sees production-shaped
+    // payloads (nested reports, float-heavy metrics).
+    let output = MicroGrad::new(tiny_config(1))
+        .run()
+        .expect("tiny stress run succeeds");
+    let report = Response::new(ResponseBody::Report { job: 1, output });
+    let report_line = encode_line(&report);
+
+    let mut group = c.benchmark_group("service_protocol");
+    group.throughput(Throughput::Bytes(submit_line.len() as u64));
+    group.bench_function("submit_encode_decode", |b| {
+        b.iter(|| {
+            let line = encode_line(&submit);
+            decode_request(&line).expect("round-trips")
+        });
+    });
+    group.throughput(Throughput::Bytes(report_line.len() as u64));
+    group.bench_function("report_encode_decode", |b| {
+        b.iter(|| {
+            let line = encode_line(&report);
+            decode_response(&line).expect("round-trips")
+        });
+    });
+    group.finish();
+}
+
+/// Drains a workerless scheduler inline: submit every config, step until
+/// the queue is empty, return the completed-job count.
+fn run_batch(scheduler: &Scheduler, jobs: &[FrameworkConfig]) -> u64 {
+    for config in jobs {
+        scheduler
+            .submit(config.clone(), 0)
+            .expect("queue has capacity");
+    }
+    while scheduler.step() {}
+    scheduler.stats().jobs_completed
+}
+
+fn scheduler_throughput(c: &mut Criterion) {
+    let jobs = job_batch();
+
+    // Warm store: one execution of every job persisted to disk up front;
+    // the benched submissions are then pure durable-store hits.
+    let warm_dir =
+        std::env::temp_dir().join(format!("micrograd-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    {
+        let store = ResultStore::open(&warm_dir).expect("scratch store opens");
+        let scheduler = Scheduler::new(
+            SchedulerConfig {
+                workers: 0,
+                queue_capacity: jobs.len(),
+                ..SchedulerConfig::default()
+            },
+            store,
+        );
+        assert_eq!(run_batch(&scheduler, &jobs), jobs.len() as u64);
+    }
+
+    let mut group = c.benchmark_group("service_scheduler");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.bench_function("jobs_cold_store", |b| {
+        b.iter(|| {
+            // A fresh in-memory store per iteration: every job executes.
+            let scheduler = Scheduler::new(
+                SchedulerConfig {
+                    workers: 0,
+                    queue_capacity: jobs.len(),
+                    ..SchedulerConfig::default()
+                },
+                ResultStore::in_memory(),
+            );
+            run_batch(&scheduler, &jobs)
+        });
+    });
+    group.bench_function("jobs_warm_store", |b| {
+        b.iter(|| {
+            // A fresh scheduler over the pre-populated directory: every
+            // job is answered from disk (the restarted-daemon fast path).
+            let scheduler = Scheduler::new(
+                SchedulerConfig {
+                    workers: 0,
+                    queue_capacity: jobs.len(),
+                    ..SchedulerConfig::default()
+                },
+                ResultStore::open(&warm_dir).expect("scratch store opens"),
+            );
+            run_batch(&scheduler, &jobs)
+        });
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&warm_dir);
+}
+
+criterion_group!(benches, protocol_roundtrip, scheduler_throughput);
+criterion_main!(benches);

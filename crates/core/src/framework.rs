@@ -19,6 +19,8 @@ use crate::{
 use micrograd_sim::CoreConfig;
 use micrograd_workloads::{ApplicationTraceGenerator, Benchmark};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// Which core configuration to evaluate on (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,6 +147,20 @@ pub enum UseCaseConfig {
     },
 }
 
+impl UseCaseConfig {
+    /// The `kind` tag this variant serializes as (used for job listings
+    /// and log lines).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            UseCaseConfig::CloneBenchmark { .. } => "clone-benchmark",
+            UseCaseConfig::CloneSimpoints { .. } => "clone-simpoints",
+            UseCaseConfig::CloneMetrics { .. } => "clone-metrics",
+            UseCaseConfig::Stress { .. } => "stress",
+        }
+    }
+}
+
 fn default_accuracy() -> f64 {
     0.99
 }
@@ -208,18 +224,152 @@ impl FrameworkConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`MicroGradError::InvalidInput`] if the JSON is malformed.
+    /// Returns [`MicroGradError::InvalidInput`] if the JSON is malformed or
+    /// does not match the configuration shape.  The error names the
+    /// offending field (e.g. `FrameworkConfig.max_epochs`) or enum variant
+    /// where the deserializer can attribute the failure, so a bad
+    /// configuration file points at what to fix rather than at "the
+    /// config".
     pub fn from_json(json: &str) -> Result<Self, MicroGradError> {
-        serde_json::from_str(json).map_err(|e| MicroGradError::InvalidInput {
-            field: "config".into(),
-            reason: e.to_string(),
-        })
+        serde_json::from_str(json).map_err(|e| invalid_config_error(&e.to_string()))
     }
 
     /// Serializes the configuration to pretty JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// A stable 64-bit fingerprint of the whole configuration.
+    ///
+    /// This is the job-identity key of the service layer: two clients
+    /// submitting bit-identical configurations share one execution, and the
+    /// durable result store addresses completed reports by this value.  It
+    /// follows the same discipline as the `SimPlatform` memo-cache key —
+    /// exhaustive destructuring (adding a field fails to compile here
+    /// instead of silently falling out of the key), `f64::to_bits` for
+    /// float fields, and consumers must verify configuration equality on a
+    /// fingerprint match so a 64-bit collision degrades to a duplicate
+    /// execution instead of a wrong report.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let FrameworkConfig {
+            core,
+            tuner,
+            knob_space,
+            use_case,
+            max_epochs,
+            dynamic_len,
+            reference_len,
+            seed,
+            parallelism,
+        } = self;
+        let mut h = DefaultHasher::new();
+        (match core {
+            CoreKind::Small => 0u8,
+            CoreKind::Large => 1,
+        })
+        .hash(&mut h);
+        (match tuner {
+            TunerKind::GradientDescent => 0u8,
+            TunerKind::Genetic => 1,
+            TunerKind::BruteForce => 2,
+            TunerKind::RandomSearch => 3,
+        })
+        .hash(&mut h);
+        (match knob_space {
+            KnobSpaceKind::Full => 0u8,
+            KnobSpaceKind::InstructionFractions => 1,
+        })
+        .hash(&mut h);
+        hash_use_case(use_case, &mut h);
+        max_epochs.hash(&mut h);
+        dynamic_len.hash(&mut h);
+        reference_len.hash(&mut h);
+        seed.hash(&mut h);
+        parallelism.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Hashes a use case exhaustively (every variant and field spelled out, so
+/// extending the enum fails to compile here rather than weakening the
+/// fingerprint).
+fn hash_use_case(use_case: &UseCaseConfig, h: &mut DefaultHasher) {
+    match use_case {
+        UseCaseConfig::CloneBenchmark {
+            benchmark,
+            accuracy_target,
+        } => {
+            0u8.hash(h);
+            benchmark.hash(h);
+            accuracy_target.to_bits().hash(h);
+        }
+        UseCaseConfig::CloneSimpoints {
+            benchmark,
+            accuracy_target,
+            interval_len,
+            max_phases,
+        } => {
+            1u8.hash(h);
+            benchmark.hash(h);
+            accuracy_target.to_bits().hash(h);
+            interval_len.hash(h);
+            max_phases.hash(h);
+        }
+        UseCaseConfig::CloneMetrics {
+            name,
+            target,
+            accuracy_target,
+        } => {
+            2u8.hash(h);
+            name.hash(h);
+            for (kind, value) in target.iter() {
+                kind.hash(h);
+                value.to_bits().hash(h);
+            }
+            accuracy_target.to_bits().hash(h);
+        }
+        UseCaseConfig::Stress { metric, goal } => {
+            3u8.hash(h);
+            metric.hash(h);
+            (match goal {
+                StressGoal::Maximize => 0u8,
+                StressGoal::Minimize => 1,
+            })
+            .hash(h);
+        }
+    }
+}
+
+/// Converts a deserializer message into an [`MicroGradError::InvalidInput`]
+/// that names the offending field where possible.
+///
+/// The stand-in deserializer prefixes shape errors with a `Type.field`
+/// context path (`FrameworkConfig.max_epochs: expected integer, …`,
+/// `FrameworkConfig.seed (missing): …`) and names unknown enum variants in
+/// the message body; this extracts the path into the error's `field` and
+/// keeps everything else as the reason.
+fn invalid_config_error(message: &str) -> MicroGradError {
+    if let Some((path, rest)) = message.split_once(": ") {
+        let (path, missing) = match path.strip_suffix(" (missing)") {
+            Some(stripped) => (stripped, true),
+            None => (path, false),
+        };
+        if !path.is_empty() && !path.contains(char::is_whitespace) {
+            return MicroGradError::InvalidInput {
+                field: path.to_owned(),
+                reason: if missing {
+                    format!("missing required field ({rest})")
+                } else {
+                    rest.to_owned()
+                },
+            };
+        }
+    }
+    MicroGradError::InvalidInput {
+        field: "config".into(),
+        reason: message.to_owned(),
     }
 }
 
@@ -291,11 +441,26 @@ impl MicroGrad {
     /// Returns [`MicroGradError::InvalidInput`] for an unknown benchmark
     /// name.
     pub fn characterize_benchmark(&self, name: &str) -> Result<Metrics, MicroGradError> {
+        self.characterize_benchmark_on(&self.platform(), name)
+    }
+
+    /// [`characterize_benchmark`](Self::characterize_benchmark) on a
+    /// caller-provided platform (the form a long-lived service uses so all
+    /// jobs of a run share one platform instance and its memo cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MicroGradError::InvalidInput`] for an unknown benchmark
+    /// name.
+    pub fn characterize_benchmark_on(
+        &self,
+        platform: &SimPlatform,
+        name: &str,
+    ) -> Result<Metrics, MicroGradError> {
         let benchmark: Benchmark = name.parse().map_err(|_| MicroGradError::InvalidInput {
             field: "benchmark".into(),
             reason: format!("unknown benchmark `{name}`"),
         })?;
-        let platform = self.platform();
         // Stream the reference application straight into the simulator —
         // the reference trace is never materialized, so `reference_len` can
         // be raised to realistic (100 M-instruction) lengths without a
@@ -332,11 +497,33 @@ impl MicroGrad {
         max_phases: usize,
         accuracy_target: f64,
     ) -> Result<SimpointCloneReport, MicroGradError> {
+        self.clone_simpoints_on(
+            &self.platform(),
+            name,
+            interval_len,
+            max_phases,
+            accuracy_target,
+        )
+    }
+
+    /// [`clone_simpoints`](Self::clone_simpoints) on a caller-provided
+    /// platform.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clone_simpoints`](Self::clone_simpoints).
+    pub fn clone_simpoints_on(
+        &self,
+        platform: &SimPlatform,
+        name: &str,
+        interval_len: usize,
+        max_phases: usize,
+        accuracy_target: f64,
+    ) -> Result<SimpointCloneReport, MicroGradError> {
         let benchmark: Benchmark = name.parse().map_err(|_| MicroGradError::InvalidInput {
             field: "benchmark".into(),
             reason: format!("unknown benchmark `{name}`"),
         })?;
-        let platform = self.platform();
         let space = self.config.knob_space.build();
         let task = SimpointCloningTask {
             cloning: CloningTask {
@@ -352,7 +539,7 @@ impl MicroGrad {
         let generator = ApplicationTraceGenerator::new(self.config.reference_len, self.config.seed);
         let tuner_kind = self.config.tuner;
         task.run(
-            &platform,
+            platform,
             &space,
             benchmark.name(),
             &generator,
@@ -376,7 +563,24 @@ impl MicroGrad {
     ///
     /// Propagates configuration, platform and tuner failures.
     pub fn run(&self) -> Result<FrameworkOutput, MicroGradError> {
-        let platform = self.platform();
+        self.run_on(&self.platform())
+    }
+
+    /// Runs the configured use case on a caller-provided platform.
+    ///
+    /// [`run`](Self::run) builds a fresh [`SimPlatform`] per invocation;
+    /// this form lets a long-lived caller (the `micrograd-service`
+    /// scheduler, a warm-started batch driver, an example that wants to
+    /// inspect [`SimPlatform::cache_stats`] afterwards) own the platform —
+    /// and therefore the memo cache — across the run.  The platform should
+    /// be configured like [`platform`](Self::platform) builds it (same
+    /// core, `dynamic_len` and seed), otherwise the report will not match a
+    /// plain [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, platform and tuner failures.
+    pub fn run_on(&self, platform: &SimPlatform) -> Result<FrameworkOutput, MicroGradError> {
         let space = self.config.knob_space.build();
         let mut tuner = self.config.tuner.build(self.config.seed);
 
@@ -385,13 +589,13 @@ impl MicroGrad {
                 benchmark,
                 accuracy_target,
             } => {
-                let target = self.characterize_benchmark(benchmark)?;
+                let target = self.characterize_benchmark_on(platform, benchmark)?;
                 let task = CloningTask {
                     accuracy_target: *accuracy_target,
                     max_epochs: self.config.max_epochs,
                     ..CloningTask::default()
                 };
-                let report = task.run(&platform, &space, benchmark, &target, tuner.as_mut())?;
+                let report = task.run(platform, &space, benchmark, &target, tuner.as_mut())?;
                 Ok(FrameworkOutput::Clone(report))
             }
             UseCaseConfig::CloneSimpoints {
@@ -400,8 +604,13 @@ impl MicroGrad {
                 interval_len,
                 max_phases,
             } => {
-                let report =
-                    self.clone_simpoints(benchmark, *interval_len, *max_phases, *accuracy_target)?;
+                let report = self.clone_simpoints_on(
+                    platform,
+                    benchmark,
+                    *interval_len,
+                    *max_phases,
+                    *accuracy_target,
+                )?;
                 Ok(FrameworkOutput::SimpointClone(report))
             }
             UseCaseConfig::CloneMetrics {
@@ -414,7 +623,7 @@ impl MicroGrad {
                     max_epochs: self.config.max_epochs,
                     ..CloningTask::default()
                 };
-                let report = task.run(&platform, &space, name, target, tuner.as_mut())?;
+                let report = task.run(platform, &space, name, target, tuner.as_mut())?;
                 Ok(FrameworkOutput::Clone(report))
             }
             UseCaseConfig::Stress { metric, goal } => {
@@ -423,7 +632,7 @@ impl MicroGrad {
                     goal: *goal,
                     max_epochs: self.config.max_epochs,
                 };
-                let report = task.run(&platform, &space, tuner.as_mut())?;
+                let report = task.run(platform, &space, tuner.as_mut())?;
                 Ok(FrameworkOutput::Stress(report))
             }
         }
@@ -564,6 +773,148 @@ mod tests {
         };
         let err = MicroGrad::new(config).run().unwrap_err();
         assert!(matches!(err, MicroGradError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn from_json_names_the_offending_field() {
+        // Wrong type for a field: the error names FrameworkConfig.max_epochs.
+        let json = r#"{
+            "core": "small",
+            "tuner": "gradient-descent",
+            "knob_space": "full",
+            "use_case": {"kind": "stress", "metric": "Ipc", "goal": "Minimize"},
+            "max_epochs": "lots",
+            "dynamic_len": 4000,
+            "reference_len": 8000,
+            "seed": 1
+        }"#;
+        let err = FrameworkConfig::from_json(json).unwrap_err();
+        match &err {
+            MicroGradError::InvalidInput { field, reason } => {
+                assert_eq!(field, "FrameworkConfig.max_epochs", "got: {err}");
+                assert!(reason.contains("integer"), "got: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // Missing required field: named, and flagged as missing.
+        let json = r#"{
+            "core": "small",
+            "tuner": "gradient-descent",
+            "knob_space": "full",
+            "use_case": {"kind": "stress", "metric": "Ipc", "goal": "Minimize"},
+            "max_epochs": 3,
+            "dynamic_len": 4000,
+            "reference_len": 8000
+        }"#;
+        let err = FrameworkConfig::from_json(json).unwrap_err();
+        match &err {
+            MicroGradError::InvalidInput { field, reason } => {
+                assert_eq!(field, "FrameworkConfig.seed", "got: {err}");
+                assert!(reason.contains("missing"), "got: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_json_names_the_offending_variant() {
+        // Unknown tuner: the message names the enum and the bad variant.
+        let json = r#"{
+            "core": "small",
+            "tuner": "simulated-annealing",
+            "knob_space": "full",
+            "use_case": {"kind": "stress", "metric": "Ipc", "goal": "Minimize"},
+            "max_epochs": 3,
+            "dynamic_len": 4000,
+            "reference_len": 8000,
+            "seed": 1
+        }"#;
+        let err = FrameworkConfig::from_json(json).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("TunerKind"), "got: {message}");
+        assert!(message.contains("simulated-annealing"), "got: {message}");
+
+        // Unknown use-case kind.
+        let json = r#"{
+            "core": "small",
+            "tuner": "gradient-descent",
+            "knob_space": "full",
+            "use_case": {"kind": "fuzz", "metric": "Ipc"},
+            "max_epochs": 3,
+            "dynamic_len": 4000,
+            "reference_len": 8000,
+            "seed": 1
+        }"#;
+        let message = FrameworkConfig::from_json(json).unwrap_err().to_string();
+        assert!(message.contains("UseCaseConfig"), "got: {message}");
+        assert!(message.contains("fuzz"), "got: {message}");
+
+        // Malformed JSON still yields a config-level error.
+        let err = FrameworkConfig::from_json("{not json").unwrap_err();
+        assert!(matches!(
+            err,
+            MicroGradError::InvalidInput { ref field, .. } if field == "config"
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let base = fast_config();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        // Round-tripping through JSON preserves the fingerprint.
+        let back = FrameworkConfig::from_json(&base.to_json()).unwrap();
+        assert_eq!(base.fingerprint(), back.fingerprint());
+
+        // Every kind of field perturbation changes the fingerprint.
+        let mut seed = base.clone();
+        seed.seed += 1;
+        assert_ne!(base.fingerprint(), seed.fingerprint());
+
+        let mut parallelism = base.clone();
+        parallelism.parallelism = Some(4);
+        assert_ne!(base.fingerprint(), parallelism.fingerprint());
+
+        let mut tuner = base.clone();
+        tuner.tuner = TunerKind::RandomSearch;
+        assert_ne!(base.fingerprint(), tuner.fingerprint());
+
+        let mut use_case = base.clone();
+        use_case.use_case = UseCaseConfig::Stress {
+            metric: MetricKind::Ipc,
+            goal: StressGoal::Maximize,
+        };
+        assert_ne!(base.fingerprint(), use_case.fingerprint());
+
+        let metrics_case = FrameworkConfig {
+            use_case: UseCaseConfig::CloneMetrics {
+                name: "t".into(),
+                target: Metrics::new().with(MetricKind::Ipc, 1.25),
+                accuracy_target: 0.95,
+            },
+            ..base.clone()
+        };
+        let mut tweaked = metrics_case.clone();
+        tweaked.use_case = UseCaseConfig::CloneMetrics {
+            name: "t".into(),
+            target: Metrics::new().with(MetricKind::Ipc, 1.25 + 1e-12),
+            accuracy_target: 0.95,
+        };
+        assert_ne!(metrics_case.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn run_on_matches_run_and_exposes_cache_stats() {
+        let config = fast_config();
+        let framework = MicroGrad::new(config);
+        let via_run = framework.run().unwrap();
+        let platform = framework.platform();
+        let via_run_on = framework.run_on(&platform).unwrap();
+        assert_eq!(via_run, via_run_on);
+        let stats = platform.cache_stats();
+        assert!(stats.lookups() > 0, "tuning evaluates through the cache");
+        assert!(stats.entries > 0);
     }
 
     #[test]

@@ -66,4 +66,4 @@ pub use framework::{
 pub use knob::{KnobConfig, KnobSpace, KnobSpec, KnobTarget};
 pub use loss::{CloneLogLoss, LossFunction, StressGoal, StressLoss};
 pub use metrics::{MetricKind, Metrics};
-pub use platform::{ExecutionPlatform, SimPlatform};
+pub use platform::{CacheStats, ExecutionPlatform, SimPlatform};

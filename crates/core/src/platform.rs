@@ -7,10 +7,11 @@ use micrograd_codegen::{
 use micrograd_power::{PowerConfig, PowerModel};
 use micrograd_sim::{CoreConfig, SimStats, Simulator};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// An execution platform MicroGrad can evaluate test cases on.
 ///
@@ -68,6 +69,57 @@ pub trait ExecutionPlatform {
 /// Number of independent memoization shards; reduces lock contention when
 /// many workers evaluate concurrently.
 const CACHE_SHARDS: usize = 16;
+
+/// Counters of the [`SimPlatform`] memoization cache.
+///
+/// A *hit* returns stored metrics without simulating; a *miss* pays a full
+/// generate-and-simulate evaluation (a 64-bit fingerprint collision whose
+/// stored input differs also counts as a miss — it is recomputed); an
+/// *insert* stores a freshly computed result.  `entries` is the number of
+/// memoized evaluations currently resident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that had to be computed.
+    pub misses: u64,
+    /// Results inserted into the cache.
+    pub inserts: u64,
+    /// Entries currently memoized.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0.0 when idle).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Componentwise sum of two counter sets (used to aggregate the stats
+    /// of several platforms, e.g. across service jobs).
+    #[must_use]
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            inserts: self.inserts + other.inserts,
+            entries: self.entries + other.entries,
+        }
+    }
+}
 
 /// A stable 64-bit fingerprint of a generator input, used as the
 /// memoization key.
@@ -139,6 +191,9 @@ pub struct SimPlatform {
     seed: u64,
     parallelism: Option<usize>,
     cache: Vec<Mutex<HashMap<u64, (GeneratorInput, Metrics)>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_inserts: AtomicU64,
 }
 
 impl SimPlatform {
@@ -166,6 +221,9 @@ impl SimPlatform {
             cache: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_inserts: AtomicU64::new(0),
         }
     }
 
@@ -265,6 +323,77 @@ impl SimPlatform {
         self.cache.iter().map(|shard| shard.lock().len()).sum()
     }
 
+    /// Current memoization-cache counters (hits, misses, inserts and
+    /// resident entries).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            inserts: self.cache_inserts.load(Ordering::Relaxed),
+            entries: self.cached_evaluations() as u64,
+        }
+    }
+
+    /// Exports every memoized evaluation as `(input, metrics)` pairs.
+    ///
+    /// Together with [`import_cache`](Self::import_cache) this is the
+    /// warm-start interface: a long-lived service can dump the cache of a
+    /// finished run and preload the next platform (or a restarted daemon)
+    /// with it.  Export order is deterministic: entries are sorted by
+    /// fingerprint.
+    #[must_use]
+    pub fn export_cache(&self) -> Vec<(GeneratorInput, Metrics)> {
+        let mut entries: Vec<(u64, GeneratorInput, Metrics)> = self
+            .cache
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .iter()
+                    .map(|(fp, (input, metrics))| (*fp, input.clone(), metrics.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by_key(|(fp, _, _)| *fp);
+        entries
+            .into_iter()
+            .map(|(_, input, metrics)| (input, metrics))
+            .collect()
+    }
+
+    /// Preloads memoized evaluations (the warm-start counterpart of
+    /// [`export_cache`](Self::export_cache)) and returns how many entries
+    /// were newly admitted.
+    ///
+    /// Fingerprints are recomputed from the imported inputs — a dump from
+    /// an older build (or a tampered file) can never poison a lookup with a
+    /// mismatched key.  Entries whose fingerprint is already resident are
+    /// skipped, so re-importing is idempotent.  Imported entries count as
+    /// inserts but not as hits or misses.
+    ///
+    /// **Correctness caveat:** metrics are only valid for the platform
+    /// configuration that produced them; only import dumps from a platform
+    /// with the same core, `dynamic_len` and seed.
+    pub fn import_cache<I>(&self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = (GeneratorInput, Metrics)>,
+    {
+        let mut admitted = 0;
+        for (input, metrics) in entries {
+            let fingerprint = input_fingerprint(&input);
+            let mut shard = self.shard(fingerprint).lock();
+            if shard.contains_key(&fingerprint) {
+                continue;
+            }
+            shard.insert(fingerprint, (input, metrics));
+            admitted += 1;
+        }
+        self.cache_inserts
+            .fetch_add(admitted as u64, Ordering::Relaxed);
+        admitted
+    }
+
     #[allow(clippy::cast_possible_truncation)]
     fn shard(&self, fingerprint: u64) -> &Mutex<HashMap<u64, (GeneratorInput, Metrics)>> {
         &self.cache[(fingerprint % CACHE_SHARDS as u64) as usize]
@@ -279,13 +408,16 @@ impl SimPlatform {
             // Verify the stored input so a 64-bit hash collision degrades
             // to a recomputation instead of returning wrong metrics.
             if cached_input == input {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(hit.clone());
             }
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let (metrics, _) = self.evaluate_detailed(input)?;
         self.shard(fingerprint)
             .lock()
             .insert(fingerprint, (input.clone(), metrics.clone()));
+        self.cache_inserts.fetch_add(1, Ordering::Relaxed);
         Ok(metrics)
     }
 }
@@ -400,6 +532,70 @@ mod tests {
         let b = p.evaluate(&input).unwrap();
         assert_eq!(a, b);
         assert_eq!(p.cached_evaluations(), 1);
+    }
+
+    #[test]
+    fn cache_stats_track_hits_misses_and_inserts() {
+        let p = platform();
+        assert_eq!(p.cache_stats(), CacheStats::default());
+        let input = GeneratorInput {
+            loop_size: 100,
+            ..GeneratorInput::default()
+        };
+        p.evaluate(&input).unwrap();
+        let after_miss = p.cache_stats();
+        assert_eq!(after_miss.hits, 0);
+        assert_eq!(after_miss.misses, 1);
+        assert_eq!(after_miss.inserts, 1);
+        assert_eq!(after_miss.entries, 1);
+        assert!((after_miss.hit_rate() - 0.0).abs() < 1e-12);
+
+        p.evaluate(&input).unwrap();
+        let after_hit = p.cache_stats();
+        assert_eq!(after_hit.hits, 1);
+        assert_eq!(after_hit.misses, 1);
+        assert_eq!(after_hit.lookups(), 2);
+        assert!((after_hit.hit_rate() - 0.5).abs() < 1e-12);
+
+        let merged = after_hit.merged(after_miss);
+        assert_eq!(merged.misses, 2);
+        assert_eq!(merged.hits, 1);
+    }
+
+    #[test]
+    fn cache_export_import_round_trips_and_is_idempotent() {
+        let warm = platform();
+        let inputs: Vec<GeneratorInput> = (0..3)
+            .map(|i| GeneratorInput {
+                loop_size: 80 + i * 40,
+                ..GeneratorInput::default()
+            })
+            .collect();
+        for input in &inputs {
+            warm.evaluate(input).unwrap();
+        }
+        let dump = warm.export_cache();
+        assert_eq!(dump.len(), 3);
+
+        let cold = platform();
+        assert_eq!(cold.import_cache(dump.clone()), 3);
+        assert_eq!(cold.import_cache(dump.clone()), 0, "re-import is a no-op");
+        let stats = cold.cache_stats();
+        assert_eq!(stats.inserts, 3);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.misses, 0, "imports are not misses");
+
+        // The imported platform answers from the cache with the exact
+        // metrics the warm platform computed.
+        for input in &inputs {
+            let warm_metrics = warm.evaluate(input).unwrap();
+            let cold_metrics = cold.evaluate(input).unwrap();
+            assert_eq!(warm_metrics, cold_metrics);
+        }
+        assert_eq!(cold.cache_stats().hits, 3);
+
+        // Export order is deterministic.
+        assert_eq!(warm.export_cache(), cold.export_cache());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! `microgradd` — the MicroGrad job-server daemon.
+//!
+//! Binds a TCP address, serves the JSON-lines protocol until a client
+//! requests shutdown, and (with `--store`) persists completed reports and
+//! the evaluation memo cache across restarts.
+//!
+//! ```text
+//! microgradd [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--store DIR]
+//! ```
+
+use micrograd_service::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+USAGE:
+    microgradd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      Address to bind (default 127.0.0.1:7878; port 0 picks one)
+    --workers N           Scheduler worker threads (default 2)
+    --queue-capacity N    Bounded job-queue capacity (default 64)
+    --store DIR           Durable store directory (default: in-memory only)
+    --help                Print this help
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag {
+            "--addr" => {
+                config.addr = value(i)?;
+                i += 2;
+            }
+            "--workers" => {
+                config.workers = value(i)?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_owned())?;
+                i += 2;
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value(i)?
+                    .parse()
+                    .map_err(|_| "--queue-capacity expects an integer".to_owned())?;
+                i += 2;
+            }
+            "--store" => {
+                config.store_dir = Some(value(i)?.into());
+                i += 2;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if config.workers == 0 {
+        return Err("--workers must be at least 1 for a daemon".to_owned());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("microgradd: {message}");
+            }
+            eprintln!("{USAGE}");
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let store_desc = config
+        .store_dir
+        .as_ref()
+        .map_or_else(|| "in-memory".to_owned(), |d| d.display().to_string());
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("microgradd: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The CI smoke stage and scripts parse this line for the actual port.
+    println!("microgradd listening on {}", server.local_addr());
+    println!("microgradd store: {store_desc}");
+
+    server.wait_for_shutdown();
+    println!("microgradd shutting down (finishing in-flight jobs)");
+    let stats = server.scheduler().stats();
+    server.shutdown();
+    println!(
+        "microgradd served {} submissions ({} executed, {} deduped, {} from store); bye",
+        stats.jobs_submitted, stats.executions, stats.jobs_deduped, stats.store_hits
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,252 @@
+//! A blocking client for the `microgradd` wire protocol.
+//!
+//! One [`Client`] owns one TCP session; every method sends one request
+//! line and reads one response line.  [`Client::submit_and_wait`] is the
+//! convenience loop most callers want: submit, poll until terminal, fetch.
+
+use crate::protocol::{
+    decode_response, encode_line, JobState, JobSummary, Request, RequestBody, ResponseBody,
+    ServerStats,
+};
+use micrograd_core::{FrameworkConfig, FrameworkOutput};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(std::io::Error),
+    /// The peer sent something unintelligible.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server(String),
+    /// The server answered with a well-formed but unexpected response
+    /// (a protocol bug on one side).
+    UnexpectedResponse(String),
+    /// `submit_and_wait` ran out of time.
+    Timeout {
+        /// The job that was still pending.
+        job: u64,
+        /// The last observed state.
+        state: JobState,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::UnexpectedResponse(got) => {
+                write!(f, "unexpected response: {got}")
+            }
+            ClientError::Timeout { job, state } => {
+                write!(f, "timed out waiting for job {job} (state: {state})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The receipt of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// The job id to poll and fetch with.
+    pub job: u64,
+    /// An identical job already existed server-side.
+    pub deduped: bool,
+    /// The report was answered from the durable store without running.
+    pub cached: bool,
+}
+
+/// A blocking JSON-lines client for one `microgradd` session.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn roundtrip(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let line = encode_line(&Request::new(body));
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let response =
+            decode_response(&response).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match response.body {
+            ResponseBody::Error { message } => Err(ClientError::Server(message)),
+            body => Ok(body),
+        }
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors (a full queue is a
+    /// server error naming the capacity).
+    pub fn submit(
+        &mut self,
+        config: &FrameworkConfig,
+        priority: i64,
+    ) -> Result<SubmitReceipt, ClientError> {
+        match self.roundtrip(RequestBody::Submit {
+            config: config.clone(),
+            priority,
+        })? {
+            ResponseBody::Submitted {
+                job,
+                deduped,
+                cached,
+            } => Ok(SubmitReceipt {
+                job,
+                deduped,
+                cached,
+            }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Polls the state of a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors (unknown jobs are
+    /// server errors).
+    pub fn status(&mut self, job: u64) -> Result<JobState, ClientError> {
+        match self.roundtrip(RequestBody::Status { job })? {
+            ResponseBody::Status { state, .. } => Ok(state),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the report of a completed job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors (fetching an
+    /// unfinished job is a server error naming its state).
+    pub fn fetch(&mut self, job: u64) -> Result<FrameworkOutput, ClientError> {
+        match self.roundtrip(RequestBody::Fetch { job })? {
+            ResponseBody::Report { output, .. } => Ok(output),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Lists every job the server knows about.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors.
+    pub fn list(&mut self) -> Result<Vec<JobSummary>, ClientError> {
+        match self.roundtrip(RequestBody::List)? {
+            ResponseBody::Jobs { jobs } => Ok(jobs),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Reads the server-wide counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.roundtrip(RequestBody::Stats)? {
+            ResponseBody::Stats { stats } => Ok(stats),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Requests a graceful server shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(RequestBody::Shutdown)? {
+            ResponseBody::ShuttingDown => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Polls a job until it reaches a terminal state, then returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Timeout`] when the deadline passes first, and
+    /// propagates connection, protocol and server errors.
+    pub fn wait(
+        &mut self,
+        job: u64,
+        poll: Duration,
+        timeout: Duration,
+    ) -> Result<JobState, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let state = self.status(job)?;
+            if state.is_terminal() {
+                return Ok(state);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout { job, state });
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// Submits a job, waits for it, and fetches the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Server`] when the job failed server-side, in
+    /// addition to the failure modes of [`wait`](Self::wait).
+    pub fn submit_and_wait(
+        &mut self,
+        config: &FrameworkConfig,
+        priority: i64,
+        timeout: Duration,
+    ) -> Result<FrameworkOutput, ClientError> {
+        let receipt = self.submit(config, priority)?;
+        match self.wait(receipt.job, Duration::from_millis(50), timeout)? {
+            JobState::Failed { error } => Err(ClientError::Server(error)),
+            _ => self.fetch(receipt.job),
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The wire protocol: versioned JSON-lines requests and responses.
+//!
+//! Every message is a single JSON object on one line, terminated by `\n`.
+//! The object carries the protocol version in its `proto` field and the
+//! payload in `body`; request payloads are tagged by `op`, response
+//! payloads by `result`.  One request always yields exactly one response on
+//! the same connection, in order, so a client may pipeline requests.
+//!
+//! ```text
+//! → {"proto":1,"body":{"op":"submit","config":{...},"priority":0}}
+//! ← {"proto":1,"body":{"result":"submitted","job":1,"deduped":false,"cached":false}}
+//! → {"proto":1,"body":{"op":"status","job":1}}
+//! ← {"proto":1,"body":{"result":"status","job":1,"state":{"phase":"running"}}}
+//! ```
+//!
+//! See `docs/service.md` for the full message catalogue.
+
+use micrograd_core::{CacheStats, FrameworkConfig, FrameworkOutput};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The protocol version this build speaks.
+///
+/// A request whose `proto` differs is answered with an error naming both
+/// versions, never silently misinterpreted.
+pub const PROTO_VERSION: u32 = 1;
+
+/// A client-to-server message: protocol version plus operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub proto: u32,
+    /// The requested operation.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Wraps an operation in a current-version envelope.
+    #[must_use]
+    pub fn new(body: RequestBody) -> Self {
+        Request {
+            proto: PROTO_VERSION,
+            body,
+        }
+    }
+}
+
+/// The operations a client can request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "kebab-case")]
+pub enum RequestBody {
+    /// Submit a framework job.  Jobs with equal configurations are
+    /// deduplicated server-side: both clients observe the same job id.
+    Submit {
+        /// The full framework configuration to execute.
+        config: FrameworkConfig,
+        /// Scheduling priority; higher runs earlier (default 0).
+        #[serde(default)]
+        priority: i64,
+    },
+    /// Poll the state of a job.
+    Status {
+        /// The job id returned by submit.
+        job: u64,
+    },
+    /// Fetch the report of a completed job.
+    Fetch {
+        /// The job id returned by submit.
+        job: u64,
+    },
+    /// List every job the server knows about.
+    List,
+    /// Server-wide counters (queue, executions, memo-cache totals, store).
+    Stats,
+    /// Ask the server to shut down gracefully: in-flight jobs finish,
+    /// queued jobs stay queued, every connection is answered then closed.
+    Shutdown,
+}
+
+/// A server-to-client message: protocol version plus result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub proto: u32,
+    /// The operation's result.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// Wraps a result in a current-version envelope.
+    #[must_use]
+    pub fn new(body: ResponseBody) -> Self {
+        Response {
+            proto: PROTO_VERSION,
+            body,
+        }
+    }
+}
+
+/// The results a server can answer with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "result", rename_all = "kebab-case")]
+pub enum ResponseBody {
+    /// A job was accepted (or recognized as a duplicate).
+    Submitted {
+        /// The job id to poll and fetch with.
+        job: u64,
+        /// An identical job already existed; this id refers to it.
+        deduped: bool,
+        /// The report was answered from the durable store without running.
+        cached: bool,
+    },
+    /// The current state of a job.
+    Status {
+        /// The polled job.
+        job: u64,
+        /// Its scheduling state.
+        state: JobState,
+    },
+    /// The report of a completed job.
+    Report {
+        /// The fetched job.
+        job: u64,
+        /// The framework report.
+        output: FrameworkOutput,
+    },
+    /// Every job the server knows about.
+    Jobs {
+        /// One summary per job, ordered by id.
+        jobs: Vec<JobSummary>,
+    },
+    /// Server-wide counters.
+    Stats {
+        /// The counters.
+        stats: ServerStats,
+    },
+    /// The server acknowledged a shutdown request.
+    ShuttingDown,
+    /// The request failed; `message` says why.
+    Error {
+        /// Human-readable failure reason.
+        message: String,
+    },
+}
+
+/// The scheduling state of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "phase", rename_all = "kebab-case")]
+pub enum JobState {
+    /// Waiting in the priority queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; the report can be fetched.
+    Done,
+    /// Execution failed.
+    Failed {
+        /// The failure reason.
+        error: String,
+    },
+}
+
+impl JobState {
+    /// Whether the job has reached a terminal state.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed { .. })
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobState::Queued => write!(f, "queued"),
+            JobState::Running => write!(f, "running"),
+            JobState::Done => write!(f, "done"),
+            JobState::Failed { error } => write!(f, "failed: {error}"),
+        }
+    }
+}
+
+/// One row of the job listing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSummary {
+    /// Job id.
+    pub job: u64,
+    /// Configuration fingerprint (the dedup / store key).
+    pub fingerprint: u64,
+    /// The use-case tag of the configuration (e.g. `stress`,
+    /// `clone-benchmark`).
+    pub use_case: String,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Current state.
+    pub state: JobState,
+}
+
+/// Server-wide counters, the payload of the stats endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Submit requests accepted (including deduplicated and store-answered
+    /// ones).
+    pub jobs_submitted: u64,
+    /// Submits answered with an already-known job id.
+    pub jobs_deduped: u64,
+    /// Submits rejected because the queue was full.
+    pub jobs_rejected: u64,
+    /// Submits answered from the durable store without executing.
+    pub store_hits: u64,
+    /// Jobs actually executed on the platform.
+    pub executions: u64,
+    /// Jobs that finished successfully.
+    pub jobs_completed: u64,
+    /// Jobs that failed.
+    pub jobs_failed: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Jobs currently running.
+    pub running: u64,
+    /// Background workers serving the queue.
+    pub workers: u64,
+    /// Reports resident in the durable store.
+    pub stored_reports: u64,
+    /// Memo-cache counters summed over all executed jobs
+    /// ([`SimPlatform::cache_stats`](micrograd_core::SimPlatform::cache_stats)).
+    pub cache: CacheStats,
+}
+
+/// A malformed or incompatible wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The line was not a valid message of the expected shape.
+    Malformed(String),
+    /// The message used a different protocol version.
+    Version {
+        /// The version the peer sent.
+        got: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Malformed(reason) => write!(f, "malformed message: {reason}"),
+            WireError::Version { got } => write!(
+                f,
+                "protocol version mismatch: peer speaks {got}, this build speaks {PROTO_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a message as one JSON line (including the trailing newline).
+#[must_use]
+pub fn encode_line<T: Serialize>(message: &T) -> String {
+    let mut line = serde_json::to_string(message).unwrap_or_default();
+    debug_assert!(!line.contains('\n'), "compact JSON must be single-line");
+    line.push('\n');
+    line
+}
+
+/// Checks the envelope's `proto` field *before* decoding the payload, so a
+/// future-version message whose body does not parse under this build's
+/// schema is still reported as a version mismatch, not as malformed.
+fn check_line_proto(line: &str) -> Result<(), WireError> {
+    #[derive(Deserialize)]
+    struct ProtoProbe {
+        proto: u32,
+    }
+    let probe: ProtoProbe =
+        serde_json::from_str(line).map_err(|e| WireError::Malformed(e.to_string()))?;
+    if probe.proto == PROTO_VERSION {
+        Ok(())
+    } else {
+        Err(WireError::Version { got: probe.proto })
+    }
+}
+
+/// Decodes one request line, enforcing the protocol version.
+///
+/// # Errors
+///
+/// Returns [`WireError::Malformed`] for unparseable input and
+/// [`WireError::Version`] for a version mismatch.
+pub fn decode_request(line: &str) -> Result<Request, WireError> {
+    let line = line.trim_end();
+    check_line_proto(line)?;
+    serde_json::from_str(line).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Decodes one response line, enforcing the protocol version.
+///
+/// # Errors
+///
+/// Returns [`WireError::Malformed`] for unparseable input and
+/// [`WireError::Version`] for a version mismatch.
+pub fn decode_response(line: &str) -> Result<Response, WireError> {
+    let line = line.trim_end();
+    check_line_proto(line)?;
+    serde_json::from_str(line).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micrograd_core::{MetricKind, StressGoal, UseCaseConfig};
+
+    fn submit_request() -> Request {
+        Request::new(RequestBody::Submit {
+            config: FrameworkConfig {
+                use_case: UseCaseConfig::Stress {
+                    metric: MetricKind::Ipc,
+                    goal: StressGoal::Minimize,
+                },
+                ..FrameworkConfig::default()
+            },
+            priority: 7,
+        })
+    }
+
+    #[test]
+    fn requests_round_trip_as_single_lines() {
+        let requests = vec![
+            submit_request(),
+            Request::new(RequestBody::Status { job: 3 }),
+            Request::new(RequestBody::Fetch { job: 3 }),
+            Request::new(RequestBody::List),
+            Request::new(RequestBody::Stats),
+            Request::new(RequestBody::Shutdown),
+        ];
+        for request in requests {
+            let line = encode_line(&request);
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "one line per message");
+            let back = decode_request(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_as_single_lines() {
+        let responses = vec![
+            Response::new(ResponseBody::Submitted {
+                job: 1,
+                deduped: false,
+                cached: true,
+            }),
+            Response::new(ResponseBody::Status {
+                job: 1,
+                state: JobState::Failed {
+                    error: "broken\nnewline".into(),
+                },
+            }),
+            Response::new(ResponseBody::Jobs {
+                jobs: vec![JobSummary {
+                    job: 1,
+                    fingerprint: u64::MAX,
+                    use_case: "stress".into(),
+                    priority: -4,
+                    state: JobState::Running,
+                }],
+            }),
+            Response::new(ResponseBody::Stats {
+                stats: ServerStats {
+                    jobs_submitted: 5,
+                    ..ServerStats::default()
+                },
+            }),
+            Response::new(ResponseBody::ShuttingDown),
+            Response::new(ResponseBody::Error {
+                message: "nope".into(),
+            }),
+        ];
+        for response in responses {
+            let line = encode_line(&response);
+            assert_eq!(line.matches('\n').count(), 1, "newlines must be escaped");
+            let back = decode_response(&line).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut request = submit_request();
+        request.proto = PROTO_VERSION + 1;
+        let line = encode_line(&request);
+        assert_eq!(
+            decode_request(&line),
+            Err(WireError::Version {
+                got: PROTO_VERSION + 1
+            })
+        );
+        let message = decode_request(&line).unwrap_err().to_string();
+        assert!(message.contains("version"), "got: {message}");
+
+        // A future-version message whose body does not parse under this
+        // build's schema is still a version mismatch, not "malformed".
+        let future = format!(
+            "{{\"proto\":{},\"body\":{{\"op\":\"cancel\",\"job\":1}}}}\n",
+            PROTO_VERSION + 1
+        );
+        assert_eq!(
+            decode_request(&future),
+            Err(WireError::Version {
+                got: PROTO_VERSION + 1
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(matches!(
+            decode_request("{nope"),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request(r#"{"proto":1,"body":{"op":"warp"}}"#),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_response("[]"),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn job_state_display_and_terminality() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        let failed = JobState::Failed {
+            error: "why".into(),
+        };
+        assert!(failed.is_terminal());
+        assert_eq!(failed.to_string(), "failed: why");
+        assert_eq!(JobState::Queued.to_string(), "queued");
+    }
+}

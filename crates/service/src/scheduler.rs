@@ -1,0 +1,911 @@
+//! The job scheduler: a bounded priority queue in front of a worker pool.
+//!
+//! Jobs are whole [`FrameworkConfig`]s; workers execute them through
+//! [`MicroGrad::run_on`] on a per-job platform that is warm-started from
+//! (and dumped back to) the [`ResultStore`]'s memo-cache persistence.  Job
+//! identity is [`FrameworkConfig::fingerprint`]: submitting a configuration
+//! that is already queued, running or done returns the existing job id
+//! instead of executing twice, and a configuration whose report is already
+//! in the durable store completes instantly without running at all.  On a
+//! fingerprint match the full configuration is compared, so a 64-bit
+//! collision yields two independent jobs, never a shared report.
+//!
+//! Priorities are client-chosen `i64`s, higher first; ties run in
+//! submission order.  The queue is bounded — a full queue rejects new work
+//! (back-pressure) rather than buffering without limit.
+
+use crate::protocol::{JobState, JobSummary, ServerStats};
+use crate::store::{platform_key, ResultStore};
+use micrograd_core::{CacheStats, FrameworkConfig, FrameworkOutput, MicroGrad};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Background worker threads.  `0` starts none: jobs then only run
+    /// when [`Scheduler::step`] is called (useful for tests and benches
+    /// that want deterministic, inline execution).
+    pub workers: usize,
+    /// Maximum number of queued (not yet running) jobs; further submits
+    /// are rejected until the queue drains.
+    pub queue_capacity: usize,
+    /// Maximum number of *terminal* (done/failed) job records kept
+    /// resident; beyond it the oldest-terminal records (and their cloned
+    /// reports) are evicted so a long-lived daemon's memory stays bounded.
+    /// An evicted job id answers "unknown job"; resubmitting its
+    /// configuration is answered from the durable store.
+    pub retained_jobs: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            retained_jobs: 1024,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full.
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity} jobs); retry later")
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The outcome of an accepted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The job id to poll and fetch with.
+    pub job: u64,
+    /// An identical job already existed; `job` refers to it.
+    pub deduped: bool,
+    /// The report was answered from the durable store without executing.
+    pub cached: bool,
+}
+
+/// The result of asking for a job's report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchResult {
+    /// No such job.
+    NotFound,
+    /// The job exists but has not completed; its current state is included.
+    NotReady(JobState),
+    /// The completed report.
+    Ready(FrameworkOutput),
+}
+
+struct JobRecord {
+    id: u64,
+    config: FrameworkConfig,
+    fingerprint: u64,
+    priority: i64,
+    state: JobState,
+    output: Option<FrameworkOutput>,
+}
+
+impl JobRecord {
+    fn summary(&self) -> JobSummary {
+        JobSummary {
+            job: self.id,
+            fingerprint: self.fingerprint,
+            use_case: self.config.use_case.kind_name().to_owned(),
+            priority: self.priority,
+            state: self.state.clone(),
+        }
+    }
+}
+
+/// Heap entry: max-heap on (priority, earlier submission first).
+#[derive(PartialEq, Eq)]
+struct QueuedEntry {
+    priority: i64,
+    seq: u64,
+    job: u64,
+}
+
+impl Ord for QueuedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    deduped: u64,
+    rejected: u64,
+    store_hits: u64,
+    executions: u64,
+    completed: u64,
+    failed: u64,
+}
+
+struct SchedState {
+    next_job: u64,
+    next_seq: u64,
+    queue: BinaryHeap<QueuedEntry>,
+    jobs: HashMap<u64, JobRecord>,
+    by_fingerprint: HashMap<u64, Vec<u64>>,
+    /// Terminal job ids, oldest first — the eviction order that keeps the
+    /// resident record count bounded by `retained_jobs`.
+    terminal_order: VecDeque<u64>,
+    running: u64,
+    counters: Counters,
+    cache_totals: CacheStats,
+    shutdown: bool,
+}
+
+struct SchedulerInner {
+    state: Mutex<SchedState>,
+    /// Signaled when work is enqueued or shutdown begins.
+    work_ready: Condvar,
+    /// Signaled when any job reaches a terminal state.
+    job_done: Condvar,
+    store: ResultStore,
+    config: SchedulerConfig,
+    shutting_down: AtomicBool,
+}
+
+/// A bounded-priority-queue scheduler executing framework jobs on a worker
+/// pool, with store-backed dedup and warm-started memo caches.
+pub struct Scheduler {
+    inner: Arc<SchedulerInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler over a result store and starts its workers.
+    #[must_use]
+    pub fn new(config: SchedulerConfig, store: ResultStore) -> Self {
+        let inner = Arc::new(SchedulerInner {
+            state: Mutex::new(SchedState {
+                next_job: 1,
+                next_seq: 0,
+                queue: BinaryHeap::new(),
+                jobs: HashMap::new(),
+                by_fingerprint: HashMap::new(),
+                terminal_order: VecDeque::new(),
+                running: 0,
+                counters: Counters::default(),
+                cache_totals: CacheStats::default(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            store,
+            config,
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the bounded queue is at
+    /// capacity and [`SubmitError::ShuttingDown`] during shutdown.
+    pub fn submit(
+        &self,
+        config: FrameworkConfig,
+        priority: i64,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let fingerprint = config.fingerprint();
+        let inner = &self.inner;
+
+        // Dedup under the lock: an identical configuration that is queued,
+        // running or already completed answers with the existing job.
+        // Failed jobs do not absorb resubmissions — a retry is a fresh
+        // execution.
+        {
+            let mut state = inner.state.lock().expect("scheduler state poisoned");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            state.counters.submitted += 1;
+            if let Some(job) = state.dedup_match(fingerprint, &config) {
+                state.counters.deduped += 1;
+                return Ok(SubmitOutcome {
+                    job,
+                    deduped: true,
+                    cached: false,
+                });
+            }
+        }
+
+        // Durable-store probe *without* the lock: a disk read plus JSON
+        // parse must not stall status/fetch polls or the worker pool.
+        let stored = inner.store.load_report(&config);
+
+        let mut state = inner.state.lock().expect("scheduler state poisoned");
+        if state.shutdown {
+            state.counters.submitted -= 1;
+            return Err(SubmitError::ShuttingDown);
+        }
+        // Re-check dedup: an identical submission may have been admitted
+        // while the lock was released for the store probe.
+        if let Some(job) = state.dedup_match(fingerprint, &config) {
+            state.counters.deduped += 1;
+            return Ok(SubmitOutcome {
+                job,
+                deduped: true,
+                cached: false,
+            });
+        }
+
+        // Durable-store hit: the job is born completed.
+        if let Some(output) = stored {
+            let job = state.admit(config, fingerprint, priority);
+            let record = state.jobs.get_mut(&job).expect("record just admitted");
+            record.state = JobState::Done;
+            record.output = Some(output);
+            state.counters.store_hits += 1;
+            state.counters.completed += 1;
+            state.mark_terminal(job, inner.config.retained_jobs);
+            inner.job_done.notify_all();
+            return Ok(SubmitOutcome {
+                job,
+                deduped: false,
+                cached: true,
+            });
+        }
+
+        if state.queue.len() >= inner.config.queue_capacity {
+            // Undo the optimistic submitted count: a rejected request was
+            // never accepted.
+            state.counters.submitted -= 1;
+            state.counters.rejected += 1;
+            return Err(SubmitError::QueueFull {
+                capacity: inner.config.queue_capacity,
+            });
+        }
+
+        let job = state.admit(config, fingerprint, priority);
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.queue.push(QueuedEntry { priority, seq, job });
+        inner.work_ready.notify_one();
+        Ok(SubmitOutcome {
+            job,
+            deduped: false,
+            cached: false,
+        })
+    }
+
+    /// The current state of a job, if it exists.
+    #[must_use]
+    pub fn status(&self, job: u64) -> Option<JobState> {
+        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        state.jobs.get(&job).map(|record| record.state.clone())
+    }
+
+    /// The completed report of a job.
+    #[must_use]
+    pub fn fetch(&self, job: u64) -> FetchResult {
+        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        match state.jobs.get(&job) {
+            None => FetchResult::NotFound,
+            Some(record) => match &record.output {
+                Some(output) => FetchResult::Ready(output.clone()),
+                None => FetchResult::NotReady(record.state.clone()),
+            },
+        }
+    }
+
+    /// Summaries of every known job, ordered by id.
+    #[must_use]
+    pub fn list(&self) -> Vec<JobSummary> {
+        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        let mut jobs: Vec<JobSummary> = state.jobs.values().map(JobRecord::summary).collect();
+        jobs.sort_by_key(|summary| summary.job);
+        jobs
+    }
+
+    /// Scheduler-wide counters (the stats endpoint payload).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        // Count stored reports (a directory scan for disk stores) before
+        // taking the lock — the same discipline as submit's store probe.
+        let stored_reports = self.inner.store.report_count();
+        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        ServerStats {
+            jobs_submitted: state.counters.submitted,
+            jobs_deduped: state.counters.deduped,
+            jobs_rejected: state.counters.rejected,
+            store_hits: state.counters.store_hits,
+            executions: state.counters.executions,
+            jobs_completed: state.counters.completed,
+            jobs_failed: state.counters.failed,
+            queue_depth: state.queue.len() as u64,
+            running: state.running,
+            workers: self.inner.config.workers as u64,
+            stored_reports,
+            cache: state.cache_totals,
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state or the timeout
+    /// elapses; returns the state last observed (`None` for an unknown
+    /// job).
+    #[must_use]
+    pub fn wait(&self, job: u64, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("scheduler state poisoned");
+        loop {
+            let current = state.jobs.get(&job)?.state.clone();
+            if current.is_terminal() {
+                return Some(current);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(current);
+            }
+            let (next, _) = self
+                .inner
+                .job_done
+                .wait_timeout(state, deadline - now)
+                .expect("scheduler state poisoned");
+            state = next;
+        }
+    }
+
+    /// Pops and executes the highest-priority queued job on the calling
+    /// thread; returns `false` when the queue is empty.
+    ///
+    /// This is the `workers: 0` execution mode for tests and benches that
+    /// want inline, deterministic scheduling.
+    pub fn step(&self) -> bool {
+        let job = {
+            let mut state = self.inner.state.lock().expect("scheduler state poisoned");
+            match pop_job(&mut state) {
+                Some(job) => job,
+                None => return false,
+            }
+        };
+        execute_job(&self.inner, job);
+        true
+    }
+
+    /// Stops accepting new submissions immediately: from this point every
+    /// [`submit`](Self::submit) returns [`SubmitError::ShuttingDown`]
+    /// instead of acknowledging work that would be lost on exit.  Running
+    /// jobs finish, queued jobs stay queued, and reads (status / fetch /
+    /// list / stats) keep being served.  Non-blocking;
+    /// [`shutdown`](Self::shutdown) additionally joins the workers.
+    pub fn begin_shutdown(&self) {
+        let mut state = self.inner.state.lock().expect("scheduler state poisoned");
+        state.shutdown = true;
+        self.inner.work_ready.notify_all();
+    }
+
+    /// Stops accepting work, lets running jobs finish, and joins the
+    /// workers.  Queued jobs remain queued (their state stays `Queued`).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.begin_shutdown();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// The store this scheduler persists to.
+    #[must_use]
+    pub fn store(&self) -> &ResultStore {
+        &self.inner.store
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl SchedState {
+    /// An existing non-failed job with this exact configuration, if any
+    /// (the dedup target of a submission).
+    fn dedup_match(&self, fingerprint: u64, config: &FrameworkConfig) -> Option<u64> {
+        self.by_fingerprint
+            .get(&fingerprint)?
+            .iter()
+            .filter_map(|id| self.jobs.get(id))
+            .find(|record| {
+                record.config == *config && !matches!(record.state, JobState::Failed { .. })
+            })
+            .map(|record| record.id)
+    }
+
+    /// Records that a job reached a terminal state and evicts the oldest
+    /// terminal records beyond `retain`, so resident history stays bounded
+    /// on a long-lived daemon.  Queued and running jobs are never evicted.
+    fn mark_terminal(&mut self, job: u64, retain: usize) {
+        self.terminal_order.push_back(job);
+        while self.terminal_order.len() > retain {
+            let evicted = self.terminal_order.pop_front().expect("len checked");
+            if let Some(record) = self.jobs.remove(&evicted) {
+                if let Some(ids) = self.by_fingerprint.get_mut(&record.fingerprint) {
+                    ids.retain(|id| *id != evicted);
+                    if ids.is_empty() {
+                        self.by_fingerprint.remove(&record.fingerprint);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Creates a job record and indexes it by fingerprint.
+    fn admit(&mut self, config: FrameworkConfig, fingerprint: u64, priority: i64) -> u64 {
+        let id = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                config,
+                fingerprint,
+                priority,
+                state: JobState::Queued,
+                output: None,
+            },
+        );
+        self.by_fingerprint.entry(fingerprint).or_default().push(id);
+        id
+    }
+}
+
+/// Pops the next runnable job and marks it running (caller holds the lock).
+fn pop_job(state: &mut SchedState) -> Option<u64> {
+    let entry = state.queue.pop()?;
+    state.running += 1;
+    state.counters.executions += 1;
+    let record = state.jobs.get_mut(&entry.job).expect("queued job exists");
+    record.state = JobState::Running;
+    Some(entry.job)
+}
+
+fn worker_loop(inner: &SchedulerInner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("scheduler state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(job) = pop_job(&mut state) {
+                    break job;
+                }
+                state = inner
+                    .work_ready
+                    .wait(state)
+                    .expect("scheduler state poisoned");
+            }
+        };
+        execute_job(inner, job);
+    }
+}
+
+/// Runs one job to completion: warm-start the platform from the store's
+/// cache dump, execute, dump the (superset) cache back, persist the report,
+/// publish the terminal state.
+///
+/// Execution runs under `catch_unwind`: a panic inside the framework marks
+/// the job `Failed` instead of killing the worker thread and leaving the
+/// job `Running` forever.
+fn execute_job(inner: &SchedulerInner, job: u64) {
+    let config = {
+        let state = inner.state.lock().expect("scheduler state poisoned");
+        state
+            .jobs
+            .get(&job)
+            .expect("running job exists")
+            .config
+            .clone()
+    };
+
+    let key = platform_key(&config);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let framework = MicroGrad::new(config.clone());
+        let platform = framework.platform();
+        platform.import_cache(inner.store.load_cache(&key));
+
+        let result = framework.run_on(&platform);
+
+        if let Err(e) = inner.store.save_cache(&key, platform.export_cache()) {
+            eprintln!("microgradd: failed to persist cache dump for `{key}`: {e}");
+        }
+        if let Ok(output) = &result {
+            if let Err(e) = inner.store.save_report(&config, output) {
+                eprintln!("microgradd: failed to persist report for job {job}: {e}");
+            }
+        }
+        (result, platform.cache_stats())
+    }));
+
+    let mut state = inner.state.lock().expect("scheduler state poisoned");
+    state.running -= 1;
+    let record = state.jobs.get_mut(&job).expect("running job exists");
+    match outcome {
+        Ok((result, cache_stats)) => {
+            match result {
+                Ok(output) => {
+                    record.state = JobState::Done;
+                    record.output = Some(output);
+                    state.counters.completed += 1;
+                }
+                Err(e) => {
+                    record.state = JobState::Failed {
+                        error: e.to_string(),
+                    };
+                    state.counters.failed += 1;
+                }
+            }
+            state.cache_totals = state.cache_totals.merged(cache_stats);
+        }
+        Err(payload) => {
+            record.state = JobState::Failed {
+                error: format!("job execution panicked: {}", panic_message(&payload)),
+            };
+            state.counters.failed += 1;
+        }
+    }
+    state.mark_terminal(job, inner.config.retained_jobs);
+    inner.job_done.notify_all();
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ScratchDir;
+    use micrograd_core::{CoreKind, KnobSpaceKind, MetricKind, StressGoal, UseCaseConfig};
+
+    fn tiny_config(seed: u64) -> FrameworkConfig {
+        FrameworkConfig {
+            core: CoreKind::Small,
+            knob_space: KnobSpaceKind::InstructionFractions,
+            use_case: UseCaseConfig::Stress {
+                metric: MetricKind::Ipc,
+                goal: StressGoal::Minimize,
+            },
+            max_epochs: 2,
+            dynamic_len: 3_000,
+            reference_len: 3_000,
+            seed,
+            ..FrameworkConfig::default()
+        }
+    }
+
+    fn manual_scheduler(queue_capacity: usize) -> Scheduler {
+        Scheduler::new(
+            SchedulerConfig {
+                workers: 0,
+                queue_capacity,
+                ..SchedulerConfig::default()
+            },
+            ResultStore::in_memory(),
+        )
+    }
+
+    #[test]
+    fn step_executes_jobs_by_priority_then_fifo() {
+        let scheduler = manual_scheduler(16);
+        let low = scheduler.submit(tiny_config(1), 0).unwrap().job;
+        let tied_first = scheduler.submit(tiny_config(2), 5).unwrap().job;
+        let tied_second = scheduler.submit(tiny_config(3), 5).unwrap().job;
+        let high = scheduler.submit(tiny_config(4), 9).unwrap().job;
+
+        let mut completion_order = Vec::new();
+        while scheduler.step() {
+            for summary in scheduler.list() {
+                if summary.state == JobState::Done && !completion_order.contains(&summary.job) {
+                    completion_order.push(summary.job);
+                }
+            }
+        }
+        assert_eq!(completion_order, vec![high, tied_first, tied_second, low]);
+        assert_eq!(scheduler.stats().executions, 4);
+    }
+
+    #[test]
+    fn identical_submissions_share_one_job() {
+        let scheduler = manual_scheduler(16);
+        let first = scheduler.submit(tiny_config(1), 0).unwrap();
+        assert!(!first.deduped);
+        let second = scheduler.submit(tiny_config(1), 3).unwrap();
+        assert!(second.deduped);
+        assert_eq!(second.job, first.job);
+        assert!(!second.cached);
+
+        assert!(scheduler.step());
+        assert!(!scheduler.step(), "one execution for two submissions");
+        let stats = scheduler.stats();
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.jobs_deduped, 1);
+        assert_eq!(stats.executions, 1);
+
+        // Dedup also applies to completed jobs.
+        let third = scheduler.submit(tiny_config(1), 0).unwrap();
+        assert!(third.deduped);
+        assert_eq!(third.job, first.job);
+    }
+
+    #[test]
+    fn queue_capacity_rejects_overflow() {
+        let scheduler = manual_scheduler(2);
+        scheduler.submit(tiny_config(1), 0).unwrap();
+        scheduler.submit(tiny_config(2), 0).unwrap();
+        let err = scheduler.submit(tiny_config(3), 0).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        assert!(err.to_string().contains("full"));
+        let stats = scheduler.stats();
+        assert_eq!(stats.jobs_rejected, 1);
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.queue_depth, 2);
+
+        // Draining the queue admits work again.
+        assert!(scheduler.step());
+        scheduler.submit(tiny_config(3), 0).unwrap();
+    }
+
+    #[test]
+    fn store_hit_completes_without_executing() {
+        let scratch = ScratchDir::new("sched-store");
+        let store = ResultStore::open(scratch.path()).unwrap();
+        let config = tiny_config(1);
+
+        {
+            let scheduler = Scheduler::new(
+                SchedulerConfig {
+                    workers: 0,
+                    queue_capacity: 8,
+                    ..SchedulerConfig::default()
+                },
+                store,
+            );
+            let receipt = scheduler.submit(config.clone(), 0).unwrap();
+            assert!(!receipt.cached);
+            assert!(scheduler.step());
+            assert_eq!(scheduler.status(receipt.job), Some(JobState::Done));
+        }
+
+        // A fresh scheduler over the same directory — a "restarted daemon".
+        let scheduler = Scheduler::new(
+            SchedulerConfig {
+                workers: 0,
+                queue_capacity: 8,
+                ..SchedulerConfig::default()
+            },
+            ResultStore::open(scratch.path()).unwrap(),
+        );
+        let receipt = scheduler.submit(config, 0).unwrap();
+        assert!(receipt.cached, "answered from the durable store");
+        assert_eq!(scheduler.status(receipt.job), Some(JobState::Done));
+        let stats = scheduler.stats();
+        assert_eq!(stats.executions, 0);
+        assert_eq!(stats.store_hits, 1);
+        assert!(matches!(
+            scheduler.fetch(receipt.job),
+            FetchResult::Ready(_)
+        ));
+    }
+
+    #[test]
+    fn background_workers_complete_jobs() {
+        let scheduler = Scheduler::new(
+            SchedulerConfig {
+                workers: 2,
+                queue_capacity: 8,
+                ..SchedulerConfig::default()
+            },
+            ResultStore::in_memory(),
+        );
+        let a = scheduler.submit(tiny_config(1), 0).unwrap().job;
+        let b = scheduler.submit(tiny_config(2), 0).unwrap().job;
+        assert_eq!(
+            scheduler.wait(a, Duration::from_secs(60)),
+            Some(JobState::Done)
+        );
+        assert_eq!(
+            scheduler.wait(b, Duration::from_secs(60)),
+            Some(JobState::Done)
+        );
+        scheduler.shutdown();
+        assert_eq!(
+            scheduler.submit(tiny_config(3), 0),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn terminal_records_are_evicted_beyond_the_retention_cap() {
+        let scheduler = Scheduler::new(
+            SchedulerConfig {
+                workers: 0,
+                queue_capacity: 8,
+                retained_jobs: 2,
+            },
+            ResultStore::in_memory(),
+        );
+        let a = scheduler.submit(tiny_config(1), 0).unwrap().job;
+        let b = scheduler.submit(tiny_config(2), 0).unwrap().job;
+        let c = scheduler.submit(tiny_config(3), 0).unwrap().job;
+        while scheduler.step() {}
+
+        // The oldest terminal record was evicted; the two newest remain.
+        assert!(scheduler.status(a).is_none(), "oldest record evicted");
+        assert_eq!(scheduler.fetch(a), FetchResult::NotFound);
+        assert_eq!(scheduler.status(b), Some(JobState::Done));
+        assert_eq!(scheduler.status(c), Some(JobState::Done));
+
+        // Resubmitting the evicted configuration is not lost work: the
+        // report is still in the store, so it completes as a store hit
+        // under a fresh job id.
+        let again = scheduler.submit(tiny_config(1), 0).unwrap();
+        assert!(again.cached, "evicted job's report served from the store");
+        assert_ne!(again.job, a);
+        assert_eq!(scheduler.stats().executions, 3, "nothing re-executed");
+    }
+
+    #[test]
+    fn begin_shutdown_rejects_new_work_but_serves_reads() {
+        let scheduler = manual_scheduler(8);
+        let job = scheduler.submit(tiny_config(1), 0).unwrap().job;
+        scheduler.begin_shutdown();
+        // New submissions get an error instead of a receipt for work that
+        // would be lost on exit; reads keep being served.
+        assert_eq!(
+            scheduler.submit(tiny_config(2), 0),
+            Err(SubmitError::ShuttingDown)
+        );
+        assert_eq!(scheduler.status(job), Some(JobState::Queued));
+        let stats = scheduler.stats();
+        assert_eq!(stats.queue_depth, 1);
+        assert_eq!(stats.jobs_submitted, 1);
+    }
+
+    #[test]
+    fn failed_jobs_report_their_error_and_allow_retry() {
+        let scheduler = manual_scheduler(8);
+        let mut config = tiny_config(1);
+        config.max_epochs = 0; // rejected by task validation
+        let job = scheduler.submit(config.clone(), 0).unwrap().job;
+        assert!(scheduler.step());
+        match scheduler.status(job) {
+            Some(JobState::Failed { error }) => {
+                assert!(error.contains("max_epochs"), "got: {error}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(matches!(
+            scheduler.fetch(job),
+            FetchResult::NotReady(JobState::Failed { .. })
+        ));
+        // A resubmission of the failed configuration is a fresh job.
+        let retry = scheduler.submit(config, 0).unwrap();
+        assert!(!retry.deduped);
+        assert_ne!(retry.job, job);
+    }
+
+    #[test]
+    fn fetch_distinguishes_missing_and_pending() {
+        let scheduler = manual_scheduler(8);
+        assert_eq!(scheduler.fetch(42), FetchResult::NotFound);
+        assert!(scheduler.status(42).is_none());
+        let job = scheduler.submit(tiny_config(1), 0).unwrap().job;
+        assert_eq!(
+            scheduler.fetch(job),
+            FetchResult::NotReady(JobState::Queued)
+        );
+        assert!(scheduler.step());
+        match scheduler.fetch(job) {
+            FetchResult::Ready(output) => assert!(output.as_stress().is_some()),
+            other => panic!("expected report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_reuses_the_persisted_cache() {
+        let scratch = ScratchDir::new("sched-warm");
+        let config = tiny_config(1);
+
+        let cold_stats = {
+            let scheduler = Scheduler::new(
+                SchedulerConfig {
+                    workers: 0,
+                    queue_capacity: 8,
+                    ..SchedulerConfig::default()
+                },
+                ResultStore::open(scratch.path()).unwrap(),
+            );
+            scheduler.submit(config.clone(), 0).unwrap();
+            assert!(scheduler.step());
+            scheduler.stats().cache
+        };
+        assert!(cold_stats.misses > 0, "cold run computes evaluations");
+
+        // Same platform key, different tuning run (other use case): the
+        // dumped cache primes the fresh daemon's platform.
+        let mut warm_config = config;
+        warm_config.use_case = UseCaseConfig::Stress {
+            metric: MetricKind::Ipc,
+            goal: StressGoal::Maximize,
+        };
+        let scheduler = Scheduler::new(
+            SchedulerConfig {
+                workers: 0,
+                queue_capacity: 8,
+                ..SchedulerConfig::default()
+            },
+            ResultStore::open(scratch.path()).unwrap(),
+        );
+        scheduler.submit(warm_config, 0).unwrap();
+        assert!(scheduler.step());
+        let warm_stats = scheduler.stats().cache;
+        assert!(
+            warm_stats.inserts > warm_stats.misses,
+            "imported entries ({} inserts) exceed computed ones ({} misses)",
+            warm_stats.inserts,
+            warm_stats.misses
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! The TCP server: an accept loop feeding per-connection reader threads.
+//!
+//! Each connection is one long-lived JSON-lines session (see
+//! [`crate::protocol`]); every request line is answered with exactly one
+//! response line, so clients may pipeline.  Malformed lines and version
+//! mismatches are answered with an error response rather than a dropped
+//! connection — only I/O failure or EOF closes a session.
+//!
+//! Shutdown is cooperative and clean: a `shutdown` request (or
+//! [`Server::shutdown`]) stops the accept loop, reader threads drain at
+//! their next read timeout, the scheduler finishes in-flight jobs, and
+//! every thread is joined before [`Server::shutdown`] returns.
+
+use crate::protocol::{
+    decode_request, encode_line, RequestBody, Response, ResponseBody, WireError,
+};
+use crate::scheduler::{FetchResult, Scheduler, SchedulerConfig, SubmitError};
+use crate::store::ResultStore;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often blocked reads wake up to observe the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Durable store directory; `None` keeps results in memory only.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 64,
+            store_dir: None,
+        }
+    }
+}
+
+struct ShutdownSignal {
+    requested: AtomicBool,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl ShutdownSignal {
+    fn new() -> Self {
+        ShutdownSignal {
+            requested: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    fn trigger(&self) {
+        self.requested.store(true, Ordering::SeqCst);
+        let _guard = self.lock.lock().expect("shutdown signal poisoned");
+        self.condvar.notify_all();
+    }
+
+    fn is_triggered(&self) -> bool {
+        self.requested.load(Ordering::SeqCst)
+    }
+
+    fn wait(&self) {
+        let mut guard = self.lock.lock().expect("shutdown signal poisoned");
+        while !self.is_triggered() {
+            guard = self.condvar.wait(guard).expect("shutdown signal poisoned");
+        }
+    }
+}
+
+/// A running `microgradd` instance: TCP accept loop + scheduler.
+pub struct Server {
+    addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    signal: Arc<ShutdownSignal>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener, starts the scheduler and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound or the store
+    /// directory cannot be created.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let store = match &config.store_dir {
+            Some(dir) => ResultStore::open(dir)?,
+            None => ResultStore::in_memory(),
+        };
+        let scheduler = Arc::new(Scheduler::new(
+            SchedulerConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                ..SchedulerConfig::default()
+            },
+            store,
+        ));
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let signal = Arc::new(ShutdownSignal::new());
+        let connections = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let scheduler = Arc::clone(&scheduler);
+            let signal = Arc::clone(&signal);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &scheduler, &signal, &connections);
+            })
+        };
+
+        Ok(Server {
+            addr,
+            scheduler,
+            signal,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (with the actual port when `:0` was requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler, for in-process inspection (tests, the daemon's exit
+    /// report).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Whether a shutdown has been requested (by a client or locally).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.signal.is_triggered()
+    }
+
+    /// Blocks until a shutdown is requested.
+    pub fn wait_for_shutdown(&self) {
+        self.signal.wait();
+    }
+
+    /// Stops accepting, drains connection threads, finishes in-flight jobs
+    /// and joins everything.  Also runs on drop; calling it explicitly
+    /// makes the completion point visible.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.signal.trigger();
+        // Close the scheduler's intake before draining connections, so a
+        // submission racing a locally-initiated shutdown is refused rather
+        // than acknowledged and then dropped.
+        self.scheduler.begin_shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        let connections =
+            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.scheduler.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    scheduler: &Arc<Scheduler>,
+    signal: &Arc<ShutdownSignal>,
+    connections: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if signal.is_triggered() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let scheduler = Arc::clone(scheduler);
+        let signal = Arc::clone(signal);
+        let handle = std::thread::spawn(move || {
+            serve_connection(stream, &scheduler, &signal);
+        });
+        let mut connections = connections.lock().expect("connection list poisoned");
+        // Reap finished sessions so a long-lived daemon holds handles only
+        // for connections that are still open, not for every connection it
+        // ever accepted.
+        connections.retain(|connection| !connection.is_finished());
+        connections.push(handle);
+    }
+}
+
+fn serve_connection(stream: TcpStream, scheduler: &Scheduler, signal: &ShutdownSignal) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Accumulate raw bytes, not a String: `read_line` discards bytes it
+    // already consumed when a read timeout lands mid-way through a
+    // multi-byte UTF-8 character, corrupting slowly-arriving requests.
+    // `read_until` keeps every consumed byte across timeouts.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break, // EOF: client closed the session.
+            Ok(_) => {
+                let text = String::from_utf8_lossy(&line);
+                if text.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let response = handle_line(&text, scheduler, signal);
+                line.clear();
+                if writer.write_all(encode_line(&response).as_bytes()).is_err()
+                    || writer.flush().is_err()
+                {
+                    break;
+                }
+                if signal.is_triggered() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timeout: partial input (if any) stays accumulated in
+                // `line`; just observe the shutdown flag and keep reading.
+                if signal.is_triggered() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_line(line: &str, scheduler: &Scheduler, signal: &ShutdownSignal) -> Response {
+    let request = match decode_request(line) {
+        Ok(request) => request,
+        Err(e @ (WireError::Malformed(_) | WireError::Version { .. })) => {
+            return Response::new(ResponseBody::Error {
+                message: e.to_string(),
+            });
+        }
+    };
+    let body = match request.body {
+        RequestBody::Submit { config, priority } => match scheduler.submit(config, priority) {
+            Ok(outcome) => ResponseBody::Submitted {
+                job: outcome.job,
+                deduped: outcome.deduped,
+                cached: outcome.cached,
+            },
+            Err(e @ (SubmitError::QueueFull { .. } | SubmitError::ShuttingDown)) => {
+                ResponseBody::Error {
+                    message: e.to_string(),
+                }
+            }
+        },
+        RequestBody::Status { job } => match scheduler.status(job) {
+            Some(state) => ResponseBody::Status { job, state },
+            None => ResponseBody::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        RequestBody::Fetch { job } => match scheduler.fetch(job) {
+            FetchResult::Ready(output) => ResponseBody::Report { job, output },
+            FetchResult::NotReady(state) => ResponseBody::Error {
+                message: format!("job {job} is not finished (state: {state})"),
+            },
+            FetchResult::NotFound => ResponseBody::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        RequestBody::List => ResponseBody::Jobs {
+            jobs: scheduler.list(),
+        },
+        RequestBody::Stats => ResponseBody::Stats {
+            stats: scheduler.stats(),
+        },
+        RequestBody::Shutdown => {
+            // Close the scheduler's intake first: submissions racing the
+            // shutdown get a `ShuttingDown` error instead of a success
+            // receipt for work that would be lost on exit.
+            scheduler.begin_shutdown();
+            signal.trigger();
+            ResponseBody::ShuttingDown
+        }
+    };
+    Response::new(body)
+}

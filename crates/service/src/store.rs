@@ -1,0 +1,378 @@
+//! Durable, content-addressed persistence of completed reports and
+//! memo-cache dumps.
+//!
+//! Reports are addressed by [`FrameworkConfig::fingerprint`]: a completed
+//! [`FrameworkOutput`] is written to `report-<fingerprint:016x>.json`
+//! together with the configuration that produced it, and a lookup verifies
+//! configuration equality before answering — the same collision discipline
+//! as the `SimPlatform` memo cache, so a 64-bit fingerprint collision
+//! degrades to a re-execution, never a wrong report.  Because every metric
+//! is a finite `f64` and the JSON emitter uses Rust's shortest round-trip
+//! float formatting, a report loaded from the store is **bit-identical** to
+//! the one that was saved.
+//!
+//! Memo-cache dumps (`cache-<key hash:016x>.json`) persist the
+//! `SimPlatform` evaluation cache per *platform key* (core, dynamic length,
+//! seed — the parameters that determine evaluation results), so a restarted
+//! daemon warm-starts repeat evaluations from disk.
+//!
+//! Files are written atomically (temp file + rename); a store directory can
+//! be shared by consecutive daemon processes but not by concurrent ones.
+//! [`ResultStore::in_memory`] provides the same interface without touching
+//! disk, for tests and benches.
+
+use micrograd_codegen::GeneratorInput;
+use micrograd_core::{FrameworkConfig, FrameworkOutput, Metrics};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The on-disk shape of one persisted report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredReport {
+    /// Store format version (currently [`crate::PROTO_VERSION`]).
+    pub proto: u32,
+    /// The configuration fingerprint (also in the file name).
+    pub fingerprint: u64,
+    /// The configuration that produced the report, verified on load.
+    pub config: FrameworkConfig,
+    /// The completed report.
+    pub output: FrameworkOutput,
+}
+
+/// The on-disk shape of one memo-cache dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredCache {
+    /// Store format version (currently [`crate::PROTO_VERSION`]).
+    pub proto: u32,
+    /// The platform key the entries are valid for, verified on load.
+    pub platform: String,
+    /// The memoized evaluations.
+    pub entries: Vec<(GeneratorInput, Metrics)>,
+}
+
+/// Durable store of completed reports and memo-cache dumps.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+    // In-memory mode keeps everything here; disk mode keeps nothing
+    // resident (reports are read on demand) and only serializes writers.
+    reports: Mutex<HashMap<u64, StoredReport>>,
+    caches: Mutex<HashMap<String, StoredCache>>,
+}
+
+/// The platform key a configuration's evaluations are valid under: the
+/// platform parameters that determine metric values.  `parallelism` is
+/// deliberately absent — it only trades wall-clock for cores.
+#[must_use]
+pub fn platform_key(config: &FrameworkConfig) -> String {
+    format!(
+        "{}:{}:{}",
+        config.core.config().name,
+        config.dynamic_len,
+        config.seed
+    )
+}
+
+fn key_hash(key: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir: Some(dir),
+            reports: Mutex::new(HashMap::new()),
+            caches: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// A store that never touches disk (nothing survives the process).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        ResultStore {
+            dir: None,
+            reports: Mutex::new(HashMap::new()),
+            caches: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The backing directory, if this store is persistent.
+    #[must_use]
+    pub fn location(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn report_path(&self, fingerprint: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("report-{fingerprint:016x}.json")))
+    }
+
+    fn cache_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("cache-{:016x}.json", key_hash(key))))
+    }
+
+    /// Persists a completed report under its configuration fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be written.  The in-memory
+    /// mode never fails.
+    pub fn save_report(
+        &self,
+        config: &FrameworkConfig,
+        output: &FrameworkOutput,
+    ) -> io::Result<()> {
+        let fingerprint = config.fingerprint();
+        let stored = StoredReport {
+            proto: crate::PROTO_VERSION,
+            fingerprint,
+            config: config.clone(),
+            output: output.clone(),
+        };
+        match self.report_path(fingerprint) {
+            Some(path) => write_atomically(&path, &stored),
+            None => {
+                self.reports.lock().insert(fingerprint, stored);
+                Ok(())
+            }
+        }
+    }
+
+    /// Looks up the report previously saved for an identical configuration.
+    ///
+    /// Returns `None` when nothing is stored, when the stored file is
+    /// unreadable or malformed, or when the stored configuration differs
+    /// (a fingerprint collision or a tampered file) — the caller then
+    /// simply re-executes.
+    #[must_use]
+    pub fn load_report(&self, config: &FrameworkConfig) -> Option<FrameworkOutput> {
+        let fingerprint = config.fingerprint();
+        let stored = match self.report_path(fingerprint) {
+            Some(path) => {
+                let text = std::fs::read_to_string(path).ok()?;
+                serde_json::from_str::<StoredReport>(&text).ok()?
+            }
+            None => self.reports.lock().get(&fingerprint)?.clone(),
+        };
+        (stored.config == *config).then_some(stored.output)
+    }
+
+    /// Number of reports resident in the store.
+    #[must_use]
+    pub fn report_count(&self) -> u64 {
+        match &self.dir {
+            Some(dir) => std::fs::read_dir(dir)
+                .map(|entries| {
+                    entries
+                        .filter_map(Result::ok)
+                        .filter(|e| {
+                            let name = e.file_name();
+                            let name = name.to_string_lossy();
+                            name.starts_with("report-") && name.ends_with(".json")
+                        })
+                        .count() as u64
+                })
+                .unwrap_or(0),
+            None => self.reports.lock().len() as u64,
+        }
+    }
+
+    /// Persists a memo-cache dump for a platform key, replacing any
+    /// previous dump for that key.
+    ///
+    /// Callers import the existing dump before evaluating and export the
+    /// resulting superset, so replacement only loses entries when two jobs
+    /// with the same platform key race — a best-effort cache, never a
+    /// correctness issue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be written.
+    pub fn save_cache(&self, key: &str, entries: Vec<(GeneratorInput, Metrics)>) -> io::Result<()> {
+        let stored = StoredCache {
+            proto: crate::PROTO_VERSION,
+            platform: key.to_owned(),
+            entries,
+        };
+        match self.cache_path(key) {
+            Some(path) => write_atomically(&path, &stored),
+            None => {
+                self.caches.lock().insert(key.to_owned(), stored);
+                Ok(())
+            }
+        }
+    }
+
+    /// Loads the memo-cache dump for a platform key (empty when absent,
+    /// unreadable, or recorded under a different key).
+    #[must_use]
+    pub fn load_cache(&self, key: &str) -> Vec<(GeneratorInput, Metrics)> {
+        let stored = match self.cache_path(key) {
+            Some(path) => {
+                let Ok(text) = std::fs::read_to_string(path) else {
+                    return Vec::new();
+                };
+                let Ok(stored) = serde_json::from_str::<StoredCache>(&text) else {
+                    return Vec::new();
+                };
+                stored
+            }
+            None => match self.caches.lock().get(key) {
+                Some(stored) => stored.clone(),
+                None => return Vec::new(),
+            },
+        };
+        if stored.platform == key {
+            stored.entries
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn write_atomically<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    // Unique temp name per write: two workers persisting the same target
+    // (e.g. the cache dump of a shared platform key) must not interleave
+    // on one temp file — each rename then lands a complete document, and
+    // concurrent saves degrade to last-writer-wins instead of corruption.
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ScratchDir;
+    use micrograd_core::{MetricKind, MicroGrad, StressGoal, UseCaseConfig};
+
+    fn tiny_config() -> FrameworkConfig {
+        FrameworkConfig {
+            use_case: UseCaseConfig::Stress {
+                metric: MetricKind::Ipc,
+                goal: StressGoal::Minimize,
+            },
+            max_epochs: 2,
+            dynamic_len: 4_000,
+            reference_len: 4_000,
+            ..FrameworkConfig::default()
+        }
+    }
+
+    fn run_tiny() -> (FrameworkConfig, FrameworkOutput) {
+        let config = tiny_config();
+        let output = MicroGrad::new(config.clone()).run().unwrap();
+        (config, output)
+    }
+
+    #[test]
+    fn disk_store_round_trips_reports_bit_identically() {
+        let scratch = ScratchDir::new("store");
+        let store = ResultStore::open(scratch.path()).unwrap();
+        assert_eq!(store.report_count(), 0);
+
+        let (config, output) = run_tiny();
+        assert!(store.load_report(&config).is_none());
+        store.save_report(&config, &output).unwrap();
+        assert_eq!(store.report_count(), 1);
+
+        let loaded = store.load_report(&config).expect("stored report");
+        assert_eq!(loaded, output, "load must be bit-identical to save");
+        // Equality of serialized bytes, the strictest form.
+        assert_eq!(
+            serde_json::to_string(&loaded).unwrap(),
+            serde_json::to_string(&output).unwrap()
+        );
+
+        // A different configuration misses even with the file present.
+        let mut other = config.clone();
+        other.seed += 1;
+        assert!(store.load_report(&other).is_none());
+
+        // A second store over the same directory sees the report — the
+        // durability property the service restarts rely on.
+        let reopened = ResultStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.load_report(&config), Some(output));
+    }
+
+    #[test]
+    fn in_memory_store_behaves_like_disk_without_files() {
+        let store = ResultStore::in_memory();
+        assert!(store.location().is_none());
+        let (config, output) = run_tiny();
+        store.save_report(&config, &output).unwrap();
+        assert_eq!(store.report_count(), 1);
+        assert_eq!(store.load_report(&config), Some(output));
+    }
+
+    #[test]
+    fn cache_dumps_round_trip_per_platform_key() {
+        let scratch = ScratchDir::new("cache");
+        let store = ResultStore::open(scratch.path()).unwrap();
+        let key = "small:4000:1";
+        assert!(store.load_cache(key).is_empty());
+
+        let entries = vec![(
+            GeneratorInput::default(),
+            Metrics::new().with(MetricKind::Ipc, 1.5),
+        )];
+        store.save_cache(key, entries.clone()).unwrap();
+        assert_eq!(store.load_cache(key), entries);
+        assert!(store.load_cache("large:4000:1").is_empty());
+
+        // Replacement semantics.
+        store.save_cache(key, Vec::new()).unwrap();
+        assert!(store.load_cache(key).is_empty());
+    }
+
+    #[test]
+    fn platform_key_tracks_evaluation_relevant_fields_only() {
+        let config = tiny_config();
+        let key = platform_key(&config);
+        assert_eq!(key, "large:4000:1");
+
+        let mut parallel = config.clone();
+        parallel.parallelism = Some(8);
+        assert_eq!(platform_key(&parallel), key, "parallelism is not identity");
+
+        let mut reseeded = config;
+        reseeded.seed = 9;
+        assert_ne!(platform_key(&reseeded), key);
+    }
+
+    #[test]
+    fn corrupt_report_files_degrade_to_a_miss() {
+        let scratch = ScratchDir::new("corrupt");
+        let store = ResultStore::open(scratch.path()).unwrap();
+        let (config, output) = run_tiny();
+        store.save_report(&config, &output).unwrap();
+        let path = store.report_path(config.fingerprint()).unwrap();
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(store.load_report(&config).is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end tests of the service subsystem over real TCP connections.
+//!
+//! These drive a full in-process daemon (`Server::start` on an ephemeral
+//! loopback port) through the public [`Client`], covering the acceptance
+//! path of the job-server subsystem: submit → poll → fetch for both the
+//! clone and stress use cases, N-client concurrent submission collapsing
+//! onto one execution with bit-identical reports, and a daemon restart
+//! answering a repeat submission from the durable store — again
+//! bit-identically.
+
+use micrograd_core::{
+    CoreKind, FrameworkConfig, KnobSpaceKind, MetricKind, Metrics, MicroGrad, StressGoal,
+    TunerKind, UseCaseConfig,
+};
+use micrograd_service::{Client, JobState, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Generous bound for one tiny tuning job; polling returns far earlier.
+const JOB_TIMEOUT: Duration = Duration::from_secs(300);
+const POLL: Duration = Duration::from_millis(20);
+
+/// A unique, self-cleaning scratch directory (no `tempfile` in the
+/// offline build; integration tests cannot see the crate's private
+/// test helpers).
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        ScratchDir(std::env::temp_dir().join(format!(
+            "micrograd-e2e-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn stress_config(seed: u64) -> FrameworkConfig {
+    FrameworkConfig {
+        core: CoreKind::Small,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::InstructionFractions,
+        use_case: UseCaseConfig::Stress {
+            metric: MetricKind::Ipc,
+            goal: StressGoal::Minimize,
+        },
+        max_epochs: 2,
+        dynamic_len: 3_000,
+        reference_len: 3_000,
+        seed,
+        ..FrameworkConfig::default()
+    }
+}
+
+fn clone_config(seed: u64) -> FrameworkConfig {
+    FrameworkConfig {
+        core: CoreKind::Small,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::Full,
+        use_case: UseCaseConfig::CloneMetrics {
+            name: "e2e-target".to_owned(),
+            target: Metrics::new()
+                .with(MetricKind::IntegerFraction, 0.4)
+                .with(MetricKind::LoadFraction, 0.25)
+                .with(MetricKind::Ipc, 1.1),
+            accuracy_target: 0.9,
+        },
+        max_epochs: 2,
+        dynamic_len: 3_000,
+        reference_len: 3_000,
+        seed,
+        ..FrameworkConfig::default()
+    }
+}
+
+fn start_server(store_dir: Option<PathBuf>) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(), // ephemeral port
+        workers: 2,
+        queue_capacity: 32,
+        store_dir,
+    })
+    .expect("server binds an ephemeral loopback port")
+}
+
+/// The full submit → poll → fetch round-trip over TCP for one config;
+/// returns the report's canonical JSON bytes (the bit-identity witness).
+fn submit_poll_fetch(client: &mut Client, config: &FrameworkConfig) -> (u64, String) {
+    let receipt = client.submit(config, 0).expect("submit accepted");
+    assert!(!receipt.cached, "first submission must execute");
+    let state = client
+        .wait(receipt.job, POLL, JOB_TIMEOUT)
+        .expect("polling succeeds");
+    assert_eq!(state, JobState::Done, "job completes");
+    let output = client.fetch(receipt.job).expect("report fetchable");
+    let bytes = serde_json::to_string(&output).expect("report serializes");
+    (receipt.job, bytes)
+}
+
+#[test]
+fn daemon_serves_submit_poll_fetch_for_clone_and_stress() {
+    let server = start_server(None);
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let (stress_job, stress_bytes) = submit_poll_fetch(&mut client, &stress_config(1));
+    assert!(stress_bytes.contains("\"stress\""), "got: {stress_bytes}");
+
+    let (clone_job, clone_bytes) = submit_poll_fetch(&mut client, &clone_config(2));
+    assert_ne!(clone_job, stress_job);
+    assert!(clone_bytes.contains("\"clone\""), "got: {clone_bytes}");
+
+    // The same session also serves list and stats.
+    let jobs = client.list().expect("list succeeds");
+    assert_eq!(jobs.len(), 2);
+    assert!(jobs.iter().any(|j| j.use_case == "stress"));
+    assert!(jobs.iter().any(|j| j.use_case == "clone-metrics"));
+    assert!(jobs.iter().all(|j| j.state == JobState::Done));
+
+    let stats = client.stats().expect("stats succeed");
+    assert_eq!(stats.jobs_submitted, 2);
+    assert_eq!(stats.executions, 2);
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.workers, 2);
+    assert!(
+        stats.cache.lookups() > 0,
+        "executed jobs surface memo-cache counters: {:?}",
+        stats.cache
+    );
+
+    // Server-side report equals an in-process run of the same config —
+    // the service is a transport, not a different computation.
+    let local = MicroGrad::new(stress_config(1)).run().expect("local run");
+    assert_eq!(
+        serde_json::to_string(&local).unwrap(),
+        stress_bytes,
+        "service and library runs are bit-identical"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_submissions_run_once_and_match_bitwise() {
+    const CLIENTS: usize = 6;
+    let server = start_server(None);
+    let addr = server.local_addr();
+    let config = stress_config(7);
+
+    let results: Vec<(u64, bool, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let config = &config;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let receipt = client.submit(config, 0).expect("submit accepted");
+                    let state = client
+                        .wait(receipt.job, POLL, JOB_TIMEOUT)
+                        .expect("polling succeeds");
+                    assert_eq!(state, JobState::Done);
+                    let output = client.fetch(receipt.job).expect("report fetchable");
+                    let bytes = serde_json::to_string(&output).unwrap();
+                    (receipt.job, receipt.deduped, bytes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("client thread completes"))
+            .collect()
+    });
+
+    // All clients observe the same job, exactly one submission was fresh,
+    // and every fetched report is byte-for-byte identical.
+    let job = results[0].0;
+    assert!(results.iter().all(|(id, _, _)| *id == job));
+    assert_eq!(
+        results.iter().filter(|(_, deduped, _)| !deduped).count(),
+        1,
+        "exactly one submission creates the job"
+    );
+    let reference = &results[0].2;
+    assert!(results.iter().all(|(_, _, bytes)| bytes == reference));
+
+    let mut client = Client::connect(addr).expect("client connects");
+    let stats = client.stats().expect("stats succeed");
+    assert_eq!(stats.jobs_submitted, CLIENTS as u64);
+    assert_eq!(stats.jobs_deduped, CLIENTS as u64 - 1);
+    assert_eq!(stats.executions, 1, "one execution for {CLIENTS} clients");
+
+    server.shutdown();
+}
+
+#[test]
+fn restarted_daemon_answers_repeat_jobs_from_the_durable_store() {
+    let scratch = ScratchDir::new("restart");
+    let store_dir = scratch.path().to_path_buf();
+
+    // First daemon lifetime: run one clone and one stress job.
+    let (first_clone, first_stress) = {
+        let server = start_server(Some(store_dir.clone()));
+        let mut client = Client::connect(server.local_addr()).expect("client connects");
+        let (_, clone_bytes) = submit_poll_fetch(&mut client, &clone_config(3));
+        let (_, stress_bytes) = submit_poll_fetch(&mut client, &stress_config(4));
+        // A client-requested shutdown, the daemon's normal exit path.
+        client.shutdown().expect("shutdown acknowledged");
+        server.wait_for_shutdown();
+        server.shutdown();
+        (clone_bytes, stress_bytes)
+    };
+
+    // Restarted daemon over the same store directory: identical
+    // submissions are answered from disk without executing, and the
+    // reports are bit-identical to the first lifetime's.
+    let server = start_server(Some(store_dir));
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    for (config, first_bytes) in [
+        (clone_config(3), &first_clone),
+        (stress_config(4), &first_stress),
+    ] {
+        let receipt = client.submit(&config, 0).expect("submit accepted");
+        assert!(receipt.cached, "answered from the durable store");
+        assert!(!receipt.deduped);
+        let output = client.fetch(receipt.job).expect("report fetchable");
+        assert_eq!(
+            &serde_json::to_string(&output).unwrap(),
+            first_bytes,
+            "stored report is bit-identical to the original run"
+        );
+    }
+    let stats = client.stats().expect("stats succeed");
+    assert_eq!(stats.executions, 0, "nothing re-executed after restart");
+    assert_eq!(stats.store_hits, 2);
+    assert_eq!(stats.stored_reports, 2);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_mismatched_lines_get_error_responses_not_disconnects() {
+    let server = start_server(None);
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Garbage line: an error response, and the session stays open.
+    writer.write_all(b"{this is not json\n").unwrap();
+    writer.flush().unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"error\""), "got: {line}");
+    assert!(line.contains("malformed"), "got: {line}");
+
+    // Wrong protocol version: an error naming both versions.
+    line.clear();
+    writer
+        .write_all(b"{\"proto\":99,\"body\":{\"op\":\"list\"}}\n")
+        .unwrap();
+    writer.flush().unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("version"), "got: {line}");
+    assert!(line.contains("99"), "got: {line}");
+
+    // The same connection still serves well-formed requests afterwards.
+    line.clear();
+    writer
+        .write_all(b"{\"proto\":1,\"body\":{\"op\":\"stats\"}}\n")
+        .unwrap();
+    writer.flush().unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"stats\""), "got: {line}");
+
+    server.shutdown();
+}

@@ -48,7 +48,11 @@ fn main() -> Result<(), MicroGradError> {
     println!("MicroGrad quickstart — cloning a metric-described workload");
     println!("configuration:\n{}", config.to_json());
 
-    let output = MicroGrad::new(config).run()?;
+    // Own the platform (instead of plain `run()`) so the memoization-cache
+    // counters can be inspected after the run.
+    let framework = MicroGrad::new(config);
+    let platform = framework.platform();
+    let output = framework.run_on(&platform)?;
     let FrameworkOutput::Clone(report) = output else {
         unreachable!("cloning use case returns a clone report");
     };
@@ -76,6 +80,15 @@ fn main() -> Result<(), MicroGradError> {
         "mean accuracy: {:.2}% (converged: {})",
         report.mean_accuracy * 100.0,
         report.converged
+    );
+    let cache = platform.cache_stats();
+    println!(
+        "memo cache: {} lookups, {} hits ({:.1}% hit rate), {} inserts, {} entries resident",
+        cache.lookups(),
+        cache.hits,
+        cache.hit_rate() * 100.0,
+        cache.inserts,
+        cache.entries
     );
     Ok(())
 }

@@ -13,6 +13,7 @@
 //! | Module | Crate | Role |
 //! |---|---|---|
 //! | [`core`] | `micrograd-core` | knobs, losses, tuners, use cases (cloning, clone-per-SimPoint, stress), batch-parallel evaluation, framework facade |
+//! | [`service`] | `micrograd-service` | persistent job server: `microgradd` daemon, JSON-lines protocol, priority scheduler, durable result store |
 //! | [`codegen`] | `micrograd-codegen` | pass-based synthetic test-case generation, streaming/windowed trace sources |
 //! | [`sim`] | `micrograd-sim` | out-of-order core + cache hierarchy simulator |
 //! | [`power`] | `micrograd-power` | activity-based dynamic power model |
@@ -86,6 +87,19 @@
 //! [`core::MicroGrad::clone_simpoints`], or the `clone-simpoints` use case
 //! in the configuration file.  See `docs/simpoint.md` for the workflow.
 //!
+//! # Running as a service
+//!
+//! The framework is also a long-lived server: the `microgradd` daemon
+//! (from `micrograd-service`) accepts [`core::FrameworkConfig`] jobs from
+//! many clients over a versioned JSON-lines TCP protocol, deduplicates
+//! identical submissions onto one execution (keyed by
+//! [`core::FrameworkConfig::fingerprint`]), schedules them on a bounded
+//! priority queue with a worker pool, and persists completed
+//! [`core::FrameworkOutput`] reports plus the evaluation memo cache in a
+//! durable store — a restarted daemon answers repeat jobs from disk,
+//! bit-identically.  Drive it with the `micrograd-cli` binary or the
+//! [`service::Client`] API; see `docs/service.md` for the protocol.
+//!
 //! See the `examples/` directory for runnable end-to-end scenarios
 //! (`quickstart`, `clone_spec`, `clone_simpoints`, `power_virus`,
 //! `bottleneck_sweep`, `phased_workload`).
@@ -97,5 +111,6 @@ pub use micrograd_codegen as codegen;
 pub use micrograd_core as core;
 pub use micrograd_isa as isa;
 pub use micrograd_power as power;
+pub use micrograd_service as service;
 pub use micrograd_sim as sim;
 pub use micrograd_workloads as workloads;

@@ -89,6 +89,44 @@ fn all_tuner_kinds_run_the_same_use_case() {
 }
 
 #[test]
+fn malformed_configurations_name_what_to_fix() {
+    // A wrong-typed field is attributed to its path, not to "the config".
+    let bad_field = r#"{
+        "core": "small",
+        "tuner": "gradient-descent",
+        "knob_space": "instruction-fractions",
+        "use_case": { "kind": "stress", "metric": "Ipc", "goal": "Minimize" },
+        "max_epochs": 3,
+        "dynamic_len": "plenty",
+        "reference_len": 5000,
+        "seed": 3
+    }"#;
+    let message = FrameworkConfig::from_json(bad_field)
+        .unwrap_err()
+        .to_string();
+    assert!(
+        message.contains("FrameworkConfig.dynamic_len"),
+        "got: {message}"
+    );
+
+    // An unknown enum variant is named in the message.
+    let bad_variant = r#"{
+        "core": "medium",
+        "tuner": "gradient-descent",
+        "knob_space": "instruction-fractions",
+        "use_case": { "kind": "stress", "metric": "Ipc", "goal": "Minimize" },
+        "max_epochs": 3,
+        "dynamic_len": 5000,
+        "reference_len": 5000,
+        "seed": 3
+    }"#;
+    let message = FrameworkConfig::from_json(bad_variant)
+        .unwrap_err()
+        .to_string();
+    assert!(message.contains("medium"), "got: {message}");
+}
+
+#[test]
 fn default_configuration_serializes_with_documented_fields() {
     let json = FrameworkConfig::default().to_json();
     for field in [
