@@ -68,6 +68,26 @@ fn batch_evaluation(c: &mut Criterion) {
             },
         );
     }
+
+    // Duplicate-heavy batch: every distinct input appears 16×, the shape a
+    // gradient ladder produces when most probes revisit the epoch base.
+    // This isolates the batch dedup path (sort-based run grouping): the
+    // evaluation work is constant, so differences between variants are
+    // pure dedup overhead.
+    let dedup_batch: Vec<GeneratorInput> = epoch_batch(&space, 6)
+        .into_iter()
+        .flat_map(|input| std::iter::repeat_n(input, 16))
+        .collect();
+    group.throughput(Throughput::Elements(dedup_batch.len() as u64));
+    group.bench_function("dedup_heavy", |b| {
+        b.iter(|| {
+            let platform = SimPlatform::new(CoreConfig::small())
+                .with_dynamic_len(10_000)
+                .with_seed(1)
+                .with_parallelism(Some(2));
+            platform.evaluate_batch(&dedup_batch)
+        });
+    });
     group.finish();
 }
 

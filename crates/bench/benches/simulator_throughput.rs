@@ -40,7 +40,7 @@ fn simulator_throughput(c: &mut Criterion) {
     group.sample_size(20);
     for config in [CoreConfig::small(), CoreConfig::large()] {
         let name = config.name.clone();
-        let sim = Simulator::new(config);
+        let mut sim = Simulator::new(config);
         group.bench_with_input(BenchmarkId::new("run", &name), &trace, |b, trace| {
             b.iter(|| sim.run(trace));
         });
@@ -59,7 +59,7 @@ fn simulator_throughput_streaming(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_throughput_streaming");
     group.throughput(Throughput::Elements(STREAM_LEN as u64));
     group.sample_size(10);
-    let sim = Simulator::new(CoreConfig::small());
+    let mut sim = Simulator::new(CoreConfig::small());
     // Fused: expansion streams straight into the simulator, O(window) memory.
     group.bench_function("streaming", |b| {
         b.iter(|| sim.run_source(&mut expander.stream(&tc)));

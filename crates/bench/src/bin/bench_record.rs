@@ -1,0 +1,253 @@
+//! Perf-trajectory recorder: folds criterion JSONL output into the
+//! committed `BENCH_simulator.json` history and checks fresh runs against
+//! it.
+//!
+//! The vendored criterion harness appends one JSON line per benchmark to
+//! the file named by `CRITERION_JSON` (median sample time plus derived
+//! throughput).  This tool maintains the long-lived, committed view:
+//!
+//! ```text
+//! bench_record append --label pr6 --input /tmp/criterion.jsonl \
+//!     --history BENCH_simulator.json
+//! bench_record check --history BENCH_simulator.json \
+//!     --input /tmp/criterion.jsonl --warn-pct 25 \
+//!     --require simulator_throughput --require batch_evaluation
+//! ```
+//!
+//! `append` merges the run into the per-benchmark history under `label`
+//! (re-appending the same label replaces that label's entry, so re-runs are
+//! idempotent).  `check` validates that the history parses and contains
+//! every `--require`d group (hard failure, exit 1) and — when `--input` is
+//! given — prints a *soft warning* for every benchmark whose fresh median
+//! regressed more than `--warn-pct` percent against the last recorded
+//! entry.  Warnings never change the exit code: perf noise on shared CI
+//! runners must not turn the build red.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchEntry {
+    /// Where the measurement came from (e.g. a PR tag).
+    label: String,
+    /// Median wall-clock time per iteration, in nanoseconds.
+    median_ns: u64,
+    /// Samples the median was taken over.
+    samples: u64,
+    /// Derived element throughput, when the group declares one.
+    #[serde(default)]
+    elem_per_s: Option<f64>,
+    /// Derived byte throughput, when the group declares one.
+    #[serde(default)]
+    bytes_per_s: Option<f64>,
+}
+
+/// The committed history: benchmark name → chronological entries.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct BenchHistory {
+    /// Schema version.
+    format: u32,
+    /// Per-benchmark measurement series, oldest first.
+    series: BTreeMap<String, Vec<BenchEntry>>,
+}
+
+/// One line of criterion JSONL output.
+#[derive(Debug, Deserialize)]
+struct JsonlRecord {
+    name: String,
+    median_ns: u64,
+    samples: u64,
+    #[serde(default)]
+    elem_per_s: Option<f64>,
+    #[serde(default)]
+    bytes_per_s: Option<f64>,
+}
+
+fn read_jsonl(path: &str) -> Result<Vec<JsonlRecord>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read input {path}: {e}"))?;
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record: JsonlRecord = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: bad JSONL record: {e}", idx + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn read_history(path: &str) -> Result<BenchHistory, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            serde_json::from_str(&text).map_err(|e| format!("history {path} does not parse: {e}"))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(BenchHistory {
+            format: 1,
+            series: BTreeMap::new(),
+        }),
+        Err(e) => Err(format!("cannot read history {path}: {e}")),
+    }
+}
+
+fn write_history(path: &str, history: &BenchHistory) -> Result<(), String> {
+    let mut text = serde_json::to_string_pretty(history)
+        .map_err(|e| format!("cannot serialize history: {e}"))?;
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write history {path}: {e}"))
+}
+
+fn append(label: &str, input: &str, history_path: &str) -> Result<(), String> {
+    let records = read_jsonl(input)?;
+    if records.is_empty() {
+        return Err(format!("input {input} holds no benchmark records"));
+    }
+    let mut history = read_history(history_path)?;
+    history.format = 1;
+    let count = records.len();
+    for record in records {
+        let entry = BenchEntry {
+            label: label.to_string(),
+            median_ns: record.median_ns,
+            samples: record.samples,
+            elem_per_s: record.elem_per_s,
+            bytes_per_s: record.bytes_per_s,
+        };
+        let series = history.series.entry(record.name).or_default();
+        // Same-label re-runs replace their previous entry; the series stays
+        // one entry per label, oldest first.
+        if let Some(existing) = series.iter_mut().find(|e| e.label == label) {
+            *existing = entry;
+        } else {
+            series.push(entry);
+        }
+    }
+    write_history(history_path, &history)?;
+    println!("recorded {count} benchmarks under label '{label}' into {history_path}");
+    Ok(())
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn check(
+    history_path: &str,
+    input: Option<&str>,
+    warn_pct: f64,
+    required: &[String],
+) -> Result<(), String> {
+    let history = read_history(history_path)?;
+    if history.series.is_empty() {
+        return Err(format!("history {history_path} holds no benchmark series"));
+    }
+    for group in required {
+        let prefix = format!("{group}/");
+        let found = history
+            .series
+            .keys()
+            .any(|name| name == group || name.starts_with(&prefix));
+        if !found {
+            return Err(format!(
+                "history {history_path} has no series for required group '{group}'"
+            ));
+        }
+    }
+    println!(
+        "history {history_path}: {} series, all {} required groups present",
+        history.series.len(),
+        required.len()
+    );
+
+    let Some(input) = input else {
+        return Ok(());
+    };
+    let mut warnings = 0usize;
+    for record in read_jsonl(input)? {
+        let Some(previous) = history.series.get(&record.name).and_then(|s| s.last()) else {
+            println!("note: {} has no recorded baseline yet", record.name);
+            continue;
+        };
+        if previous.median_ns == 0 {
+            continue;
+        }
+        let regression_pct = (record.median_ns as f64 - previous.median_ns as f64)
+            / previous.median_ns as f64
+            * 100.0;
+        if regression_pct > warn_pct {
+            warnings += 1;
+            println!(
+                "warning: {} regressed {regression_pct:.1}% vs '{}' \
+                 ({} ns -> {} ns median)",
+                record.name, previous.label, previous.median_ns, record.median_ns
+            );
+        }
+    }
+    if warnings == 0 {
+        println!("no median regressions above {warn_pct:.0}%");
+    } else {
+        println!("{warnings} soft regression warning(s) — not failing the build");
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     bench_record append --label <label> --input <criterion.jsonl> --history <BENCH.json>\n  \
+     bench_record check --history <BENCH.json> [--input <criterion.jsonl>] \
+     [--warn-pct <pct>] [--require <group>]..."
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let mut label = None;
+    let mut input = None;
+    let mut history = None;
+    let mut warn_pct = 25.0f64;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--label" => label = Some(value("--label")?),
+            "--input" => input = Some(value("--input")?),
+            "--history" => history = Some(value("--history")?),
+            "--warn-pct" => {
+                warn_pct = value("--warn-pct")?
+                    .parse()
+                    .map_err(|e| format!("bad --warn-pct: {e}"))?;
+            }
+            "--require" => required.push(value("--require")?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    let history = history.ok_or_else(|| format!("--history is required\n{}", usage()))?;
+    match command.as_str() {
+        "append" => {
+            let label = label.ok_or_else(|| format!("--label is required\n{}", usage()))?;
+            let input = input.ok_or_else(|| format!("--input is required\n{}", usage()))?;
+            append(&label, &input, &history)
+        }
+        "check" => check(&history, input.as_deref(), warn_pct, &required),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,7 +22,9 @@
 //!   in; all tuners submit their independent evaluations through
 //!   [`ExecutionPlatform::evaluate_batch`], which [`SimPlatform`] runs on a
 //!   configurable worker pool with bit-identical results
-//!   ([`SimPlatform::with_parallelism`], `FrameworkConfig::parallelism`);
+//!   ([`SimPlatform::with_parallelism`], `FrameworkConfig::parallelism`),
+//!   memoized through a lock-free probing table ([`memo::MemoTable`] — see
+//!   `docs/performance.md` for the design and perf trajectory);
 //! * the **use cases** ([`usecase::CloningTask`],
 //!   [`usecase::SimpointCloningTask`] — one tuned clone per SimPoint,
 //!   recombined into a weighted composite, see `docs/simpoint.md` —
@@ -54,6 +56,7 @@ mod error;
 mod framework;
 mod knob;
 mod loss;
+pub mod memo;
 mod metrics;
 mod platform;
 pub mod tuner;

@@ -1,5 +1,6 @@
 //! Evaluation platforms: where generated test cases are executed.
 
+use crate::memo::MemoTable;
 use crate::{Metrics, MicroGradError};
 use micrograd_codegen::{
     Generator, GeneratorInput, StreamingExpander, TestCase, Trace, TraceSource,
@@ -9,7 +10,6 @@ use micrograd_sim::{CoreConfig, SimStats, Simulator};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -66,17 +66,15 @@ pub trait ExecutionPlatform {
     }
 }
 
-/// Number of independent memoization shards; reduces lock contention when
-/// many workers evaluate concurrently.
-const CACHE_SHARDS: usize = 16;
-
 /// Counters of the [`SimPlatform`] memoization cache.
 ///
 /// A *hit* returns stored metrics without simulating; a *miss* pays a full
 /// generate-and-simulate evaluation (a 64-bit fingerprint collision whose
 /// stored input differs also counts as a miss — it is recomputed); an
 /// *insert* stores a freshly computed result.  `entries` is the number of
-/// memoized evaluations currently resident.
+/// memoized evaluations currently resident, `capacity` the fixed slot count
+/// of the lock-free table, and `replacements` how many resident entries
+/// were displaced by colliding inserts (see [`crate::memo::MemoTable`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Evaluations answered from the cache.
@@ -87,6 +85,12 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Entries currently memoized.
     pub entries: u64,
+    /// Resident entries displaced by colliding inserts.
+    #[serde(default)]
+    pub replacements: u64,
+    /// Slot capacity of the memo table (0 when unknown/aggregated).
+    #[serde(default)]
+    pub capacity: u64,
 }
 
 impl CacheStats {
@@ -110,6 +114,10 @@ impl CacheStats {
 
     /// Componentwise sum of two counter sets (used to aggregate the stats
     /// of several platforms, e.g. across service jobs).
+    ///
+    /// Counters (`hits`, `misses`, `inserts`, `entries`, `replacements`)
+    /// add; `capacity` takes the maximum, since the aggregated platforms do
+    /// not share one table.
     #[must_use]
     pub fn merged(self, other: CacheStats) -> CacheStats {
         CacheStats {
@@ -117,6 +125,8 @@ impl CacheStats {
             misses: self.misses + other.misses,
             inserts: self.inserts + other.inserts,
             entries: self.entries + other.entries,
+            replacements: self.replacements + other.replacements,
+            capacity: self.capacity.max(other.capacity),
         }
     }
 }
@@ -170,8 +180,13 @@ pub(crate) fn input_fingerprint(input: &GeneratorInput) -> u64 {
 /// cycle-approximate simulator and the activity-based power model.
 ///
 /// Evaluations are memoized per generator input (keyed by a stable `u64`
-/// fingerprint in a sharded cache), because gradient-descent epochs
-/// repeatedly re-evaluate the epoch's base configuration.
+/// fingerprint), because gradient-descent epochs repeatedly re-evaluate the
+/// epoch's base configuration.  The memo store is a lock-free fixed-capacity
+/// probing table ([`crate::memo::MemoTable`]): lookups are a handful of
+/// atomic loads, inserts never rehash, and colliding inserts replace the
+/// resident entry (a replaced evaluation is simply recomputed on its next
+/// use).  Hits verify the full stored input, so a 64-bit fingerprint
+/// collision can never return wrong metrics.
 ///
 /// # Parallelism
 ///
@@ -179,10 +194,11 @@ pub(crate) fn input_fingerprint(input: &GeneratorInput) -> u64 {
 /// a worker pool sized by [`with_parallelism`](Self::with_parallelism):
 /// `None` evaluates sequentially, `Some(n)` uses up to `n` worker threads,
 /// and `Some(0)` auto-sizes to the host's available parallelism.  Each
-/// worker instantiates its own [`Simulator`] per evaluation, and duplicate
-/// inputs within one batch are evaluated only once.  Results are identical
-/// to sequential evaluation regardless of the worker count: every
-/// evaluation is a pure, seeded function of its input.
+/// worker owns one reusable [`Simulator`] for the whole batch (runs reset
+/// state instead of reallocating it), and duplicate inputs within one batch
+/// are evaluated only once.  Results are identical to sequential evaluation
+/// regardless of the worker count: every evaluation is a pure, seeded
+/// function of its input.
 #[derive(Debug)]
 pub struct SimPlatform {
     core: CoreConfig,
@@ -190,7 +206,7 @@ pub struct SimPlatform {
     dynamic_len: usize,
     seed: u64,
     parallelism: Option<usize>,
-    cache: Vec<Mutex<HashMap<u64, (GeneratorInput, Metrics)>>>,
+    cache: MemoTable<GeneratorInput, Metrics>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_inserts: AtomicU64,
@@ -207,6 +223,15 @@ impl SimPlatform {
     /// [`with_dynamic_len`]: SimPlatform::with_dynamic_len
     pub const DEFAULT_DYNAMIC_LEN: usize = 50_000;
 
+    /// Default slot capacity of the memoization table.
+    ///
+    /// 64 Ki slots comfortably hold the largest bundled tuning runs
+    /// (brute-force grids included) while costing half a megabyte of bucket
+    /// pointers; overflow degrades gracefully to replacement, never to an
+    /// error.  Use [`with_cache_capacity`](Self::with_cache_capacity) to
+    /// change it.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
     /// Creates a platform for a core configuration, choosing the matching
     /// power-model preset.
     #[must_use]
@@ -218,13 +243,23 @@ impl SimPlatform {
             dynamic_len: Self::DEFAULT_DYNAMIC_LEN,
             seed: 1,
             parallelism: None,
-            cache: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            cache: MemoTable::new(Self::DEFAULT_CACHE_CAPACITY),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_inserts: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the memoization table with an empty one of at least
+    /// `capacity` slots (rounded up to a power of two, minimum 1).
+    ///
+    /// Intended for construction time; any memoized evaluations are
+    /// discarded.  Tiny capacities are valid — they force collisions, which
+    /// the tests use to exercise the replacement path.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = MemoTable::new(capacity);
+        self
     }
 
     /// Sets the number of dynamic instructions per evaluation.
@@ -310,21 +345,18 @@ impl SimPlatform {
         &self,
         input: &GeneratorInput,
     ) -> Result<(Metrics, SimStats), MicroGradError> {
-        let test_case = self.generate(input)?;
-        let mut source = StreamingExpander::new(&test_case, self.dynamic_len, self.seed);
-        let stats = Simulator::new(self.core.clone()).run_source(&mut source);
-        let power = PowerModel::new(self.power.clone()).estimate(&stats);
-        Ok((Metrics::from_run(&stats, Some(&power)), stats))
+        self.evaluate_detailed_with(&mut self.simulator(), input)
     }
 
     /// Number of evaluations currently memoized.
     #[must_use]
     pub fn cached_evaluations(&self) -> usize {
-        self.cache.iter().map(|shard| shard.lock().len()).sum()
+        self.cache.len()
     }
 
-    /// Current memoization-cache counters (hits, misses, inserts and
-    /// resident entries).
+    /// Current memoization-cache counters: hits, misses, inserts, resident
+    /// entries, plus the memo table's slot capacity and how many resident
+    /// entries collisions have displaced.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
@@ -332,6 +364,8 @@ impl SimPlatform {
             misses: self.cache_misses.load(Ordering::Relaxed),
             inserts: self.cache_inserts.load(Ordering::Relaxed),
             entries: self.cached_evaluations() as u64,
+            replacements: self.cache.replacements(),
+            capacity: self.cache.capacity() as u64,
         }
     }
 
@@ -344,18 +378,12 @@ impl SimPlatform {
     /// fingerprint.
     #[must_use]
     pub fn export_cache(&self) -> Vec<(GeneratorInput, Metrics)> {
-        let mut entries: Vec<(u64, GeneratorInput, Metrics)> = self
-            .cache
-            .iter()
-            .flat_map(|shard| {
-                shard
-                    .lock()
-                    .iter()
-                    .map(|(fp, (input, metrics))| (*fp, input.clone(), metrics.clone()))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let mut entries = self.cache.export();
         entries.sort_by_key(|(fp, _, _)| *fp);
+        // Racing same-fingerprint inserts can momentarily leave duplicate
+        // entries in distinct probe slots; they memoize the same evaluation,
+        // so keep one.
+        entries.dedup_by_key(|(fp, _, _)| *fp);
         entries
             .into_iter()
             .map(|(_, input, metrics)| (input, metrics))
@@ -382,21 +410,32 @@ impl SimPlatform {
         let mut admitted = 0;
         for (input, metrics) in entries {
             let fingerprint = input_fingerprint(&input);
-            let mut shard = self.shard(fingerprint).lock();
-            if shard.contains_key(&fingerprint) {
-                continue;
+            if self.cache.insert_if_absent(fingerprint, input, metrics) {
+                admitted += 1;
             }
-            shard.insert(fingerprint, (input, metrics));
-            admitted += 1;
         }
         self.cache_inserts
             .fetch_add(admitted as u64, Ordering::Relaxed);
         admitted
     }
 
-    #[allow(clippy::cast_possible_truncation)]
-    fn shard(&self, fingerprint: u64) -> &Mutex<HashMap<u64, (GeneratorInput, Metrics)>> {
-        &self.cache[(fingerprint % CACHE_SHARDS as u64) as usize]
+    /// A fresh simulator for this platform's core (batch workers hold one
+    /// each and reuse it across the whole batch).
+    fn simulator(&self) -> Simulator {
+        Simulator::new(self.core.clone())
+    }
+
+    /// Full evaluation through a caller-owned (reused) simulator.
+    fn evaluate_detailed_with(
+        &self,
+        sim: &mut Simulator,
+        input: &GeneratorInput,
+    ) -> Result<(Metrics, SimStats), MicroGradError> {
+        let test_case = self.generate(input)?;
+        let mut source = StreamingExpander::new(&test_case, self.dynamic_len, self.seed);
+        let stats = sim.run_source(&mut source);
+        let power = PowerModel::new(self.power.clone()).estimate(&stats);
+        Ok((Metrics::from_run(&stats, Some(&power)), stats))
     }
 
     fn evaluate_fingerprinted(
@@ -404,19 +443,25 @@ impl SimPlatform {
         fingerprint: u64,
         input: &GeneratorInput,
     ) -> Result<Metrics, MicroGradError> {
-        if let Some((cached_input, hit)) = self.shard(fingerprint).lock().get(&fingerprint) {
-            // Verify the stored input so a 64-bit hash collision degrades
-            // to a recomputation instead of returning wrong metrics.
-            if cached_input == input {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit.clone());
-            }
+        self.evaluate_fingerprinted_with(&mut self.simulator(), fingerprint, input)
+    }
+
+    fn evaluate_fingerprinted_with(
+        &self,
+        sim: &mut Simulator,
+        fingerprint: u64,
+        input: &GeneratorInput,
+    ) -> Result<Metrics, MicroGradError> {
+        // `MemoTable::get` verifies the stored input, so a 64-bit hash
+        // collision degrades to a recomputation instead of wrong metrics.
+        if let Some(hit) = self.cache.get(fingerprint, input) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let (metrics, _) = self.evaluate_detailed(input)?;
-        self.shard(fingerprint)
-            .lock()
-            .insert(fingerprint, (input.clone(), metrics.clone()));
+        let (metrics, _) = self.evaluate_detailed_with(sim, input)?;
+        self.cache
+            .insert(fingerprint, input.clone(), metrics.clone());
         self.cache_inserts.fetch_add(1, Ordering::Relaxed);
         Ok(metrics)
     }
@@ -434,28 +479,47 @@ impl ExecutionPlatform for SimPlatform {
     fn evaluate_batch(&self, inputs: &[GeneratorInput]) -> Vec<Result<Metrics, MicroGradError>> {
         let workers = self.workers_for(inputs.len());
         if workers <= 1 || inputs.len() <= 1 {
-            return inputs.iter().map(|input| self.evaluate(input)).collect();
+            // Sequential path: one reused simulator for the whole batch.
+            let mut sim = self.simulator();
+            return inputs
+                .iter()
+                .map(|input| {
+                    self.evaluate_fingerprinted_with(&mut sim, input_fingerprint(input), input)
+                })
+                .collect();
         }
 
         // Deduplicate within the batch so concurrent workers do not redo
         // identical evaluations (tuners routinely probe the same
-        // configuration from several ladder positions).  Candidates are
-        // grouped by fingerprint but confirmed by input equality, so a
-        // hash collision yields two distinct evaluations, never a shared
-        // result.
+        // configuration from several ladder positions).  Sorting index/
+        // fingerprint pairs groups duplicates into runs — no per-batch hash
+        // map, no per-fingerprint `Vec`s.  Candidates are grouped by
+        // fingerprint but confirmed by input equality, so a hash collision
+        // yields two distinct evaluations, never a shared result.
         let fingerprints: Vec<u64> = inputs.iter().map(input_fingerprint).collect();
-        let mut by_fingerprint: HashMap<u64, Vec<usize>> = HashMap::with_capacity(inputs.len());
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        order.sort_unstable_by_key(|&i| (fingerprints[i], i));
         let mut unique: Vec<usize> = Vec::with_capacity(inputs.len());
-        let mut assignment: Vec<usize> = Vec::with_capacity(inputs.len());
-        for (i, fp) in fingerprints.iter().enumerate() {
-            let candidates = by_fingerprint.entry(*fp).or_default();
-            if let Some(&u) = candidates.iter().find(|&&u| inputs[unique[u]] == inputs[i]) {
-                assignment.push(u);
-            } else {
-                unique.push(i);
-                candidates.push(unique.len() - 1);
-                assignment.push(unique.len() - 1);
+        let mut assignment: Vec<usize> = vec![0; inputs.len()];
+        let mut run_reps: Vec<usize> = Vec::new();
+        let mut pos = 0;
+        while pos < order.len() {
+            let fp = fingerprints[order[pos]];
+            let mut end = pos + 1;
+            while end < order.len() && fingerprints[order[end]] == fp {
+                end += 1;
             }
+            run_reps.clear();
+            for &i in &order[pos..end] {
+                if let Some(&u) = run_reps.iter().find(|&&u| inputs[unique[u]] == inputs[i]) {
+                    assignment[i] = u;
+                } else {
+                    unique.push(i);
+                    run_reps.push(unique.len() - 1);
+                    assignment[i] = unique.len() - 1;
+                }
+            }
+            pos = end;
         }
 
         let slots: Vec<Mutex<Option<Result<Metrics, MicroGradError>>>> =
@@ -463,14 +527,23 @@ impl ExecutionPlatform for SimPlatform {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers.min(unique.len()) {
-                scope.spawn(|| loop {
-                    let u = next.fetch_add(1, Ordering::Relaxed);
-                    if u >= unique.len() {
-                        break;
+                scope.spawn(|| {
+                    // One simulator per worker, reused across every
+                    // evaluation the worker claims.
+                    let mut sim = self.simulator();
+                    loop {
+                        let u = next.fetch_add(1, Ordering::Relaxed);
+                        if u >= unique.len() {
+                            break;
+                        }
+                        let input = &inputs[unique[u]];
+                        let result = self.evaluate_fingerprinted_with(
+                            &mut sim,
+                            fingerprints[unique[u]],
+                            input,
+                        );
+                        *slots[u].lock() = Some(result);
                     }
-                    let input = &inputs[unique[u]];
-                    let result = self.evaluate_fingerprinted(fingerprints[unique[u]], input);
-                    *slots[u].lock() = Some(result);
                 });
             }
         });
@@ -487,7 +560,7 @@ impl ExecutionPlatform for SimPlatform {
     }
 
     fn measure_source(&self, source: &mut dyn TraceSource) -> Metrics {
-        let stats = Simulator::new(self.core.clone()).run_source(source);
+        let stats = self.simulator().run_source(source);
         let power = PowerModel::new(self.power.clone()).estimate(&stats);
         Metrics::from_run(&stats, Some(&power))
     }
@@ -537,7 +610,12 @@ mod tests {
     #[test]
     fn cache_stats_track_hits_misses_and_inserts() {
         let p = platform();
-        assert_eq!(p.cache_stats(), CacheStats::default());
+        let fresh = p.cache_stats();
+        assert_eq!(fresh.lookups(), 0);
+        assert_eq!(fresh.inserts, 0);
+        assert_eq!(fresh.entries, 0);
+        assert_eq!(fresh.replacements, 0);
+        assert_eq!(fresh.capacity, SimPlatform::DEFAULT_CACHE_CAPACITY as u64);
         let input = GeneratorInput {
             loop_size: 100,
             ..GeneratorInput::default()
@@ -596,6 +674,40 @@ mod tests {
 
         // Export order is deterministic.
         assert_eq!(warm.export_cache(), cold.export_cache());
+    }
+
+    #[test]
+    fn tiny_cache_forces_replacement_and_recomputes_correctly() {
+        // Capacity 1 pins every input to the same bucket: the second
+        // evaluation displaces the first (replace-on-collision), and
+        // re-evaluating the first is a verified miss that recomputes the
+        // exact same metrics — never wrong data, never an error.
+        let p = platform().with_cache_capacity(1);
+        let a = GeneratorInput {
+            loop_size: 80,
+            ..GeneratorInput::default()
+        };
+        let b = GeneratorInput {
+            loop_size: 120,
+            ..GeneratorInput::default()
+        };
+        let a_first = p.evaluate(&a).unwrap();
+        p.evaluate(&b).unwrap();
+        let stats = p.cache_stats();
+        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.replacements, 1, "b displaced a");
+        assert_eq!(stats.hits, 0);
+
+        let a_again = p.evaluate(&a).unwrap();
+        assert_eq!(a_first, a_again, "recomputation is bit-identical");
+        let stats = p.cache_stats();
+        assert_eq!(stats.misses, 3, "displaced entry recomputed, not served");
+        assert_eq!(stats.replacements, 2, "a displaced b back");
+
+        // Once resident again, it hits.
+        p.evaluate(&a).unwrap();
+        assert_eq!(p.cache_stats().hits, 1);
     }
 
     #[test]

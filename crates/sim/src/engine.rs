@@ -5,7 +5,7 @@ use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{ActivityCounts, SimStats};
 use crate::GsharePredictor;
 use micrograd_codegen::{Trace, TraceSource};
-use micrograd_isa::{FuncUnit, InstrClass, LatencyModel, Opcode, Reg};
+use micrograd_isa::{FuncUnit, InstrClass, Instruction, LatencyModel, Opcode, Reg};
 use std::collections::VecDeque;
 
 /// A fixed-capacity ring recording one `u64` per in-flight instruction of a
@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 /// Exactly one [`record`](WindowRing::record) per instruction keeps the
 /// pointer in lock-step with the instruction stream (no division on the hot
 /// path).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct WindowRing {
     slots: Vec<u64>,
     pos: usize,
@@ -56,6 +56,109 @@ impl WindowRing {
             self.filled = true;
         }
     }
+
+    /// Rewinds the ring to its freshly constructed state without touching
+    /// the allocation.  Stale slot contents are never observable: `evicted`
+    /// only reads once `filled` is set again, by which point every slot has
+    /// been re-recorded in the current run.
+    fn reset(&mut self) {
+        self.pos = 0;
+        self.filled = false;
+    }
+}
+
+/// One static instruction, decoded once per run into a flat, `Copy`
+/// scheduling record.
+///
+/// The per-instruction loop used to chase `&Instruction` (with its heap
+/// `Vec<Reg>` source list) and re-derive opcode class, functional unit,
+/// latency and energy weight for every *dynamic* instance.  Decoding each
+/// static instruction once hoists all of that out of the hot loop: the
+/// dynamic path reads one cache-line-friendly record with pre-filtered
+/// (non-zero) flat register indices and precomputed latencies.
+#[derive(Debug, Clone, Copy)]
+struct DecodedInstr {
+    class: InstrClass,
+    /// Index into the per-class `unit_free` table.
+    unit_slot: u8,
+    is_conditional_branch: bool,
+    /// Execution latency in cycles.
+    latency: u64,
+    /// Cycles the functional unit stays busy (latency for unpipelined ops).
+    occupancy: u64,
+    /// Per-execution energy weight.
+    energy: f64,
+    /// Flat destination register index + 1; 0 when there is no (non-zero)
+    /// destination.
+    dest_plus_one: u16,
+    /// Number of valid entries in `sources`.
+    num_sources: u8,
+    /// Flat indices of the non-zero source registers.
+    sources: [u16; MAX_SOURCES],
+}
+
+const MAX_SOURCES: usize = 4;
+
+fn unit_slot(u: FuncUnit) -> usize {
+    match u {
+        FuncUnit::Alu => 0,
+        FuncUnit::Complex => 1,
+        FuncUnit::Fp => 2,
+        FuncUnit::Mem => 3,
+    }
+}
+
+fn class_slot(class: InstrClass) -> usize {
+    match class {
+        InstrClass::Integer => 0,
+        InstrClass::Float => 1,
+        InstrClass::Branch => 2,
+        InstrClass::Load => 3,
+        InstrClass::Store => 4,
+    }
+}
+
+const CLASS_ORDER: [InstrClass; 5] = [
+    InstrClass::Integer,
+    InstrClass::Float,
+    InstrClass::Branch,
+    InstrClass::Load,
+    InstrClass::Store,
+];
+
+fn decode(instr: &Instruction, latency: &LatencyModel) -> DecodedInstr {
+    let opcode = instr.opcode();
+    let exec_latency = u64::from(latency.latency(opcode));
+    // Divides and square roots occupy their unit unpipelined.
+    let occupancy = match opcode {
+        Opcode::Div | Opcode::Rem | Opcode::FdivD | Opcode::FsqrtD => exec_latency,
+        _ => 1,
+    };
+    let mut sources = [0u16; MAX_SOURCES];
+    let mut num_sources = 0u8;
+    for src in instr.sources() {
+        if src.is_zero() {
+            continue;
+        }
+        debug_assert!((num_sources as usize) < MAX_SOURCES, "source list overflow");
+        sources[num_sources as usize] = src.flat_index() as u16;
+        num_sources += 1;
+    }
+    let dest_plus_one = instr
+        .dest()
+        .filter(|d| !d.is_zero())
+        .map_or(0, |d| d.flat_index() as u16 + 1);
+    DecodedInstr {
+        class: opcode.class(),
+        unit_slot: unit_slot(latency.unit(opcode)) as u8,
+        is_conditional_branch: opcode.is_conditional_branch(),
+        latency: exec_latency,
+        occupancy,
+        energy: latency.energy_weight(opcode),
+        dest_plus_one,
+        num_sources,
+        sources,
+    }
 }
 
 /// A scoreboard-style out-of-order core simulator.
@@ -83,19 +186,58 @@ impl WindowRing {
 /// The result is not a cycle-accurate Gem5 replacement, but it reproduces
 /// the first-order sensitivities the MicroGrad tuning loop depends on, at a
 /// cost of well under a microsecond per simulated instruction.
+///
+/// # Reuse and allocation discipline
+///
+/// The simulator owns every piece of mutable run state — memory hierarchy,
+/// branch predictor, window rings, register scoreboard, decoded-instruction
+/// table — and [`run_source`](Simulator::run_source) *resets* rather than
+/// reallocates it, so `run`/`run_source` take `&mut self` and back-to-back
+/// runs are bit-identical to runs on freshly constructed simulators (tested)
+/// while touching the allocator only to (re)grow buffers.  The
+/// per-instruction path performs **zero heap allocations**: the total
+/// allocation count of a run is independent of the trace length (see
+/// `docs/performance.md` and the `alloc_discipline` test).  Batch workers in
+/// `micrograd-core` exploit this by reusing one simulator per worker thread
+/// across all evaluations of a batch.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: CoreConfig,
     latency: LatencyModel,
+    hierarchy: MemoryHierarchy,
+    predictor: GsharePredictor,
+    // Reusable run state (reset per run, reallocating nothing).
+    completion_ring: WindowRing,
+    issue_ring: WindowRing,
+    lsq_completions: VecDeque<u64>,
+    reg_ready: Vec<u64>,
+    unit_free: [Vec<u64>; 4],
+    decoded: Vec<DecodedInstr>,
 }
 
 impl Simulator {
     /// Creates a simulator for a core configuration.
     #[must_use]
     pub fn new(config: CoreConfig) -> Self {
+        let hierarchy = MemoryHierarchy::new(&config);
+        let predictor = GsharePredictor::new(config.branch_predictor);
+        let lsq = config.lsq_entries as usize;
         Simulator {
-            config,
+            completion_ring: WindowRing::new(config.rob_entries as usize),
+            issue_ring: WindowRing::new(config.rs_entries as usize),
+            lsq_completions: VecDeque::with_capacity(lsq.min(4096)),
+            reg_ready: vec![0; Reg::FLAT_COUNT],
+            unit_free: [
+                vec![0; config.units_for(FuncUnit::Alu).max(1) as usize],
+                vec![0; config.units_for(FuncUnit::Complex).max(1) as usize],
+                vec![0; config.units_for(FuncUnit::Fp).max(1) as usize],
+                vec![0; config.units_for(FuncUnit::Mem).max(1) as usize],
+            ],
+            decoded: Vec::new(),
+            hierarchy,
+            predictor,
             latency: LatencyModel::default(),
+            config,
         }
     }
 
@@ -105,13 +247,27 @@ impl Simulator {
         &self.config
     }
 
+    /// Rewinds all run state to the freshly constructed equivalent without
+    /// releasing any allocation.
+    fn reset_run_state(&mut self) {
+        self.hierarchy.reset();
+        self.predictor.reset();
+        self.completion_ring.reset();
+        self.issue_ring.reset();
+        self.lsq_completions.clear();
+        self.reg_ready.fill(0);
+        for units in &mut self.unit_free {
+            units.fill(0);
+        }
+    }
+
     /// Runs a materialized dynamic trace to completion and returns the
     /// statistics.
     ///
     /// Thin adapter over [`run_source`](Simulator::run_source) via
     /// [`Trace::source`]; the two paths are bit-identical.
     #[must_use]
-    pub fn run(&self, trace: &Trace) -> SimStats {
+    pub fn run(&mut self, trace: &Trace) -> SimStats {
         self.run_source(&mut trace.source())
     }
 
@@ -120,75 +276,55 @@ impl Simulator {
     ///
     /// This is the fused single-pass path: the source produces each dynamic
     /// instruction on demand and the simulator retires it immediately, so
-    /// nothing is ever materialized.  The per-instruction bookkeeping that
-    /// used to live in O(`dynamic_len`) vectors (completion cycles, issue
-    /// cycles, memory-op indices) is held in ring buffers bounded by the
-    /// ROB, reservation-station and LSQ depths of the configured core —
-    /// peak memory is O(window sizes), independent of trace length, which
-    /// makes 100 M-instruction evaluations affordable.
+    /// nothing is ever materialized.  Per-instruction bookkeeping is held in
+    /// ring buffers bounded by the ROB, reservation-station and LSQ depths
+    /// of the configured core — peak memory is O(window sizes), independent
+    /// of trace length — and the loop performs no heap allocation (the
+    /// static table is decoded once per run into a reused flat record
+    /// table).
     #[must_use]
-    pub fn run_source<S: TraceSource + ?Sized>(&self, source: &mut S) -> SimStats {
+    pub fn run_source<S: TraceSource + ?Sized>(&mut self, source: &mut S) -> SimStats {
         let mut stats = SimStats {
             frequency_hz: self.config.frequency_hz,
             ..SimStats::default()
         };
 
-        let cfg = &self.config;
-        let mut hierarchy = MemoryHierarchy::new(cfg);
-        let mut predictor = GsharePredictor::new(cfg.branch_predictor);
+        self.reset_run_state();
         let mut activity = ActivityCounts::default();
+        let mut class_counts = [0u64; CLASS_ORDER.len()];
 
-        // Completion / issue cycles of the in-flight window only: dispatch
-        // of instruction `i` is gated by the instruction leaving the ROB
-        // (`i - rob_entries`) and the reservation stations
-        // (`i - rs_entries`), so a window-sized ring suffices.
-        let mut completion_ring = WindowRing::new(cfg.rob_entries as usize);
-        let mut issue_ring = WindowRing::new(cfg.rs_entries as usize);
-        // Completion cycles of the last `lsq_entries` memory operations:
-        // a new memory op waits for the one vacating the LSQ, which may be
-        // arbitrarily far back in the instruction stream.
+        // The static table is stable for the source's lifetime (trait
+        // contract), so decode it once into a flat `Copy` record table: a
+        // per-instruction virtual `statics()` call — let alone a pointer
+        // chase through `Vec<Reg>` source lists — would sit on the hottest
+        // loop in the framework.
+        self.decoded.clear();
+        for instr in source.statics() {
+            let record = decode(instr, &self.latency);
+            self.decoded.push(record);
+        }
+
+        let cfg = &self.config;
         let lsq = cfg.lsq_entries as usize;
-        let mut lsq_completions: VecDeque<u64> = VecDeque::with_capacity(lsq.min(4096));
-        // Cycle at which each architectural register's value is available.
-        let mut reg_ready: Vec<u64> = vec![0; Reg::FLAT_COUNT];
-        // Next-free cycle per functional unit instance.
-        let mut unit_free: [Vec<u64>; 4] = [
-            vec![0; cfg.units_for(FuncUnit::Alu).max(1) as usize],
-            vec![0; cfg.units_for(FuncUnit::Complex).max(1) as usize],
-            vec![0; cfg.units_for(FuncUnit::Fp).max(1) as usize],
-            vec![0; cfg.units_for(FuncUnit::Mem).max(1) as usize],
-        ];
-        let unit_slot = |u: FuncUnit| -> usize {
-            match u {
-                FuncUnit::Alu => 0,
-                FuncUnit::Complex => 1,
-                FuncUnit::Fp => 2,
-                FuncUnit::Mem => 3,
-            }
-        };
+        let frontend_width = cfg.frontend_width;
+        let frontend_depth = u64::from(cfg.frontend_depth);
+        let l1i_hit_latency = cfg.l1i.hit_latency;
+        let mispredict_penalty = u64::from(cfg.branch_predictor.mispredict_penalty);
+        let line_bytes = cfg.l1i.line_bytes.max(1);
 
         let mut fetch_cycle: u64 = 0;
         let mut fetched_this_cycle: u32 = 0;
         let mut fetch_stall_until: u64 = 0;
         let mut last_fetch_line: u64 = u64::MAX;
-        let line_bytes = cfg.l1i.line_bytes.max(1);
         let mut max_completion: u64 = 0;
         let mut n: usize = 0;
 
-        // The static table is stable for the source's lifetime (trait
-        // contract), so copy it out once: `measure_source` hands us a trait
-        // object, and a per-instruction virtual `statics()` call would sit
-        // on the hottest loop in the framework.
-        let statics = source.statics().to_vec();
-
         while let Some(dynamic) = source.next_dynamic() {
             n += 1;
-            let instr = &statics[dynamic.static_index as usize];
-            let opcode = instr.opcode();
-            let class = opcode.class();
+            let instr = self.decoded[dynamic.static_index as usize];
 
             // ---------------- fetch ----------------
-            if fetched_this_cycle >= cfg.frontend_width {
+            if fetched_this_cycle >= frontend_width {
                 fetch_cycle += 1;
                 fetched_this_cycle = 0;
             }
@@ -199,8 +335,8 @@ impl Simulator {
             // Instruction cache: one access per line transition.
             let line = dynamic.pc / line_bytes;
             if line != last_fetch_line {
-                let lat = hierarchy.access_instruction(dynamic.pc);
-                let extra = lat.saturating_sub(cfg.l1i.hit_latency);
+                let lat = self.hierarchy.access_instruction(dynamic.pc);
+                let extra = lat.saturating_sub(l1i_hit_latency);
                 if extra > 0 {
                     fetch_cycle += u64::from(extra);
                     fetched_this_cycle = 0;
@@ -212,18 +348,18 @@ impl Simulator {
             activity.fetched += 1;
 
             // ---------------- dispatch (window constraints) ----------------
-            let mut dispatch = this_fetch + u64::from(cfg.frontend_depth);
-            if let Some(rob_free) = completion_ring.evicted() {
+            let mut dispatch = this_fetch + frontend_depth;
+            if let Some(rob_free) = self.completion_ring.evicted() {
                 dispatch = dispatch.max(rob_free);
             }
-            if let Some(rs_free) = issue_ring.evicted() {
+            if let Some(rs_free) = self.issue_ring.evicted() {
                 dispatch = dispatch.max(rs_free);
             }
-            let is_mem = class.is_memory();
-            if is_mem && lsq > 0 && lsq_completions.len() >= lsq {
+            let is_mem = instr.class.is_memory();
+            if is_mem && lsq > 0 && self.lsq_completions.len() >= lsq {
                 // The oldest tracked memory op is the one whose retirement
                 // frees the LSQ slot this op needs.
-                dispatch = dispatch.max(lsq_completions[lsq_completions.len() - lsq]);
+                dispatch = dispatch.max(self.lsq_completions[self.lsq_completions.len() - lsq]);
             }
             activity.rob_writes += 1;
             if is_mem {
@@ -232,43 +368,33 @@ impl Simulator {
 
             // ---------------- issue (data deps + functional units) --------
             let mut ready = dispatch;
-            for src in instr.sources() {
-                if src.is_zero() {
-                    continue;
-                }
-                ready = ready.max(reg_ready[src.flat_index()]);
-                activity.regfile_reads += 1;
+            for &src in &instr.sources[..instr.num_sources as usize] {
+                ready = ready.max(self.reg_ready[src as usize]);
             }
-            let unit = self.latency.unit(opcode);
-            let slot = unit_slot(unit);
-            let (unit_idx, unit_avail) = unit_free[slot]
-                .iter()
-                .copied()
-                .enumerate()
-                .min_by_key(|(_, c)| *c)
-                .expect("at least one functional unit per class");
-            let issue = ready.max(unit_avail);
-            issue_ring.record(issue);
-            // Divides and square roots occupy their unit unpipelined.
-            let occupancy = match opcode {
-                Opcode::Div | Opcode::Rem | Opcode::FdivD | Opcode::FsqrtD => {
-                    u64::from(self.latency.latency(opcode))
+            activity.regfile_reads += u64::from(instr.num_sources);
+            let units = &mut self.unit_free[instr.unit_slot as usize];
+            let mut unit_idx = 0;
+            let mut unit_avail = units[0];
+            for (idx, &avail) in units.iter().enumerate().skip(1) {
+                if avail < unit_avail {
+                    unit_avail = avail;
+                    unit_idx = idx;
                 }
-                _ => 1,
-            };
-            unit_free[slot][unit_idx] = issue + occupancy;
+            }
+            let issue = ready.max(unit_avail);
+            self.issue_ring.record(issue);
+            units[unit_idx] = issue + instr.occupancy;
 
             // ---------------- execute / memory ----------------
-            let exec_latency = u64::from(self.latency.latency(opcode));
-            let mut complete = issue + exec_latency;
-            match class {
+            let mut complete = issue + instr.latency;
+            match instr.class {
                 InstrClass::Load => {
                     // An addressless load (no stream descriptor behind the
                     // static instruction) must not touch the hierarchy: a
                     // fabricated address 0 would alias line 0 / set 0 and
                     // pollute the L1D statistics of unrelated accesses.
                     if let Some(addr) = dynamic.mem_addr {
-                        let lat = hierarchy.access_data(dynamic.pc, addr);
+                        let lat = self.hierarchy.access_data(dynamic.pc, addr);
                         complete += u64::from(lat);
                     }
                     activity.loads += 1;
@@ -278,50 +404,48 @@ impl Simulator {
                     // access happens off the critical path but is counted.
                     // Addressless stores skip the hierarchy like loads.
                     if let Some(addr) = dynamic.mem_addr {
-                        let _ = hierarchy.access_data(dynamic.pc, addr);
+                        let _ = self.hierarchy.access_data(dynamic.pc, addr);
                     }
                     activity.stores += 1;
                 }
                 InstrClass::Branch => {
                     activity.branches += 1;
-                    if opcode.is_conditional_branch() {
+                    if instr.is_conditional_branch {
                         let taken = dynamic.taken.unwrap_or(false);
-                        let correct = predictor.predict_and_update(dynamic.pc, taken);
+                        let correct = self.predictor.predict_and_update(dynamic.pc, taken);
                         if !correct {
-                            let redirect =
-                                complete + u64::from(cfg.branch_predictor.mispredict_penalty);
+                            let redirect = complete + mispredict_penalty;
                             fetch_stall_until = fetch_stall_until.max(redirect);
                         }
                     }
                 }
                 InstrClass::Integer => {
-                    match unit {
-                        FuncUnit::Complex => activity.int_complex_ops += 1,
-                        _ => activity.int_alu_ops += 1,
-                    };
+                    if instr.unit_slot as usize == unit_slot(FuncUnit::Complex) {
+                        activity.int_complex_ops += 1;
+                    } else {
+                        activity.int_alu_ops += 1;
+                    }
                 }
                 InstrClass::Float => {
                     activity.fp_ops += 1;
                 }
             }
-            activity.weighted_exec_energy += self.latency.energy_weight(opcode);
+            activity.weighted_exec_energy += instr.energy;
 
             // ---------------- writeback ----------------
-            if let Some(dest) = instr.dest() {
-                if !dest.is_zero() {
-                    reg_ready[dest.flat_index()] = complete;
-                    activity.regfile_writes += 1;
-                }
+            if instr.dest_plus_one != 0 {
+                self.reg_ready[instr.dest_plus_one as usize - 1] = complete;
+                activity.regfile_writes += 1;
             }
-            completion_ring.record(complete);
+            self.completion_ring.record(complete);
             if is_mem && lsq > 0 {
-                if lsq_completions.len() >= lsq {
-                    lsq_completions.pop_front();
+                if self.lsq_completions.len() >= lsq {
+                    self.lsq_completions.pop_front();
                 }
-                lsq_completions.push_back(complete);
+                self.lsq_completions.push_back(complete);
             }
             max_completion = max_completion.max(complete);
-            *stats.class_counts.entry(class).or_insert(0) += 1;
+            class_counts[class_slot(instr.class)] += 1;
         }
 
         if n == 0 {
@@ -329,9 +453,14 @@ impl Simulator {
         }
         stats.instructions = n as u64;
         stats.cycles = max_completion.max(fetch_cycle + 1);
-        stats.hierarchy = hierarchy.stats();
-        stats.branch = predictor.stats();
+        stats.hierarchy = self.hierarchy.stats();
+        stats.branch = self.predictor.stats();
         stats.activity = activity;
+        for (class, &count) in CLASS_ORDER.iter().zip(class_counts.iter()) {
+            if count > 0 {
+                stats.class_counts.insert(*class, count);
+            }
+        }
         stats
     }
 }
@@ -357,7 +486,7 @@ mod tests {
 
     #[test]
     fn empty_trace_produces_zero_stats() {
-        let sim = Simulator::new(CoreConfig::small());
+        let mut sim = Simulator::new(CoreConfig::small());
         let stats = sim.run(&Trace::new(Vec::new(), Vec::new()));
         assert_eq!(stats.instructions, 0);
         assert_eq!(stats.cycles, 0);
@@ -379,10 +508,30 @@ mod tests {
         let expander = TraceExpander::new(TRACE_LEN, 17);
         let trace = expander.expand(&tc);
         for config in [CoreConfig::small(), CoreConfig::large()] {
-            let sim = Simulator::new(config);
+            let mut sim = Simulator::new(config);
             let materialized = sim.run(&trace);
             let streamed = sim.run_source(&mut expander.stream(&tc));
             assert_eq!(materialized, streamed);
+        }
+    }
+
+    #[test]
+    fn reused_simulator_matches_a_fresh_one() {
+        // Run state is reset, not reallocated, between runs: a simulator
+        // that has already executed an unrelated workload must produce
+        // bit-identical statistics to a freshly constructed one.
+        let polluter = trace_for(|input| {
+            input.mem_footprint_kb = 4096;
+            input.branch_randomness = 1.0;
+        });
+        let trace = trace_for(|_| {});
+        for config in [CoreConfig::small(), CoreConfig::large()] {
+            let mut fresh = Simulator::new(config.clone());
+            let expected = fresh.run(&trace);
+            let mut reused = Simulator::new(config);
+            let _ = reused.run(&polluter);
+            assert_eq!(reused.run(&trace), expected);
+            assert_eq!(reused.run(&trace), expected, "second reuse diverged");
         }
     }
 
@@ -471,7 +620,7 @@ mod tests {
         let parallel = trace_for(|input| {
             input.reg_dependency_distance = 10;
         });
-        let sim = Simulator::new(CoreConfig::large());
+        let mut sim = Simulator::new(CoreConfig::large());
         let ipc_serial = sim.run(&serial).ipc();
         let ipc_parallel = sim.run(&parallel).ipc();
         assert!(
@@ -489,7 +638,7 @@ mod tests {
             input.mem_footprint_kb = 8 * 1024; // 8 MiB, far beyond the L2
             input.mem_stride = 64;
         });
-        let sim = Simulator::new(CoreConfig::small());
+        let mut sim = Simulator::new(CoreConfig::small());
         let near = sim.run(&small_fp);
         let far = sim.run(&huge_fp);
         assert!(
@@ -509,7 +658,7 @@ mod tests {
         let random = trace_for(|input| {
             input.branch_randomness = 1.0;
         });
-        let sim = Simulator::new(CoreConfig::large());
+        let mut sim = Simulator::new(CoreConfig::large());
         let p = sim.run(&predictable);
         let r = sim.run(&random);
         assert!(
@@ -553,7 +702,7 @@ mod tests {
             }
             input.set_weight(Opcode::Add, 10.0);
         });
-        let sim = Simulator::new(CoreConfig::small());
+        let mut sim = Simulator::new(CoreConfig::small());
         let fp = sim.run(&fp_heavy);
         let int = sim.run(&int_heavy);
         assert!(fp.activity.fp_ops > int.activity.fp_ops);

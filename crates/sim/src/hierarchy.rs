@@ -38,6 +38,9 @@ pub struct MemoryHierarchy {
     memory_latency: u32,
     line_bytes: u64,
     dram_accesses: u64,
+    /// Reusable scratch for prefetch targets: the demand-miss path writes
+    /// into this buffer instead of allocating a fresh `Vec` per miss.
+    prefetch_buf: Vec<u64>,
 }
 
 impl MemoryHierarchy {
@@ -52,7 +55,22 @@ impl MemoryHierarchy {
             memory_latency: config.memory_latency,
             line_bytes: config.l1d.line_bytes,
             dram_accesses: 0,
+            prefetch_buf: Vec::with_capacity(config.prefetch.degree as usize),
         }
+    }
+
+    /// Resets all caches, the prefetcher and the DRAM counter.
+    ///
+    /// A reset hierarchy is indistinguishable from a freshly constructed
+    /// one, which is what lets a reused [`Simulator`](crate::Simulator)
+    /// produce bit-identical results without reallocating the (large) dense
+    /// tag arrays per run.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        self.prefetcher.reset();
+        self.dram_accesses = 0;
     }
 
     /// Fetches the instruction at `pc`; returns the access latency.
@@ -80,12 +98,17 @@ impl MemoryHierarchy {
                 self.dram_accesses += 1;
             }
             // Train the prefetcher on the demand miss and install the
-            // predicted lines.
+            // predicted lines (into the reused scratch buffer — no per-miss
+            // allocation).
             let line_addr = address & !(self.line_bytes - 1);
-            for target in self.prefetcher.observe(pc, line_addr, self.line_bytes) {
+            let mut buf = std::mem::take(&mut self.prefetch_buf);
+            self.prefetcher
+                .observe_into(pc, line_addr, self.line_bytes, &mut buf);
+            for &target in &buf {
                 self.l2.fill(target);
                 self.l1d.fill(target);
             }
+            self.prefetch_buf = buf;
         }
         latency
     }
@@ -186,6 +209,23 @@ mod tests {
             without.l1d.hit_rate()
         );
         assert!(with.prefetch.issued > 0);
+    }
+
+    #[test]
+    fn reset_hierarchy_replays_identically_to_a_fresh_one() {
+        let config = CoreConfig::large();
+        let drive = |h: &mut MemoryHierarchy| {
+            for i in 0..5_000u64 {
+                let _ = h.access_instruction(0x40_0000 + (i % 256) * 4);
+                let _ = h.access_data(0x40_0000 + (i % 7) * 4, 0x1000_0000 + i * 48);
+            }
+            h.stats()
+        };
+        let mut fresh = MemoryHierarchy::new(&config);
+        let first = drive(&mut fresh);
+        fresh.reset();
+        assert_eq!(drive(&mut fresh), first);
+        assert_eq!(drive(&mut MemoryHierarchy::new(&config)), first);
     }
 
     #[test]

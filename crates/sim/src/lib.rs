@@ -25,6 +25,12 @@
 //! `docs/streaming.md` at the repository root for the architecture and
 //! memory model.
 //!
+//! The per-instruction path is allocation-free: a reused [`Simulator`]
+//! decodes statics into a flat µop table and replays runs without touching
+//! the heap (enforced by a counting-allocator test).  See
+//! `docs/performance.md` for the hot-loop design and the tracked
+//! `BENCH_simulator.json` perf trajectory.
+//!
 //! # Example
 //!
 //! ```

@@ -74,9 +74,30 @@ impl StridePrefetcher {
 
     /// Observes a demand access from `pc` to `address` (line-aligned
     /// addresses recommended) and returns the addresses to prefetch.
+    ///
+    /// Allocating convenience wrapper over
+    /// [`observe_into`](Self::observe_into); the simulator hot path uses the
+    /// buffer-reusing form.
     pub fn observe(&mut self, pc: u64, address: u64, line_bytes: u64) -> Vec<u64> {
         if !self.enabled() {
             return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.config.degree as usize);
+        self.observe_into(pc, address, line_bytes, &mut out);
+        out
+    }
+
+    /// Observes a demand access and appends the addresses to prefetch into
+    /// `out` (cleared first).
+    ///
+    /// This is the hot-path form: the caller owns `out` and reuses it across
+    /// observations, so the demand-miss path performs no heap allocation
+    /// once the buffer has grown to `degree` capacity.
+    #[inline]
+    pub fn observe_into(&mut self, pc: u64, address: u64, line_bytes: u64, out: &mut Vec<u64>) {
+        out.clear();
+        if !self.enabled() {
+            return;
         }
         self.stats.trained += 1;
         let line = line_bytes.max(1);
@@ -109,7 +130,6 @@ impl StridePrefetcher {
                 },
             );
         }
-        let mut out = Vec::with_capacity(self.config.degree as usize);
         for i in 1..=i64::from(self.config.degree) {
             let target = address as i64 + predicted_stride * i;
             if target >= 0 {
@@ -117,7 +137,15 @@ impl StridePrefetcher {
                 self.stats.issued += 1;
             }
         }
-        out
+    }
+
+    /// Resets training state and statistics (reused simulators call this
+    /// between runs; a reset prefetcher is indistinguishable from a fresh
+    /// one).
+    pub fn reset(&mut self) {
+        self.table.clear();
+        self.fifo.clear();
+        self.stats = PrefetchStats::default();
     }
 }
 
@@ -194,6 +222,33 @@ mod tests {
         assert!(!p.table.contains_key(&0x1000));
         assert!(p.table.contains_key(&0x9999));
         assert_eq!(p.table.len(), 64);
+    }
+
+    #[test]
+    fn observe_into_reuses_the_buffer_and_matches_observe() {
+        let mut a = StridePrefetcher::new(enabled(2));
+        let mut b = StridePrefetcher::new(enabled(2));
+        let mut buf = Vec::new();
+        for i in 0..50u64 {
+            let pc = 0x400 + (i % 4) * 4;
+            let addr = 0x1000 + i * 0x40;
+            b.observe_into(pc, addr, 64, &mut buf);
+            assert_eq!(a.observe(pc, addr, 64), buf, "step {i}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(buf.capacity() >= 2, "buffer retained across observations");
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_prefetcher() {
+        let mut p = StridePrefetcher::new(enabled(2));
+        for i in 0..100u64 {
+            p.observe(0x400 + i * 4, i * 0x100, 64);
+        }
+        p.reset();
+        assert_eq!(p.stats(), PrefetchStats::default());
+        let fresh = StridePrefetcher::new(enabled(2)).observe(0x400, 0x1000, 64);
+        assert_eq!(p.observe(0x400, 0x1000, 64), fresh);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Proves the per-instruction simulation path performs zero heap
+//! allocations: the total allocation count of a warmed-up run must be
+//! independent of the dynamic trace length.
+//!
+//! The binary installs a counting global allocator and compares an
+//! N-instruction run against a 2N-instruction run of the same compressed
+//! workload.  Any per-instruction allocation — a `Vec` per prefetch
+//! observation, a clone per static lookup, a `HashMap` rehash per access —
+//! would make the 2N count strictly larger.  The file holds exactly one
+//! test so no concurrent test can pollute the counter.
+
+use micrograd_codegen::{Generator, GeneratorInput, TraceExpander};
+use micrograd_sim::{CoreConfig, Simulator};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn run_allocation_count_is_independent_of_trace_length() {
+    let input = GeneratorInput {
+        loop_size: 200,
+        seed: 17,
+        mem_footprint_kb: 1024,
+        branch_randomness: 0.3,
+        ..GeneratorInput::default()
+    };
+    let compressed = Generator::new().generate(&input).unwrap();
+    let short = TraceExpander::new(100_000, 17).expand(&compressed);
+    let long = TraceExpander::new(200_000, 17).expand(&compressed);
+
+    for config in [CoreConfig::small(), CoreConfig::large()] {
+        let mut sim = Simulator::new(config);
+        // Warm up: grow the decoded-instruction table, the prefetch scratch
+        // and every ring to their steady-state capacities.
+        let warm_short = sim.run(&short);
+        let warm_long = sim.run(&long);
+
+        let mut stats_short = None;
+        let short_allocs = allocations_during(|| {
+            stats_short = Some(sim.run(&short));
+        });
+        let mut stats_long = None;
+        let long_allocs = allocations_during(|| {
+            stats_long = Some(sim.run(&long));
+        });
+
+        // Reuse must not change results...
+        assert_eq!(stats_short.unwrap(), warm_short);
+        assert_eq!(stats_long.unwrap(), warm_long);
+        // ...and doubling the instruction count must not change the
+        // allocation count: every remaining allocation is per-run constant
+        // (the class-count map and the trace source), not per-instruction.
+        assert_eq!(
+            short_allocs, long_allocs,
+            "per-instruction path allocated: {short_allocs} allocs for 100k \
+             instructions vs {long_allocs} for 200k"
+        );
+        assert!(
+            short_allocs < 64,
+            "per-run constant allocation count unexpectedly high: {short_allocs}"
+        );
+    }
+}

@@ -83,12 +83,15 @@ fn main() -> Result<(), MicroGradError> {
     );
     let cache = platform.cache_stats();
     println!(
-        "memo cache: {} lookups, {} hits ({:.1}% hit rate), {} inserts, {} entries resident",
+        "memo cache: {} lookups, {} hits ({:.1}% hit rate), {} inserts, \
+         {}/{} entries resident, {} replacements",
         cache.lookups(),
         cache.hits,
         cache.hit_rate() * 100.0,
         cache.inserts,
-        cache.entries
+        cache.entries,
+        cache.capacity,
+        cache.replacements
     );
     Ok(())
 }

@@ -75,46 +75,54 @@ fn assert_identical(sequential: &TuningResult, parallel: &TuningResult, label: &
     );
 }
 
+/// Runs a freshly constructed tuner at every parallelism setting — a single
+/// worker thread, a 4-thread pool and the host-sized `Some(0)` pool — and
+/// asserts each run reproduces the sequential (`None`) baseline exactly.
+fn assert_deterministic_across_parallelism(
+    label: &str,
+    epochs: usize,
+    mut make_tuner: impl FnMut() -> Box<dyn Tuner>,
+) {
+    let sequential = run(make_tuner().as_mut(), None, epochs);
+    for parallelism in [Some(1), Some(4), Some(0)] {
+        let parallel = run(make_tuner().as_mut(), parallelism, epochs);
+        assert_identical(
+            &sequential,
+            &parallel,
+            &format!("{label} (parallelism {parallelism:?})"),
+        );
+    }
+}
+
 #[test]
 fn gradient_descent_is_deterministic_under_parallelism() {
-    let mut seq = GradientDescentTuner::new(GdParams {
-        seed: 5,
-        ..GdParams::default()
+    assert_deterministic_across_parallelism("gradient-descent", 5, || {
+        Box::new(GradientDescentTuner::new(GdParams {
+            seed: 5,
+            ..GdParams::default()
+        }))
     });
-    let mut par = GradientDescentTuner::new(GdParams {
-        seed: 5,
-        ..GdParams::default()
-    });
-    let sequential = run(&mut seq, None, 5);
-    let parallel = run(&mut par, Some(4), 5);
-    assert_identical(&sequential, &parallel, "gradient-descent");
 }
 
 #[test]
 fn genetic_algorithm_is_deterministic_under_parallelism() {
-    let mut seq = GeneticTuner::new(GaParams::tiny());
-    let mut par = GeneticTuner::new(GaParams::tiny());
-    let sequential = run(&mut seq, None, 3);
-    let parallel = run(&mut par, Some(4), 3);
-    assert_identical(&sequential, &parallel, "genetic-algorithm");
+    assert_deterministic_across_parallelism("genetic-algorithm", 3, || {
+        Box::new(GeneticTuner::new(GaParams::tiny()))
+    });
 }
 
 #[test]
 fn brute_force_is_deterministic_under_parallelism() {
-    let mut seq = BruteForceTuner::new(2, 256);
-    let mut par = BruteForceTuner::new(2, 256);
-    let sequential = run(&mut seq, None, 4);
-    let parallel = run(&mut par, Some(4), 4);
-    assert_identical(&sequential, &parallel, "brute-force");
+    assert_deterministic_across_parallelism("brute-force", 4, || {
+        Box::new(BruteForceTuner::new(2, 256))
+    });
 }
 
 #[test]
 fn random_search_is_deterministic_under_parallelism() {
-    let mut seq = RandomSearchTuner::new(6, 17);
-    let mut par = RandomSearchTuner::new(6, 17);
-    let sequential = run(&mut seq, None, 3);
-    let parallel = run(&mut par, Some(4), 3);
-    assert_identical(&sequential, &parallel, "random-search");
+    assert_deterministic_across_parallelism("random-search", 3, || {
+        Box::new(RandomSearchTuner::new(6, 17))
+    });
 }
 
 #[test]
@@ -133,7 +141,7 @@ fn streaming_expansion_matches_materialized_simulation() {
         let expander = TraceExpander::new(30_000, seed);
         let trace = expander.expand(&tc);
         for core in [CoreConfig::small(), CoreConfig::large()] {
-            let sim = Simulator::new(core);
+            let mut sim = Simulator::new(core);
             let materialized = sim.run(&trace);
             let streamed = sim.run_source(&mut expander.stream(&tc));
             assert_eq!(materialized, streamed, "seed {seed} diverged");
@@ -146,7 +154,7 @@ fn streaming_application_traces_match_for_all_benchmarks() {
     // Every one of the paper's eight application models, at several seeds,
     // must simulate identically whether its trace is materialized first or
     // streamed straight into the core model.
-    let sim = Simulator::new(CoreConfig::small());
+    let mut sim = Simulator::new(CoreConfig::small());
     for benchmark in Benchmark::ALL {
         for seed in [3u64, 17] {
             let generator = ApplicationTraceGenerator::new(12_000, seed);

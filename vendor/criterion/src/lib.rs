@@ -5,8 +5,18 @@
 //! with a simple wall-clock measurement loop instead of criterion's
 //! statistical machinery.  Passing `--test` (as `cargo test --benches`
 //! does) runs every benchmark exactly once.
+//!
+//! Two environment variables extend the harness for perf tracking:
+//!
+//! * `CRITERION_SAMPLES=<n>` overrides every benchmark's sample count —
+//!   `CRITERION_SAMPLES=3` is the CI quick mode;
+//! * `CRITERION_JSON=<path>` appends one JSON line per benchmark to
+//!   `<path>` (creating it if needed) with the median sample time and the
+//!   derived throughput, for consumption by `micrograd-bench`'s
+//!   `bench_record` tool.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], criterion-style.
@@ -155,6 +165,63 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// Sample-count override from `CRITERION_SAMPLES` (CI quick mode).
+fn sample_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// Appends one JSON line describing a finished benchmark to the file named
+/// by `CRITERION_JSON`, if set.  Failures are reported but never fatal — a
+/// perf-tracking hiccup must not fail the bench run itself.
+fn append_json_record(
+    name: &str,
+    median: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let median_ns = median.as_nanos();
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = if median_ns > 0 {
+                n as f64 / median.as_secs_f64()
+            } else {
+                0.0
+            };
+            format!(",\"elements\":{n},\"elem_per_s\":{rate:.3}")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = if median_ns > 0 {
+                n as f64 / median.as_secs_f64()
+            } else {
+                0.0
+            };
+            format!(",\"bytes\":{n},\"bytes_per_s\":{rate:.3}")
+        }
+        None => String::new(),
+    };
+    // Benchmark names are ASCII identifiers with `/` separators; no JSON
+    // escaping is needed beyond quoting.
+    let line =
+        format!("{{\"name\":\"{name}\",\"median_ns\":{median_ns},\"samples\":{samples}{extra}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(err) = written {
+        eprintln!("criterion: failed to append to {path}: {err}");
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     name: &str,
     samples: usize,
@@ -162,7 +229,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let mut best = Duration::MAX;
+    let samples = if test_mode {
+        samples
+    } else {
+        sample_override().unwrap_or(samples)
+    };
+    let mut durations: Vec<Duration> = Vec::with_capacity(samples);
     let mut total_iters = 0u64;
     for _ in 0..samples {
         let mut b = Bencher {
@@ -171,14 +243,22 @@ fn run_one<F: FnMut(&mut Bencher)>(
         };
         f(&mut b);
         total_iters += b.iters;
-        if b.elapsed < best {
-            best = b.elapsed;
-        }
+        durations.push(b.elapsed);
     }
     if test_mode {
         println!("bench {name}: ok");
         return;
     }
+    durations.sort_unstable();
+    let best = durations[0];
+    // Median of the sorted samples (midpoint average for even counts) — a
+    // robust central estimate for trend tracking, where best-of-N is the
+    // optimistic floor shown in the console line.
+    let median = if durations.len() % 2 == 1 {
+        durations[durations.len() / 2]
+    } else {
+        (durations[durations.len() / 2 - 1] + durations[durations.len() / 2]) / 2
+    };
     let per_iter = best.as_secs_f64();
     let rate = match throughput {
         Some(Throughput::Elements(n)) if per_iter > 0.0 => {
@@ -190,9 +270,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
         _ => String::new(),
     };
     println!(
-        "bench {name}: {:>12.6} ms/iter  [{samples} samples, {total_iters} iters]{rate}",
-        per_iter * 1e3
+        "bench {name}: {:>12.6} ms/iter  [{samples} samples, {total_iters} iters, median {:.6} ms]{rate}",
+        per_iter * 1e3,
+        median.as_secs_f64() * 1e3
     );
+    append_json_record(name, median, samples, throughput);
 }
 
 /// Declares a function running a list of benchmark functions, mirroring
