@@ -45,8 +45,9 @@ fn protocol_roundtrip(c: &mut Criterion) {
     let submit = Request::new(RequestBody::Submit {
         config: tiny_config(1),
         priority: 3,
+        deadline_ms: None,
     });
-    let submit_line = encode_line(&submit);
+    let submit_line = encode_line(&submit).expect("submit encodes");
 
     // A real report response, so the decode side sees production-shaped
     // payloads (nested reports, float-heavy metrics).
@@ -54,20 +55,20 @@ fn protocol_roundtrip(c: &mut Criterion) {
         .run()
         .expect("tiny stress run succeeds");
     let report = Response::new(ResponseBody::Report { job: 1, output });
-    let report_line = encode_line(&report);
+    let report_line = encode_line(&report).expect("report encodes");
 
     let mut group = c.benchmark_group("service_protocol");
     group.throughput(Throughput::Bytes(submit_line.len() as u64));
     group.bench_function("submit_encode_decode", |b| {
         b.iter(|| {
-            let line = encode_line(&submit);
+            let line = encode_line(&submit).expect("submit encodes");
             decode_request(&line).expect("round-trips")
         });
     });
     group.throughput(Throughput::Bytes(report_line.len() as u64));
     group.bench_function("report_encode_decode", |b| {
         b.iter(|| {
-            let line = encode_line(&report);
+            let line = encode_line(&report).expect("report encodes");
             decode_response(&line).expect("round-trips")
         });
     });

@@ -24,6 +24,13 @@ pub enum MicroGradError {
     /// Tuning terminated without producing any evaluation
     /// (e.g. a zero-epoch budget).
     NoEvaluations,
+    /// The run was cancelled (explicitly or by deadline expiry) before it
+    /// completed.
+    ///
+    /// Raised by platforms whose cancellation token fires
+    /// (see `SimPlatform::with_cancel_token`); the partial results of a
+    /// cancelled run are discarded.
+    Cancelled,
 }
 
 impl fmt::Display for MicroGradError {
@@ -40,7 +47,16 @@ impl fmt::Display for MicroGradError {
             MicroGradError::NoEvaluations => {
                 write!(f, "tuning produced no evaluations (epoch budget was zero?)")
             }
+            MicroGradError::Cancelled => {
+                write!(f, "run cancelled before completion")
+            }
         }
+    }
+}
+
+impl From<micrograd_sim::Cancelled> for MicroGradError {
+    fn from(_: micrograd_sim::Cancelled) -> Self {
+        MicroGradError::Cancelled
     }
 }
 
@@ -85,6 +101,11 @@ mod tests {
         assert!(MicroGradError::NoEvaluations
             .to_string()
             .contains("no evaluations"));
+
+        let e: MicroGradError = micrograd_sim::Cancelled.into();
+        assert_eq!(e, MicroGradError::Cancelled);
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.source().is_none());
     }
 
     #[test]

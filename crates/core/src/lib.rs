@@ -70,3 +70,9 @@ pub use knob::{KnobConfig, KnobSpace, KnobSpec, KnobTarget};
 pub use loss::{CloneLogLoss, LossFunction, StressGoal, StressLoss};
 pub use metrics::{MetricKind, Metrics};
 pub use platform::{CacheStats, ExecutionPlatform, SimPlatform};
+
+/// Cooperative-cancellation handle, re-exported from `micrograd-sim` so
+/// service-layer callers can seed deadlines into [`SimPlatform`] (see
+/// [`SimPlatform::with_cancel_token`]) without depending on the simulator
+/// crate directly.
+pub use micrograd_sim::CancelToken;

@@ -6,7 +6,7 @@ use micrograd_codegen::{
     Generator, GeneratorInput, StreamingExpander, TestCase, Trace, TraceSource,
 };
 use micrograd_power::{PowerConfig, PowerModel};
-use micrograd_sim::{CoreConfig, SimStats, Simulator};
+use micrograd_sim::{CancelToken, CoreConfig, SimStats, Simulator};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -47,6 +47,22 @@ pub trait ExecutionPlatform {
     /// and per-input results regardless of internal scheduling.
     fn evaluate_batch(&self, inputs: &[GeneratorInput]) -> Vec<Result<Metrics, MicroGradError>> {
         inputs.iter().map(|input| self.evaluate(input)).collect()
+    }
+
+    /// Checks whether the run driving this platform has been cancelled.
+    ///
+    /// Tuners call this at epoch boundaries (through the shared evaluation
+    /// scheduler), so a platform with a cancellation source — like
+    /// [`SimPlatform::with_cancel_token`] — can abort a long tuning run
+    /// cooperatively.  The default implementation never cancels, so
+    /// existing platforms keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`MicroGradError::Cancelled`] once the platform's cancellation
+    /// source has fired.
+    fn check_cancelled(&self) -> Result<(), MicroGradError> {
+        Ok(())
     }
 
     /// Measures the metric vector of a streaming dynamic-instruction source
@@ -206,6 +222,7 @@ pub struct SimPlatform {
     dynamic_len: usize,
     seed: u64,
     parallelism: Option<usize>,
+    cancel: CancelToken,
     cache: MemoTable<GeneratorInput, Metrics>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -243,6 +260,7 @@ impl SimPlatform {
             dynamic_len: Self::DEFAULT_DYNAMIC_LEN,
             seed: 1,
             parallelism: None,
+            cancel: CancelToken::never(),
             cache: MemoTable::new(Self::DEFAULT_CACHE_CAPACITY),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -289,6 +307,27 @@ impl SimPlatform {
     #[must_use]
     pub fn parallelism(&self) -> Option<usize> {
         self.parallelism
+    }
+
+    /// Seeds a cooperative cancellation token into the platform.
+    ///
+    /// The token is polled before every evaluation, at tuner epoch
+    /// boundaries (via [`ExecutionPlatform::check_cancelled`]) and every
+    /// few thousand simulated instructions
+    /// ([`Simulator::CANCEL_CHECK_INTERVAL`]); once it fires — explicitly
+    /// or by deadline — in-flight and subsequent evaluations return
+    /// [`MicroGradError::Cancelled`].  The default token never cancels.
+    #[must_use]
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The platform's cancellation token (a never-cancelled token unless
+    /// one was seeded via [`with_cancel_token`](Self::with_cancel_token)).
+    #[must_use]
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// The number of worker threads a batch of `jobs` evaluations would use.
@@ -433,7 +472,7 @@ impl SimPlatform {
     ) -> Result<(Metrics, SimStats), MicroGradError> {
         let test_case = self.generate(input)?;
         let mut source = StreamingExpander::new(&test_case, self.dynamic_len, self.seed);
-        let stats = sim.run_source(&mut source);
+        let stats = sim.run_source_cancellable(&mut source, &self.cancel)?;
         let power = PowerModel::new(self.power.clone()).estimate(&stats);
         Ok((Metrics::from_run(&stats, Some(&power)), stats))
     }
@@ -452,6 +491,10 @@ impl SimPlatform {
         fingerprint: u64,
         input: &GeneratorInput,
     ) -> Result<Metrics, MicroGradError> {
+        // A fired token aborts even cache-hit evaluations: a fully warmed
+        // cache must not keep a cancelled job running through thousands of
+        // free lookups.
+        self.check_cancelled()?;
         // `MemoTable::get` verifies the stored input, so a 64-bit hash
         // collision degrades to a recomputation instead of wrong metrics.
         if let Some(hit) = self.cache.get(fingerprint, input) {
@@ -470,6 +513,14 @@ impl SimPlatform {
 impl ExecutionPlatform for SimPlatform {
     fn name(&self) -> &str {
         &self.core.name
+    }
+
+    fn check_cancelled(&self) -> Result<(), MicroGradError> {
+        if self.cancel.is_cancelled() {
+            Err(MicroGradError::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 
     fn evaluate(&self, input: &GeneratorInput) -> Result<Metrics, MicroGradError> {
@@ -708,6 +759,34 @@ mod tests {
         // Once resident again, it hits.
         p.evaluate(&a).unwrap();
         assert_eq!(p.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_evaluations_even_on_cache_hits() {
+        let token = CancelToken::never();
+        let p = platform().with_cancel_token(token.clone());
+        let input = GeneratorInput {
+            loop_size: 100,
+            ..GeneratorInput::default()
+        };
+        p.evaluate(&input).unwrap();
+        assert_eq!(p.cache_stats().entries, 1);
+
+        token.cancel();
+        assert!(p.check_cancelled().is_err());
+        // A warmed cache must not keep a cancelled run alive.
+        assert_eq!(p.evaluate(&input), Err(MicroGradError::Cancelled));
+        let batch = p.evaluate_batch(&[input.clone(), input]);
+        assert!(batch
+            .iter()
+            .all(|r| matches!(r, Err(MicroGradError::Cancelled))));
+    }
+
+    #[test]
+    fn default_token_never_cancels() {
+        let p = platform();
+        assert!(p.check_cancelled().is_ok());
+        assert!(!p.cancel_token().is_cancelled());
     }
 
     #[test]

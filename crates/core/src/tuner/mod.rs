@@ -157,6 +157,7 @@ impl<'a> Evaluator<'a> {
         &mut self,
         config: &KnobConfig,
     ) -> Result<(Metrics, f64), MicroGradError> {
+        self.platform.check_cancelled()?;
         let input = self.space.resolve(config, self.seed)?;
         let metrics = self.platform.evaluate(&input)?;
         Ok(self.record(config, metrics))
@@ -176,6 +177,10 @@ impl<'a> Evaluator<'a> {
         &mut self,
         configs: &[KnobConfig],
     ) -> Result<Vec<(Metrics, f64)>, MicroGradError> {
+        // Every tuner submits each epoch's probes through here, so this is
+        // the tuner-epoch cancellation boundary: a fired token stops the
+        // run before the next batch is scheduled.
+        self.platform.check_cancelled()?;
         let inputs = configs
             .iter()
             .map(|c| self.space.resolve(c, self.seed))

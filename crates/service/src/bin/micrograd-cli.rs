@@ -22,6 +22,7 @@ USAGE:
 COMMANDS:
     submit <config.json|->   Submit a framework job (config file, or `-` for stdin)
         --priority N         Scheduling priority, higher runs earlier (default 0)
+        --deadline-secs N    Server-side deadline; the job times out after N seconds
         --wait               Poll until the job finishes, then print the report
         --timeout-secs N     Give up waiting after N seconds (default 600)
     status <job>             Print a job's state
@@ -100,6 +101,7 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
                 return Err(usage_error("submit expects a config file path or `-`"));
             };
             let mut priority = 0i64;
+            let mut deadline_ms = None;
             let mut wait = false;
             let mut timeout = Duration::from_secs(600);
             let mut j = 2;
@@ -110,6 +112,14 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
                             .get(j + 1)
                             .and_then(|v| v.parse().ok())
                             .ok_or_else(|| usage_error("--priority expects an integer"))?;
+                        j += 2;
+                    }
+                    "--deadline-secs" => {
+                        let secs: u64 = rest
+                            .get(j + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| usage_error("--deadline-secs expects an integer"))?;
+                        deadline_ms = Some(secs.saturating_mul(1_000));
                         j += 2;
                     }
                     "--wait" => {
@@ -128,7 +138,9 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
                 }
             }
             let config = read_config(path).map_err(fail)?;
-            let receipt = client.submit(&config, priority).map_err(fail)?;
+            let receipt = client
+                .submit_with_deadline(&config, priority, deadline_ms)
+                .map_err(fail)?;
             println!(
                 "job {} submitted (deduped: {}, cached: {})",
                 receipt.job, receipt.deduped, receipt.cached
@@ -137,8 +149,17 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
                 let state = client
                     .wait(receipt.job, Duration::from_millis(200), timeout)
                     .map_err(fail)?;
-                if let JobState::Failed { error } = state {
-                    return Err(fail(format_args!("job {} failed: {error}", receipt.job)));
+                match state {
+                    JobState::Failed { error } => {
+                        return Err(fail(format_args!("job {} failed: {error}", receipt.job)));
+                    }
+                    JobState::TimedOut => {
+                        return Err(fail(format_args!(
+                            "job {} timed out (server-side deadline)",
+                            receipt.job
+                        )));
+                    }
+                    _ => {}
                 }
                 let output = client.fetch(receipt.job).map_err(fail)?;
                 println!(

@@ -11,6 +11,50 @@
 use micrograd_service::{Server, ServerConfig};
 use std::process::ExitCode;
 
+/// Minimal async-signal-safe SIGINT/SIGTERM handling (no `signal_hook` in
+/// the offline build).  The raw handler only stores into a static atomic;
+/// a watcher thread polls the flag and routes the request through
+/// [`Server::request_shutdown`], so Ctrl-C and `kill <pid>` drain exactly
+/// like a client-requested shutdown: in-flight jobs finish and the store
+/// stays consistent.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    type SigHandler = extern "C" fn(i32);
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> isize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single relaxed store, nothing else.
+        REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    /// Install handlers for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
 const USAGE: &str = "\
 USAGE:
     microgradd [OPTIONS]
@@ -100,7 +144,24 @@ fn main() -> ExitCode {
     println!("microgradd listening on {}", server.local_addr());
     println!("microgradd store: {store_desc}");
 
-    server.wait_for_shutdown();
+    signals::install();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Watch for SIGINT/SIGTERM and translate them into the same
+            // graceful drain a client `shutdown` request triggers.
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                if signals::requested() {
+                    eprintln!("microgradd: caught termination signal, draining");
+                    server.request_shutdown();
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        });
+        server.wait_for_shutdown();
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
     println!("microgradd shutting down (finishing in-flight jobs)");
     let stats = server.scheduler().stats();
     server.shutdown();

@@ -15,6 +15,7 @@
 //! | durable store | [`store`] | content-addressed reports + memo-cache dumps |
 //! | server | [`server`] | TCP accept loop, per-connection threads, clean shutdown |
 //! | client | [`client`] | blocking session client (also behind `micrograd-cli`) |
+//! | fault injection | [`fault`] | seeded, replayable chaos plans for the seams above |
 //!
 //! Job identity is
 //! [`FrameworkConfig::fingerprint`](micrograd_core::FrameworkConfig::fingerprint):
@@ -61,6 +62,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
@@ -68,7 +70,8 @@ pub mod store;
 #[cfg(test)]
 mod testutil;
 
-pub use client::{Client, ClientError, SubmitReceipt};
+pub use client::{Client, ClientError, RetryPolicy, SubmitReceipt};
+pub use fault::{FaultPlan, FaultSite};
 pub use protocol::{
     decode_request, decode_response, encode_line, JobState, JobSummary, Request, RequestBody,
     Response, ResponseBody, ServerStats, WireError, PROTO_VERSION,

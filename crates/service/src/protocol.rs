@@ -57,6 +57,14 @@ pub enum RequestBody {
         /// Scheduling priority; higher runs earlier (default 0).
         #[serde(default)]
         priority: i64,
+        /// Optional wall-clock budget for the job, in milliseconds,
+        /// measured from admission.  A job that exceeds it is cancelled
+        /// cooperatively and reaches the [`JobState::TimedOut`] terminal
+        /// state.  The deadline is submit metadata, not job identity: it
+        /// does not participate in deduplication, and a deduplicated
+        /// submit keeps the original job's deadline.
+        #[serde(default)]
+        deadline_ms: Option<u64>,
     },
     /// Poll the state of a job.
     Status {
@@ -140,6 +148,12 @@ pub enum ResponseBody {
     Error {
         /// Human-readable failure reason.
         message: String,
+        /// Machine-readable retry hint: when present, the failure is
+        /// transient (queue full, server draining) and the client should
+        /// retry the same request after this many milliseconds.  Absent on
+        /// permanent failures.
+        #[serde(default)]
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -158,13 +172,21 @@ pub enum JobState {
         /// The failure reason.
         error: String,
     },
+    /// The job's `deadline_ms` budget expired before it finished; the run
+    /// was cancelled cooperatively and its partial results were discarded.
+    /// Like [`JobState::Failed`], a timed-out job never satisfies
+    /// deduplication, so resubmitting the same configuration runs it anew.
+    TimedOut,
 }
 
 impl JobState {
     /// Whether the job has reached a terminal state.
     #[must_use]
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed { .. })
+        matches!(
+            self,
+            JobState::Done | JobState::Failed { .. } | JobState::TimedOut
+        )
     }
 }
 
@@ -175,6 +197,7 @@ impl fmt::Display for JobState {
             JobState::Running => write!(f, "running"),
             JobState::Done => write!(f, "done"),
             JobState::Failed { error } => write!(f, "failed: {error}"),
+            JobState::TimedOut => write!(f, "timed out"),
         }
     }
 }
@@ -213,6 +236,9 @@ pub struct ServerStats {
     pub jobs_completed: u64,
     /// Jobs that failed.
     pub jobs_failed: u64,
+    /// Jobs whose deadline expired before they finished.
+    #[serde(default)]
+    pub jobs_timed_out: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: u64,
     /// Jobs currently running.
@@ -236,6 +262,10 @@ pub enum WireError {
         /// The version the peer sent.
         got: u32,
     },
+    /// A message could not be serialized for the wire.  Surfaced to the
+    /// caller instead of being silently swallowed, so an unencodable
+    /// message never turns into an empty line on the socket.
+    Encode(String),
 }
 
 impl fmt::Display for WireError {
@@ -246,6 +276,7 @@ impl fmt::Display for WireError {
                 f,
                 "protocol version mismatch: peer speaks {got}, this build speaks {PROTO_VERSION}"
             ),
+            WireError::Encode(reason) => write!(f, "message serialization failed: {reason}"),
         }
     }
 }
@@ -253,12 +284,16 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Encodes a message as one JSON line (including the trailing newline).
-#[must_use]
-pub fn encode_line<T: Serialize>(message: &T) -> String {
-    let mut line = serde_json::to_string(message).unwrap_or_default();
+///
+/// # Errors
+///
+/// Returns [`WireError::Encode`] if the message cannot be serialized;
+/// serialization failures are reported, never replaced by an empty line.
+pub fn encode_line<T: Serialize>(message: &T) -> Result<String, WireError> {
+    let mut line = serde_json::to_string(message).map_err(|e| WireError::Encode(e.to_string()))?;
     debug_assert!(!line.contains('\n'), "compact JSON must be single-line");
     line.push('\n');
-    line
+    Ok(line)
 }
 
 /// Checks the envelope's `proto` field *before* decoding the payload, so a
@@ -317,6 +352,7 @@ mod tests {
                 ..FrameworkConfig::default()
             },
             priority: 7,
+            deadline_ms: Some(2_500),
         })
     }
 
@@ -331,7 +367,7 @@ mod tests {
             Request::new(RequestBody::Shutdown),
         ];
         for request in requests {
-            let line = encode_line(&request);
+            let line = encode_line(&request).unwrap();
             assert!(line.ends_with('\n'));
             assert_eq!(line.matches('\n').count(), 1, "one line per message");
             let back = decode_request(&line).unwrap();
@@ -371,10 +407,19 @@ mod tests {
             Response::new(ResponseBody::ShuttingDown),
             Response::new(ResponseBody::Error {
                 message: "nope".into(),
+                retry_after_ms: None,
+            }),
+            Response::new(ResponseBody::Error {
+                message: "queue full".into(),
+                retry_after_ms: Some(250),
+            }),
+            Response::new(ResponseBody::Status {
+                job: 9,
+                state: JobState::TimedOut,
             }),
         ];
         for response in responses {
-            let line = encode_line(&response);
+            let line = encode_line(&response).unwrap();
             assert_eq!(line.matches('\n').count(), 1, "newlines must be escaped");
             let back = decode_response(&line).unwrap();
             assert_eq!(back, response);
@@ -382,10 +427,26 @@ mod tests {
     }
 
     #[test]
+    fn legacy_messages_without_new_fields_still_decode() {
+        // A pre-deadline client omits `deadline_ms`; a pre-retry-hint
+        // server omits `retry_after_ms`.  Both must decode with the field
+        // defaulted to `None`.
+        let legacy_error = r#"{"proto":1,"body":{"result":"error","message":"nope"}}"#;
+        let response = decode_response(legacy_error).unwrap();
+        assert_eq!(
+            response.body,
+            ResponseBody::Error {
+                message: "nope".into(),
+                retry_after_ms: None,
+            }
+        );
+    }
+
+    #[test]
     fn version_mismatch_is_rejected() {
         let mut request = submit_request();
         request.proto = PROTO_VERSION + 1;
-        let line = encode_line(&request);
+        let line = encode_line(&request).unwrap();
         assert_eq!(
             decode_request(&line),
             Err(WireError::Version {
@@ -436,5 +497,7 @@ mod tests {
         assert!(failed.is_terminal());
         assert_eq!(failed.to_string(), "failed: why");
         assert_eq!(JobState::Queued.to_string(), "queued");
+        assert!(JobState::TimedOut.is_terminal());
+        assert_eq!(JobState::TimedOut.to_string(), "timed out");
     }
 }

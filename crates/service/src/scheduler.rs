@@ -14,9 +14,12 @@
 //! submission order.  The queue is bounded — a full queue rejects new work
 //! (back-pressure) rather than buffering without limit.
 
+use crate::fault::FaultSite;
 use crate::protocol::{JobState, JobSummary, ServerStats};
 use crate::store::{platform_key, ResultStore};
-use micrograd_core::{CacheStats, FrameworkConfig, FrameworkOutput, MicroGrad};
+use micrograd_core::{
+    CacheStats, CancelToken, FrameworkConfig, FrameworkOutput, MicroGrad, MicroGradError,
+};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -104,6 +107,10 @@ struct JobRecord {
     priority: i64,
     state: JobState,
     output: Option<FrameworkOutput>,
+    /// Cooperative-cancellation handle seeded into the job's platform.
+    /// Carries the job's deadline (measured from admission) when the
+    /// submission specified one; never fires otherwise.
+    cancel: CancelToken,
 }
 
 impl JobRecord {
@@ -149,6 +156,7 @@ struct Counters {
     executions: u64,
     completed: u64,
     failed: u64,
+    timed_out: u64,
 }
 
 struct SchedState {
@@ -227,7 +235,7 @@ impl Scheduler {
         }
     }
 
-    /// Submits a job.
+    /// Submits a job with no deadline.
     ///
     /// # Errors
     ///
@@ -237,6 +245,27 @@ impl Scheduler {
         &self,
         config: FrameworkConfig,
         priority: i64,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        self.submit_with_deadline(config, priority, None)
+    }
+
+    /// Submits a job, optionally bounded by a deadline in milliseconds
+    /// measured from admission.  A job that exceeds its deadline — queued
+    /// or running — is cancelled cooperatively, reaches
+    /// [`JobState::TimedOut`], frees its worker, and never satisfies
+    /// deduplication afterwards.  The deadline is submit metadata, not job
+    /// identity: a submission that dedups onto an existing job keeps that
+    /// job's deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the bounded queue is at
+    /// capacity and [`SubmitError::ShuttingDown`] during shutdown.
+    pub fn submit_with_deadline(
+        &self,
+        config: FrameworkConfig,
+        priority: i64,
+        deadline_ms: Option<u64>,
     ) -> Result<SubmitOutcome, SubmitError> {
         let fingerprint = config.fingerprint();
         let inner = &self.inner;
@@ -281,9 +310,10 @@ impl Scheduler {
             });
         }
 
-        // Durable-store hit: the job is born completed.
+        // Durable-store hit: the job is born completed; its deadline is
+        // moot and the token is left inert.
         if let Some(output) = stored {
-            let job = state.admit(config, fingerprint, priority);
+            let job = state.admit(config, fingerprint, priority, None);
             let record = state.jobs.get_mut(&job).expect("record just admitted");
             record.state = JobState::Done;
             record.output = Some(output);
@@ -308,7 +338,7 @@ impl Scheduler {
             });
         }
 
-        let job = state.admit(config, fingerprint, priority);
+        let job = state.admit(config, fingerprint, priority, deadline_ms);
         let seq = state.next_seq;
         state.next_seq += 1;
         state.queue.push(QueuedEntry { priority, seq, job });
@@ -364,6 +394,7 @@ impl Scheduler {
             executions: state.counters.executions,
             jobs_completed: state.counters.completed,
             jobs_failed: state.counters.failed,
+            jobs_timed_out: state.counters.timed_out,
             queue_depth: state.queue.len() as u64,
             running: state.running,
             workers: self.inner.config.workers as u64,
@@ -405,7 +436,7 @@ impl Scheduler {
     pub fn step(&self) -> bool {
         let job = {
             let mut state = self.inner.state.lock().expect("scheduler state poisoned");
-            match pop_job(&mut state) {
+            match pop_job(&self.inner, &mut state) {
                 Some(job) => job,
                 None => return false,
             }
@@ -454,15 +485,18 @@ impl Drop for Scheduler {
 }
 
 impl SchedState {
-    /// An existing non-failed job with this exact configuration, if any
-    /// (the dedup target of a submission).
+    /// An existing job with this exact configuration that a submission can
+    /// share.  Failed and timed-out jobs never absorb resubmissions — a
+    /// retry after either is a fresh execution, so an expired deadline
+    /// never poisons the dedup table.
     fn dedup_match(&self, fingerprint: u64, config: &FrameworkConfig) -> Option<u64> {
         self.by_fingerprint
             .get(&fingerprint)?
             .iter()
             .filter_map(|id| self.jobs.get(id))
             .find(|record| {
-                record.config == *config && !matches!(record.state, JobState::Failed { .. })
+                record.config == *config
+                    && !matches!(record.state, JobState::Failed { .. } | JobState::TimedOut)
             })
             .map(|record| record.id)
     }
@@ -485,10 +519,21 @@ impl SchedState {
         }
     }
 
-    /// Creates a job record and indexes it by fingerprint.
-    fn admit(&mut self, config: FrameworkConfig, fingerprint: u64, priority: i64) -> u64 {
+    /// Creates a job record and indexes it by fingerprint.  The deadline
+    /// clock starts here, at admission.
+    fn admit(
+        &mut self,
+        config: FrameworkConfig,
+        fingerprint: u64,
+        priority: i64,
+        deadline_ms: Option<u64>,
+    ) -> u64 {
         let id = self.next_job;
         self.next_job += 1;
+        let cancel = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::never(),
+        };
         self.jobs.insert(
             id,
             JobRecord {
@@ -498,6 +543,7 @@ impl SchedState {
                 priority,
                 state: JobState::Queued,
                 output: None,
+                cancel,
             },
         );
         self.by_fingerprint.entry(fingerprint).or_default().push(id);
@@ -506,13 +552,33 @@ impl SchedState {
 }
 
 /// Pops the next runnable job and marks it running (caller holds the lock).
-fn pop_job(state: &mut SchedState) -> Option<u64> {
-    let entry = state.queue.pop()?;
-    state.running += 1;
-    state.counters.executions += 1;
-    let record = state.jobs.get_mut(&entry.job).expect("queued job exists");
-    record.state = JobState::Running;
-    Some(entry.job)
+///
+/// A job whose deadline expired while it sat in the queue is retired to
+/// [`JobState::TimedOut`] here, without ever occupying a worker, and the
+/// next entry is considered instead.
+fn pop_job(inner: &SchedulerInner, state: &mut SchedState) -> Option<u64> {
+    loop {
+        let entry = state.queue.pop()?;
+        let expired = state
+            .jobs
+            .get(&entry.job)
+            .expect("queued job exists")
+            .cancel
+            .is_cancelled();
+        if expired {
+            let record = state.jobs.get_mut(&entry.job).expect("queued job exists");
+            record.state = JobState::TimedOut;
+            state.counters.timed_out += 1;
+            state.mark_terminal(entry.job, inner.config.retained_jobs);
+            inner.job_done.notify_all();
+            continue;
+        }
+        state.running += 1;
+        state.counters.executions += 1;
+        let record = state.jobs.get_mut(&entry.job).expect("queued job exists");
+        record.state = JobState::Running;
+        return Some(entry.job);
+    }
 }
 
 fn worker_loop(inner: &SchedulerInner) {
@@ -523,7 +589,7 @@ fn worker_loop(inner: &SchedulerInner) {
                 if state.shutdown {
                     return;
                 }
-                if let Some(job) = pop_job(&mut state) {
+                if let Some(job) = pop_job(inner, &mut state) {
                     break job;
                 }
                 state = inner
@@ -544,20 +610,30 @@ fn worker_loop(inner: &SchedulerInner) {
 /// the job `Failed` instead of killing the worker thread and leaving the
 /// job `Running` forever.
 fn execute_job(inner: &SchedulerInner, job: u64) {
-    let config = {
+    let (config, cancel) = {
         let state = inner.state.lock().expect("scheduler state poisoned");
-        state
-            .jobs
-            .get(&job)
-            .expect("running job exists")
-            .config
-            .clone()
+        let record = state.jobs.get(&job).expect("running job exists");
+        (record.config.clone(), record.cancel.clone())
     };
 
     let key = platform_key(&config);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if inner
+            .store
+            .fault_plan()
+            .should_inject(FaultSite::WorkerPanic)
+        {
+            panic!(
+                "{}",
+                inner.store.fault_plan().io_error(FaultSite::WorkerPanic)
+            );
+        }
         let framework = MicroGrad::new(config.clone());
-        let platform = framework.platform();
+        // Seed the job's cancellation token into the platform: the tuner
+        // checks it at epoch boundaries and the simulator every
+        // `CANCEL_CHECK_INTERVAL` instructions, so an expired deadline
+        // frees this worker promptly.
+        let platform = framework.platform().with_cancel_token(cancel.clone());
         platform.import_cache(inner.store.load_cache(&key));
 
         let result = framework.run_on(&platform);
@@ -584,6 +660,13 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
                     record.output = Some(output);
                     state.counters.completed += 1;
                 }
+                // A cancellation raised by the job's own (deadline-armed)
+                // token is a timeout, not a failure: the deadline is the
+                // only thing that fires these per-job tokens.
+                Err(MicroGradError::Cancelled) if cancel.is_cancelled() => {
+                    record.state = JobState::TimedOut;
+                    state.counters.timed_out += 1;
+                }
                 Err(e) => {
                     record.state = JobState::Failed {
                         error: e.to_string(),
@@ -595,7 +678,7 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
         }
         Err(payload) => {
             record.state = JobState::Failed {
-                error: format!("job execution panicked: {}", panic_message(&payload)),
+                error: format!("job execution panicked: {}", panic_message(&*payload)),
             };
             state.counters.failed += 1;
         }
@@ -861,6 +944,100 @@ mod tests {
             FetchResult::Ready(output) => assert!(output.as_stress().is_some()),
             other => panic!("expected report, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn queued_deadline_expiry_times_out_without_executing() {
+        let scheduler = manual_scheduler(8);
+        let job = scheduler
+            .submit_with_deadline(tiny_config(1), 0, Some(0))
+            .unwrap()
+            .job;
+        // The zero deadline is already expired when the queue is served:
+        // the job is retired without ever reaching a worker.
+        assert!(!scheduler.step(), "nothing runnable was left");
+        assert_eq!(scheduler.status(job), Some(JobState::TimedOut));
+        let stats = scheduler.stats();
+        assert_eq!(stats.executions, 0, "never occupied a worker");
+        assert_eq!(stats.jobs_timed_out, 1);
+        assert_eq!(stats.jobs_failed, 0);
+        assert!(matches!(
+            scheduler.fetch(job),
+            FetchResult::NotReady(JobState::TimedOut)
+        ));
+    }
+
+    #[test]
+    fn running_job_exceeding_its_deadline_times_out() {
+        let scheduler = manual_scheduler(8);
+        // A job far larger than its 25 ms budget: the platform's
+        // cooperative checks must abort it mid-run.
+        let mut config = tiny_config(1);
+        config.max_epochs = 400;
+        config.dynamic_len = 60_000;
+        config.reference_len = 60_000;
+        let job = scheduler
+            .submit_with_deadline(config, 0, Some(25))
+            .unwrap()
+            .job;
+        assert!(scheduler.step(), "the job did start running");
+        assert_eq!(scheduler.status(job), Some(JobState::TimedOut));
+        let stats = scheduler.stats();
+        assert_eq!(stats.executions, 1);
+        assert_eq!(stats.jobs_timed_out, 1);
+        assert_eq!(stats.jobs_failed, 0, "a timeout is not a failure");
+    }
+
+    #[test]
+    fn timed_out_jobs_never_poison_the_dedup_table() {
+        let scheduler = manual_scheduler(8);
+        let config = tiny_config(1);
+        let timed_out = scheduler
+            .submit_with_deadline(config.clone(), 0, Some(0))
+            .unwrap()
+            .job;
+        assert!(!scheduler.step());
+        assert_eq!(scheduler.status(timed_out), Some(JobState::TimedOut));
+
+        // Resubmitting the identical configuration is a fresh job that
+        // runs to completion.
+        let retry = scheduler.submit(config, 0).unwrap();
+        assert!(!retry.deduped, "timed-out jobs do not absorb resubmits");
+        assert_ne!(retry.job, timed_out);
+        assert!(scheduler.step());
+        assert_eq!(scheduler.status(retry.job), Some(JobState::Done));
+    }
+
+    #[test]
+    fn injected_worker_panic_fails_the_job_and_spares_the_next() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let scheduler = Scheduler::new(
+            SchedulerConfig {
+                workers: 0,
+                queue_capacity: 8,
+                ..SchedulerConfig::default()
+            },
+            ResultStore::in_memory().with_fault_plan(FaultPlan::new(1).with_fault(
+                FaultSite::WorkerPanic,
+                1.0,
+                1,
+            )),
+        );
+        let config = tiny_config(1);
+        let job = scheduler.submit(config.clone(), 0).unwrap().job;
+        assert!(scheduler.step());
+        match scheduler.status(job) {
+            Some(JobState::Failed { error }) => {
+                assert!(error.contains("injected fault"), "got: {error}");
+            }
+            other => panic!("expected injected failure, got {other:?}"),
+        }
+
+        // The budget is spent: the retry executes cleanly.
+        let retry = scheduler.submit(config, 0).unwrap();
+        assert!(!retry.deduped);
+        assert!(scheduler.step());
+        assert_eq!(scheduler.status(retry.job), Some(JobState::Done));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! their next read timeout, the scheduler finishes in-flight jobs, and
 //! every thread is joined before [`Server::shutdown`] returns.
 
+use crate::fault::{FaultPlan, FaultSite};
 use crate::protocol::{
     decode_request, encode_line, RequestBody, Response, ResponseBody, WireError,
 };
@@ -26,6 +27,14 @@ use std::time::Duration;
 /// How often blocked reads wake up to observe the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Retry hint attached to a queue-full rejection: the queue drains at job
+/// granularity, so a short pause is usually enough.
+const QUEUE_FULL_RETRY_MS: u64 = 200;
+
+/// Retry hint attached to a shutting-down rejection: the client should try
+/// again once a replacement daemon is up.
+const SHUTDOWN_RETRY_MS: u64 = 1_000;
+
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
@@ -37,6 +46,9 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Durable store directory; `None` keeps results in memory only.
     pub store_dir: Option<PathBuf>,
+    /// Fault plan shared by the store, the scheduler and every connection
+    /// handler (chaos testing).  [`FaultPlan::none`] in production.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +58,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             store_dir: None,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -111,7 +124,8 @@ impl Server {
         let store = match &config.store_dir {
             Some(dir) => ResultStore::open(dir)?,
             None => ResultStore::in_memory(),
-        };
+        }
+        .with_fault_plan(config.fault.clone());
         let scheduler = Arc::new(Scheduler::new(
             SchedulerConfig {
                 workers: config.workers,
@@ -165,6 +179,17 @@ impl Server {
     /// Blocks until a shutdown is requested.
     pub fn wait_for_shutdown(&self) {
         self.signal.wait();
+    }
+
+    /// Requests a graceful shutdown from inside the process — the same
+    /// path a client `shutdown` request takes: the scheduler's intake
+    /// closes first, then [`wait_for_shutdown`](Self::wait_for_shutdown)
+    /// unblocks.  Non-blocking; the daemon's operator-signal (SIGTERM /
+    /// Ctrl-C) handling routes through here so a killed daemon drains
+    /// instead of dying mid-job.
+    pub fn request_shutdown(&self) {
+        self.scheduler.begin_shutdown();
+        self.signal.trigger();
     }
 
     /// Stops accepting, drains connection threads, finishes in-flight jobs
@@ -250,9 +275,34 @@ fn serve_connection(stream: TcpStream, scheduler: &Scheduler, signal: &ShutdownS
                 }
                 let response = handle_line(&text, scheduler, signal);
                 line.clear();
-                if writer.write_all(encode_line(&response).as_bytes()).is_err()
-                    || writer.flush().is_err()
-                {
+                // A response that cannot be serialized is itself answered
+                // with an error response; if even that fails, the session
+                // is closed rather than sending a corrupt line.
+                let payload = match encode_line(&response) {
+                    Ok(payload) => payload,
+                    Err(e) => {
+                        let fallback = Response::new(ResponseBody::Error {
+                            message: e.to_string(),
+                            retry_after_ms: None,
+                        });
+                        match encode_line(&fallback) {
+                            Ok(payload) => payload,
+                            Err(_) => break,
+                        }
+                    }
+                };
+                let fault = scheduler.store().fault_plan();
+                if fault.should_inject(FaultSite::ConnectionDrop) {
+                    // Sever the connection mid-line: commit a partial
+                    // response with no newline, then hang up.  The client
+                    // sees a closed connection and must reconnect and
+                    // resubmit (idempotent thanks to dedup).
+                    let cut = payload.len() / 2;
+                    let _ = writer.write_all(&payload.as_bytes()[..cut]);
+                    let _ = writer.flush();
+                    break;
+                }
+                if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
                     break;
                 }
                 if signal.is_triggered() {
@@ -277,22 +327,34 @@ fn serve_connection(stream: TcpStream, scheduler: &Scheduler, signal: &ShutdownS
 fn handle_line(line: &str, scheduler: &Scheduler, signal: &ShutdownSignal) -> Response {
     let request = match decode_request(line) {
         Ok(request) => request,
-        Err(e @ (WireError::Malformed(_) | WireError::Version { .. })) => {
+        Err(e @ (WireError::Malformed(_) | WireError::Version { .. } | WireError::Encode(_))) => {
             return Response::new(ResponseBody::Error {
                 message: e.to_string(),
+                retry_after_ms: None,
             });
         }
     };
     let body = match request.body {
-        RequestBody::Submit { config, priority } => match scheduler.submit(config, priority) {
+        RequestBody::Submit {
+            config,
+            priority,
+            deadline_ms,
+        } => match scheduler.submit_with_deadline(config, priority, deadline_ms) {
             Ok(outcome) => ResponseBody::Submitted {
                 job: outcome.job,
                 deduped: outcome.deduped,
                 cached: outcome.cached,
             },
-            Err(e @ (SubmitError::QueueFull { .. } | SubmitError::ShuttingDown)) => {
+            Err(e) => {
+                // Both rejections are transient, so both carry a
+                // machine-readable retry hint.
+                let retry_after_ms = match &e {
+                    SubmitError::QueueFull { .. } => Some(QUEUE_FULL_RETRY_MS),
+                    SubmitError::ShuttingDown => Some(SHUTDOWN_RETRY_MS),
+                };
                 ResponseBody::Error {
                     message: e.to_string(),
+                    retry_after_ms,
                 }
             }
         },
@@ -300,15 +362,18 @@ fn handle_line(line: &str, scheduler: &Scheduler, signal: &ShutdownSignal) -> Re
             Some(state) => ResponseBody::Status { job, state },
             None => ResponseBody::Error {
                 message: format!("unknown job {job}"),
+                retry_after_ms: None,
             },
         },
         RequestBody::Fetch { job } => match scheduler.fetch(job) {
             FetchResult::Ready(output) => ResponseBody::Report { job, output },
             FetchResult::NotReady(state) => ResponseBody::Error {
                 message: format!("job {job} is not finished (state: {state})"),
+                retry_after_ms: None,
             },
             FetchResult::NotFound => ResponseBody::Error {
                 message: format!("unknown job {job}"),
+                retry_after_ms: None,
             },
         },
         RequestBody::List => ResponseBody::Jobs {

@@ -16,11 +16,28 @@
 //! seed — the parameters that determine evaluation results), so a restarted
 //! daemon warm-starts repeat evaluations from disk.
 //!
+//! # Integrity and recovery
+//!
+//! Every file ends in a one-line trailer recording the payload length and
+//! its FNV-1a 64 checksum.  Loads verify the trailer before parsing, so a
+//! truncated or bit-flipped file is detected even when the damage still
+//! parses as JSON.  A file that fails verification is **quarantined** —
+//! moved into a `quarantine/` subdirectory, never deleted and never
+//! crashed on — and the lookup degrades to a miss, so the daemon simply
+//! recomputes and rewrites a valid file.  [`ResultStore::open`] runs the
+//! same scan over the whole directory at startup (and sweeps temp files
+//! left by a crashed writer), so a daemon restarted over a damaged store
+//! starts clean.  Trailer-less files written by older builds are accepted
+//! as long as they parse.
+//!
 //! Files are written atomically (temp file + rename); a store directory can
 //! be shared by consecutive daemon processes but not by concurrent ones.
 //! [`ResultStore::in_memory`] provides the same interface without touching
-//! disk, for tests and benches.
+//! disk, for tests and benches.  For chaos testing, a [`FaultPlan`] seeded
+//! via [`ResultStore::with_fault_plan`] can force read errors and
+//! truncated, delayed or failed writes at the store seams.
 
+use crate::fault::{FaultPlan, FaultSite};
 use micrograd_codegen::GeneratorInput;
 use micrograd_core::{FrameworkConfig, FrameworkOutput, Metrics};
 use parking_lot::Mutex;
@@ -60,6 +77,10 @@ pub struct StoredCache {
 #[derive(Debug)]
 pub struct ResultStore {
     dir: Option<PathBuf>,
+    fault: FaultPlan,
+    /// Files moved to `quarantine/` by the startup scan or by a failed
+    /// load, over this store's lifetime.
+    quarantined: AtomicU64,
     // In-memory mode keeps everything here; disk mode keeps nothing
     // resident (reports are read on demand) and only serializes writers.
     reports: Mutex<HashMap<u64, StoredReport>>,
@@ -85,20 +106,95 @@ fn key_hash(key: &str) -> u64 {
     h.finish()
 }
 
+/// FNV-1a 64, the store's trailer checksum.  Hand-rolled: tiny, stable
+/// across builds, and needs no dependency.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const TRAILER_TAG: &str = "#micrograd-store v1";
+
+/// Appends the integrity trailer to a serialized payload.
+fn seal(mut payload: String) -> String {
+    let trailer = format!(
+        "\n{TRAILER_TAG} len={} fnv={:016x}\n",
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    );
+    payload.push_str(&trailer);
+    payload
+}
+
+/// Splits off and verifies the trailer, returning the payload.
+///
+/// Trailer-less text (a file from a build predating trailers) is returned
+/// whole; the subsequent JSON parse is then the only integrity check.
+fn unseal(text: &str) -> Result<&str, String> {
+    let Some(at) = text.rfind(&format!("\n{TRAILER_TAG} ")) else {
+        return Ok(text);
+    };
+    let payload = &text[..at];
+    let trailer = text[at + 1..].trim_end();
+    let mut len: Option<usize> = None;
+    let mut fnv: Option<u64> = None;
+    for field in trailer.split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            len = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("fnv=") {
+            fnv = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    let (Some(len), Some(fnv)) = (len, fnv) else {
+        return Err("unparseable integrity trailer".into());
+    };
+    if payload.len() != len {
+        return Err(format!(
+            "length mismatch: trailer says {len} bytes, payload has {}",
+            payload.len()
+        ));
+    }
+    let actual = fnv1a(payload.as_bytes());
+    if actual != fnv {
+        return Err(format!(
+            "checksum mismatch: trailer says {fnv:016x}, payload hashes to {actual:016x}"
+        ));
+    }
+    Ok(payload)
+}
+
+/// Verifies the trailer and parses the payload.
+fn parse_sealed<T: Deserialize>(text: &str) -> Result<T, String> {
+    let payload = unseal(text)?;
+    serde_json::from_str(payload).map_err(|e| format!("invalid document: {e}"))
+}
+
 impl ResultStore {
-    /// Opens (creating if needed) a store directory.
+    /// Opens (creating if needed) a store directory and scans it for
+    /// damage: files whose trailer or JSON does not verify are moved into
+    /// `quarantine/` and temp files left by a crashed writer are removed,
+    /// so lookups against the opened store only ever see intact files.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the directory cannot be created.
+    /// Returns the I/O error if the directory cannot be created or
+    /// scanned.  A damaged *file* is never an error — it is quarantined.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(ResultStore {
+        let store = ResultStore {
             dir: Some(dir),
+            fault: FaultPlan::none(),
+            quarantined: AtomicU64::new(0),
             reports: Mutex::new(HashMap::new()),
             caches: Mutex::new(HashMap::new()),
-        })
+        };
+        store.recover()?;
+        Ok(store)
     }
 
     /// A store that never touches disk (nothing survives the process).
@@ -106,15 +202,44 @@ impl ResultStore {
     pub fn in_memory() -> Self {
         ResultStore {
             dir: None,
+            fault: FaultPlan::none(),
+            quarantined: AtomicU64::new(0),
             reports: Mutex::new(HashMap::new()),
             caches: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Arms this store with a fault plan (chaos testing).  The startup
+    /// recovery scan has already run by this point and is never faulted.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// The fault plan this store (and the daemon built on it) runs under.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// The backing directory, if this store is persistent.
     #[must_use]
     pub fn location(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+
+    /// The quarantine directory, if this store is persistent.
+    #[must_use]
+    pub fn quarantine_dir(&self) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join("quarantine"))
+    }
+
+    /// Files quarantined over this store's lifetime (startup scan plus
+    /// failed loads).
+    #[must_use]
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     fn report_path(&self, fingerprint: u64) -> Option<PathBuf> {
@@ -127,6 +252,66 @@ impl ResultStore {
         self.dir
             .as_ref()
             .map(|d| d.join(format!("cache-{:016x}.json", key_hash(key))))
+    }
+
+    /// Startup scan: verify every `report-*`/`cache-*` file, quarantine
+    /// what fails, sweep stale temp files.
+    fn recover(&self) -> io::Result<()> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let path = entry.path();
+            if name.contains(".tmp.") {
+                // An interrupted atomic write; the target was never
+                // renamed, so the temp holds nothing worth keeping.
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            let verdict = if name.starts_with("report-") && name.ends_with(".json") {
+                std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| parse_sealed::<StoredReport>(&text).map(|_| ()))
+            } else if name.starts_with("cache-") && name.ends_with(".json") {
+                std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| parse_sealed::<StoredCache>(&text).map(|_| ()))
+            } else {
+                continue;
+            };
+            if let Err(reason) = verdict {
+                self.quarantine_file(&path, &reason);
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves a damaged file aside instead of deleting it or crashing on
+    /// it; subsequent lookups miss and the daemon recomputes.
+    fn quarantine_file(&self, path: &Path, reason: &str) {
+        let Some(quarantine) = self.quarantine_dir() else {
+            return;
+        };
+        let Some(name) = path.file_name() else {
+            return;
+        };
+        if std::fs::create_dir_all(&quarantine).is_err() {
+            return;
+        }
+        match std::fs::rename(path, quarantine.join(name)) {
+            Ok(()) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "store: quarantined {} ({reason})",
+                    Path::new(name).display()
+                );
+            }
+            Err(e) => eprintln!("store: failed to quarantine {}: {e}", path.display()),
+        }
     }
 
     /// Persists a completed report under its configuration fingerprint.
@@ -148,7 +333,7 @@ impl ResultStore {
             output: output.clone(),
         };
         match self.report_path(fingerprint) {
-            Some(path) => write_atomically(&path, &stored),
+            Some(path) => self.write_atomically(&path, &stored),
             None => {
                 self.reports.lock().insert(fingerprint, stored);
                 Ok(())
@@ -158,17 +343,26 @@ impl ResultStore {
 
     /// Looks up the report previously saved for an identical configuration.
     ///
-    /// Returns `None` when nothing is stored, when the stored file is
-    /// unreadable or malformed, or when the stored configuration differs
-    /// (a fingerprint collision or a tampered file) — the caller then
+    /// Returns `None` when nothing is stored, when the stored file fails
+    /// integrity verification (it is then quarantined), or when the stored
+    /// configuration differs (a fingerprint collision) — the caller then
     /// simply re-executes.
     #[must_use]
     pub fn load_report(&self, config: &FrameworkConfig) -> Option<FrameworkOutput> {
         let fingerprint = config.fingerprint();
         let stored = match self.report_path(fingerprint) {
             Some(path) => {
-                let text = std::fs::read_to_string(path).ok()?;
-                serde_json::from_str::<StoredReport>(&text).ok()?
+                if self.fault.should_inject(FaultSite::StoreRead) {
+                    return None;
+                }
+                let text = std::fs::read_to_string(&path).ok()?;
+                match parse_sealed::<StoredReport>(&text) {
+                    Ok(stored) => stored,
+                    Err(reason) => {
+                        self.quarantine_file(&path, &reason);
+                        return None;
+                    }
+                }
             }
             None => self.reports.lock().get(&fingerprint)?.clone(),
         };
@@ -213,7 +407,7 @@ impl ResultStore {
             entries,
         };
         match self.cache_path(key) {
-            Some(path) => write_atomically(&path, &stored),
+            Some(path) => self.write_atomically(&path, &stored),
             None => {
                 self.caches.lock().insert(key.to_owned(), stored);
                 Ok(())
@@ -222,18 +416,25 @@ impl ResultStore {
     }
 
     /// Loads the memo-cache dump for a platform key (empty when absent,
-    /// unreadable, or recorded under a different key).
+    /// recorded under a different key, or damaged — a damaged dump is
+    /// quarantined).
     #[must_use]
     pub fn load_cache(&self, key: &str) -> Vec<(GeneratorInput, Metrics)> {
         let stored = match self.cache_path(key) {
             Some(path) => {
-                let Ok(text) = std::fs::read_to_string(path) else {
+                if self.fault.should_inject(FaultSite::StoreRead) {
+                    return Vec::new();
+                }
+                let Ok(text) = std::fs::read_to_string(&path) else {
                     return Vec::new();
                 };
-                let Ok(stored) = serde_json::from_str::<StoredCache>(&text) else {
-                    return Vec::new();
-                };
-                stored
+                match parse_sealed::<StoredCache>(&text) {
+                    Ok(stored) => stored,
+                    Err(reason) => {
+                        self.quarantine_file(&path, &reason);
+                        return Vec::new();
+                    }
+                }
             }
             None => match self.caches.lock().get(key) {
                 Some(stored) => stored.clone(),
@@ -246,23 +447,39 @@ impl ResultStore {
             Vec::new()
         }
     }
-}
 
-fn write_atomically<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
-    // Unique temp name per write: two workers persisting the same target
-    // (e.g. the cache dump of a shared platform key) must not interleave
-    // on one temp file — each rename then lands a complete document, and
-    // concurrent saves degrade to last-writer-wins instead of corruption.
-    static NEXT: AtomicU64 = AtomicU64::new(0);
-    let text = serde_json::to_string_pretty(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let tmp = path.with_extension(format!(
-        "tmp.{}.{}",
-        std::process::id(),
-        NEXT.fetch_add(1, Ordering::Relaxed)
-    ));
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path)
+    fn write_atomically<T: Serialize>(&self, path: &Path, value: &T) -> io::Result<()> {
+        // Unique temp name per write: two workers persisting the same target
+        // (e.g. the cache dump of a shared platform key) must not interleave
+        // on one temp file — each rename then lands a complete document, and
+        // concurrent saves degrade to last-writer-wins instead of corruption.
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        if let Some(delay) = self.fault.write_delay() {
+            std::thread::sleep(delay);
+        }
+        if self.fault.should_inject(FaultSite::StoreWrite) {
+            return Err(self.fault.io_error(FaultSite::StoreWrite));
+        }
+        let payload = serde_json::to_string_pretty(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let text = seal(payload);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        if self.fault.should_inject(FaultSite::StoreTruncate) {
+            // Model a crash mid-write: commit a prefix of the document,
+            // then report the failure.  The next open (or load) must
+            // quarantine what landed.
+            let cut = text.len() / 2;
+            std::fs::write(&tmp, &text.as_bytes()[..cut])?;
+            std::fs::rename(&tmp, path)?;
+            return Err(self.fault.io_error(FaultSite::StoreTruncate));
+        }
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +534,7 @@ mod tests {
         // A second store over the same directory sees the report — the
         // durability property the service restarts rely on.
         let reopened = ResultStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.quarantined_count(), 0, "intact files stay put");
         assert_eq!(reopened.load_report(&config), Some(output));
     }
 
@@ -366,7 +584,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_report_files_degrade_to_a_miss() {
+    fn corrupt_report_files_degrade_to_a_miss_and_are_quarantined() {
         let scratch = ScratchDir::new("corrupt");
         let store = ResultStore::open(scratch.path()).unwrap();
         let (config, output) = run_tiny();
@@ -374,5 +592,148 @@ mod tests {
         let path = store.report_path(config.fingerprint()).unwrap();
         std::fs::write(&path, "{ not json").unwrap();
         assert!(store.load_report(&config).is_none());
+        assert_eq!(store.quarantined_count(), 1);
+        assert!(!path.exists(), "damaged file was moved aside");
+        let quarantined = store
+            .quarantine_dir()
+            .unwrap()
+            .join(path.file_name().unwrap());
+        assert!(quarantined.exists(), "damaged file is preserved");
+    }
+
+    #[test]
+    fn trailer_catches_a_single_bit_flip() {
+        let scratch = ScratchDir::new("bitflip");
+        let store = ResultStore::open(scratch.path()).unwrap();
+        let (config, output) = run_tiny();
+        store.save_report(&config, &output).unwrap();
+        let path = store.report_path(config.fingerprint()).unwrap();
+
+        // Flip one bit inside a numeric literal of the payload: the result
+        // is still valid JSON, so only the checksum can catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes
+            .iter()
+            .position(|b| b.is_ascii_digit())
+            .expect("a digit to damage");
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load_report(&config).is_none());
+        assert_eq!(store.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn startup_scan_quarantines_truncated_files_and_sweeps_temps() {
+        let scratch = ScratchDir::new("recover");
+        let (config, output) = run_tiny();
+        let key = platform_key(&config);
+        let (report_path, cache_path, temp_path);
+        {
+            let store = ResultStore::open(scratch.path()).unwrap();
+            store.save_report(&config, &output).unwrap();
+            store.save_cache(&key, Vec::new()).unwrap();
+            report_path = store.report_path(config.fingerprint()).unwrap();
+            cache_path = store.cache_path(&key).unwrap();
+            temp_path = report_path.with_extension("tmp.99.0");
+        }
+        // Truncate both committed files and plant a stale temp file, as a
+        // crash mid-write would.
+        for path in [&report_path, &cache_path] {
+            let text = std::fs::read_to_string(path).unwrap();
+            std::fs::write(path, &text[..text.len() / 2]).unwrap();
+        }
+        std::fs::write(&temp_path, "partial").unwrap();
+
+        let store = ResultStore::open(scratch.path()).unwrap();
+        assert_eq!(store.quarantined_count(), 2);
+        assert!(!report_path.exists());
+        assert!(!cache_path.exists());
+        assert!(!temp_path.exists(), "stale temp files are swept");
+        assert!(store.load_report(&config).is_none(), "degrades to a miss");
+        assert!(store.load_cache(&key).is_empty());
+
+        // The daemon's recovery story: recompute and rewrite a valid file.
+        store.save_report(&config, &output).unwrap();
+        assert_eq!(store.load_report(&config), Some(output));
+    }
+
+    #[test]
+    fn legacy_trailerless_files_still_load() {
+        let scratch = ScratchDir::new("legacy");
+        let store = ResultStore::open(scratch.path()).unwrap();
+        let (config, output) = run_tiny();
+        let stored = StoredReport {
+            proto: crate::PROTO_VERSION,
+            fingerprint: config.fingerprint(),
+            config: config.clone(),
+            output: output.clone(),
+        };
+        // Write the pre-trailer format directly.
+        std::fs::write(
+            store.report_path(config.fingerprint()).unwrap(),
+            serde_json::to_string_pretty(&stored).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(store.load_report(&config), Some(output));
+        let reopened = ResultStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn injected_write_faults_surface_and_exhaust() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let scratch = ScratchDir::new("fault-write");
+        let (config, output) = run_tiny();
+        let plan = FaultPlan::new(11).with_fault(FaultSite::StoreWrite, 1.0, 1);
+        let store = ResultStore::open(scratch.path())
+            .unwrap()
+            .with_fault_plan(plan.clone());
+
+        let err = store.save_report(&config, &output).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert!(store.load_report(&config).is_none(), "nothing landed");
+
+        // The budget is spent; the retry succeeds.
+        store.save_report(&config, &output).unwrap();
+        assert_eq!(store.load_report(&config), Some(output));
+        assert_eq!(plan.injections(FaultSite::StoreWrite), 1);
+    }
+
+    #[test]
+    fn injected_truncation_commits_damage_that_recovery_catches() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let scratch = ScratchDir::new("fault-trunc");
+        let (config, output) = run_tiny();
+        let store = ResultStore::open(scratch.path())
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(3).with_fault(FaultSite::StoreTruncate, 1.0, 1));
+
+        let err = store.save_report(&config, &output).unwrap_err();
+        assert!(err.to_string().contains("store-truncate"));
+        assert_eq!(store.report_count(), 1, "a damaged file did land");
+
+        // The load detects the damage, quarantines, and misses.
+        assert!(store.load_report(&config).is_none());
+        assert_eq!(store.quarantined_count(), 1);
+
+        // Recompute-and-rewrite heals the store.
+        store.save_report(&config, &output).unwrap();
+        assert_eq!(store.load_report(&config), Some(output));
+    }
+
+    #[test]
+    fn injected_read_faults_degrade_to_a_miss_without_quarantine() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let scratch = ScratchDir::new("fault-read");
+        let (config, output) = run_tiny();
+        let store = ResultStore::open(scratch.path())
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(5).with_fault(FaultSite::StoreRead, 1.0, 1));
+        store.save_report(&config, &output).unwrap();
+
+        assert!(store.load_report(&config).is_none(), "read fault misses");
+        assert_eq!(store.quarantined_count(), 0, "the file is fine");
+        assert_eq!(store.load_report(&config), Some(output), "then recovers");
     }
 }

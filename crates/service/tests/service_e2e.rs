@@ -92,6 +92,7 @@ fn start_server(store_dir: Option<PathBuf>) -> Server {
         workers: 2,
         queue_capacity: 32,
         store_dir,
+        ..ServerConfig::default()
     })
     .expect("server binds an ephemeral loopback port")
 }

@@ -1,0 +1,185 @@
+//! Cooperative cancellation for long simulator runs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the code
+//! that owns a run (a service scheduler, a signal handler, a test harness)
+//! and the simulator executing it.  The simulator polls the token at a
+//! fixed instruction cadence ([`Simulator::run_source_cancellable`]) and
+//! unwinds with [`Cancelled`] once it observes the flag — no thread is ever
+//! killed, no state is corrupted, and a reused [`Simulator`] stays valid
+//! for the next run.
+//!
+//! Tokens optionally carry a **deadline**: once the deadline passes, the
+//! first poll that notices latches the cancelled flag, so every subsequent
+//! poll is a single relaxed atomic load rather than a clock read.
+//!
+//! [`Simulator`]: crate::Simulator
+//! [`Simulator::run_source_cancellable`]: crate::Simulator::run_source_cancellable
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The run was cancelled (explicitly or by deadline) before completion.
+///
+/// Carried as the error of [`Simulator::run_source_cancellable`]; the
+/// partial statistics of a cancelled run are discarded — a cancelled run
+/// never produces a report.
+///
+/// [`Simulator::run_source_cancellable`]: crate::Simulator::run_source_cancellable
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Fixed at construction; once observed expired, `cancelled` latches.
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cooperative-cancellation handle.
+///
+/// All clones share one flag: cancelling any clone cancels them all.  The
+/// default token ([`CancelToken::never`]) has no deadline and is never
+/// cancelled unless [`cancel`](CancelToken::cancel) is called.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline that only cancels explicitly.
+    #[must_use]
+    pub fn never() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that auto-cancels once `budget` has elapsed from now.
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + budget)
+    }
+
+    /// A token that auto-cancels once the absolute `deadline` passes.
+    #[must_use]
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation.  Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token is cancelled (explicitly, or because its deadline
+    /// has passed).
+    ///
+    /// Deadline expiry latches: the first call that observes the deadline
+    /// in the past sets the shared flag, so subsequent calls cost one
+    /// relaxed atomic load.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.inner.cancelled.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The absolute deadline, if this token carries one.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Returns `Err(Cancelled)` when the token is cancelled.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] if [`is_cancelled`](Self::is_cancelled) is true.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_stays_live_until_cancelled() {
+        let token = CancelToken::never();
+        assert!(!token.is_cancelled());
+        assert!(token.check().is_ok());
+        assert!(token.deadline().is_none());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::never();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_latches() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.deadline().is_some());
+        assert!(token.is_cancelled(), "zero budget expires immediately");
+        // Latched: still cancelled on every subsequent poll.
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_is_live() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled(), "explicit cancel overrides deadline");
+    }
+
+    #[test]
+    fn cancelled_formats_and_is_error() {
+        let err = Cancelled;
+        assert!(err.to_string().contains("cancelled"));
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Cancelled>();
+    }
+}

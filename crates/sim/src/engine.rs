@@ -1,5 +1,6 @@
 //! The cycle-approximate out-of-order core model.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::CoreConfig;
 use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{ActivityCounts, SimStats};
@@ -241,6 +242,15 @@ impl Simulator {
         }
     }
 
+    /// Retired-instruction cadence of cancellation polls in
+    /// [`run_source_cancellable`](Simulator::run_source_cancellable).
+    ///
+    /// Must be a power of two: the hot loop tests `n & (INTERVAL - 1) == 0`
+    /// instead of a division.  4096 instructions bound the cancellation
+    /// latency to microseconds while keeping the poll cost (one relaxed
+    /// atomic load) far below measurement noise.
+    pub const CANCEL_CHECK_INTERVAL: usize = 4096;
+
     /// The core configuration.
     #[must_use]
     pub fn config(&self) -> &CoreConfig {
@@ -284,6 +294,33 @@ impl Simulator {
     /// table).
     #[must_use]
     pub fn run_source<S: TraceSource + ?Sized>(&mut self, source: &mut S) -> SimStats {
+        match self.run_source_cancellable(source, &CancelToken::never()) {
+            Ok(stats) => stats,
+            Err(Cancelled) => unreachable!("a never-cancelled token cannot cancel a run"),
+        }
+    }
+
+    /// [`run_source`](Simulator::run_source) with cooperative cancellation.
+    ///
+    /// The token is polled every [`CANCEL_CHECK_INTERVAL`] retired
+    /// instructions (one relaxed atomic load per poll, so the overhead on
+    /// the hot loop is unmeasurable — see `docs/performance.md`).  On
+    /// cancellation the partial run is abandoned and [`Cancelled`] is
+    /// returned; the simulator remains valid and reusable — the next run
+    /// resets all state as usual.
+    ///
+    /// [`CANCEL_CHECK_INTERVAL`]: Simulator::CANCEL_CHECK_INTERVAL
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when `cancel` is observed cancelled (explicitly or by
+    /// deadline) at a poll boundary.
+    pub fn run_source_cancellable<S: TraceSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        cancel: &CancelToken,
+    ) -> Result<SimStats, Cancelled> {
+        cancel.check()?;
         let mut stats = SimStats {
             frequency_hz: self.config.frequency_hz,
             ..SimStats::default()
@@ -321,6 +358,9 @@ impl Simulator {
 
         while let Some(dynamic) = source.next_dynamic() {
             n += 1;
+            if n & (Self::CANCEL_CHECK_INTERVAL - 1) == 0 {
+                cancel.check()?;
+            }
             let instr = self.decoded[dynamic.static_index as usize];
 
             // ---------------- fetch ----------------
@@ -449,7 +489,7 @@ impl Simulator {
         }
 
         if n == 0 {
-            return stats;
+            return Ok(stats);
         }
         stats.instructions = n as u64;
         stats.cycles = max_completion.max(fetch_cycle + 1);
@@ -461,7 +501,7 @@ impl Simulator {
                 stats.class_counts.insert(*class, count);
             }
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -513,6 +553,75 @@ mod tests {
             let streamed = sim.run_source(&mut expander.stream(&tc));
             assert_eq!(materialized, streamed);
         }
+    }
+
+    #[test]
+    fn cancellable_run_with_never_token_matches_plain_run() {
+        let trace = trace_for(|_| {});
+        let mut sim = Simulator::new(CoreConfig::small());
+        let plain = sim.run(&trace);
+        let cancellable = sim
+            .run_source_cancellable(&mut trace.source(), &CancelToken::never())
+            .unwrap();
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_the_loop() {
+        let trace = trace_for(|_| {});
+        let token = CancelToken::never();
+        token.cancel();
+        let mut sim = Simulator::new(CoreConfig::small());
+        assert_eq!(
+            sim.run_source_cancellable(&mut trace.source(), &token),
+            Err(Cancelled)
+        );
+    }
+
+    #[test]
+    fn mid_run_cancellation_aborts_and_leaves_the_simulator_reusable() {
+        /// Cancels the shared token after yielding `after` instructions, so
+        /// the in-loop poll (every `CANCEL_CHECK_INTERVAL` instructions) is
+        /// what aborts the run — not the entry check.
+        struct CancelAfter<'a, S> {
+            inner: S,
+            token: &'a CancelToken,
+            after: usize,
+            seen: usize,
+        }
+        impl<S: TraceSource> TraceSource for CancelAfter<'_, S> {
+            fn statics(&self) -> &[Instruction] {
+                self.inner.statics()
+            }
+            fn next_dynamic(&mut self) -> Option<micrograd_codegen::DynamicInstr> {
+                self.seen += 1;
+                if self.seen == self.after {
+                    self.token.cancel();
+                }
+                self.inner.next_dynamic()
+            }
+            fn remaining(&self) -> Option<usize> {
+                self.inner.remaining()
+            }
+        }
+
+        let trace = trace_for(|_| {});
+        assert!(trace.dynamics().len() > Simulator::CANCEL_CHECK_INTERVAL);
+        let token = CancelToken::never();
+        let mut sim = Simulator::new(CoreConfig::small());
+        let expected = sim.run(&trace);
+        let result = sim.run_source_cancellable(
+            &mut CancelAfter {
+                inner: trace.source(),
+                token: &token,
+                after: 10,
+                seen: 0,
+            },
+            &token,
+        );
+        assert_eq!(result, Err(Cancelled));
+        // The abandoned run must not poison the next one.
+        assert_eq!(sim.run(&trace), expected);
     }
 
     #[test]

@@ -31,6 +31,13 @@
 //! `docs/performance.md` for the hot-loop design and the tracked
 //! `BENCH_simulator.json` perf trajectory.
 //!
+//! Long runs can be abandoned cooperatively:
+//! [`Simulator::run_source_cancellable`] polls a shared [`CancelToken`]
+//! every [`Simulator::CANCEL_CHECK_INTERVAL`] retired instructions and
+//! returns [`Cancelled`] instead of statistics, leaving the simulator valid
+//! for reuse.  Tokens optionally carry deadlines, which is how the service
+//! layer implements per-job `deadline_ms` budgets.
+//!
 //! # Example
 //!
 //! ```
@@ -52,6 +59,7 @@
 
 mod branch;
 mod cache;
+mod cancel;
 mod config;
 mod engine;
 mod hierarchy;
@@ -60,6 +68,7 @@ mod stats;
 
 pub use branch::{BranchStats, GsharePredictor};
 pub use cache::{Cache, CacheStats};
+pub use cancel::{CancelToken, Cancelled};
 pub use config::{BranchPredictorConfig, CacheConfig, CoreConfig, PrefetchConfig};
 pub use engine::Simulator;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};
