@@ -1,0 +1,155 @@
+//! Criterion bench: service-layer concurrency over real sockets.
+//!
+//! The event-loop server's claim is that idle connections cost no
+//! threads and no wakeups.  This bench pins the price that remains:
+//! warm submit→fetch latency through one client against a daemon with
+//! no spectators and again with 512 idle connections attached (poll(2)
+//! scans the fd set linearly, so spectators add a bounded per-wakeup
+//! scan — not threads), and aggregate jobs/sec with 8 concurrent
+//! clients hammering warm submissions.  All jobs are durable-store
+//! hits, so the numbers measure the wire + reactor + scheduler path,
+//! not tuning runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use micrograd_core::{
+    CoreKind, FrameworkConfig, KnobSpaceKind, MetricKind, StressGoal, TunerKind, UseCaseConfig,
+};
+use micrograd_service::{Client, ResultStore, Scheduler, SchedulerConfig, Server, ServerConfig};
+use std::net::TcpStream;
+use std::path::Path;
+
+fn tiny_config(seed: u64) -> FrameworkConfig {
+    FrameworkConfig {
+        core: CoreKind::Small,
+        tuner: TunerKind::GradientDescent,
+        knob_space: KnobSpaceKind::InstructionFractions,
+        use_case: UseCaseConfig::Stress {
+            metric: MetricKind::Ipc,
+            goal: StressGoal::Minimize,
+        },
+        max_epochs: 1,
+        dynamic_len: 2_000,
+        reference_len: 2_000,
+        seed,
+        ..FrameworkConfig::default()
+    }
+}
+
+fn job_batch() -> Vec<FrameworkConfig> {
+    (0..4).map(tiny_config).collect()
+}
+
+/// Executes the batch once into `dir`, so every benched submission is a
+/// durable-store hit.
+fn warm_store(dir: &Path, jobs: &[FrameworkConfig]) {
+    let _ = std::fs::remove_dir_all(dir);
+    let store = ResultStore::open(dir).expect("scratch store opens");
+    let scheduler = Scheduler::new(
+        SchedulerConfig {
+            workers: 0,
+            queue_capacity: jobs.len(),
+            ..SchedulerConfig::default()
+        },
+        store,
+    );
+    for config in jobs {
+        scheduler
+            .submit(config.clone(), 0)
+            .expect("queue has capacity");
+    }
+    while scheduler.step() {}
+}
+
+fn start_server(store_dir: &Path) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_capacity: 64,
+        store_dir: Some(store_dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// One warm submit→fetch round-trip per job in the batch.
+fn pump(client: &mut Client, jobs: &[FrameworkConfig]) -> usize {
+    let mut fetched = 0;
+    for config in jobs {
+        let receipt = client.submit(config, 0).expect("submit accepted");
+        client.fetch(receipt.job).expect("warm job fetches");
+        fetched += 1;
+    }
+    fetched
+}
+
+fn service_concurrency(c: &mut Criterion) {
+    let jobs = job_batch();
+    let store_dir =
+        std::env::temp_dir().join(format!("micrograd-bench-conc-{}", std::process::id()));
+    warm_store(&store_dir, &jobs);
+
+    let mut group = c.benchmark_group("service_concurrency");
+    group.sample_size(10);
+
+    // One active client, an otherwise empty daemon: the latency floor.
+    {
+        let server = start_server(&store_dir);
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        group.throughput(Throughput::Elements(jobs.len() as u64));
+        group.bench_function("submit_fetch_warm", |b| {
+            b.iter(|| pump(&mut client, &jobs));
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // The same active client with 512 idle connections parked on the
+    // daemon: spectators may add poll(2)'s linear fd scan, nothing more.
+    {
+        let server = start_server(&store_dir);
+        let idle: Vec<TcpStream> = (0..512)
+            .map(|_| TcpStream::connect(server.local_addr()).expect("idle connect"))
+            .collect();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        group.throughput(Throughput::Elements(jobs.len() as u64));
+        group.bench_function("submit_fetch_warm_512_idle", |b| {
+            b.iter(|| pump(&mut client, &jobs));
+        });
+        drop(client);
+        drop(idle);
+        server.shutdown();
+    }
+
+    // Eight concurrent clients pipelining warm submissions: aggregate
+    // jobs/sec through one daemon.
+    {
+        let server = start_server(&store_dir);
+        let addr = server.local_addr();
+        let mut clients: Vec<Client> = (0..8)
+            .map(|_| Client::connect(addr).expect("connect"))
+            .collect();
+        group.throughput(Throughput::Elements((jobs.len() * clients.len()) as u64));
+        group.bench_function("warm_jobs_8_clients", |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = clients
+                        .iter_mut()
+                        .map(|client| scope.spawn(|| pump(client, &jobs)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("client thread"))
+                        .sum::<usize>()
+                })
+            });
+        });
+        drop(clients);
+        server.shutdown();
+    }
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+criterion_group!(benches, service_concurrency);
+criterion_main!(benches);

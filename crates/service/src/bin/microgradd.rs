@@ -8,20 +8,23 @@
 //! microgradd [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--store DIR]
 //! ```
 
-use micrograd_service::{Server, ServerConfig};
+use micrograd_service::{Server, ServerConfig, WakePipe};
 use std::process::ExitCode;
 
 /// Minimal async-signal-safe SIGINT/SIGTERM handling (no `signal_hook` in
-/// the offline build).  The raw handler only stores into a static atomic;
-/// a watcher thread polls the flag and routes the request through
-/// [`Server::request_shutdown`], so Ctrl-C and `kill <pid>` drain exactly
-/// like a client-requested shutdown: in-flight jobs finish and the store
-/// stays consistent.
+/// the offline build).  The raw handler performs one nonblocking
+/// `write(2)` to a self-pipe ([`WakePipe::notify_raw`]); a watcher thread
+/// *blocks* on that pipe — no polling loop, no periodic wakeups — and
+/// routes the request through [`Server::request_shutdown`], so Ctrl-C and
+/// `kill <pid>` drain exactly like a client-requested shutdown: in-flight
+/// jobs finish and the store stays consistent.
 #[cfg(unix)]
 mod signals {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use micrograd_service::WakePipe;
+    use std::sync::atomic::{AtomicI32, Ordering};
 
-    static REQUESTED: AtomicBool = AtomicBool::new(false);
+    /// Write end of the signal self-pipe; -1 until installed.
+    static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
     type SigHandler = extern "C" fn(i32);
     unsafe extern "C" {
@@ -29,30 +32,27 @@ mod signals {
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        // Async-signal-safe: a single relaxed store, nothing else.
-        REQUESTED.store(true, Ordering::Relaxed);
+        // Async-signal-safe: one atomic load and one write(2) on a
+        // nonblocking fd, nothing else.
+        WakePipe::notify_raw(WAKE_FD.load(Ordering::Relaxed));
     }
 
-    /// Install handlers for SIGINT (2) and SIGTERM (15).
-    pub fn install() {
+    /// Install handlers for SIGINT (2) and SIGTERM (15), wired to poke
+    /// `pipe`.
+    pub fn install(pipe: &WakePipe) {
+        WAKE_FD.store(pipe.write_end(), Ordering::Relaxed);
         unsafe {
             signal(2, on_signal);
             signal(15, on_signal);
         }
     }
-
-    pub fn requested() -> bool {
-        REQUESTED.load(Ordering::Relaxed)
-    }
 }
 
 #[cfg(not(unix))]
 mod signals {
-    pub fn install() {}
+    use micrograd_service::WakePipe;
 
-    pub fn requested() -> bool {
-        false
-    }
+    pub fn install(_pipe: &WakePipe) {}
 }
 
 const USAGE: &str = "\
@@ -144,23 +144,30 @@ fn main() -> ExitCode {
     println!("microgradd listening on {}", server.local_addr());
     println!("microgradd store: {store_desc}");
 
-    signals::install();
-    let done = std::sync::atomic::AtomicBool::new(false);
+    // The signal self-pipe: the raw handler pokes it, the watcher thread
+    // blocks on it.  An idle daemon sleeps in poll(2) twice over (reactor
+    // and watcher) and wakes for events only — never on a timer.
+    let signal_pipe = match WakePipe::new() {
+        Ok(pipe) => pipe,
+        Err(e) => {
+            eprintln!("microgradd: failed to set up signal pipe: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signals::install(&signal_pipe);
     std::thread::scope(|scope| {
         scope.spawn(|| {
-            // Watch for SIGINT/SIGTERM and translate them into the same
-            // graceful drain a client `shutdown` request triggers.
-            while !done.load(std::sync::atomic::Ordering::Relaxed) {
-                if signals::requested() {
-                    eprintln!("microgradd: caught termination signal, draining");
-                    server.request_shutdown();
-                    break;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(100));
+            // Blocks until a termination signal pokes the pipe (or the
+            // main thread does, on a client-requested shutdown, to let
+            // this thread exit and the scope join).
+            signal_pipe.wait();
+            if !server.shutdown_requested() {
+                eprintln!("microgradd: caught termination signal, draining");
+                server.request_shutdown();
             }
         });
         server.wait_for_shutdown();
-        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        signal_pipe.notify();
     });
     println!("microgradd shutting down (finishing in-flight jobs)");
     let stats = server.scheduler().stats();

@@ -2,7 +2,10 @@
 //!
 //! One [`Client`] owns one TCP session; every method sends one request
 //! line and reads one response line.  [`Client::submit_and_wait`] is the
-//! convenience loop most callers want: submit, poll until terminal, fetch.
+//! convenience loop most callers want: submit, wait until terminal,
+//! fetch.  Waiting is push-based — a single `watch` request blocks on
+//! the socket until the server notifies completion — so a patient
+//! client costs the server zero wakeups.
 //!
 //! For unreliable networks and busy servers, [`Client::submit_with_retry`]
 //! adds reconnect-and-resubmit on dropped connections and honors the
@@ -161,15 +164,15 @@ pub struct Client {
 }
 
 impl Client {
-    /// The default interval between status polls in
-    /// [`Client::submit_and_wait`]; override with
-    /// [`Client::with_poll_interval`].
+    /// Historical default poll interval.  Waiting is now push-based
+    /// ([`Client::watch`]), so this only remains as the value
+    /// [`Client::poll_interval`] reports when never overridden.
     pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(50);
 
-    /// Upper bound on status polls one [`Client::wait`] performs: a long
-    /// timeout stretches the interval between polls instead of multiplying
-    /// wakeups, so a patient client does not busy-poll the server.
-    pub const MAX_WAIT_POLLS: u32 = 600;
+    /// Grace added to the socket read timeout on top of a watch budget,
+    /// covering request transit and server scheduling so the *server's*
+    /// deadline (not a racing socket timeout) resolves the wait.
+    const WATCH_READ_SLACK: Duration = Duration::from_secs(2);
 
     /// Connects to a daemon.
     ///
@@ -189,8 +192,8 @@ impl Client {
         })
     }
 
-    /// Sets the interval between status polls in
-    /// [`Client::submit_and_wait`].
+    /// Sets the reported poll interval.  Kept for API compatibility;
+    /// waiting no longer sleeps, so this changes nothing server-side.
     #[must_use]
     pub fn with_poll_interval(mut self, poll_interval: Duration) -> Self {
         self.poll_interval = poll_interval;
@@ -375,6 +378,32 @@ impl Client {
         }
     }
 
+    /// Blocks until a job reaches a terminal state — or, with a budget,
+    /// until `timeout_ms` elapses server-side, in which case the job's
+    /// *current* (possibly non-terminal) state is returned.  The server
+    /// defers the response and pushes it on completion, so this wait
+    /// costs no polling on either side of the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors (unknown jobs
+    /// are server errors).
+    pub fn watch(&mut self, job: u64, timeout_ms: Option<u64>) -> Result<JobState, ClientError> {
+        // A bounded watch also bounds the socket read (budget + slack),
+        // so a dead server surfaces as an I/O error instead of hanging
+        // the client forever; an unbounded watch blocks indefinitely by
+        // design.
+        let read_timeout =
+            timeout_ms.map(|ms| Duration::from_millis(ms).saturating_add(Self::WATCH_READ_SLACK));
+        self.reader.get_ref().set_read_timeout(read_timeout)?;
+        let result = self.roundtrip(RequestBody::Watch { job, timeout_ms });
+        let _ = self.reader.get_ref().set_read_timeout(None);
+        match result? {
+            ResponseBody::Status { state, .. } => Ok(state),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     /// Fetches the report of a completed job.
     ///
     /// # Errors
@@ -424,11 +453,12 @@ impl Client {
         }
     }
 
-    /// Polls a job until it reaches a terminal state, then returns it.
+    /// Waits for a job to reach a terminal state, then returns it.
     ///
-    /// The effective poll interval is `poll`, stretched so no single wait
-    /// issues more than [`Client::MAX_WAIT_POLLS`] status requests: an
-    /// hour-long timeout does not hammer the server sixty times a second.
+    /// Implemented as a blocking [`Client::watch`] bounded by `timeout`:
+    /// one request, one pushed response, no sleeping.  The `poll`
+    /// parameter is retained for API compatibility and ignored — there
+    /// is no poll loop left to pace.
     ///
     /// # Errors
     ///
@@ -440,28 +470,29 @@ impl Client {
         poll: Duration,
         timeout: Duration,
     ) -> Result<JobState, ClientError> {
-        let poll = Self::effective_poll(poll, timeout);
+        let _ = poll;
         let deadline = Instant::now() + timeout;
         loop {
-            let state = self.status(job)?;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let budget_ms = u64::try_from(remaining.as_millis())
+                .unwrap_or(u64::MAX)
+                .max(1);
+            let state = self.watch(job, Some(budget_ms))?;
             if state.is_terminal() {
                 return Ok(state);
             }
-            if Instant::now() >= deadline {
+            // The server answered with a live state: its watch budget
+            // (ours, minus transit) expired, so the deadline has
+            // effectively passed.  Loop only if the clock disagrees by
+            // more than a rounding error.
+            if deadline.saturating_duration_since(Instant::now()) < Duration::from_millis(2) {
                 return Err(ClientError::Timeout { job, state });
             }
-            std::thread::sleep(poll);
         }
     }
 
-    /// The interval [`Client::wait`] actually sleeps: the requested `poll`,
-    /// raised to `timeout / MAX_WAIT_POLLS` so total wakeups stay bounded.
-    fn effective_poll(poll: Duration, timeout: Duration) -> Duration {
-        poll.max(timeout / Self::MAX_WAIT_POLLS)
-    }
-
-    /// Submits a job, waits for it (polling every
-    /// [`poll_interval`](Self::poll_interval)), and fetches the report.
+    /// Submits a job, waits for it (push-based, see
+    /// [`Client::wait`]), and fetches the report.
     ///
     /// # Errors
     ///
@@ -516,20 +547,5 @@ mod tests {
             ..policy
         };
         assert_ne!(series, (0..6).map(|a| other.backoff(a)).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn wait_polls_are_capped_for_long_timeouts() {
-        let poll = Duration::from_millis(50);
-        // Short timeouts keep the requested interval.
-        assert_eq!(Client::effective_poll(poll, Duration::from_secs(10)), poll);
-        // A one-hour timeout stretches the interval so at most
-        // MAX_WAIT_POLLS status requests are issued.
-        let stretched = Client::effective_poll(poll, Duration::from_secs(3_600));
-        assert_eq!(stretched, Duration::from_secs(6));
-        assert!(
-            Duration::from_secs(3_600).as_millis() / stretched.as_millis()
-                <= u128::from(Client::MAX_WAIT_POLLS)
-        );
     }
 }

@@ -13,7 +13,8 @@
 //! | wire protocol | [`protocol`] | versioned JSON-lines [`Request`]/[`Response`] messages |
 //! | scheduler | [`scheduler`] | bounded priority queue, worker pool, fingerprint dedup |
 //! | durable store | [`store`] | content-addressed reports + memo-cache dumps |
-//! | server | [`server`] | TCP accept loop, per-connection threads, clean shutdown |
+//! | event loop | [`reactor`] | `poll(2)` readiness loop: one thread, every socket |
+//! | server | [`server`] | reactor + handler pool wiring, clean shutdown |
 //! | client | [`client`] | blocking session client (also behind `micrograd-cli`) |
 //! | fault injection | [`fault`] | seeded, replayable chaos plans for the seams above |
 //!
@@ -64,6 +65,7 @@
 pub mod client;
 pub mod fault;
 pub mod protocol;
+pub mod reactor;
 pub mod scheduler;
 pub mod server;
 pub mod store;
@@ -73,9 +75,12 @@ mod testutil;
 pub use client::{Client, ClientError, RetryPolicy, SubmitReceipt};
 pub use fault::{FaultPlan, FaultSite};
 pub use protocol::{
-    decode_request, decode_response, encode_line, JobState, JobSummary, Request, RequestBody,
-    Response, ResponseBody, ServerStats, WireError, PROTO_VERSION,
+    decode_request, decode_response, encode_line, JobState, JobSummary, LineDecoder, ReactorStats,
+    Request, RequestBody, Response, ResponseBody, ServerStats, WireError, PROTO_VERSION,
 };
-pub use scheduler::{FetchResult, Scheduler, SchedulerConfig, SubmitError, SubmitOutcome};
+pub use reactor::{ReactorCounters, WakePipe};
+pub use scheduler::{
+    FetchResult, Scheduler, SchedulerConfig, SubmitError, SubmitOutcome, TerminalHook,
+};
 pub use server::{Server, ServerConfig};
 pub use store::{platform_key, ResultStore, StoredCache, StoredReport};

@@ -71,6 +71,22 @@ pub enum RequestBody {
         /// The job id returned by submit.
         job: u64,
     },
+    /// Wait for a job to reach a terminal state *without polling*: the
+    /// server defers the response until the job completes (or the watch
+    /// times out), then pushes a `status` line.  This is the only request
+    /// whose response is not immediate — responses to requests pipelined
+    /// behind a pending watch are delivered after it resolves, preserving
+    /// the one-response-per-request, in-order invariant.
+    Watch {
+        /// The job id returned by submit.
+        job: u64,
+        /// Optional watch budget: when the job is still live after this
+        /// many milliseconds, the server answers with its *current*
+        /// (non-terminal) state instead of holding the response forever.
+        /// Absent means wait indefinitely.
+        #[serde(default)]
+        timeout_ms: Option<u64>,
+    },
     /// Fetch the report of a completed job.
     Fetch {
         /// The job id returned by submit.
@@ -250,6 +266,120 @@ pub struct ServerStats {
     /// Memo-cache counters summed over all executed jobs
     /// ([`SimPlatform::cache_stats`](micrograd_core::SimPlatform::cache_stats)).
     pub cache: CacheStats,
+    /// Event-loop counters (connection churn, wakeups, backpressure
+    /// high-water mark).  Zero when the stats come from a bare
+    /// [`Scheduler`](crate::Scheduler) with no server in front of it.
+    #[serde(default)]
+    pub reactor: ReactorStats,
+}
+
+/// Counters of the readiness event loop serving the daemon's sockets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReactorStats {
+    /// Connections currently registered with the event loop.
+    pub connections_open: u64,
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Connections closed since startup (EOF, error, backpressure cap or
+    /// shutdown).
+    pub connections_closed: u64,
+    /// Times the event loop woke from `poll(2)`.  With idle connections
+    /// this stays flat — readiness is interrupt-shaped, not timer-shaped.
+    pub loop_wakeups: u64,
+    /// High-water mark of any single connection's pending write-queue
+    /// bytes (the backpressure gauge).
+    pub write_queue_hwm: u64,
+    /// Deferred `watch` responses pushed on job completion.
+    pub notifications_pushed: u64,
+}
+
+/// Incremental JSON-lines decoder: feed raw socket bytes in, take complete
+/// lines out.
+///
+/// The server's event loop reads whatever the socket has — which may be a
+/// byte, half a multi-byte UTF-8 character, or twelve pipelined requests —
+/// and needs request framing to survive arbitrary fragmentation.  Bytes
+/// accumulate here untouched until a `\n` lands; only complete lines are
+/// ever decoded, so a slowly-arriving request cannot be corrupted by the
+/// boundary falling inside a character.
+///
+/// A line that exceeds `max_line` bytes before its newline arrives trips
+/// the overflow state: [`LineDecoder::push`] returns `false`, the caller
+/// should answer with an error and close, and no further input is
+/// buffered (bounding memory against a client that never terminates its
+/// line).
+#[derive(Debug)]
+pub struct LineDecoder {
+    buf: Vec<u8>,
+    /// Scan cursor: bytes before it are known newline-free.
+    scanned: usize,
+    max_line: usize,
+    overflowed: bool,
+}
+
+impl LineDecoder {
+    /// Creates a decoder bounding any single line to `max_line` bytes.
+    #[must_use]
+    pub fn new(max_line: usize) -> Self {
+        LineDecoder {
+            buf: Vec::new(),
+            scanned: 0,
+            max_line,
+            overflowed: false,
+        }
+    }
+
+    /// Appends raw socket bytes.  Returns `false` once the accumulated
+    /// partial line exceeds the decoder's bound — the line can never
+    /// complete within budget, and the input was not buffered.
+    pub fn push(&mut self, bytes: &[u8]) -> bool {
+        if self.overflowed {
+            return false;
+        }
+        self.buf.extend_from_slice(bytes);
+        // Overflow only when no newline can ever complete the line within
+        // budget; complete lines still buffered just await `next_line`.
+        if self.buf.len() > self.max_line && !self.buf[self.scanned..].contains(&b'\n') {
+            self.overflowed = true;
+            return false;
+        }
+        true
+    }
+
+    /// Takes the next complete line (without its newline), decoded
+    /// lossily: invalid UTF-8 becomes replacement characters and is
+    /// rejected later as malformed JSON rather than corrupting the
+    /// session.  Returns `None` until a full line is buffered.
+    pub fn next_line(&mut self) -> Option<String> {
+        let pos = self.buf[self.scanned..]
+            .iter()
+            .position(|b| *b == b'\n')
+            .map(|p| p + self.scanned);
+        match pos {
+            Some(pos) => {
+                let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+                self.buf.drain(..=pos);
+                self.scanned = 0;
+                Some(line)
+            }
+            None => {
+                self.scanned = self.buf.len();
+                None
+            }
+        }
+    }
+
+    /// Whether a line overflowed the decoder's bound.
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Bytes buffered for the (incomplete) current line.
+    #[must_use]
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 /// A malformed or incompatible wire message.
@@ -361,6 +491,14 @@ mod tests {
         let requests = vec![
             submit_request(),
             Request::new(RequestBody::Status { job: 3 }),
+            Request::new(RequestBody::Watch {
+                job: 3,
+                timeout_ms: Some(1_500),
+            }),
+            Request::new(RequestBody::Watch {
+                job: 4,
+                timeout_ms: None,
+            }),
             Request::new(RequestBody::Fetch { job: 3 }),
             Request::new(RequestBody::List),
             Request::new(RequestBody::Stats),
@@ -440,6 +578,78 @@ mod tests {
                 retry_after_ms: None,
             }
         );
+        // A watch without a timeout waits indefinitely; a stats payload
+        // from a pre-reactor server defaults the reactor counters to zero.
+        let bare_watch = r#"{"proto":1,"body":{"op":"watch","job":7}}"#;
+        let request = decode_request(bare_watch).unwrap();
+        assert_eq!(
+            request.body,
+            RequestBody::Watch {
+                job: 7,
+                timeout_ms: None,
+            }
+        );
+        let legacy_stats = r#"{"proto":1,"body":{"result":"stats","stats":{"jobs_submitted":3,"jobs_deduped":0,"jobs_rejected":0,"store_hits":0,"executions":3,"jobs_completed":3,"jobs_failed":0,"queue_depth":0,"running":0,"workers":2,"stored_reports":0,"cache":{"hits":0,"misses":0,"inserts":0,"entries":0,"replacements":0,"capacity":0}}}}"#;
+        let response = decode_response(legacy_stats).unwrap();
+        match response.body {
+            ResponseBody::Stats { stats } => {
+                assert_eq!(stats.jobs_submitted, 3);
+                assert_eq!(stats.reactor, ReactorStats::default());
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_decoder_reassembles_one_byte_at_a_time() {
+        let mut decoder = LineDecoder::new(1 << 20);
+        let line = r#"{"proto":1,"body":{"op":"status","job":9}}"#;
+        for byte in line.as_bytes() {
+            assert!(decoder.push(std::slice::from_ref(byte)));
+            assert!(decoder.next_line().is_none(), "no line before newline");
+        }
+        assert!(decoder.push(b"\n"));
+        assert_eq!(decoder.next_line().as_deref(), Some(line));
+        assert!(decoder.next_line().is_none());
+        assert_eq!(decoder.pending_bytes(), 0);
+        // The reassembled line decodes like any other.
+        assert!(decode_request(line).is_ok());
+    }
+
+    #[test]
+    fn line_decoder_splits_pipelined_input_and_survives_utf8_boundaries() {
+        let mut decoder = LineDecoder::new(1 << 20);
+        // Two complete lines plus a fragment, arriving in one read.
+        assert!(decoder.push("alpha\nbeta\ngam".as_bytes()));
+        assert_eq!(decoder.next_line().as_deref(), Some("alpha"));
+        assert_eq!(decoder.next_line().as_deref(), Some("beta"));
+        assert!(decoder.next_line().is_none());
+        // A multi-byte character split across pushes must reassemble.
+        let snowman = "☃"; // 3 UTF-8 bytes
+        assert!(decoder.push(&snowman.as_bytes()[..1]));
+        assert!(decoder.next_line().is_none());
+        assert!(decoder.push(&snowman.as_bytes()[1..]));
+        assert!(decoder.push(b"ma\n"));
+        assert_eq!(decoder.next_line().as_deref(), Some("gam☃ma"));
+    }
+
+    #[test]
+    fn line_decoder_bounds_runaway_lines() {
+        let mut decoder = LineDecoder::new(16);
+        assert!(decoder.push(b"0123456789"));
+        assert!(!decoder.overflowed());
+        // Crossing the bound without a newline trips the overflow latch…
+        assert!(!decoder.push(b"0123456789"));
+        assert!(decoder.overflowed());
+        // …and further input is refused, not buffered.
+        let buffered = decoder.pending_bytes();
+        assert!(!decoder.push(b"more"));
+        assert_eq!(decoder.pending_bytes(), buffered);
+        // A complete line longer than the bound in a single push is still
+        // delivered: memory was already spent, framing stays intact.
+        let mut decoder = LineDecoder::new(4);
+        assert!(decoder.push(b"longer-than-four\nok"));
+        assert_eq!(decoder.next_line().as_deref(), Some("longer-than-four"));
     }
 
     #[test]

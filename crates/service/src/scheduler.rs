@@ -15,7 +15,7 @@
 //! (back-pressure) rather than buffering without limit.
 
 use crate::fault::FaultSite;
-use crate::protocol::{JobState, JobSummary, ServerStats};
+use crate::protocol::{JobState, JobSummary, ReactorStats, ServerStats};
 use crate::store::{platform_key, ResultStore};
 use micrograd_core::{
     CacheStats, CancelToken, FrameworkConfig, FrameworkOutput, MicroGrad, MicroGradError,
@@ -174,15 +174,34 @@ struct SchedState {
     shutdown: bool,
 }
 
+/// Callback invoked whenever a job reaches a terminal state.
+///
+/// Invoked with the scheduler's internal lock held, so implementations
+/// must be quick and must never call back into the scheduler — the
+/// server's hook only appends to the reactor's event inbox and writes one
+/// byte to its wake pipe.
+pub type TerminalHook = Arc<dyn Fn(u64, &JobState) + Send + Sync>;
+
 struct SchedulerInner {
     state: Mutex<SchedState>,
     /// Signaled when work is enqueued or shutdown begins.
     work_ready: Condvar,
     /// Signaled when any job reaches a terminal state.
     job_done: Condvar,
+    /// External terminal-state observer (the server's reactor wakeup).
+    terminal_hook: Mutex<Option<TerminalHook>>,
     store: ResultStore,
     config: SchedulerConfig,
     shutting_down: AtomicBool,
+}
+
+impl SchedulerInner {
+    fn hook(&self) -> Option<TerminalHook> {
+        self.terminal_hook
+            .lock()
+            .expect("terminal hook poisoned")
+            .clone()
+    }
 }
 
 /// A bounded-priority-queue scheduler executing framework jobs on a worker
@@ -219,6 +238,7 @@ impl Scheduler {
             }),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
+            terminal_hook: Mutex::new(None),
             store,
             config,
             shutting_down: AtomicBool::new(false),
@@ -319,7 +339,8 @@ impl Scheduler {
             record.output = Some(output);
             state.counters.store_hits += 1;
             state.counters.completed += 1;
-            state.mark_terminal(job, inner.config.retained_jobs);
+            let hook = inner.hook();
+            state.mark_terminal(job, inner.config.retained_jobs, hook.as_ref());
             inner.job_done.notify_all();
             return Ok(SubmitOutcome {
                 job,
@@ -400,6 +421,9 @@ impl Scheduler {
             workers: self.inner.config.workers as u64,
             stored_reports,
             cache: state.cache_totals,
+            // A bare scheduler has no event loop; the server overlays the
+            // live reactor counters before answering a stats request.
+            reactor: ReactorStats::default(),
         }
     }
 
@@ -476,6 +500,20 @@ impl Scheduler {
     pub fn store(&self) -> &ResultStore {
         &self.inner.store
     }
+
+    /// Installs the terminal-state observer.  The hook fires once per job
+    /// on the transition into `Done`/`Failed`/`TimedOut` — including
+    /// instant store-hit completions and queued-deadline expiries — and is
+    /// invoked with the scheduler lock held, so it must be quick and must
+    /// not call back into the scheduler.  The server uses it to wake the
+    /// event loop and resolve pending `watch` requests without polling.
+    pub fn set_terminal_hook(&self, hook: TerminalHook) {
+        *self
+            .inner
+            .terminal_hook
+            .lock()
+            .expect("terminal hook poisoned") = Some(hook);
+    }
 }
 
 impl Drop for Scheduler {
@@ -504,7 +542,15 @@ impl SchedState {
     /// Records that a job reached a terminal state and evicts the oldest
     /// terminal records beyond `retain`, so resident history stays bounded
     /// on a long-lived daemon.  Queued and running jobs are never evicted.
-    fn mark_terminal(&mut self, job: u64, retain: usize) {
+    ///
+    /// The terminal hook (if installed) observes the transition here —
+    /// every path to a terminal state funnels through this method, so the
+    /// server's reactor hears about store-hit completions, queued-deadline
+    /// expiries and worker completions alike.
+    fn mark_terminal(&mut self, job: u64, retain: usize, hook: Option<&TerminalHook>) {
+        if let (Some(hook), Some(record)) = (hook, self.jobs.get(&job)) {
+            hook(job, &record.state);
+        }
         self.terminal_order.push_back(job);
         while self.terminal_order.len() > retain {
             let evicted = self.terminal_order.pop_front().expect("len checked");
@@ -569,7 +615,8 @@ fn pop_job(inner: &SchedulerInner, state: &mut SchedState) -> Option<u64> {
             let record = state.jobs.get_mut(&entry.job).expect("queued job exists");
             record.state = JobState::TimedOut;
             state.counters.timed_out += 1;
-            state.mark_terminal(entry.job, inner.config.retained_jobs);
+            let hook = inner.hook();
+            state.mark_terminal(entry.job, inner.config.retained_jobs, hook.as_ref());
             inner.job_done.notify_all();
             continue;
         }
@@ -683,7 +730,8 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
             state.counters.failed += 1;
         }
     }
-    state.mark_terminal(job, inner.config.retained_jobs);
+    let hook = inner.hook();
+    state.mark_terminal(job, inner.config.retained_jobs, hook.as_ref());
     inner.job_done.notify_all();
 }
 

@@ -1,31 +1,47 @@
-//! The TCP server: an accept loop feeding per-connection reader threads.
+//! The TCP server: a readiness event loop feeding a small handler pool.
+//!
+//! One reactor thread (see [`crate::reactor`]) owns the listener and
+//! every client socket behind nonblocking I/O and `poll(2)`; a fixed
+//! handler pool executes decoded requests against the scheduler.  The
+//! thread count is `1 + HANDLER_THREADS + workers` regardless of how
+//! many connections are open — a thousand idle clients cost slab
+//! entries, not threads, and wake nothing.
 //!
 //! Each connection is one long-lived JSON-lines session (see
 //! [`crate::protocol`]); every request line is answered with exactly one
-//! response line, so clients may pipeline.  Malformed lines and version
-//! mismatches are answered with an error response rather than a dropped
-//! connection — only I/O failure or EOF closes a session.
+//! response line, in request order, so clients may pipeline.  Malformed
+//! lines and version mismatches are answered with an error response
+//! rather than a dropped connection — only I/O failure, EOF or a
+//! backpressure cap closes a session.  The `watch` request defers its
+//! response until the scheduler's terminal hook pushes the completion
+//! through the reactor's self-pipe: waiting clients block on their
+//! socket instead of polling.
 //!
 //! Shutdown is cooperative and clean: a `shutdown` request (or
-//! [`Server::shutdown`]) stops the accept loop, reader threads drain at
-//! their next read timeout, the scheduler finishes in-flight jobs, and
-//! every thread is joined before [`Server::shutdown`] returns.
+//! [`Server::shutdown`]) stops the accept loop, the reactor resolves
+//! pending watches and flushes every write queue, the scheduler finishes
+//! in-flight jobs, and every thread is joined before
+//! [`Server::shutdown`] returns.
 
-use crate::fault::{FaultPlan, FaultSite};
 use crate::protocol::{
-    decode_request, encode_line, RequestBody, Response, ResponseBody, WireError,
+    decode_request, encode_line, ReactorStats, RequestBody, Response, ResponseBody, WireError,
+};
+use crate::reactor::{
+    self, HandlerOutcome, Inbox, ReactorCounters, ReactorShared, WakePipe, WorkQueue,
 };
 use crate::scheduler::{FetchResult, Scheduler, SchedulerConfig, SubmitError};
 use crate::store::ResultStore;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often blocked reads wake up to observe the shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(100);
+/// Request-handler threads: they only run short scheduler calls (the
+/// heavy lifting happens on the scheduler's own workers), so a small
+/// fixed pool keeps the reactor responsive without scaling threads with
+/// load.
+const HANDLER_THREADS: usize = 2;
 
 /// Retry hint attached to a queue-full rejection: the queue drains at job
 /// granularity, so a short pause is usually enough.
@@ -47,8 +63,9 @@ pub struct ServerConfig {
     /// Durable store directory; `None` keeps results in memory only.
     pub store_dir: Option<PathBuf>,
     /// Fault plan shared by the store, the scheduler and every connection
-    /// handler (chaos testing).  [`FaultPlan::none`] in production.
-    pub fault: FaultPlan,
+    /// handler (chaos testing).  [`FaultPlan::none`](crate::FaultPlan::none)
+    /// in production.
+    pub fault: crate::fault::FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -58,12 +75,12 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             store_dir: None,
-            fault: FaultPlan::none(),
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 }
 
-struct ShutdownSignal {
+pub(crate) struct ShutdownSignal {
     requested: AtomicBool,
     lock: Mutex<()>,
     condvar: Condvar,
@@ -84,7 +101,7 @@ impl ShutdownSignal {
         self.condvar.notify_all();
     }
 
-    fn is_triggered(&self) -> bool {
+    pub(crate) fn is_triggered(&self) -> bool {
         self.requested.load(Ordering::SeqCst)
     }
 
@@ -96,13 +113,17 @@ impl ShutdownSignal {
     }
 }
 
-/// A running `microgradd` instance: TCP accept loop + scheduler.
+/// A running `microgradd` instance: reactor thread, handler pool and
+/// scheduler.
 pub struct Server {
     addr: SocketAddr,
     scheduler: Arc<Scheduler>,
     signal: Arc<ShutdownSignal>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    wake: Arc<WakePipe>,
+    work: Arc<WorkQueue>,
+    counters: Arc<ReactorCounters>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
+    handler_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -113,13 +134,24 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Everything a handler thread needs to answer one request line.
+struct HandlerCtx {
+    scheduler: Arc<Scheduler>,
+    signal: Arc<ShutdownSignal>,
+    wake: Arc<WakePipe>,
+    counters: Arc<ReactorCounters>,
+}
+
 impl Server {
-    /// Binds the listener, starts the scheduler and the accept loop.
+    /// Binds the listener, starts the scheduler, the reactor and the
+    /// handler pool.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the address cannot be bound or the store
-    /// directory cannot be created.
+    /// Returns the I/O error if the address cannot be bound, the store
+    /// directory cannot be created, or the reactor's self-pipe cannot be
+    /// set up (including `Unsupported` on non-unix platforms, which lack
+    /// the `poll(2)` shim).
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let store = match &config.store_dir {
             Some(dir) => ResultStore::open(dir)?,
@@ -134,26 +166,68 @@ impl Server {
             },
             store,
         ));
+        let wake = Arc::new(WakePipe::new()?);
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let signal = Arc::new(ShutdownSignal::new());
-        let connections = Arc::new(Mutex::new(Vec::new()));
+        let work = Arc::new(WorkQueue::new());
+        let inbox = Arc::new(Inbox::default());
+        let counters = Arc::new(ReactorCounters::default());
 
-        let accept_thread = {
-            let scheduler = Arc::clone(&scheduler);
-            let signal = Arc::clone(&signal);
-            let connections = Arc::clone(&connections);
-            std::thread::spawn(move || {
-                accept_loop(&listener, &scheduler, &signal, &connections);
-            })
+        // Job completions reach waiting clients with no polling anywhere:
+        // the scheduler's terminal hook (invoked under the scheduler
+        // lock, so it must only enqueue) drops the completion in the
+        // inbox and pokes the reactor awake.
+        {
+            let inbox = Arc::clone(&inbox);
+            let wake = Arc::clone(&wake);
+            scheduler.set_terminal_hook(Arc::new(move |job, state| {
+                inbox.push_completion(job, state.clone());
+                wake.notify();
+            }));
+        }
+
+        let reactor_thread = {
+            let shared = ReactorShared {
+                scheduler: Arc::clone(&scheduler),
+                signal: Arc::clone(&signal),
+                work: Arc::clone(&work),
+                inbox: Arc::clone(&inbox),
+                wake: Arc::clone(&wake),
+                counters: Arc::clone(&counters),
+            };
+            std::thread::spawn(move || reactor::run(listener, &shared))
         };
+
+        let handler_threads = (0..HANDLER_THREADS)
+            .map(|_| {
+                let ctx = HandlerCtx {
+                    scheduler: Arc::clone(&scheduler),
+                    signal: Arc::clone(&signal),
+                    wake: Arc::clone(&wake),
+                    counters: Arc::clone(&counters),
+                };
+                let work = Arc::clone(&work);
+                let inbox = Arc::clone(&inbox);
+                std::thread::spawn(move || {
+                    while let Some(item) = work.pop() {
+                        let outcome = handle_line(&item.line, &ctx);
+                        inbox.push_result(item.token, item.gen, item.seq, outcome);
+                        ctx.wake.notify();
+                    }
+                })
+            })
+            .collect();
 
         Ok(Server {
             addr,
             scheduler,
             signal,
-            accept_thread: Some(accept_thread),
-            connections,
+            wake,
+            work,
+            counters,
+            reactor_thread: Some(reactor_thread),
+            handler_threads,
         })
     }
 
@@ -168,6 +242,13 @@ impl Server {
     #[must_use]
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
+    }
+
+    /// A snapshot of the event loop's counters (also served to clients
+    /// inside the `stats` response).
+    #[must_use]
+    pub fn reactor_stats(&self) -> ReactorStats {
+        self.counters.snapshot()
     }
 
     /// Whether a shutdown has been requested (by a client or locally).
@@ -190,11 +271,12 @@ impl Server {
     pub fn request_shutdown(&self) {
         self.scheduler.begin_shutdown();
         self.signal.trigger();
+        self.wake.notify();
     }
 
-    /// Stops accepting, drains connection threads, finishes in-flight jobs
-    /// and joins everything.  Also runs on drop; calling it explicitly
-    /// makes the completion point visible.
+    /// Stops accepting, drains write queues, finishes in-flight jobs and
+    /// joins everything.  Also runs on drop; calling it explicitly makes
+    /// the completion point visible.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
@@ -205,15 +287,16 @@ impl Server {
         // submission racing a locally-initiated shutdown is refused rather
         // than acknowledged and then dropped.
         self.scheduler.begin_shutdown();
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(thread) = self.accept_thread.take() {
+        // Wake the reactor; it stops accepting, resolves watches, flushes
+        // response queues and exits.
+        self.wake.notify();
+        if let Some(thread) = self.reactor_thread.take() {
             let _ = thread.join();
         }
-        let connections =
-            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
-        for connection in connections {
-            let _ = connection.join();
+        // Handlers drain whatever the reactor dispatched, then stop.
+        self.work.stop();
+        for thread in self.handler_threads.drain(..) {
+            let _ = thread.join();
         }
         self.scheduler.shutdown();
     }
@@ -225,115 +308,20 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    scheduler: &Arc<Scheduler>,
-    signal: &Arc<ShutdownSignal>,
-    connections: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if signal.is_triggered() {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let scheduler = Arc::clone(scheduler);
-        let signal = Arc::clone(signal);
-        let handle = std::thread::spawn(move || {
-            serve_connection(stream, &scheduler, &signal);
-        });
-        let mut connections = connections.lock().expect("connection list poisoned");
-        // Reap finished sessions so a long-lived daemon holds handles only
-        // for connections that are still open, not for every connection it
-        // ever accepted.
-        connections.retain(|connection| !connection.is_finished());
-        connections.push(handle);
-    }
-}
-
-fn serve_connection(stream: TcpStream, scheduler: &Scheduler, signal: &ShutdownSignal) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    let mut writer = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    // Accumulate raw bytes, not a String: `read_line` discards bytes it
-    // already consumed when a read timeout lands mid-way through a
-    // multi-byte UTF-8 character, corrupting slowly-arriving requests.
-    // `read_until` keeps every consumed byte across timeouts.
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) => break, // EOF: client closed the session.
-            Ok(_) => {
-                let text = String::from_utf8_lossy(&line);
-                if text.trim().is_empty() {
-                    line.clear();
-                    continue;
-                }
-                let response = handle_line(&text, scheduler, signal);
-                line.clear();
-                // A response that cannot be serialized is itself answered
-                // with an error response; if even that fails, the session
-                // is closed rather than sending a corrupt line.
-                let payload = match encode_line(&response) {
-                    Ok(payload) => payload,
-                    Err(e) => {
-                        let fallback = Response::new(ResponseBody::Error {
-                            message: e.to_string(),
-                            retry_after_ms: None,
-                        });
-                        match encode_line(&fallback) {
-                            Ok(payload) => payload,
-                            Err(_) => break,
-                        }
-                    }
-                };
-                let fault = scheduler.store().fault_plan();
-                if fault.should_inject(FaultSite::ConnectionDrop) {
-                    // Sever the connection mid-line: commit a partial
-                    // response with no newline, then hang up.  The client
-                    // sees a closed connection and must reconnect and
-                    // resubmit (idempotent thanks to dedup).
-                    let cut = payload.len() / 2;
-                    let _ = writer.write_all(&payload.as_bytes()[..cut]);
-                    let _ = writer.flush();
-                    break;
-                }
-                if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
-                    break;
-                }
-                if signal.is_triggered() {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Read timeout: partial input (if any) stays accumulated in
-                // `line`; just observe the shutdown flag and keep reading.
-                if signal.is_triggered() {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-fn handle_line(line: &str, scheduler: &Scheduler, signal: &ShutdownSignal) -> Response {
+/// Executes one decoded request line.  Runs on a handler thread; returns
+/// either an encoded response line or a deferred-watch registration for
+/// the reactor.
+fn handle_line(line: &str, ctx: &HandlerCtx) -> HandlerOutcome {
     let request = match decode_request(line) {
         Ok(request) => request,
         Err(e @ (WireError::Malformed(_) | WireError::Version { .. } | WireError::Encode(_))) => {
-            return Response::new(ResponseBody::Error {
+            return encode_outcome(&Response::new(ResponseBody::Error {
                 message: e.to_string(),
                 retry_after_ms: None,
-            });
+            }));
         }
     };
+    let scheduler = &ctx.scheduler;
     let body = match request.body {
         RequestBody::Submit {
             config,
@@ -365,6 +353,14 @@ fn handle_line(line: &str, scheduler: &Scheduler, signal: &ShutdownSignal) -> Re
                 retry_after_ms: None,
             },
         },
+        RequestBody::Watch { job, timeout_ms } => {
+            // The reactor owns watch resolution; the deadline is fixed
+            // here so queueing delays count against the client's budget.
+            return HandlerOutcome::Watch {
+                job,
+                deadline: timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            };
+        }
         RequestBody::Fetch { job } => match scheduler.fetch(job) {
             FetchResult::Ready(output) => ResponseBody::Report { job, output },
             FetchResult::NotReady(state) => ResponseBody::Error {
@@ -379,17 +375,42 @@ fn handle_line(line: &str, scheduler: &Scheduler, signal: &ShutdownSignal) -> Re
         RequestBody::List => ResponseBody::Jobs {
             jobs: scheduler.list(),
         },
-        RequestBody::Stats => ResponseBody::Stats {
-            stats: scheduler.stats(),
-        },
+        RequestBody::Stats => {
+            let mut stats = scheduler.stats();
+            stats.reactor = ctx.counters.snapshot();
+            ResponseBody::Stats { stats }
+        }
         RequestBody::Shutdown => {
             // Close the scheduler's intake first: submissions racing the
             // shutdown get a `ShuttingDown` error instead of a success
-            // receipt for work that would be lost on exit.
+            // receipt for work that would be lost on exit.  The wake
+            // poke sends the reactor into its drain, which still flushes
+            // this acknowledgement.
             scheduler.begin_shutdown();
-            signal.trigger();
+            ctx.signal.trigger();
+            ctx.wake.notify();
             ResponseBody::ShuttingDown
         }
     };
-    Response::new(body)
+    encode_outcome(&Response::new(body))
+}
+
+/// Encodes a response for the wire; a response that cannot be serialized
+/// is itself answered with an error response, never a corrupt line.
+fn encode_outcome(response: &Response) -> HandlerOutcome {
+    let line = encode_line(response).unwrap_or_else(|e| {
+        let fallback = Response::new(ResponseBody::Error {
+            message: e.to_string(),
+            retry_after_ms: None,
+        });
+        encode_line(&fallback).unwrap_or_else(|_| {
+            concat!(
+                r#"{"proto":1,"body":{"result":"error","#,
+                r#""message":"response serialization failed"}}"#,
+                "\n"
+            )
+            .to_owned()
+        })
+    });
+    HandlerOutcome::Line(line)
 }

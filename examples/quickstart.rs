@@ -15,6 +15,7 @@ use micrograd::core::{
     CoreKind, FrameworkConfig, FrameworkOutput, KnobSpaceKind, MetricKind, Metrics, MicroGrad,
     MicroGradError, TunerKind, UseCaseConfig,
 };
+use micrograd::service::{Client, Server, ServerConfig};
 
 fn main() -> Result<(), MicroGradError> {
     // Describe the workload to clone by its metrics of interest.
@@ -93,5 +94,42 @@ fn main() -> Result<(), MicroGradError> {
         cache.capacity,
         cache.replacements
     );
+
+    // The same framework also runs as a daemon built on a readiness
+    // event loop: one reactor thread multiplexes every socket, so idle
+    // connections cost file descriptors, not threads. Boot an
+    // in-process server, park a crowd of idle sessions on it, and read
+    // the reactor's counters back through the stats endpoint.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("in-process server starts");
+    let idle: Vec<std::net::TcpStream> = (0..64)
+        .map(|_| std::net::TcpStream::connect(server.local_addr()).expect("idle connect"))
+        .collect();
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    let stats = client.stats().expect("stats answers");
+    let reactor = stats.reactor;
+    println!();
+    println!(
+        "event-loop daemon with {} idle sessions parked on it:",
+        idle.len()
+    );
+    println!(
+        "reactor: {} connections open ({} accepted, {} closed), \
+         {} loop wakeups, {} B write-queue high-water mark, \
+         {} completions pushed",
+        reactor.connections_open,
+        reactor.connections_accepted,
+        reactor.connections_closed,
+        reactor.loop_wakeups,
+        reactor.write_queue_hwm,
+        reactor.notifications_pushed
+    );
+    drop(client);
+    drop(idle);
+    server.shutdown();
     Ok(())
 }
