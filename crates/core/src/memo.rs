@@ -60,11 +60,14 @@ pub struct MemoTable<K, V> {
     retired: Mutex<Vec<*mut Entry<K, V>>>,
 }
 
-// The raw pointers in `buckets` / `retired` all point to `Box`-allocated
-// entries owned by this table; entries are immutable after publication and
-// freed only by `drop(self)`.  Sharing the table across threads is
-// therefore sound whenever the payload types themselves are shareable.
+// SAFETY: the raw pointers in `buckets` / `retired` all point to
+// `Box`-allocated entries owned by this table; entries are immutable after
+// publication and freed only by `drop(self)`.  Sharing the table across
+// threads is therefore sound whenever the payload types themselves are
+// shareable, which the `K: Send + Sync, V: Send + Sync` bounds require.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for MemoTable<K, V> {}
+// SAFETY: as above — `&MemoTable` only exposes immutable published entries
+// and atomics, so concurrent shared access needs nothing beyond the bounds.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for MemoTable<K, V> {}
 
 impl<K: PartialEq, V> MemoTable<K, V> {

@@ -1,0 +1,89 @@
+//! Findings and their textual / JSON rendering.
+
+/// One diagnostic: a rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (kebab-case, e.g. `no-panic-paths`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl Finding {
+    /// The human-readable one-line form: `file:line: [rule] message`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders findings as a JSON array (hand-rolled: this crate is std-only
+/// by design, so the serializer stays three functions long).
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\":");
+        json_string(&mut out, f.rule);
+        out.push_str(",\"file\":");
+        json_string(&mut out, &f.file);
+        out.push_str(&format!(",\"line\":{}", f.line));
+        out.push_str(",\"message\":");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        let findings = vec![Finding {
+            rule: "no-panic-paths",
+            file: "a/b.rs".to_owned(),
+            line: 7,
+            message: "quote \" backslash \\ newline \n".to_owned(),
+        }];
+        let json = render_json(&findings);
+        assert!(json.contains(r#""rule":"no-panic-paths""#));
+        assert!(json.contains(r#"\" backslash \\ newline \n"#));
+    }
+
+    #[test]
+    fn empty_findings_render_as_empty_array() {
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

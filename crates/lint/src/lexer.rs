@@ -1,0 +1,409 @@
+//! A minimal Rust lexer: just enough token structure for line-oriented
+//! static analysis, with none of the grammar.
+//!
+//! The rules in this crate reason about identifier/punctuation sequences
+//! (`.load(Ordering::Relaxed)`, `buf[`, `unsafe {`), so the lexer's only
+//! obligations are the ones a naive text scan gets wrong: comments
+//! (including nesting), string literals (including raw strings with `#`
+//! fences), char literals vs lifetimes, and raw identifiers.  Everything
+//! else is a single-character punctuation token.
+//!
+//! Non-ASCII bytes only ever appear inside comments and strings in this
+//! workspace, so the scanner works on bytes and treats `>= 0x80` as an
+//! identifier-continue character; UTF-8 continuation bytes never collide
+//! with the ASCII delimiters being matched.
+
+/// One lexical token, classified just far enough for the lint rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.  Raw identifiers are normalized: `r#type`
+    /// lexes as `Ident("type")`.
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any string literal: regular, raw, byte, or C string.
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal.
+    Number,
+    /// A single punctuation character.
+    Punct(char),
+    /// A comment with its full text, `//` / `/* */` markers included.
+    Comment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream.  Unterminated literals and comments
+/// are closed at end of input rather than reported: the workspace being
+/// scanned always compiles, so recovery precision is not worth carrying.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let line = self.line;
+            let b = self.at(self.pos);
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.at(self.pos + 1) == b'/' => self.line_comment(line),
+                b'/' if self.at(self.pos + 1) == b'*' => self.block_comment(line),
+                b'"' => {
+                    self.string_body();
+                    self.push(TokenKind::Str, line);
+                }
+                b'\'' => self.char_or_lifetime(line),
+                b'0'..=b'9' => self.number(line),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct(b as char), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Byte at `i`, or 0 past the end (0 matches nothing the lexer tests).
+    fn at(&self, i: usize) -> u8 {
+        self.bytes.get(i).copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.at(self.pos) != b'\n' {
+            self.pos += 1;
+        }
+        let text = self.src[start..self.pos].to_owned();
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.at(self.pos), self.at(self.pos + 1)) {
+                (b'/', b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let text = self.src[start..self.pos.min(self.src.len())].to_owned();
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    /// Consumes a regular (escaped) string body starting at the opening
+    /// quote.
+    fn string_body(&mut self) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.at(self.pos) {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a raw string body; `self.pos` sits on the first `#` or the
+    /// opening quote.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.at(self.pos) == b'#' {
+            hashes += 1;
+            self.pos += 1;
+        }
+        debug_assert_eq!(self.at(self.pos), b'"');
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.at(self.pos) == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.at(self.pos) == b'"' {
+                let fence = &self.bytes[self.pos + 1..];
+                if fence.len() >= hashes && fence[..hashes].iter().all(|b| *b == b'#') {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        let next = self.at(self.pos + 1);
+        if next == b'\\' {
+            // Escaped char literal: scan to the closing quote.
+            self.pos += 2;
+            while self.pos < self.bytes.len() {
+                match self.at(self.pos) {
+                    b'\\' => self.pos += 2,
+                    b'\'' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+            self.push(TokenKind::Char, line);
+        } else if is_ident_start(next) {
+            // `'a` is a lifetime unless a closing quote follows the run.
+            let mut end = self.pos + 2;
+            while is_ident_continue(self.at(end)) {
+                end += 1;
+            }
+            if self.at(end) == b'\'' {
+                self.pos = end + 1;
+                self.push(TokenKind::Char, line);
+            } else {
+                self.pos = end;
+                self.push(TokenKind::Lifetime, line);
+            }
+        } else if next != 0 && self.at(self.pos + 2) == b'\'' {
+            // A punctuation char literal such as `'('`.
+            self.pos += 3;
+            self.push(TokenKind::Char, line);
+        } else {
+            self.pos += 1;
+            self.push(TokenKind::Punct('\''), line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        loop {
+            while is_ident_continue(self.at(self.pos)) {
+                self.pos += 1;
+            }
+            // `1.5` continues the literal; `1..n` and `1.max(2)` do not.
+            if self.at(self.pos) == b'.' && self.at(self.pos + 1).is_ascii_digit() {
+                self.pos += 1;
+                continue;
+            }
+            // Exponent sign: `1e-4`.
+            if matches!(self.at(self.pos), b'+' | b'-')
+                && matches!(self.at(self.pos.wrapping_sub(1)), b'e' | b'E')
+                && self.at(self.pos + 1).is_ascii_digit()
+            {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        self.push(TokenKind::Number, line);
+    }
+
+    /// An identifier, or one of the literal prefixes `r"` `r#"` `b"` `b'`
+    /// `br"` `c"` `cr"`, or a raw identifier `r#ident`.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let b0 = self.at(self.pos);
+        let b1 = self.at(self.pos + 1);
+        match (b0, b1) {
+            (b'r', b'"') => {
+                self.pos += 1;
+                self.raw_string_body();
+                self.push(TokenKind::Str, line);
+                return;
+            }
+            (b'r', b'#') => {
+                if is_ident_start(self.at(self.pos + 2)) {
+                    // Raw identifier: emit the bare name.
+                    let start = self.pos + 2;
+                    let mut end = start;
+                    while is_ident_continue(self.at(end)) {
+                        end += 1;
+                    }
+                    let name = self.src[start..end].to_owned();
+                    self.pos = end;
+                    self.push(TokenKind::Ident(name), line);
+                } else {
+                    self.pos += 1;
+                    self.raw_string_body();
+                    self.push(TokenKind::Str, line);
+                }
+                return;
+            }
+            (b'b', b'"') | (b'c', b'"') => {
+                self.pos += 1;
+                self.string_body();
+                self.push(TokenKind::Str, line);
+                return;
+            }
+            (b'b', b'\'') => {
+                self.pos += 1;
+                self.char_or_lifetime(line);
+                return;
+            }
+            (b'b' | b'c', b'r') => {
+                let b2 = self.at(self.pos + 2);
+                if b2 == b'"' || b2 == b'#' {
+                    self.pos += 2;
+                    self.raw_string_body();
+                    self.push(TokenKind::Str, line);
+                    return;
+                }
+            }
+            _ => {}
+        }
+        let start = self.pos;
+        while is_ident_continue(self.at(self.pos)) {
+            self.pos += 1;
+        }
+        let name = self.src[start..self.pos].to_owned();
+        self.push(TokenKind::Ident(name), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // The quote and the `unsafe` inside the raw string must not leak
+        // out as tokens.
+        let toks = kinds(r####"let x = r#"contains "quotes" and unsafe"#; y"####);
+        assert!(toks.contains(&TokenKind::Str));
+        assert!(!toks.contains(&TokenKind::Ident("unsafe".to_owned())));
+        assert!(toks.contains(&TokenKind::Ident("y".to_owned())));
+    }
+
+    #[test]
+    fn raw_strings_track_embedded_newlines() {
+        let toks = lex("let a = r\"line\nline\";\nunsafe");
+        let last = toks.last().expect("tokens");
+        assert_eq!(last.kind, TokenKind::Ident("unsafe".to_owned()));
+        assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_outer_depth() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0], TokenKind::Comment(_)));
+        assert_eq!(toks[1], TokenKind::Ident("code".to_owned()));
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        assert_eq!(
+            idents("fn r#type(r#match: u8) {}"),
+            ["fn", "type", "match", "u8"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| **t == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| **t == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_eat_the_stream() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; done");
+        assert_eq!(
+            toks.iter().filter(|t| **t == TokenKind::Char).count(),
+            2,
+            "both escaped literals lex as chars"
+        );
+        assert!(toks.contains(&TokenKind::Ident("done".to_owned())));
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_numbers_lex_whole() {
+        let toks = lex("x = 1.5e-3; // SAFETY: tail\n");
+        assert!(toks.iter().any(|t| matches!(
+            &t.kind,
+            TokenKind::Comment(text) if text.contains("SAFETY: tail")
+        )));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Number).count(),
+            1,
+            "1.5e-3 is one numeric token"
+        );
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_as_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw"#; let c = c"cstr";"##);
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Str).count(), 3);
+    }
+}

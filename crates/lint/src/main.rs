@@ -1,0 +1,153 @@
+//! `micrograd-lint` CLI: the workspace static-analysis gate.
+//!
+//! ```text
+//! micrograd-lint check [--json] [FILE...]   # no FILE: scan the whole workspace
+//! micrograd-lint self-test [--json]         # run the committed fixtures
+//! ```
+//!
+//! Exit status is 0 when clean, 1 on findings (or failed fixtures), 2 on
+//! usage errors.
+
+use micrograd_lint::{check_source, check_workspace, render_json, run_fixtures, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+USAGE:
+    micrograd-lint check [--json] [FILE...]
+    micrograd-lint self-test [--json]
+
+Without FILE arguments, `check` scans every first-party .rs file in the
+workspace with each rule's own path scoping.  With FILE arguments, all
+rules run on each named file regardless of scope (fixture mode).
+";
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest =
+        std::env::var("CARGO_MANIFEST_DIR").map_or_else(|_| PathBuf::from("."), PathBuf::from);
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn emit(findings: &[Finding], json: bool) {
+    if json {
+        println!("{}", render_json(findings));
+    } else {
+        for finding in findings {
+            println!("{}", finding.render());
+        }
+    }
+}
+
+fn cmd_check(json: bool, files: &[String]) -> ExitCode {
+    let findings = if files.is_empty() {
+        match check_workspace(&workspace_root()) {
+            Ok(findings) => findings,
+            Err(e) => {
+                eprintln!("micrograd-lint: workspace scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut findings = Vec::new();
+        for file in files {
+            match std::fs::read_to_string(file) {
+                Ok(text) => findings.extend(check_source(file, &text, true)),
+                Err(e) => {
+                    eprintln!("micrograd-lint: cannot read `{file}`: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        findings
+    };
+    emit(&findings, json);
+    if findings.is_empty() {
+        if !json {
+            println!("micrograd-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            println!("micrograd-lint: {} finding(s)", findings.len());
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_self_test(json: bool) -> ExitCode {
+    let fixtures = workspace_root().join("crates/lint/tests/fixtures");
+    let outcomes = match run_fixtures(&fixtures) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!(
+                "micrograd-lint: cannot run fixtures in {}: {e}",
+                fixtures.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if outcomes.is_empty() {
+        eprintln!(
+            "micrograd-lint: no fixtures found in {}",
+            fixtures.display()
+        );
+        return ExitCode::from(2);
+    }
+    let mut failed = 0usize;
+    for outcome in &outcomes {
+        let status = if outcome.passed { "ok" } else { "FAILED" };
+        if !json {
+            let detail = if outcome.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" — {}", outcome.detail)
+            };
+            println!("{status:>6}  {} [{}]{detail}", outcome.name, outcome.rule);
+        }
+        if !outcome.passed {
+            failed += 1;
+        }
+    }
+    if !json {
+        println!(
+            "micrograd-lint: self-test {}/{} fixtures behaved",
+            outcomes.len() - failed,
+            outcomes.len()
+        );
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    match command.as_str() {
+        "check" => cmd_check(json, &files),
+        "self-test" => cmd_self_test(json),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("micrograd-lint: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The rule registry and the token-navigation helpers rules share.
+
+use crate::diagnostics::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+mod atomics;
+mod hot_loop;
+mod lock_io;
+mod no_panic;
+mod nondeterminism;
+mod unsafe_safety;
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// Kebab-case rule name, as used in pragmas and diagnostics.
+    fn name(&self) -> &'static str;
+    /// Whether the rule runs on this workspace-relative path during a
+    /// workspace check.  Ignored in forced (single-file / fixture) mode.
+    fn applies(&self, rel_path: &str) -> bool;
+    /// Scans the file and appends findings.  `forced` is set in fixture /
+    /// single-file mode, where path-based policy lookups fall back to a
+    /// generic policy instead of being skipped.
+    fn check(&self, src: &SourceFile, forced: bool, out: &mut Vec<Finding>);
+}
+
+/// Every rule this build knows, in diagnostic order.
+#[must_use]
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(unsafe_safety::UnsafeNeedsSafety),
+        Box::new(atomics::AtomicOrdering),
+        Box::new(no_panic::NoPanicPaths),
+        Box::new(hot_loop::HotLoopAlloc),
+        Box::new(lock_io::LockAcrossIo),
+        Box::new(nondeterminism::Nondeterminism),
+    ]
+}
+
+/// The identifier text of the token, if it is one.
+pub(crate) fn ident(token: Option<&Token>) -> Option<&str> {
+    match token.map(|t| &t.kind) {
+        Some(TokenKind::Ident(name)) => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+/// Whether `code[i]` is the identifier `name` called as a method:
+/// preceded by `.` and followed by `(`.
+pub(crate) fn is_method_call(code: &[Token], i: usize, name: &str) -> bool {
+    ident(code.get(i)) == Some(name)
+        && i > 0
+        && crate::source::is_punct(code.get(i - 1), '.')
+        && crate::source::is_punct(code.get(i + 1), '(')
+}
+
+/// The identifiers making up the receiver chain of a method call whose
+/// `.` sits at `dot`: walks backward over `a.b[i].c()`-shaped chains,
+/// skipping balanced `[...]` / `(...)` groups, and collects the chain's
+/// identifiers (innermost first).
+pub(crate) fn receiver_idents(code: &[Token], dot: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut i = dot;
+    while i > 0 {
+        match &code[i - 1].kind {
+            TokenKind::Ident(name) => {
+                idents.push(name.clone());
+                i -= 1;
+                // A `.` or `::` continues the chain.
+                if i >= 1 && crate::source::is_punct(code.get(i - 1), '.') {
+                    i -= 1;
+                } else if i >= 2
+                    && crate::source::is_punct(code.get(i - 1), ':')
+                    && crate::source::is_punct(code.get(i - 2), ':')
+                {
+                    i -= 2;
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                let close = match code[i - 1].kind {
+                    TokenKind::Punct(')') => ')',
+                    _ => ']',
+                };
+                let open = if close == ')' { '(' } else { '[' };
+                let mut depth = 0i32;
+                let mut j = i - 1;
+                loop {
+                    match code[j].kind {
+                        TokenKind::Punct(c) if c == close => depth += 1,
+                        TokenKind::Punct(c) if c == open => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                if j == 0 {
+                    break;
+                }
+                i = j;
+            }
+            _ => break,
+        }
+    }
+    idents
+}
+
+/// The index of the token closing the argument list that opens at
+/// `open_paren` (which must be a `(`).
+pub(crate) fn args_end(code: &[Token], open_paren: usize) -> usize {
+    crate::source::matching_bracket(code, open_paren).unwrap_or(code.len().saturating_sub(1))
+}

@@ -1,0 +1,99 @@
+//! `no-panic-paths`: non-test service code must not contain reachable
+//! panic sites.
+//!
+//! A panic on the reactor thread kills the event loop for every
+//! connection; a panic on a worker thread deadlocks anything waiting on
+//! the job (the scheduler fences job execution with `catch_unwind`, but
+//! its own bookkeeping must never rely on that fence).  Denied in
+//! `crates/service/src` outside `#[cfg(test)]` items:
+//!
+//! * `.unwrap()` / `.expect(..)` (and the `Err` variants) — use real error
+//!   handling, the poison-recovering lock helpers, or `unwrap_or*`;
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`;
+//! * slice/str indexing `x[..]` — use `.get(..)` with a graceful
+//!   fallback.
+//!
+//! Genuinely infallible sites keep a `lint:allow` pragma whose mandatory
+//! reason documents the invariant.
+
+use super::{is_method_call, Rule};
+use crate::diagnostics::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Method calls that panic on the error/none path.
+const PANICKING_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that are panics by definition.
+const PANICKING_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede a `[` that is *not* an indexing
+/// expression (slice patterns, array types, array literals).
+const NON_INDEX_KEYWORDS: [&str; 20] = [
+    "let", "mut", "ref", "dyn", "in", "for", "if", "while", "return", "else", "match", "move",
+    "as", "box", "const", "static", "pub", "use", "where", "impl",
+];
+
+pub struct NoPanicPaths;
+
+impl Rule for NoPanicPaths {
+    fn name(&self) -> &'static str {
+        "no-panic-paths"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/service/src/")
+    }
+
+    fn check(&self, src: &SourceFile, _forced: bool, out: &mut Vec<Finding>) {
+        let code = &src.code;
+        for (i, token) in code.iter().enumerate() {
+            if src.in_test(token.line) {
+                continue;
+            }
+            let mut report = |message: String| {
+                out.push(Finding {
+                    rule: "no-panic-paths",
+                    file: src.rel_path.clone(),
+                    line: token.line,
+                    message,
+                });
+            };
+            match &token.kind {
+                TokenKind::Ident(name) => {
+                    if PANICKING_METHODS.contains(&name.as_str()) && is_method_call(code, i, name) {
+                        report(format!(
+                            "`.{name}()` can panic on a service thread; handle the error \
+                             (or document the invariant with a pragma)"
+                        ));
+                    } else if PANICKING_MACROS.contains(&name.as_str())
+                        && crate::source::is_punct(code.get(i + 1), '!')
+                    {
+                        report(format!(
+                            "`{name}!` on a service path kills the thread that runs it; \
+                             return an error instead"
+                        ));
+                    }
+                }
+                TokenKind::Punct('[') if i > 0 && is_index_expr(&code[i - 1].kind) => {
+                    report(
+                        "slice indexing panics when out of bounds; use `.get(..)` with a \
+                         fallback"
+                            .to_owned(),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Whether a `[` after this token is an indexing expression rather than a
+/// slice pattern, array type, attribute, or macro-bracket.
+fn is_index_expr(prev: &TokenKind) -> bool {
+    match prev {
+        TokenKind::Ident(name) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
+        TokenKind::Punct(')' | ']') | TokenKind::Str | TokenKind::Number => true,
+        _ => false,
+    }
+}

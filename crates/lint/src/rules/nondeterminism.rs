@@ -1,0 +1,83 @@
+//! `nondeterminism`: wall-clock and ambient-randomness reads are confined
+//! to an allowlist of modules.
+//!
+//! Bit-identical cloning is the paper's core claim; a single
+//! `Instant::now` on an evaluation path quietly breaks replayability.
+//! Evaluation crates (`isa`, `codegen`, `sim`, `power`, `workloads`,
+//! `core`, and the facade) may not read clocks or entropy — all
+//! randomness flows through explicitly seeded ChaCha8 streams.  The one
+//! allowlisted module is the simulator's cancellation token, whose whole
+//! purpose is deadline latching; the service crates (wall-clock timeouts,
+//! jittered retries) are outside this rule's scope entirely.
+
+use super::{ident, Rule};
+use crate::diagnostics::Finding;
+use crate::source::SourceFile;
+
+/// Crate source trees that must stay deterministic.
+const SCOPES: [&str; 7] = [
+    "crates/isa/src/",
+    "crates/codegen/src/",
+    "crates/sim/src/",
+    "crates/power/src/",
+    "crates/workloads/src/",
+    "crates/core/src/",
+    "src/",
+];
+
+/// Modules allowed to read the clock: cancellation deadlines are
+/// wall-clock by definition and never feed evaluation results.
+const ALLOWLIST: [&str; 1] = ["crates/sim/src/cancel.rs"];
+
+/// `Type::now()` clock sources.
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Ambient entropy sources (any mention is a finding).
+const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+pub struct Nondeterminism;
+
+impl Rule for Nondeterminism {
+    fn name(&self) -> &'static str {
+        "nondeterminism"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        SCOPES.iter().any(|s| rel_path.starts_with(s)) && !ALLOWLIST.contains(&rel_path)
+    }
+
+    fn check(&self, src: &SourceFile, _forced: bool, out: &mut Vec<Finding>) {
+        let code = &src.code;
+        for (i, token) in code.iter().enumerate() {
+            let Some(name) = ident(Some(token)) else {
+                continue;
+            };
+            if src.in_test(token.line) {
+                continue;
+            }
+            let mut report = |message: String| {
+                out.push(Finding {
+                    rule: "nondeterminism",
+                    file: src.rel_path.clone(),
+                    line: token.line,
+                    message,
+                });
+            };
+            if CLOCK_TYPES.contains(&name)
+                && crate::source::is_punct(code.get(i + 1), ':')
+                && crate::source::is_punct(code.get(i + 2), ':')
+                && ident(code.get(i + 3)) == Some("now")
+            {
+                report(format!(
+                    "`{name}::now()` in a deterministic crate; clocks are confined to \
+                     the cancellation module — thread a seed or deadline in instead"
+                ));
+            } else if ENTROPY_IDENTS.contains(&name) {
+                report(format!(
+                    "ambient entropy (`{name}`) in a deterministic crate; use an \
+                     explicitly seeded ChaCha8 stream"
+                ));
+            }
+        }
+    }
+}

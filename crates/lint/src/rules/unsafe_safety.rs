@@ -1,0 +1,51 @@
+//! `unsafe-needs-safety`: every `unsafe` keyword carries a `// SAFETY:`
+//! comment.
+//!
+//! The comment may trail the same line or head the comment block directly
+//! above the statement (see [`SourceFile::safety_covered`]); it must state
+//! the invariant that makes the operation sound, which is exactly the
+//! information a reviewer cannot reconstruct from the code alone.  Test
+//! code is *not* exempt: the workspace's only unsafe test code (the
+//! counting global allocator) documents its contracts like everything
+//! else.
+
+use super::{ident, Rule};
+use crate::diagnostics::Finding;
+use crate::source::SourceFile;
+
+pub struct UnsafeNeedsSafety;
+
+impl Rule for UnsafeNeedsSafety {
+    fn name(&self) -> &'static str {
+        "unsafe-needs-safety"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, src: &SourceFile, _forced: bool, out: &mut Vec<Finding>) {
+        for (i, token) in src.code.iter().enumerate() {
+            if ident(Some(token)) != Some("unsafe") {
+                continue;
+            }
+            if src.safety_covered(token.line) {
+                continue;
+            }
+            let what = if ident(src.code.get(i + 1)).is_some() {
+                "unsafe item"
+            } else {
+                "unsafe block"
+            };
+            out.push(Finding {
+                rule: self.name(),
+                file: src.rel_path.clone(),
+                line: token.line,
+                message: format!(
+                    "{what} without a `// SAFETY:` comment; state the invariant that \
+                     makes this sound on the line above"
+                ),
+            });
+        }
+    }
+}

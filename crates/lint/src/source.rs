@@ -1,0 +1,344 @@
+//! Per-file analysis context shared by every rule.
+//!
+//! A [`SourceFile`] is the lexed token stream plus the structural facts
+//! rules keep needing: which lines sit inside `#[cfg(test)]` items, which
+//! lines are covered by a `// SAFETY:` comment block, where the
+//! `lint:allow` pragmas and `lint:hot-loop` marker regions are.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A parsed `// lint:allow(<rule>): <reason>` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Line the pragma comment starts on.
+    pub line: u32,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Whether a non-empty reason follows the closing `):`.
+    pub has_reason: bool,
+}
+
+/// A lexed source file plus derived structure.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Every token, comments included.
+    pub tokens: Vec<Token>,
+    /// The token stream with comments stripped (what rules scan).
+    pub code: Vec<Token>,
+    /// All `lint:allow` pragmas, syntactically valid or not.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragma comments: (line, what is wrong).
+    pub bad_pragmas: Vec<(u32, String)>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// `lint:hot-loop-start` / `lint:hot-loop-end` regions (marker lines,
+    /// inclusive).
+    pub hot_regions: Vec<(u32, u32)>,
+    /// Lines of unmatched hot-loop markers.
+    pub hot_unmatched: Vec<u32>,
+    /// `covered[line]`: the line carries, or directly continues a comment
+    /// block that carries, a `SAFETY:` annotation.
+    safety_covered: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and derives the structural facts.
+    #[must_use]
+    pub fn parse(rel_path: &str, text: &str) -> Self {
+        let tokens = lex(text);
+        let code: Vec<Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+            .cloned()
+            .collect();
+        let mut src = SourceFile {
+            rel_path: rel_path.to_owned(),
+            tokens,
+            code,
+            pragmas: Vec::new(),
+            bad_pragmas: Vec::new(),
+            test_regions: Vec::new(),
+            hot_regions: Vec::new(),
+            hot_unmatched: Vec::new(),
+            safety_covered: Vec::new(),
+        };
+        src.scan_comments();
+        src.scan_test_regions();
+        src
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|(start, end)| (*start..=*end).contains(&line))
+    }
+
+    /// Whether a valid pragma for `rule` covers `line`: a pragma suppresses
+    /// findings on its own line (trailing comment) and on the next line
+    /// (comment above the offending statement).
+    #[must_use]
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.has_reason && p.rule == rule && (p.line == line || p.line + 1 == line))
+    }
+
+    /// Whether an `unsafe` token on `line` is covered by a `// SAFETY:`
+    /// comment: the annotation may sit on the same line, or head a comment
+    /// block ending at most three lines above (multi-line statements push
+    /// the keyword below the comment).
+    #[must_use]
+    pub fn safety_covered(&self, line: u32) -> bool {
+        let line = line as usize;
+        (line.saturating_sub(3)..=line)
+            .any(|l| self.safety_covered.get(l).copied().unwrap_or(false))
+    }
+
+    fn scan_comments(&mut self) {
+        let mut comment_lines: Vec<u32> = Vec::new();
+        let mut safety_lines: Vec<u32> = Vec::new();
+        let mut hot_stack: Vec<u32> = Vec::new();
+        let mut max_line = 0u32;
+        let mut pragma_texts: Vec<(u32, String)> = Vec::new();
+        for token in &self.tokens {
+            max_line = max_line.max(token.line);
+            let TokenKind::Comment(text) = &token.kind else {
+                continue;
+            };
+            comment_lines.push(token.line);
+            if text.contains("SAFETY:") {
+                safety_lines.push(token.line);
+            }
+            if text.contains("lint:hot-loop-start") {
+                hot_stack.push(token.line);
+            } else if text.contains("lint:hot-loop-end") {
+                if let Some(start) = hot_stack.pop() {
+                    self.hot_regions.push((start, token.line));
+                } else {
+                    self.hot_unmatched.push(token.line);
+                }
+            }
+            if let Some(at) = text.find("lint:allow") {
+                pragma_texts.push((token.line, text[at..].to_owned()));
+            }
+        }
+        for (line, text) in pragma_texts {
+            self.parse_pragma(line, &text);
+        }
+        self.hot_unmatched.extend(hot_stack);
+
+        // SAFETY coverage propagates down an unbroken run of comment lines
+        // starting at the annotation, so a long explanation above an unsafe
+        // block still counts.
+        let mut covered = vec![false; max_line as usize + 2];
+        let comment_set: std::collections::HashSet<u32> = comment_lines.into_iter().collect();
+        for line in safety_lines {
+            covered[line as usize] = true;
+        }
+        for line in 1..covered.len() {
+            if !covered[line] && comment_set.contains(&(line as u32)) && covered[line - 1] {
+                covered[line] = true;
+            }
+        }
+        self.safety_covered = covered;
+    }
+
+    /// Parses one suppression pragma, recording it or the reason it is
+    /// malformed.  Prose mentions of the pragma keyword without an opening
+    /// parenthesis are ignored (docs talk about the syntax; only the
+    /// parenthesized form is a suppression).
+    fn parse_pragma(&mut self, line: u32, text: &str) {
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            return;
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            return;
+        };
+        let Some(close) = rest.find(')') else {
+            self.bad_pragmas
+                .push((line, "unterminated rule name in `lint:allow(`".to_owned()));
+            return;
+        };
+        let rule = rest[..close].trim().to_owned();
+        if rule.is_empty() {
+            self.bad_pragmas
+                .push((line, "empty rule name in `lint:allow()`".to_owned()));
+            return;
+        }
+        let after = &rest[close + 1..];
+        let has_reason = after
+            .strip_prefix(':')
+            .is_some_and(|reason| !reason.trim().is_empty());
+        if !has_reason {
+            self.bad_pragmas.push((
+                line,
+                format!("`lint:allow({rule})` needs a reason: `lint:allow({rule}): <why>`"),
+            ));
+        }
+        self.pragmas.push(Pragma {
+            line,
+            rule,
+            has_reason,
+        });
+    }
+
+    /// Finds `#[cfg(test)]`-gated items by walking the comment-free token
+    /// stream: after a matching attribute, the next top-level `{ ... }`
+    /// group (skipping further attributes and the item header) is a test
+    /// region; a `;` before any `{` means the item has no body.
+    fn scan_test_regions(&mut self) {
+        let code = &self.code;
+        let mut i = 0;
+        while i < code.len() {
+            if !(is_punct(code.get(i), '#') && is_punct(code.get(i + 1), '[')) {
+                i += 1;
+                continue;
+            }
+            let Some(attr_end) = matching_bracket(code, i + 1) else {
+                break;
+            };
+            if !attr_is_cfg_test(&code[i + 2..attr_end]) {
+                i = attr_end + 1;
+                continue;
+            }
+            // Scan forward for the item body, skipping nested (), []
+            // groups in the header (parameter lists, array types).
+            let mut j = attr_end + 1;
+            let mut nest = 0i32;
+            while j < code.len() {
+                match code[j].kind {
+                    TokenKind::Punct('(' | '[') => nest += 1,
+                    TokenKind::Punct(')' | ']') => nest -= 1,
+                    TokenKind::Punct(';') if nest == 0 => break,
+                    TokenKind::Punct('{') if nest == 0 => {
+                        if let Some(body_end) = matching_bracket(code, j) {
+                            self.test_regions.push((code[i].line, code[body_end].line));
+                            j = body_end;
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+    }
+}
+
+/// Whether the attribute tokens (the slice between `#[` and `]`) are a
+/// `cfg(...)` whose predicate mentions the bare `test` flag.
+fn attr_is_cfg_test(attr: &[Token]) -> bool {
+    is_ident(attr.first(), "cfg") && attr.iter().any(|t| is_ident(Some(t), "test"))
+}
+
+/// Whether the token is the given punctuation character.
+#[must_use]
+pub fn is_punct(token: Option<&Token>, ch: char) -> bool {
+    matches!(token, Some(t) if t.kind == TokenKind::Punct(ch))
+}
+
+/// Whether the token is the given identifier.
+#[must_use]
+pub fn is_ident(token: Option<&Token>, name: &str) -> bool {
+    matches!(token, Some(t) if matches!(&t.kind, TokenKind::Ident(s) if s == name))
+}
+
+/// Index of the bracket closing the one at `open` (handles `()`, `[]`,
+/// `{}` uniformly), or `None` when unbalanced.
+#[must_use]
+pub fn matching_bracket(code: &[Token], open: usize) -> Option<usize> {
+    let (open_ch, close_ch) = match code.get(open).map(|t| &t.kind) {
+        Some(TokenKind::Punct('(')) => ('(', ')'),
+        Some(TokenKind::Punct('[')) => ('[', ']'),
+        Some(TokenKind::Punct('{')) => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (i, token) in code.iter().enumerate().skip(open) {
+        match token.kind {
+            TokenKind::Punct(c) if c == open_ch => depth += 1,
+            TokenKind::Punct(c) if c == close_ch => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_regions_cover_module_bodies() {
+        let src = SourceFile::parse(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n",
+        );
+        assert!(!src.in_test(1));
+        assert!(src.in_test(4));
+        assert!(!src.in_test(6));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_cfg_unix_does_not() {
+        let src = SourceFile::parse(
+            "x.rs",
+            "#[cfg(all(test, unix))]\nmod tests { fn t() {} }\n#[cfg(unix)]\nmod live { fn f() {} }\n",
+        );
+        assert!(src.in_test(2));
+        assert!(!src.in_test(4));
+    }
+
+    #[test]
+    fn safety_coverage_spans_comment_blocks() {
+        let src = SourceFile::parse(
+            "x.rs",
+            "// SAFETY: a long explanation\n// that keeps going\n// and going\n// and going\nlet x = unsafe { f() };\n",
+        );
+        assert!(src.safety_covered(5));
+    }
+
+    #[test]
+    fn safety_coverage_does_not_leak_across_code() {
+        let src = SourceFile::parse(
+            "x.rs",
+            "// SAFETY: for the first site\nlet a = unsafe { f() };\nlet b = 1;\nlet c = 2;\nlet d = 3;\nlet e = unsafe { g() };\n",
+        );
+        assert!(src.safety_covered(2));
+        assert!(!src.safety_covered(6));
+    }
+
+    #[test]
+    fn pragmas_parse_and_demand_reasons() {
+        let src = SourceFile::parse(
+            "x.rs",
+            "// lint:allow(no-panic-paths): index bounded by construction\nx();\n// lint:allow(no-panic-paths)\ny();\n",
+        );
+        assert!(src.allowed("no-panic-paths", 2));
+        assert!(
+            !src.allowed("no-panic-paths", 4),
+            "reason-less pragma is inert"
+        );
+        assert_eq!(src.bad_pragmas.len(), 1);
+    }
+
+    #[test]
+    fn hot_loop_markers_pair_up() {
+        let src = SourceFile::parse(
+            "x.rs",
+            "// lint:hot-loop-start\nloop {}\n// lint:hot-loop-end\n// lint:hot-loop-end\n",
+        );
+        assert_eq!(src.hot_regions, vec![(1, 3)]);
+        assert_eq!(src.hot_unmatched, vec![4]);
+    }
+}

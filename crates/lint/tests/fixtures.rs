@@ -1,0 +1,65 @@
+//! Self-test: every committed fixture behaves as its `good_`/`bad_`
+//! file-name prefix demands, and all six shipped rules have a pair.
+
+use std::path::Path;
+
+const RULES: [&str; 6] = [
+    "unsafe-needs-safety",
+    "atomic-ordering",
+    "no-panic-paths",
+    "hot-loop-alloc",
+    "lock-across-io",
+    "nondeterminism",
+];
+
+#[test]
+fn fixtures_behave_as_labelled() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let outcomes = micrograd_lint::run_fixtures(&dir).expect("fixture dir readable");
+    for outcome in &outcomes {
+        assert!(outcome.passed, "{}: {}", outcome.name, outcome.detail);
+    }
+    for rule in RULES {
+        let bad = outcomes
+            .iter()
+            .filter(|o| o.rule == rule && o.name.starts_with("bad_"))
+            .count();
+        let good = outcomes
+            .iter()
+            .filter(|o| o.rule == rule && o.name.starts_with("good_"))
+            .count();
+        assert!(
+            bad >= 1 && good >= 1,
+            "rule `{rule}` needs at least one bad and one good fixture \
+             (found {bad} bad, {good} good)"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_fail_a_plain_check() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut saw_bad = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixture dir readable") {
+        let path = entry.expect("fixture entry").path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !name.starts_with("bad_") || !name.ends_with(".rs") {
+            continue;
+        }
+        saw_bad += 1;
+        let rule = name
+            .trim_start_matches("bad_")
+            .trim_end_matches(".rs")
+            .replace('_', "-");
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let findings = micrograd_lint::check_source(&format!("fixtures/{name}"), &text, true);
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{name}: expected a `{rule}` finding, got {findings:?}"
+        );
+    }
+    assert_eq!(saw_bad, RULES.len(), "one bad fixture per rule");
+}

@@ -1,0 +1,30 @@
+//! Fixture: orderings that violate the module policy.  In fixture mode
+//! receivers named `counter` get the all-Relaxed counter policy; every
+//! other field falls back to the publication-grade default.
+
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{Relaxed, Release},
+};
+
+struct Table {
+    head: AtomicU64,
+    counter: AtomicU64,
+}
+
+impl Table {
+    fn observe(&self) -> u64 {
+        // A plain statistics counter must stay Relaxed.
+        self.counter.fetch_add(1, Release);
+        // A published pointer-like field must be acquired before use.
+        self.head.load(Relaxed)
+    }
+}
+
+fn main() {
+    let t = Table {
+        head: AtomicU64::new(0),
+        counter: AtomicU64::new(0),
+    };
+    let _ = t.observe();
+}

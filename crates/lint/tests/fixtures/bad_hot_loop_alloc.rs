@@ -1,0 +1,12 @@
+//! Fixture: allocation inside a marker-delimited hot region.
+
+fn main() {
+    let mut total = 0usize;
+    // lint:hot-loop-start
+    for i in 0..1024u64 {
+        let s = i.to_string();
+        total += s.len();
+    }
+    // lint:hot-loop-end
+    assert!(total > 0);
+}

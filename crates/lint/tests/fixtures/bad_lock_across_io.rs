@@ -1,0 +1,17 @@
+//! Fixture: a `let`-bound mutex guard held across file I/O.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+fn append(log: &Mutex<u64>, file: &mut std::fs::File) -> std::io::Result<()> {
+    let mut guard = log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard += 1;
+    file.write_all(b"tick\n")?;
+    Ok(())
+}
+
+fn main() {
+    let log = Mutex::new(0);
+    let mut file = std::fs::File::create("/dev/null").unwrap_or_else(|_| std::process::exit(1));
+    let _ = append(&log, &mut file);
+}

@@ -1,0 +1,16 @@
+//! Fixture: panicking idioms on a service path — `unwrap`, `expect`,
+//! `panic!`, and bare slice indexing.
+
+fn first(v: &[u8]) -> u8 {
+    let a = v.first().copied().unwrap();
+    let b = v.last().copied().expect("non-empty");
+    let c = v[0];
+    if a != b && a != c {
+        panic!("inconsistent");
+    }
+    a
+}
+
+fn main() {
+    let _ = first(&[1, 2, 3]);
+}

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock reads on an evaluation path.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let stamp = std::time::SystemTime::now();
+    let _ = (started, stamp);
+}

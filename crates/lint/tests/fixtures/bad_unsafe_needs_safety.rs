@@ -1,0 +1,8 @@
+//! Fixture: an `unsafe` block with no `// SAFETY:` comment above it.
+
+fn main() {
+    let x: u64 = 7;
+    let p = &x as *const u64;
+    let v = unsafe { *p };
+    assert_eq!(v, 7);
+}

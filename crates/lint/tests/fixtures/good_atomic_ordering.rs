@@ -1,0 +1,29 @@
+//! Fixture: orderings that satisfy the module policy — Relaxed counters,
+//! Acquire/Release publication, AcqRel read-modify-write.
+
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
+};
+
+struct Table {
+    head: AtomicU64,
+    counter: AtomicU64,
+}
+
+impl Table {
+    fn observe(&self) -> u64 {
+        self.counter.fetch_add(1, Relaxed);
+        self.head.store(1, Release);
+        self.head.swap(2, AcqRel);
+        self.head.load(Acquire)
+    }
+}
+
+fn main() {
+    let t = Table {
+        head: AtomicU64::new(0),
+        counter: AtomicU64::new(0),
+    };
+    let _ = t.observe();
+}

@@ -1,0 +1,16 @@
+//! Fixture: the buffer is hoisted out of the region; the loop itself
+//! only does arithmetic and in-place writes.
+
+fn main() {
+    let mut scratch = vec![0u64; 1024];
+    let mut total = 0u64;
+    // lint:hot-loop-start
+    for i in 0..1024usize {
+        if let Some(slot) = scratch.get_mut(i) {
+            *slot = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            total = total.wrapping_add(*slot);
+        }
+    }
+    // lint:hot-loop-end
+    assert!(total > 0);
+}

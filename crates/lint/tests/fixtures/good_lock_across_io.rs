@@ -1,0 +1,30 @@
+//! Fixture: the critical section ends (explicit `drop`, or a scoped
+//! block) before any I/O happens.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+fn append(log: &Mutex<u64>, file: &mut std::fs::File) -> std::io::Result<()> {
+    let mut guard = log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard += 1;
+    drop(guard);
+    file.write_all(b"tick\n")?;
+    Ok(())
+}
+
+fn scoped(log: &Mutex<u64>, file: &mut std::fs::File) -> std::io::Result<()> {
+    {
+        let mut guard = log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *guard += 1;
+    }
+    file.write_all(b"tock\n")?;
+    Ok(())
+}
+
+fn main() {
+    let log = Mutex::new(0);
+    if let Ok(mut file) = std::fs::File::create("/dev/null") {
+        let _ = append(&log, &mut file);
+        let _ = scoped(&log, &mut file);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: the same accesses written fallibly — `.get()` with a
+//! fallback instead of indexing, `unwrap_or` instead of `unwrap`.
+
+fn first(v: &[u8]) -> u8 {
+    let a = v.first().copied().unwrap_or(0);
+    let b = v.get(v.len().saturating_sub(1)).copied().unwrap_or(0);
+    a.max(b)
+}
+
+fn main() {
+    let _ = first(&[1, 2, 3]);
+}

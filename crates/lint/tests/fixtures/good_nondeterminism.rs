@@ -1,0 +1,16 @@
+//! Fixture: all randomness flows from an explicit seed; no clocks, no
+//! ambient entropy.
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let mut seed = 0xdead_beef_u64;
+    let draws: Vec<u64> = (0..4).map(|_| splitmix(&mut seed)).collect();
+    assert_eq!(draws.len(), 4);
+}

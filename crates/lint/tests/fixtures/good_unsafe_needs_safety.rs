@@ -1,0 +1,10 @@
+//! Fixture: the same `unsafe` block, documented.
+
+fn main() {
+    let x: u64 = 7;
+    let p = &x as *const u64;
+    // SAFETY: `p` points at a live, initialized local that outlives this
+    // read; no aliasing mutation happens between creation and deref.
+    let v = unsafe { *p };
+    assert_eq!(v, 7);
+}

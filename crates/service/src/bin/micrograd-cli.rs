@@ -69,8 +69,8 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
             "--addr" => {
                 addr = args
                     .get(i + 1)
@@ -83,7 +83,7 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
                 return Ok(());
             }
             _ => {
-                rest.push(args[i].clone());
+                rest.push(arg.clone());
                 i += 1;
             }
         }
@@ -105,8 +105,8 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
             let mut wait = false;
             let mut timeout = Duration::from_secs(600);
             let mut j = 2;
-            while j < rest.len() {
-                match rest[j].as_str() {
+            while let Some(flag) = rest.get(j).map(String::as_str) {
+                match flag {
                     "--priority" => {
                         priority = rest
                             .get(j + 1)

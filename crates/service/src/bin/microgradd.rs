@@ -27,6 +27,9 @@ mod signals {
     static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
     type SigHandler = extern "C" fn(i32);
+    // SAFETY: `signal(2)` is in every libc this daemon links against, and
+    // the declared signature (int, handler-pointer) -> previous-handler
+    // matches the C prototype ABI-wise on the supported 64-bit targets.
     unsafe extern "C" {
         fn signal(signum: i32, handler: SigHandler) -> isize;
     }
@@ -41,6 +44,9 @@ mod signals {
     /// `pipe`.
     pub fn install(pipe: &WakePipe) {
         WAKE_FD.store(pipe.write_end(), Ordering::Relaxed);
+        // SAFETY: `on_signal` is async-signal-safe (one relaxed load, one
+        // nonblocking write(2), no allocation or locking), and WAKE_FD is
+        // stored before the handlers that read it are installed.
         unsafe {
             signal(2, on_signal);
             signal(15, on_signal);
@@ -73,8 +79,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
         ..ServerConfig::default()
     };
     let mut i = 0;
-    while i < args.len() {
-        let flag = args[i].as_str();
+    while let Some(flag) = args.get(i).map(String::as_str) {
         let value = |i: usize| {
             args.get(i + 1)
                 .cloned()

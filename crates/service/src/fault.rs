@@ -178,10 +178,12 @@ impl FaultPlan {
     #[must_use]
     pub fn with_fault(self, site: FaultSite, rate: f64, max_injections: u64) -> Self {
         let mut rules = self.inner.rules;
-        rules[site.index()] = Some(FaultRule {
-            rate: rate.clamp(0.0, 1.0),
-            max_injections,
-        });
+        if let Some(slot) = rules.get_mut(site.index()) {
+            *slot = Some(FaultRule {
+                rate: rate.clamp(0.0, 1.0),
+                max_injections,
+            });
+        }
         FaultPlan::from_parts(self.inner.seed, rules, self.inner.write_delay)
     }
 
@@ -211,15 +213,20 @@ impl FaultPlan {
     #[must_use]
     pub fn should_inject(&self, site: FaultSite) -> bool {
         let i = site.index();
-        let Some(rule) = self.inner.rules[i] else {
+        let Some(rule) = self.inner.rules.get(i).copied().flatten() else {
             return false;
         };
-        let op = self.inner.ops[i].fetch_add(1, Ordering::Relaxed);
+        let Some(ops) = self.inner.ops.get(i) else {
+            return false;
+        };
+        let op = ops.fetch_add(1, Ordering::Relaxed);
         if !fires(self.inner.seed, i as u64, op, rule.rate) {
             return false;
         }
         // Charge the injection budget; once exhausted the site goes quiet.
-        let injected = &self.inner.injected[i];
+        let Some(injected) = self.inner.injected.get(i) else {
+            return false;
+        };
         let mut current = injected.load(Ordering::Relaxed);
         loop {
             if current >= rule.max_injections {
@@ -258,7 +265,10 @@ impl FaultPlan {
     /// Faults injected so far at `site`.
     #[must_use]
     pub fn injections(&self, site: FaultSite) -> u64 {
-        self.inner.injected[site.index()].load(Ordering::Relaxed)
+        self.inner
+            .injected
+            .get(site.index())
+            .map_or(0, |count| count.load(Ordering::Relaxed))
     }
 
     /// Faults injected so far across all sites.
@@ -270,7 +280,10 @@ impl FaultPlan {
     /// Operations observed so far at `site` (faulted or not).
     #[must_use]
     pub fn operations(&self, site: FaultSite) -> u64 {
-        self.inner.ops[site.index()].load(Ordering::Relaxed)
+        self.inner
+            .ops
+            .get(site.index())
+            .map_or(0, |count| count.load(Ordering::Relaxed))
     }
 }
 

@@ -69,6 +69,7 @@ pub mod reactor;
 pub mod scheduler;
 pub mod server;
 pub mod store;
+pub(crate) mod sync;
 #[cfg(test)]
 mod testutil;
 

@@ -339,7 +339,8 @@ impl LineDecoder {
         self.buf.extend_from_slice(bytes);
         // Overflow only when no newline can ever complete the line within
         // budget; complete lines still buffered just await `next_line`.
-        if self.buf.len() > self.max_line && !self.buf[self.scanned..].contains(&b'\n') {
+        let unscanned = self.buf.get(self.scanned..).unwrap_or(&[]);
+        if self.buf.len() > self.max_line && !unscanned.contains(&b'\n') {
             self.overflowed = true;
             return false;
         }
@@ -351,13 +352,16 @@ impl LineDecoder {
     /// rejected later as malformed JSON rather than corrupting the
     /// session.  Returns `None` until a full line is buffered.
     pub fn next_line(&mut self) -> Option<String> {
-        let pos = self.buf[self.scanned..]
+        let pos = self
+            .buf
+            .get(self.scanned..)
+            .unwrap_or(&[])
             .iter()
             .position(|b| *b == b'\n')
             .map(|p| p + self.scanned);
         match pos {
             Some(pos) => {
-                let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+                let line = String::from_utf8_lossy(self.buf.get(..pos).unwrap_or(&[])).into_owned();
                 self.buf.drain(..=pos);
                 self.scanned = 0;
                 Some(line)

@@ -106,6 +106,9 @@ mod sys {
 
     mod ffi {
         use super::{NfdsT, PollFd};
+        // SAFETY: declarations match the libc prototypes exactly (POSIX
+        // poll/pipe/fcntl/read/write/close); `PollFd` is `#[repr(C)]` and
+        // layout-identical to `struct pollfd`, `NfdsT` matches `nfds_t`.
         unsafe extern "C" {
             pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
             pub fn pipe(fds: *mut i32) -> i32;
@@ -120,6 +123,8 @@ mod sys {
     /// (`-1` blocks forever).  Returns the number of ready fds.
     pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
         #[allow(clippy::cast_possible_truncation)]
+        // SAFETY: `fds` is a live, exclusively-borrowed slice, so the
+        // pointer is valid for `fds.len()` entries for the whole call.
         let rc = unsafe { ffi::poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
         if rc < 0 {
             Err(std::io::Error::last_os_error())
@@ -134,23 +139,31 @@ mod sys {
     /// drains without blocking the event loop.
     pub fn pipe_nonblocking() -> std::io::Result<(i32, i32)> {
         let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a stack array of exactly two `i32`s, the shape
+        // `pipe(2)` requires; the pointer is valid for the whole call.
         if unsafe { ffi::pipe(fds.as_mut_ptr()) } != 0 {
             return Err(std::io::Error::last_os_error());
         }
-        for fd in fds {
+        let [read_end, write_end] = fds;
+        for fd in [read_end, write_end] {
+            // SAFETY: `fd` was just returned by a successful `pipe(2)`, so
+            // it is open and owned here; F_GETFL/F_SETFL take no pointers.
             let flags = unsafe { ffi::fcntl(fd, F_GETFL) };
+            // SAFETY: same open fd; F_SETFL with an integer flag argument.
             if flags < 0 || unsafe { ffi::fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
                 let e = std::io::Error::last_os_error();
-                close_fd(fds[0]);
-                close_fd(fds[1]);
+                close_fd(read_end);
+                close_fd(write_end);
                 return Err(e);
             }
         }
-        Ok((fds[0], fds[1]))
+        Ok((read_end, write_end))
     }
 
     /// Nonblocking read from a raw fd.
     pub fn read_fd(fd: i32, buf: &mut [u8]) -> std::io::Result<usize> {
+        // SAFETY: `buf` is a live, exclusively-borrowed slice; the kernel
+        // writes at most `buf.len()` bytes into it.
         let n = unsafe { ffi::read(fd, buf.as_mut_ptr(), buf.len()) };
         if n < 0 {
             Err(std::io::Error::last_os_error())
@@ -161,6 +174,8 @@ mod sys {
 
     /// Write to a raw fd; a single syscall, async-signal-safe.
     pub fn write_fd(fd: i32, buf: &[u8]) -> std::io::Result<usize> {
+        // SAFETY: `buf` is a live borrowed slice; the kernel reads at most
+        // `buf.len()` bytes from it and never writes through the pointer.
         let n = unsafe { ffi::write(fd, buf.as_ptr(), buf.len()) };
         if n < 0 {
             Err(std::io::Error::last_os_error())
@@ -171,6 +186,8 @@ mod sys {
 
     /// Closes a raw fd, ignoring errors.
     pub fn close_fd(fd: i32) {
+        // SAFETY: takes no pointers; closing an already-closed fd only
+        // yields EBADF, which is deliberately ignored.
         let _ = unsafe { ffi::close(fd) };
     }
 }
@@ -399,7 +416,7 @@ impl WorkQueue {
     }
 
     pub fn push(&self, item: WorkItem) {
-        let mut state = self.state.lock().expect("work queue poisoned");
+        let mut state = crate::sync::lock_or_recover(&self.state);
         if state.stopped {
             return;
         }
@@ -410,7 +427,7 @@ impl WorkQueue {
     /// Blocks for the next item; `None` once stopped *and* drained, so
     /// every accepted request is still answered during a shutdown.
     pub fn pop(&self) -> Option<WorkItem> {
-        let mut state = self.state.lock().expect("work queue poisoned");
+        let mut state = crate::sync::lock_or_recover(&self.state);
         loop {
             if let Some(item) = state.queue.pop_front() {
                 return Some(item);
@@ -418,12 +435,12 @@ impl WorkQueue {
             if state.stopped {
                 return None;
             }
-            state = self.available.wait(state).expect("work queue poisoned");
+            state = crate::sync::wait_or_recover(&self.available, state);
         }
     }
 
     pub fn stop(&self) {
-        let mut state = self.state.lock().expect("work queue poisoned");
+        let mut state = crate::sync::lock_or_recover(&self.state);
         state.stopped = true;
         drop(state);
         self.available.notify_all();
@@ -449,18 +466,18 @@ pub(crate) struct Inbox {
 
 impl Inbox {
     pub fn push_result(&self, token: usize, gen: u64, seq: u64, outcome: HandlerOutcome) {
-        let mut queues = self.queues.lock().expect("inbox poisoned");
+        let mut queues = crate::sync::lock_or_recover(&self.queues);
         queues.results.push((token, gen, seq, outcome));
     }
 
     pub fn push_completion(&self, job: u64, state: JobState) {
-        let mut queues = self.queues.lock().expect("inbox poisoned");
+        let mut queues = crate::sync::lock_or_recover(&self.queues);
         queues.completions.push((job, state));
     }
 
     #[allow(clippy::type_complexity)]
     pub fn take(&self) -> (Vec<(usize, u64, u64, HandlerOutcome)>, Vec<(u64, JobState)>) {
-        let mut queues = self.queues.lock().expect("inbox poisoned");
+        let mut queues = crate::sync::lock_or_recover(&self.queues);
         (
             std::mem::take(&mut queues.results),
             std::mem::take(&mut queues.completions),
@@ -558,7 +575,8 @@ impl Connection {
                 // flushes.  The client sees a dropped connection and
                 // must reconnect and resubmit (idempotent via dedup).
                 let cut = line.len() / 2;
-                self.out.extend_from_slice(&line.as_bytes()[..cut]);
+                self.out
+                    .extend_from_slice(line.as_bytes().get(..cut).unwrap_or_default());
                 self.read_closed = true;
                 self.close_after_flush = true;
                 self.pending.clear();
@@ -578,7 +596,10 @@ impl Connection {
     /// connection is dead.
     fn try_flush(&mut self) -> bool {
         while self.out_pos < self.out.len() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+            let Some(unsent) = self.out.get(self.out_pos..) else {
+                break;
+            };
+            match self.stream.write(unsent) {
                 Ok(0) => return false,
                 Ok(n) => self.out_pos += n,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -609,7 +630,7 @@ impl Connection {
                     break;
                 }
                 Ok(n) => {
-                    if !self.decoder.push(&buf[..n]) {
+                    if !self.decoder.push(buf.get(..n).unwrap_or_default()) {
                         // A line that can never complete within budget:
                         // answer once (jumping any queued responses — a
                         // protocol-violating peer forfeits ordering)
@@ -655,16 +676,16 @@ impl Slab {
         let gen = self.next_gen;
         self.next_gen += 1;
         let conn = Connection::new(stream, gen);
-        match self.free.pop() {
-            Some(token) => {
-                self.slots[token] = Some(conn);
-                token
-            }
-            None => {
-                self.slots.push(Some(conn));
-                self.slots.len() - 1
+        if let Some(token) = self.free.pop() {
+            // A free-list token always names an existing vacant slot; if
+            // the list is ever corrupt, fall through and append instead.
+            if let Some(slot) = self.slots.get_mut(token) {
+                *slot = Some(conn);
+                return token;
             }
         }
+        self.slots.push(Some(conn));
+        self.slots.len() - 1
     }
 
     fn get_mut(&mut self, token: usize) -> Option<&mut Connection> {
@@ -991,8 +1012,8 @@ impl EventLoop<'_> {
         for (job, state) in completions {
             for (_, conn) in self.conns.iter_mut() {
                 let mut i = 0;
-                while i < conn.watches.len() {
-                    if conn.watches[i].job == job {
+                while let Some(entry) = conn.watches.get(i) {
+                    if entry.job == job {
                         let watch = conn.watches.swap_remove(i);
                         conn.fill(
                             watch.seq,
@@ -1017,8 +1038,8 @@ impl EventLoop<'_> {
     fn expire_watches(&mut self, now: Instant) {
         for (_, conn) in self.conns.iter_mut() {
             let mut i = 0;
-            while i < conn.watches.len() {
-                if conn.watches[i].deadline.is_some_and(|d| d <= now) {
+            while let Some(entry) = conn.watches.get(i) {
+                if entry.deadline.is_some_and(|d| d <= now) {
                     let watch = conn.watches.swap_remove(i);
                     let line = match self.shared.scheduler.status(watch.job) {
                         Some(state) => status_line(watch.job, &state),

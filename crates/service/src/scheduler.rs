@@ -17,6 +17,7 @@
 use crate::fault::FaultSite;
 use crate::protocol::{JobState, JobSummary, ReactorStats, ServerStats};
 use crate::store::{platform_key, ResultStore};
+use crate::sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 use micrograd_core::{
     CacheStats, CancelToken, FrameworkConfig, FrameworkOutput, MicroGrad, MicroGradError,
 };
@@ -197,10 +198,7 @@ struct SchedulerInner {
 
 impl SchedulerInner {
     fn hook(&self) -> Option<TerminalHook> {
-        self.terminal_hook
-            .lock()
-            .expect("terminal hook poisoned")
-            .clone()
+        lock_or_recover(&self.terminal_hook).clone()
     }
 }
 
@@ -295,7 +293,7 @@ impl Scheduler {
         // Failed jobs do not absorb resubmissions — a retry is a fresh
         // execution.
         {
-            let mut state = inner.state.lock().expect("scheduler state poisoned");
+            let mut state = lock_or_recover(&inner.state);
             if state.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
@@ -314,7 +312,7 @@ impl Scheduler {
         // parse must not stall status/fetch polls or the worker pool.
         let stored = inner.store.load_report(&config);
 
-        let mut state = inner.state.lock().expect("scheduler state poisoned");
+        let mut state = lock_or_recover(&inner.state);
         if state.shutdown {
             state.counters.submitted -= 1;
             return Err(SubmitError::ShuttingDown);
@@ -334,9 +332,10 @@ impl Scheduler {
         // moot and the token is left inert.
         if let Some(output) = stored {
             let job = state.admit(config, fingerprint, priority, None);
-            let record = state.jobs.get_mut(&job).expect("record just admitted");
-            record.state = JobState::Done;
-            record.output = Some(output);
+            if let Some(record) = state.jobs.get_mut(&job) {
+                record.state = JobState::Done;
+                record.output = Some(output);
+            }
             state.counters.store_hits += 1;
             state.counters.completed += 1;
             let hook = inner.hook();
@@ -374,14 +373,14 @@ impl Scheduler {
     /// The current state of a job, if it exists.
     #[must_use]
     pub fn status(&self, job: u64) -> Option<JobState> {
-        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        let state = lock_or_recover(&self.inner.state);
         state.jobs.get(&job).map(|record| record.state.clone())
     }
 
     /// The completed report of a job.
     #[must_use]
     pub fn fetch(&self, job: u64) -> FetchResult {
-        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        let state = lock_or_recover(&self.inner.state);
         match state.jobs.get(&job) {
             None => FetchResult::NotFound,
             Some(record) => match &record.output {
@@ -394,7 +393,7 @@ impl Scheduler {
     /// Summaries of every known job, ordered by id.
     #[must_use]
     pub fn list(&self) -> Vec<JobSummary> {
-        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        let state = lock_or_recover(&self.inner.state);
         let mut jobs: Vec<JobSummary> = state.jobs.values().map(JobRecord::summary).collect();
         jobs.sort_by_key(|summary| summary.job);
         jobs
@@ -406,7 +405,7 @@ impl Scheduler {
         // Count stored reports (a directory scan for disk stores) before
         // taking the lock — the same discipline as submit's store probe.
         let stored_reports = self.inner.store.report_count();
-        let state = self.inner.state.lock().expect("scheduler state poisoned");
+        let state = lock_or_recover(&self.inner.state);
         ServerStats {
             jobs_submitted: state.counters.submitted,
             jobs_deduped: state.counters.deduped,
@@ -433,7 +432,7 @@ impl Scheduler {
     #[must_use]
     pub fn wait(&self, job: u64, timeout: Duration) -> Option<JobState> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.inner.state.lock().expect("scheduler state poisoned");
+        let mut state = lock_or_recover(&self.inner.state);
         loop {
             let current = state.jobs.get(&job)?.state.clone();
             if current.is_terminal() {
@@ -443,11 +442,7 @@ impl Scheduler {
             if now >= deadline {
                 return Some(current);
             }
-            let (next, _) = self
-                .inner
-                .job_done
-                .wait_timeout(state, deadline - now)
-                .expect("scheduler state poisoned");
+            let (next, _) = wait_timeout_or_recover(&self.inner.job_done, state, deadline - now);
             state = next;
         }
     }
@@ -459,7 +454,7 @@ impl Scheduler {
     /// want inline, deterministic scheduling.
     pub fn step(&self) -> bool {
         let job = {
-            let mut state = self.inner.state.lock().expect("scheduler state poisoned");
+            let mut state = lock_or_recover(&self.inner.state);
             match pop_job(&self.inner, &mut state) {
                 Some(job) => job,
                 None => return false,
@@ -476,7 +471,7 @@ impl Scheduler {
     /// list / stats) keep being served.  Non-blocking;
     /// [`shutdown`](Self::shutdown) additionally joins the workers.
     pub fn begin_shutdown(&self) {
-        let mut state = self.inner.state.lock().expect("scheduler state poisoned");
+        let mut state = lock_or_recover(&self.inner.state);
         state.shutdown = true;
         self.inner.work_ready.notify_all();
     }
@@ -489,7 +484,7 @@ impl Scheduler {
             return;
         }
         self.begin_shutdown();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        let workers = std::mem::take(&mut *lock_or_recover(&self.workers));
         for worker in workers {
             let _ = worker.join();
         }
@@ -508,11 +503,7 @@ impl Scheduler {
     /// not call back into the scheduler.  The server uses it to wake the
     /// event loop and resolve pending `watch` requests without polling.
     pub fn set_terminal_hook(&self, hook: TerminalHook) {
-        *self
-            .inner
-            .terminal_hook
-            .lock()
-            .expect("terminal hook poisoned") = Some(hook);
+        *lock_or_recover(&self.inner.terminal_hook) = Some(hook);
     }
 }
 
@@ -553,7 +544,9 @@ impl SchedState {
         }
         self.terminal_order.push_back(job);
         while self.terminal_order.len() > retain {
-            let evicted = self.terminal_order.pop_front().expect("len checked");
+            let Some(evicted) = self.terminal_order.pop_front() else {
+                break;
+            };
             if let Some(record) = self.jobs.remove(&evicted) {
                 if let Some(ids) = self.by_fingerprint.get_mut(&record.fingerprint) {
                     ids.retain(|id| *id != evicted);
@@ -605,14 +598,13 @@ impl SchedState {
 fn pop_job(inner: &SchedulerInner, state: &mut SchedState) -> Option<u64> {
     loop {
         let entry = state.queue.pop()?;
-        let expired = state
-            .jobs
-            .get(&entry.job)
-            .expect("queued job exists")
-            .cancel
-            .is_cancelled();
-        if expired {
-            let record = state.jobs.get_mut(&entry.job).expect("queued job exists");
+        // A queue entry whose record has vanished is stale (only terminal
+        // records are ever evicted, and a queued job is not terminal); skip
+        // it rather than trust the invariant with a panic.
+        let Some(record) = state.jobs.get_mut(&entry.job) else {
+            continue;
+        };
+        if record.cancel.is_cancelled() {
             record.state = JobState::TimedOut;
             state.counters.timed_out += 1;
             let hook = inner.hook();
@@ -620,10 +612,9 @@ fn pop_job(inner: &SchedulerInner, state: &mut SchedState) -> Option<u64> {
             inner.job_done.notify_all();
             continue;
         }
+        record.state = JobState::Running;
         state.running += 1;
         state.counters.executions += 1;
-        let record = state.jobs.get_mut(&entry.job).expect("queued job exists");
-        record.state = JobState::Running;
         return Some(entry.job);
     }
 }
@@ -631,7 +622,7 @@ fn pop_job(inner: &SchedulerInner, state: &mut SchedState) -> Option<u64> {
 fn worker_loop(inner: &SchedulerInner) {
     loop {
         let job = {
-            let mut state = inner.state.lock().expect("scheduler state poisoned");
+            let mut state = lock_or_recover(&inner.state);
             loop {
                 if state.shutdown {
                     return;
@@ -639,10 +630,7 @@ fn worker_loop(inner: &SchedulerInner) {
                 if let Some(job) = pop_job(inner, &mut state) {
                     break job;
                 }
-                state = inner
-                    .work_ready
-                    .wait(state)
-                    .expect("scheduler state poisoned");
+                state = wait_or_recover(&inner.work_ready, state);
             }
         };
         execute_job(inner, job);
@@ -658,8 +646,14 @@ fn worker_loop(inner: &SchedulerInner) {
 /// job `Running` forever.
 fn execute_job(inner: &SchedulerInner, job: u64) {
     let (config, cancel) = {
-        let state = inner.state.lock().expect("scheduler state poisoned");
-        let record = state.jobs.get(&job).expect("running job exists");
+        let mut state = lock_or_recover(&inner.state);
+        let Some(record) = state.jobs.get(&job) else {
+            // The record vanished between pop and execute (running jobs are
+            // never evicted, so this is unreachable today); give the worker
+            // slot back and run nothing.
+            state.running = state.running.saturating_sub(1);
+            return;
+        };
         (record.config.clone(), record.cancel.clone())
     };
 
@@ -670,6 +664,7 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
             .fault_plan()
             .should_inject(FaultSite::WorkerPanic)
         {
+            // lint:allow(no-panic-paths): deliberate WorkerPanic fault injection, caught by the catch_unwind fence below
             panic!(
                 "{}",
                 inner.store.fault_plan().io_error(FaultSite::WorkerPanic)
@@ -696,9 +691,14 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
         (result, platform.cache_stats())
     }));
 
-    let mut state = inner.state.lock().expect("scheduler state poisoned");
-    state.running -= 1;
-    let record = state.jobs.get_mut(&job).expect("running job exists");
+    let mut state = lock_or_recover(&inner.state);
+    state.running = state.running.saturating_sub(1);
+    let Some(record) = state.jobs.get_mut(&job) else {
+        // Evicted mid-run (unreachable today); still wake any waiters so a
+        // `wait` on the vanished id re-checks and returns `None`.
+        inner.job_done.notify_all();
+        return;
+    };
     match outcome {
         Ok((result, cache_stats)) => {
             match result {

@@ -97,7 +97,7 @@ impl ShutdownSignal {
 
     fn trigger(&self) {
         self.requested.store(true, Ordering::SeqCst);
-        let _guard = self.lock.lock().expect("shutdown signal poisoned");
+        let _guard = crate::sync::lock_or_recover(&self.lock);
         self.condvar.notify_all();
     }
 
@@ -106,9 +106,9 @@ impl ShutdownSignal {
     }
 
     fn wait(&self) {
-        let mut guard = self.lock.lock().expect("shutdown signal poisoned");
+        let mut guard = crate::sync::lock_or_recover(&self.lock);
         while !self.is_triggered() {
-            guard = self.condvar.wait(guard).expect("shutdown signal poisoned");
+            guard = crate::sync::wait_or_recover(&self.condvar, guard);
         }
     }
 }

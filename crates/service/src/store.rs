@@ -138,8 +138,8 @@ fn unseal(text: &str) -> Result<&str, String> {
     let Some(at) = text.rfind(&format!("\n{TRAILER_TAG} ")) else {
         return Ok(text);
     };
-    let payload = &text[..at];
-    let trailer = text[at + 1..].trim_end();
+    let (payload, rest) = text.split_at(at);
+    let trailer = rest.trim();
     let mut len: Option<usize> = None;
     let mut fnv: Option<u64> = None;
     for field in trailer.split_whitespace() {
@@ -473,7 +473,7 @@ impl ResultStore {
             // then report the failure.  The next open (or load) must
             // quarantine what landed.
             let cut = text.len() / 2;
-            std::fs::write(&tmp, &text.as_bytes()[..cut])?;
+            std::fs::write(&tmp, text.as_bytes().get(..cut).unwrap_or_default())?;
             std::fs::rename(&tmp, path)?;
             return Err(self.fault.io_error(FaultSite::StoreTruncate));
         }

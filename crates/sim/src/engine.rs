@@ -356,6 +356,7 @@ impl Simulator {
         let mut max_completion: u64 = 0;
         let mut n: usize = 0;
 
+        // lint:hot-loop-start
         while let Some(dynamic) = source.next_dynamic() {
             n += 1;
             if n & (Self::CANCEL_CHECK_INTERVAL - 1) == 0 {
@@ -487,6 +488,7 @@ impl Simulator {
             max_completion = max_completion.max(complete);
             class_counts[class_slot(instr.class)] += 1;
         }
+        // lint:hot-loop-end
 
         if n == 0 {
             return Ok(stats);

@@ -18,18 +18,30 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to the `System` allocator after
+// bumping a relaxed counter, so `GlobalAlloc`'s layout/aliasing contract
+// holds exactly as it does for `System` itself.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: the caller's `Layout` and pointer obligations are forwarded
+    // unchanged to `System`, which imposes the same contract this trait
+    // declares (likewise for the other three methods below).
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller vouched for, passed through.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `ptr` was returned by `alloc`/`realloc` above, which is
+    // `System` memory with the same layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: pointer and layout forwarded unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: `ptr`/`layout` obligations forwarded unchanged to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: pointer, layout and size forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
