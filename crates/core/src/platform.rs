@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// An execution platform MicroGrad can evaluate test cases on.
 ///
@@ -147,6 +148,40 @@ impl CacheStats {
     }
 }
 
+/// An observer of batch-evaluation progress.
+///
+/// [`SimPlatform`] invokes it once at the start of every
+/// [`evaluate_batch`](ExecutionPlatform::evaluate_batch) call with the
+/// batch size.  Every tuner submits its epoch evaluations through
+/// `Evaluator::evaluate_many` — the tuner-epoch cancellation boundary — so
+/// a batch boundary *is* an epoch boundary: the observability layer hangs
+/// per-epoch progress marks (job timelines, epoch counters) off this hook
+/// without touching any tuning mechanism.
+///
+/// The callback must be cheap and non-blocking; it runs on the thread
+/// driving the tuning run.  A newtype over the callback so [`SimPlatform`]
+/// can keep deriving `Debug`.
+#[derive(Clone)]
+pub struct ProgressObserver(Arc<dyn Fn(usize) + Send + Sync>);
+
+impl ProgressObserver {
+    /// Wraps a callback receiving the batch size at each batch boundary.
+    pub fn new(callback: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        ProgressObserver(Arc::new(callback))
+    }
+
+    /// Notifies the observer of a batch of `evaluations` starting.
+    pub fn batch_started(&self, evaluations: usize) {
+        (self.0)(evaluations);
+    }
+}
+
+impl std::fmt::Debug for ProgressObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressObserver(..)")
+    }
+}
+
 /// A stable 64-bit fingerprint of a generator input, used as the
 /// memoization key.
 ///
@@ -223,6 +258,7 @@ pub struct SimPlatform {
     seed: u64,
     parallelism: Option<usize>,
     cancel: CancelToken,
+    progress: Option<ProgressObserver>,
     cache: MemoTable<GeneratorInput, Metrics>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -261,6 +297,7 @@ impl SimPlatform {
             seed: 1,
             parallelism: None,
             cancel: CancelToken::never(),
+            progress: None,
             cache: MemoTable::new(Self::DEFAULT_CACHE_CAPACITY),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -328,6 +365,16 @@ impl SimPlatform {
     #[must_use]
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// Registers a [`ProgressObserver`] notified at every batch boundary
+    /// (which, for tuning runs, is every epoch boundary — see the observer
+    /// docs).  The service layer uses this for per-epoch job-timeline
+    /// marks; the default is no observer and no overhead.
+    #[must_use]
+    pub fn with_progress_observer(mut self, observer: ProgressObserver) -> Self {
+        self.progress = Some(observer);
+        self
     }
 
     /// The number of worker threads a batch of `jobs` evaluations would use.
@@ -528,6 +575,9 @@ impl ExecutionPlatform for SimPlatform {
     }
 
     fn evaluate_batch(&self, inputs: &[GeneratorInput]) -> Vec<Result<Metrics, MicroGradError>> {
+        if let Some(progress) = &self.progress {
+            progress.batch_started(inputs.len());
+        }
         let workers = self.workers_for(inputs.len());
         if workers <= 1 || inputs.len() <= 1 {
             // Sequential path: one reused simulator for the whole batch.
@@ -831,6 +881,27 @@ mod tests {
         assert_eq!(results[0], results[1]);
         assert_eq!(results[1], results[2]);
         assert_eq!(p.cached_evaluations(), 1);
+    }
+
+    #[test]
+    fn progress_observer_sees_every_batch_boundary() {
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&batches);
+        let p = platform()
+            .with_parallelism(Some(2))
+            .with_progress_observer(ProgressObserver::new(move |n| seen.lock().push(n)));
+        let inputs: Vec<GeneratorInput> = (1..4)
+            .map(|i| GeneratorInput {
+                loop_size: 60 + i * 30,
+                ..GeneratorInput::default()
+            })
+            .collect();
+        let _ = p.evaluate_batch(&inputs);
+        let _ = p.evaluate_batch(&inputs[..1]);
+        assert_eq!(*batches.lock(), vec![3, 1]);
+        // Single evaluations bypass the batch seam (tuners never do).
+        let _ = p.evaluate(&inputs[0]);
+        assert_eq!(batches.lock().len(), 2);
     }
 
     #[test]

@@ -130,9 +130,11 @@ pub struct FixtureOutcome {
 /// Runs the committed good/bad fixtures under `fixtures_dir`.
 ///
 /// `bad_<rule>.rs` must produce at least one finding of `<rule>` (with
-/// `_` mapped to `-`); `good_<rule>.rs` must produce none.  All rules run
-/// forced, so fixtures exercise rules regardless of their workspace path
-/// scoping.
+/// `_` mapped to `-`); `good_<rule>.rs` must produce none.  A `__<tag>`
+/// suffix before `.rs` is ignored, so several fixture pairs can exercise
+/// the same rule (`bad_atomic_ordering__obs.rs` checks `atomic-ordering`).
+/// All rules run forced, so fixtures exercise rules regardless of their
+/// workspace path scoping.
 ///
 /// # Errors
 ///
@@ -157,6 +159,7 @@ pub fn run_fixtures(fixtures_dir: &Path) -> std::io::Result<Vec<FixtureOutcome>>
         } else {
             continue;
         };
+        let rule_part = rule_part.split("__").next().unwrap_or(rule_part);
         let rule = rule_part.replace('_', "-");
         let text = std::fs::read_to_string(&path)?;
         let findings = check_source(&format!("fixtures/{name}"), &text, true);

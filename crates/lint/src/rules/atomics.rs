@@ -74,7 +74,7 @@ struct ModulePolicy {
 
 /// The policy table.  Every module scanned by this rule must appear here;
 /// fields not listed fall back to [`PUBLISH`].
-const POLICIES: [ModulePolicy; 3] = [
+const POLICIES: [ModulePolicy; 6] = [
     ModulePolicy {
         // Lock-free memo table: bucket pointers are published via
         // AcqRel swaps/CAS and acquired before dereference; the occupancy
@@ -106,12 +106,69 @@ const POLICIES: [ModulePolicy; 3] = [
             counter("loop_wakeups"),
             counter("write_queue_hwm"),
             counter("notifications_pushed"),
+            counter("watches_active"),
+        ],
+    },
+    ModulePolicy {
+        // Metrics registry: counter and gauge cells are plain statistics
+        // (both store their payload in a field named `value`); scrapes
+        // tolerate torn cross-metric snapshots by design.
+        suffix: "crates/obs/src/registry.rs",
+        fields: &[counter("value")],
+    },
+    ModulePolicy {
+        // Latency histogram: every cell is a statistics counter.  A scrape
+        // may observe `count` ahead of `buckets`; the encoder clamps
+        // instead of acquiring.
+        suffix: "crates/obs/src/histogram.rs",
+        fields: &[
+            counter("buckets"),
+            counter("count"),
+            counter("sum"),
+            counter("min"),
+            counter("max"),
+        ],
+    },
+    ModulePolicy {
+        // Per-thread trace ring: a seqlock.  `seq` publishes with
+        // Release/Acquire (the PUBLISH default); the payload words between
+        // the seq bumps are Relaxed stores ordered by them, and `head` is
+        // single-writer (Relaxed self-reads, Release publication).
+        suffix: "crates/obs/src/trace.rs",
+        fields: &[
+            FieldPolicy {
+                field: "head",
+                load: &["Relaxed", "Acquire"],
+                store: &["Release", "SeqCst"],
+                rmw: &["AcqRel", "SeqCst"],
+            },
+            FieldPolicy {
+                field: "job",
+                load: &["Acquire", "SeqCst"],
+                store: &["Relaxed", "Release"],
+                rmw: &["AcqRel", "SeqCst"],
+            },
+            FieldPolicy {
+                field: "stage_arg",
+                load: &["Acquire", "SeqCst"],
+                store: &["Relaxed", "Release"],
+                rmw: &["AcqRel", "SeqCst"],
+            },
+            FieldPolicy {
+                field: "at_ns",
+                load: &["Acquire", "SeqCst"],
+                store: &["Relaxed", "Release"],
+                rmw: &["AcqRel", "SeqCst"],
+            },
+            counter("NEXT_SINK_ID"),
         ],
     },
 ];
 
-/// Fixture-mode fields: receivers mentioning `counter` are counters.
-const FIXTURE_FIELDS: [FieldPolicy; 1] = [counter("counter")];
+/// Fixture-mode fields: receivers mentioning `counter` are counters, and
+/// `value` mirrors the metric cells of `micrograd_obs::registry` so the
+/// obs fixture pair can exercise that policy shape.
+const FIXTURE_FIELDS: [FieldPolicy; 2] = [counter("counter"), counter("value")];
 
 pub struct AtomicOrdering;
 

@@ -4,10 +4,12 @@
 //! Bit-identical cloning is the paper's core claim; a single
 //! `Instant::now` on an evaluation path quietly breaks replayability.
 //! Evaluation crates (`isa`, `codegen`, `sim`, `power`, `workloads`,
-//! `core`, and the facade) may not read clocks or entropy — all
-//! randomness flows through explicitly seeded ChaCha8 streams.  The one
-//! allowlisted module is the simulator's cancellation token, whose whole
-//! purpose is deadline latching; the service crates (wall-clock timeouts,
+//! `core`, `obs`, and the facade) may not read clocks or entropy — all
+//! randomness flows through explicitly seeded ChaCha8 streams.  Two
+//! modules are allowlisted: the simulator's cancellation token, whose
+//! whole purpose is deadline latching, and the observability clock
+//! (`micrograd_obs::clock`), the single monotonic anchor every trace
+//! timestamp flows through; the service crates (wall-clock timeouts,
 //! jittered retries) are outside this rule's scope entirely.
 
 use super::{ident, Rule};
@@ -15,19 +17,22 @@ use crate::diagnostics::Finding;
 use crate::source::SourceFile;
 
 /// Crate source trees that must stay deterministic.
-const SCOPES: [&str; 7] = [
+const SCOPES: [&str; 8] = [
     "crates/isa/src/",
     "crates/codegen/src/",
     "crates/sim/src/",
     "crates/power/src/",
     "crates/workloads/src/",
     "crates/core/src/",
+    "crates/obs/src/",
     "src/",
 ];
 
 /// Modules allowed to read the clock: cancellation deadlines are
-/// wall-clock by definition and never feed evaluation results.
-const ALLOWLIST: [&str; 1] = ["crates/sim/src/cancel.rs"];
+/// wall-clock by definition and never feed evaluation results, and the
+/// observability layer's anchored monotonic clock stamps trace metadata
+/// only — never job identity or tuning output.
+const ALLOWLIST: [&str; 2] = ["crates/sim/src/cancel.rs", "crates/obs/src/clock.rs"];
 
 /// `Type::now()` clock sources.
 const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];

@@ -50,10 +50,8 @@ fn bad_fixtures_fail_a_plain_check() {
             continue;
         }
         saw_bad += 1;
-        let rule = name
-            .trim_start_matches("bad_")
-            .trim_end_matches(".rs")
-            .replace('_', "-");
+        let stem = name.trim_start_matches("bad_").trim_end_matches(".rs");
+        let rule = stem.split("__").next().unwrap_or(stem).replace('_', "-");
         let text = std::fs::read_to_string(&path).expect("fixture readable");
         let findings = micrograd_lint::check_source(&format!("fixtures/{name}"), &text, true);
         assert!(
@@ -61,5 +59,5 @@ fn bad_fixtures_fail_a_plain_check() {
             "{name}: expected a `{rule}` finding, got {findings:?}"
         );
     }
-    assert_eq!(saw_bad, RULES.len(), "one bad fixture per rule");
+    assert!(saw_bad >= RULES.len(), "at least one bad fixture per rule");
 }

@@ -1,0 +1,42 @@
+//! Fixture: the observability layer's atomic shapes, done wrong.  A
+//! metric cell carries no happens-before obligation, so hardening it to
+//! AcqRel is a policy violation (it taxes every scrape for nothing); a
+//! seqlock word published with Relaxed lets readers see torn payloads.
+
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{AcqRel, Relaxed},
+};
+
+struct Cell {
+    value: AtomicU64,
+}
+
+struct Slot {
+    seq: AtomicU64,
+}
+
+impl Cell {
+    fn inc(&self) {
+        // A statistics counter must stay Relaxed.
+        self.value.fetch_add(1, AcqRel);
+    }
+}
+
+impl Slot {
+    fn publish(&self, seq: u64) {
+        // The seqlock word is the publication fence; Relaxed breaks it.
+        self.seq.store(seq, Relaxed);
+    }
+}
+
+fn main() {
+    let cell = Cell {
+        value: AtomicU64::new(0),
+    };
+    let slot = Slot {
+        seq: AtomicU64::new(0),
+    };
+    cell.inc();
+    slot.publish(2);
+}

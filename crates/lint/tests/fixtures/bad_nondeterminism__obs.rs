@@ -1,0 +1,25 @@
+//! Fixture: observability helper reading the clock inline instead of
+//! taking a timestamp parameter.  Only the sanctioned clock module may
+//! call `Instant::now`; a stray read like this one scatters "where does
+//! time enter the system" across the codebase.
+
+use std::time::Instant;
+
+struct Event {
+    at: Instant,
+    stage: &'static str,
+}
+
+fn record(events: &mut Vec<Event>, stage: &'static str) {
+    events.push(Event {
+        at: Instant::now(),
+        stage,
+    });
+}
+
+fn main() {
+    let mut events = Vec::new();
+    record(&mut events, "queued");
+    record(&mut events, "executed");
+    assert_eq!(events.len(), 2);
+}

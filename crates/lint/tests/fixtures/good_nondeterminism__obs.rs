@@ -1,0 +1,24 @@
+//! Fixture: observability code outside the sanctioned clock module takes
+//! timestamps as parameters instead of reading the clock itself.  In the
+//! workspace, `micrograd_obs::clock::now_ns` is the allowlisted source and
+//! everything downstream threads its `u64` nanoseconds explicitly.
+
+struct Event {
+    at_ns: u64,
+    stage: &'static str,
+}
+
+fn record(events: &mut Vec<Event>, at_ns: u64, stage: &'static str) {
+    events.push(Event { at_ns, stage });
+}
+
+fn main() {
+    let mut events = Vec::new();
+    // Timestamps enter as data — here literals; in the workspace, the
+    // caller passes `clock::now_ns()` down.
+    record(&mut events, 1_000, "queued");
+    record(&mut events, 5_000, "executed");
+    let total = events.last().map_or(0, |e| e.at_ns) - events[0].at_ns;
+    assert_eq!(total, 4_000);
+    assert_eq!(events[1].stage, "executed");
+}

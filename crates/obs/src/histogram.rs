@@ -1,0 +1,316 @@
+//! Log-linear (HDR-style) fixed-bucket histograms.
+//!
+//! A [`Histogram`] is a fixed array of relaxed atomic counters, so the
+//! record path is a handful of bit operations and one `fetch_add` — no
+//! allocation, no locks, no floating point.  The bucket layout is the
+//! classic log-linear scheme used by HdrHistogram and Prometheus native
+//! histograms:
+//!
+//! * values below [`LINEAR_MAX`] (16) get one exact bucket each;
+//! * every power-of-two octave above that is split into
+//!   2^[`SUB_BUCKET_BITS`] (8) linear sub-buckets, bounding the relative
+//!   quantile error at 1/8 = 12.5%;
+//! * values at or above 2^[`MAX_OCTAVE`]` ⋅ 2` land in one saturating
+//!   overflow bucket (recorded, counted, but reported as the range limit).
+//!
+//! The unit is the caller's choice; the service records **microseconds**,
+//! which makes the covered range `[0, 2^40 µs)` ≈ 12.7 days — far beyond
+//! any request or job latency the daemon can produce.
+//!
+//! All counters are plain statistics (no happens-before obligation), so
+//! every atomic here is `Relaxed`; `micrograd-lint`'s `atomic-ordering`
+//! policy for this module enforces exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Values below this get one exact bucket each.
+pub const LINEAR_MAX: u64 = 16;
+
+/// Each octave above the linear range splits into `2^SUB_BUCKET_BITS`
+/// linear sub-buckets.
+pub const SUB_BUCKET_BITS: u32 = 3;
+
+/// The highest octave covered before the overflow bucket: values up to
+/// `2^(MAX_OCTAVE + 1) - 1` are bucketed, everything above saturates.
+pub const MAX_OCTAVE: u32 = 39;
+
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const FIRST_OCTAVE: u32 = 4; // 2^4 == LINEAR_MAX
+const OCTAVES: usize = (MAX_OCTAVE - FIRST_OCTAVE + 1) as usize;
+
+/// Index of the saturating overflow bucket.
+const OVERFLOW: usize = LINEAR_MAX as usize + OCTAVES * SUB_BUCKETS;
+
+/// Total bucket count, overflow included.
+pub const BUCKET_COUNT: usize = OVERFLOW + 1;
+
+/// Smallest value that saturates into the overflow bucket.
+pub const OVERFLOW_AT: u64 = 1 << (MAX_OCTAVE + 1);
+
+/// Bucket index for a value.
+#[inline]
+#[must_use]
+#[allow(clippy::cast_possible_truncation)]
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        value as usize
+    } else if value >= OVERFLOW_AT {
+        OVERFLOW
+    } else {
+        let octave = 63 - value.leading_zeros(); // FIRST_OCTAVE..=MAX_OCTAVE
+        let sub = (value >> (octave - SUB_BUCKET_BITS)) as usize & (SUB_BUCKETS - 1);
+        LINEAR_MAX as usize + (octave - FIRST_OCTAVE) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket (the `le` edge in exposition).
+#[must_use]
+fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        index as u64
+    } else if index >= OVERFLOW {
+        u64::MAX
+    } else {
+        let rel = index - LINEAR_MAX as usize;
+        let octave = FIRST_OCTAVE + (rel / SUB_BUCKETS) as u32;
+        let sub = (rel % SUB_BUCKETS) as u64;
+        let width = 1u64 << (octave - SUB_BUCKET_BITS);
+        (1u64 << octave) + (sub + 1) * width - 1
+    }
+}
+
+/// A fixed-bucket log-linear histogram with a lock-free, allocation-free
+/// record path.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKET_COUNT],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.  Lock-free, allocation-free; values beyond
+    /// the covered range saturate into the overflow bucket.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Relaxed))
+        }
+    }
+
+    /// Largest recorded value, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Relaxed))
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) as the inclusive upper edge
+    /// of the bucket holding the rank, which bounds the estimate within the
+    /// bucket's relative width (≤ 12.5% above the true value; exact in the
+    /// linear range).  Returns `None` when empty.  Ranks that land in the
+    /// overflow bucket report [`OVERFLOW_AT`], the saturation limit.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for index in 0..BUCKET_COUNT {
+            seen += self.buckets[index].load(Relaxed);
+            if seen >= rank {
+                return Some(if index >= OVERFLOW {
+                    OVERFLOW_AT
+                } else {
+                    bucket_upper(index)
+                });
+            }
+        }
+        // Racing recorders can leave `count` momentarily ahead of the
+        // bucket sums; answer with the largest occupied edge instead.
+        Some(self.max.load(Relaxed))
+    }
+
+    /// A point-in-time copy of the occupied buckets, for rendering.
+    ///
+    /// Bucket entries are `(upper_edge, cumulative_count)` over occupied
+    /// buckets only, in increasing edge order; the overflow bucket reports
+    /// `u64::MAX` as its edge (the `+Inf` bound in exposition).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = 0u64;
+        let mut buckets = Vec::new();
+        for index in 0..BUCKET_COUNT {
+            let n = self.buckets[index].load(Relaxed);
+            if n != 0 {
+                cumulative += n;
+                buckets.push((bucket_upper(index), cumulative));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Histogram`], decoupled from its atomics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(upper_edge, cumulative_count)` for each occupied bucket.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total observations at snapshot time.
+    pub count: u64,
+    /// Sum of observations at snapshot time.
+    pub sum: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        let h = Histogram::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+        }
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+        assert_eq!(h.count(), LINEAR_MAX);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(LINEAR_MAX - 1));
+    }
+
+    #[test]
+    fn bucket_index_and_upper_agree_across_boundaries() {
+        // Every recorded value must satisfy lower <= v <= upper of its
+        // bucket, including exact powers of two and off-by-one neighbours.
+        for octave in FIRST_OCTAVE..=MAX_OCTAVE {
+            for v in [
+                1u64 << octave,
+                (1u64 << octave) + 1,
+                (1u64 << (octave + 1)) - 1,
+            ] {
+                let idx = bucket_index(v);
+                let upper = bucket_upper(idx);
+                assert!(v <= upper, "v={v} above its bucket edge {upper}");
+                // The next bucket's upper edge is strictly larger.
+                if idx + 1 < OVERFLOW {
+                    assert!(bucket_upper(idx + 1) > upper);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_saturates() {
+        let h = Histogram::new();
+        h.record(OVERFLOW_AT);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), Some(OVERFLOW_AT));
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let h = Histogram::new();
+        // A geometric sweep across five octaves.
+        let mut v = 100u64;
+        while v < 3_000_000 {
+            h.record(v);
+            v += v / 7 + 1;
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let estimate = h.quantile(q).expect("non-empty") as f64;
+            // Recompute the exact quantile from the recorded values.
+            let mut values = Vec::new();
+            let mut v = 100u64;
+            while v < 3_000_000 {
+                values.push(v);
+                v += v / 7 + 1;
+            }
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1] as f64;
+            assert!(
+                estimate >= exact && estimate <= exact * 1.125 + 1.0,
+                "q={q}: estimate {estimate} outside [{exact}, {}]",
+                exact * 1.125
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Concurrent histogram stress (in the style of `crates/sim/tests/
+//! memo_stress.rs`): many threads record seeded-random values into one
+//! shared [`Histogram`] while a reader repeatedly snapshots and queries
+//! quantiles.  Afterwards the aggregate invariants must hold exactly —
+//! relaxed atomics may reorder, but they may not lose observations.
+
+use micrograd_obs::histogram::{Histogram, OVERFLOW_AT};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+const WRITER_THREADS: u64 = 8;
+const RECORDS_PER_THREAD: u64 = 50_000;
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let histogram = Arc::new(Histogram::new());
+
+    // Each writer draws from its own seeded stream, so the expected totals
+    // are recomputable exactly after the fact.
+    let handles: Vec<_> = (0..WRITER_THREADS)
+        .map(|t| {
+            let histogram = Arc::clone(&histogram);
+            std::thread::spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE + t);
+                let mut local_sum = 0u64;
+                let mut local_max = 0u64;
+                for _ in 0..RECORDS_PER_THREAD {
+                    // Skew the distribution across octaves: mostly small
+                    // latencies, a heavy tail, occasional overflow.
+                    let value = match rng.gen_range(0..100u32) {
+                        0..=69 => rng.gen_range(0..4_096u64),
+                        70..=94 => rng.gen_range(4_096..1_048_576u64),
+                        95..=98 => rng.gen_range(1_048_576..OVERFLOW_AT),
+                        _ => OVERFLOW_AT.saturating_add(rng.gen_range(0..u64::MAX / 2)),
+                    };
+                    histogram.record(value);
+                    local_sum = local_sum.wrapping_add(value);
+                    local_max = local_max.max(value);
+                }
+                (local_sum, local_max)
+            })
+        })
+        .collect();
+
+    // A racing reader: snapshots and quantiles must stay internally
+    // consistent (monotone cumulative counts) even mid-write.
+    let reader = {
+        let histogram = Arc::clone(&histogram);
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                let snap = histogram.snapshot();
+                assert!(
+                    snap.buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+                    "cumulative counts must be monotone"
+                );
+                if let (Some(p50), Some(p99)) = (histogram.quantile(0.5), histogram.quantile(0.99))
+                {
+                    assert!(p50 <= p99, "p50 {p50} above p99 {p99}");
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let mut expected_sum = 0u64;
+    let mut expected_max = 0u64;
+    for handle in handles {
+        let (sum, max) = handle.join().expect("writer thread");
+        expected_sum = expected_sum.wrapping_add(sum);
+        expected_max = expected_max.max(max);
+    }
+    reader.join().expect("reader thread");
+
+    let expected_count = WRITER_THREADS * RECORDS_PER_THREAD;
+    assert_eq!(histogram.count(), expected_count, "lost observations");
+    assert_eq!(histogram.sum(), expected_sum, "lost sum");
+    assert_eq!(histogram.max(), Some(expected_max));
+
+    // Quiescent snapshot: the cumulative total equals the count, and the
+    // quantile ladder is monotone end to end.
+    let snap = histogram.snapshot();
+    assert_eq!(snap.buckets.last().map(|b| b.1), Some(expected_count));
+    assert_eq!(snap.sum, expected_sum);
+    let ladder: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        .iter()
+        .map(|&q| histogram.quantile(q).expect("non-empty"))
+        .collect();
+    assert!(
+        ladder.windows(2).all(|w| w[0] <= w[1]),
+        "quantile ladder not monotone: {ladder:?}"
+    );
+    // The overflow draws guarantee the tail saturates at the range limit.
+    assert_eq!(histogram.quantile(1.0), Some(OVERFLOW_AT));
+}

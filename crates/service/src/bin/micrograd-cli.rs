@@ -6,6 +6,8 @@
 //! micrograd-cli [--addr HOST:PORT] fetch <job>
 //! micrograd-cli [--addr HOST:PORT] list
 //! micrograd-cli [--addr HOST:PORT] stats
+//! micrograd-cli [--addr HOST:PORT] metrics
+//! micrograd-cli [--addr HOST:PORT] trace <job>
 //! micrograd-cli [--addr HOST:PORT] shutdown
 //! ```
 
@@ -29,6 +31,8 @@ COMMANDS:
     fetch <job>              Print a completed job's report as JSON
     list                     List all jobs
     stats                    Print server counters as JSON
+    metrics                  Scrape the metrics registry (Prometheus text format)
+    trace <job>              Print a job's stage-by-stage timeline
     shutdown                 Ask the daemon to shut down gracefully
 
 OPTIONS:
@@ -208,6 +212,17 @@ fn run(args: &[String]) -> Result<(), ExitCode> {
                 "{}",
                 serde_json::to_string_pretty(&stats).unwrap_or_default()
             );
+            Ok(())
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(fail)?;
+            print!("{text}");
+            Ok(())
+        }
+        "trace" => {
+            let job = parse_job(rest.get(1)).map_err(usage_error)?;
+            let timeline = client.trace(job).map_err(fail)?;
+            print!("{}", timeline.render());
             Ok(())
         }
         "shutdown" => {

@@ -176,7 +176,28 @@ fn main() -> ExitCode {
     });
     println!("microgradd shutting down (finishing in-flight jobs)");
     let stats = server.scheduler().stats();
+    // Snapshot the registry before shutdown consumes the server, so the
+    // exit report covers every in-flight job it just finished draining.
+    server
+        .scheduler()
+        .metrics()
+        .sync_reactor(&server.reactor_stats());
+    let samples = {
+        let _ = server.scheduler().metrics_text(); // sync store/cache gauges
+        server.scheduler().metrics().samples()
+    };
     server.shutdown();
+    println!("microgradd final metrics:");
+    for sample in samples {
+        match sample.quantiles {
+            Some((p50, p95, p99)) => println!(
+                "  {} count={} p50={p50} p95={p95} p99={p99}",
+                sample.name, sample.value
+            ),
+            None if sample.value != 0 => println!("  {} {}", sample.name, sample.value),
+            None => {}
+        }
+    }
     println!(
         "microgradd served {} submissions ({} executed, {} deduped, {} from store); bye",
         stats.jobs_submitted, stats.executions, stats.jobs_deduped, stats.store_hits

@@ -20,6 +20,7 @@ use crate::protocol::{
     ServerStats,
 };
 use micrograd_core::{FrameworkConfig, FrameworkOutput};
+use micrograd_obs::JobTimeline;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::io::{BufRead, BufReader, Write};
@@ -437,6 +438,34 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.roundtrip(RequestBody::Stats)? {
             ResponseBody::Stats { stats } => Ok(stats),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Scrapes the server's metrics registry in the Prometheus text
+    /// exposition format (counters, gauges and latency histograms from
+    /// which p50/p95/p99 are derivable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(RequestBody::Metrics)? {
+            ResponseBody::Metrics { text } => Ok(text),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches a job's stage-by-stage timeline (received, queued,
+    /// dequeued, per-epoch execution marks, persisted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection, protocol and server errors (a job with no
+    /// recorded timeline is a server error).
+    pub fn trace(&mut self, job: u64) -> Result<JobTimeline, ClientError> {
+        match self.roundtrip(RequestBody::Trace { job })? {
+            ResponseBody::Timeline { timeline } => Ok(timeline),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
     }

@@ -16,6 +16,7 @@
 //! | event loop | [`reactor`] | `poll(2)` readiness loop: one thread, every socket |
 //! | server | [`server`] | reactor + handler pool wiring, clean shutdown |
 //! | client | [`client`] | blocking session client (also behind `micrograd-cli`) |
+//! | observability | [`metrics`] | metrics registry, latency histograms, job trace sink |
 //! | fault injection | [`fault`] | seeded, replayable chaos plans for the seams above |
 //!
 //! Job identity is
@@ -64,6 +65,7 @@
 
 pub mod client;
 pub mod fault;
+pub mod metrics;
 pub mod protocol;
 pub mod reactor;
 pub mod scheduler;
@@ -75,6 +77,7 @@ mod testutil;
 
 pub use client::{Client, ClientError, RetryPolicy, SubmitReceipt};
 pub use fault::{FaultPlan, FaultSite};
+pub use metrics::{ServiceMetrics, REQUEST_OPS};
 pub use protocol::{
     decode_request, decode_response, encode_line, JobState, JobSummary, LineDecoder, ReactorStats,
     Request, RequestBody, Response, ResponseBody, ServerStats, WireError, PROTO_VERSION,

@@ -1,0 +1,344 @@
+//! The service's observability root: one [`Registry`] and one
+//! [`TraceSink`] shared by the scheduler, the reactor and the request
+//! handlers.
+//!
+//! Every counter the legacy `stats` endpoint reports now lives in the
+//! registry — [`Scheduler::stats`](crate::Scheduler::stats) is a *view*
+//! over these cells, so the two surfaces can never disagree.  On top of
+//! the counters sit the latency histograms (`request_duration_us`,
+//! `job_queue_wait_us`, `job_execution_us`, `job_total_us`) from which
+//! p50/p95/p99 are derived, and the trace sink that turns per-stage job
+//! events into the timelines served by the `trace` request.
+//!
+//! All record paths are atomics (no locks, no allocation): the scheduler
+//! bumps counters while holding its state lock, the reactor from its
+//! event loop, and neither pays more than a `fetch_add`.  Gauges that
+//! mirror externally-owned state (queue depth, reactor counters, memo
+//! cache totals) are synchronized at scrape time by
+//! [`ServiceMetrics::sync_queue`] and friends — a scrape is the only
+//! reader, so eventual consistency at scrape granularity is exact.
+
+use crate::protocol::ReactorStats;
+use micrograd_core::CacheStats;
+use micrograd_obs::{Counter, Gauge, Histogram, Registry, Sample, TraceSink};
+use std::sync::Arc;
+
+/// The request-op labels [`ServiceMetrics::record_request`] accepts;
+/// unknown lines are recorded under `"invalid"`.
+pub const REQUEST_OPS: [&str; 10] = [
+    "submit", "status", "watch", "fetch", "list", "stats", "metrics", "trace", "shutdown",
+    "invalid",
+];
+
+/// The shared metrics registry plus every handle the service records
+/// through, created once per [`Scheduler`](crate::Scheduler).
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    registry: Registry,
+    sink: TraceSink,
+    /// Submit requests accepted (including deduplicated and store-answered
+    /// ones).
+    pub(crate) jobs_submitted: Counter,
+    /// Submits answered with an already-known job id.
+    pub(crate) jobs_deduped: Counter,
+    /// Submits rejected because the queue was full.
+    pub(crate) jobs_rejected: Counter,
+    /// Submits answered from the durable store without executing.
+    pub(crate) store_hits: Counter,
+    /// Jobs actually executed on the platform.
+    pub(crate) executions: Counter,
+    /// Jobs that finished successfully.
+    pub(crate) jobs_completed: Counter,
+    /// Jobs that failed.
+    pub(crate) jobs_failed: Counter,
+    /// Jobs whose deadline expired before they finished.
+    pub(crate) jobs_timed_out: Counter,
+    /// Tuner-epoch batch boundaries observed across all executions.
+    pub(crate) epochs: Counter,
+    /// Jobs currently waiting in the queue.
+    pub(crate) queue_depth: Gauge,
+    /// Jobs currently running.
+    pub(crate) running: Gauge,
+    /// Deferred `watch` responses currently registered with the reactor.
+    pub(crate) watches_active: Gauge,
+    /// The last `retry_after_ms` hint attached to a transient rejection.
+    pub(crate) retry_after_ms: Gauge,
+    /// Reports resident in the durable store (synced at scrape time).
+    pub(crate) stored_reports: Gauge,
+    /// Request service time (decode to encoded response), microseconds.
+    pub(crate) request_duration_us: Arc<Histogram>,
+    /// Admission-to-dequeue wait per executed job, microseconds.
+    pub(crate) job_queue_wait_us: Arc<Histogram>,
+    /// Dequeue-to-terminal execution time per job, microseconds.
+    pub(crate) job_execution_us: Arc<Histogram>,
+    /// Admission-to-terminal total latency per job, microseconds.
+    pub(crate) job_total_us: Arc<Histogram>,
+    /// Per-op request counters, one series per [`REQUEST_OPS`] entry.
+    requests: Vec<(&'static str, Counter)>,
+    cache: [Gauge; 6],
+    reactor: [Gauge; 7],
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Builds the registry and registers every family the service
+    /// records into.
+    #[must_use]
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let requests = REQUEST_OPS
+            .iter()
+            .map(|op| {
+                (
+                    *op,
+                    registry.counter_with(
+                        "micrograd_requests_total",
+                        "Requests handled, by operation",
+                        Some(("op", op)),
+                    ),
+                )
+            })
+            .collect();
+        let cache = [
+            registry.gauge(
+                "micrograd_cache_hits",
+                "Memo-cache hits over all executed jobs",
+            ),
+            registry.gauge(
+                "micrograd_cache_misses",
+                "Memo-cache misses over all executed jobs",
+            ),
+            registry.gauge(
+                "micrograd_cache_inserts",
+                "Memo-cache inserts over all executed jobs",
+            ),
+            registry.gauge(
+                "micrograd_cache_entries",
+                "Memo-cache resident entries (last merge)",
+            ),
+            registry.gauge(
+                "micrograd_cache_replacements",
+                "Memo-cache replacements over all executed jobs",
+            ),
+            registry.gauge(
+                "micrograd_cache_capacity",
+                "Memo-cache capacity (last merge)",
+            ),
+        ];
+        let reactor = [
+            registry.gauge(
+                "micrograd_reactor_connections_open",
+                "Connections registered with the event loop",
+            ),
+            registry.gauge(
+                "micrograd_reactor_connections_accepted",
+                "Connections accepted since startup",
+            ),
+            registry.gauge(
+                "micrograd_reactor_connections_closed",
+                "Connections closed since startup",
+            ),
+            registry.gauge(
+                "micrograd_reactor_loop_wakeups",
+                "Event-loop wakeups from poll(2)",
+            ),
+            registry.gauge(
+                "micrograd_reactor_write_queue_hwm",
+                "High-water mark of any connection's pending write bytes",
+            ),
+            registry.gauge(
+                "micrograd_reactor_notifications_pushed",
+                "Deferred watch responses pushed on job completion",
+            ),
+            registry.gauge(
+                "micrograd_reactor_watches_active",
+                "Watch responses currently deferred in the event loop",
+            ),
+        ];
+        ServiceMetrics {
+            jobs_submitted: registry
+                .counter("micrograd_jobs_submitted_total", "Submit requests accepted"),
+            jobs_deduped: registry.counter(
+                "micrograd_jobs_deduped_total",
+                "Submits answered with an existing job id",
+            ),
+            jobs_rejected: registry.counter(
+                "micrograd_jobs_rejected_total",
+                "Submits rejected by the bounded queue",
+            ),
+            store_hits: registry.counter(
+                "micrograd_store_hits_total",
+                "Submits answered from the durable store without executing",
+            ),
+            executions: registry.counter(
+                "micrograd_executions_total",
+                "Jobs executed on the platform",
+            ),
+            jobs_completed: registry.counter(
+                "micrograd_jobs_completed_total",
+                "Jobs finished successfully",
+            ),
+            jobs_failed: registry.counter("micrograd_jobs_failed_total", "Jobs that failed"),
+            jobs_timed_out: registry.counter(
+                "micrograd_jobs_timed_out_total",
+                "Jobs whose deadline expired before completion",
+            ),
+            epochs: registry.counter(
+                "micrograd_epochs_total",
+                "Tuner-epoch batch boundaries observed across all executions",
+            ),
+            queue_depth: registry.gauge("micrograd_queue_depth", "Jobs waiting in the queue"),
+            running: registry.gauge("micrograd_jobs_running", "Jobs currently executing"),
+            watches_active: registry.gauge(
+                "micrograd_watches_active",
+                "Watch responses currently deferred",
+            ),
+            retry_after_ms: registry.gauge(
+                "micrograd_retry_after_ms",
+                "Last retry hint attached to a transient rejection, milliseconds",
+            ),
+            stored_reports: registry.gauge(
+                "micrograd_stored_reports",
+                "Reports resident in the durable store",
+            ),
+            request_duration_us: registry.histogram(
+                "micrograd_request_duration_us",
+                "Request service time in microseconds",
+            ),
+            job_queue_wait_us: registry.histogram(
+                "micrograd_job_queue_wait_us",
+                "Admission-to-dequeue wait per executed job, microseconds",
+            ),
+            job_execution_us: registry.histogram(
+                "micrograd_job_execution_us",
+                "Dequeue-to-terminal execution time per job, microseconds",
+            ),
+            job_total_us: registry.histogram(
+                "micrograd_job_total_us",
+                "Admission-to-terminal latency per job, microseconds",
+            ),
+            requests,
+            cache,
+            reactor,
+            sink: TraceSink::new(),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for exposition or table rendering).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace sink job-stage events are recorded into.
+    #[must_use]
+    pub fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Counts one handled request and records its service time.  Ops not
+    /// in [`REQUEST_OPS`] are folded into the `"invalid"` series.
+    pub fn record_request(&self, op: &str, duration_us: u64) {
+        let counter = self
+            .requests
+            .iter()
+            .find(|(name, _)| *name == op)
+            .or_else(|| self.requests.iter().find(|(name, _)| *name == "invalid"));
+        if let Some((_, counter)) = counter {
+            counter.inc();
+        }
+        self.request_duration_us.record(duration_us);
+    }
+
+    /// Mirrors the scheduler's queue gauges (called at change points and
+    /// scrape time).
+    pub fn sync_queue(&self, queue_depth: u64, running: u64) {
+        self.queue_depth.set(queue_depth);
+        self.running.set(running);
+    }
+
+    /// Mirrors the merged memo-cache totals into the registry.
+    pub fn sync_cache(&self, cache: &CacheStats) {
+        let [hits, misses, inserts, entries, replacements, capacity] = &self.cache;
+        hits.set(cache.hits);
+        misses.set(cache.misses);
+        inserts.set(cache.inserts);
+        entries.set(cache.entries);
+        replacements.set(cache.replacements);
+        capacity.set(cache.capacity);
+    }
+
+    /// Mirrors a reactor counter snapshot into the registry (the reactor
+    /// owns its live atomics; the registry is its exposition surface).
+    pub fn sync_reactor(&self, stats: &ReactorStats) {
+        let [open, accepted, closed, wakeups, hwm, pushed, watches] = &self.reactor;
+        open.set(stats.connections_open);
+        accepted.set(stats.connections_accepted);
+        closed.set(stats.connections_closed);
+        wakeups.set(stats.loop_wakeups);
+        hwm.set(stats.write_queue_hwm);
+        pushed.set(stats.notifications_pushed);
+        watches.set(stats.watches_active);
+        self.watches_active.set(stats.watches_active);
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Samples every series for table rendering.
+    #[must_use]
+    pub fn samples(&self) -> Vec<Sample> {
+        self.registry.samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stats_counter_has_a_registry_series() {
+        let metrics = ServiceMetrics::new();
+        metrics.jobs_submitted.inc();
+        metrics.record_request("submit", 120);
+        metrics.record_request("warp-core", 5); // folded into "invalid"
+        metrics.sync_queue(3, 1);
+        metrics.sync_cache(&CacheStats::default());
+        metrics.sync_reactor(&ReactorStats {
+            watches_active: 2,
+            ..ReactorStats::default()
+        });
+        let text = metrics.render_prometheus();
+        for family in [
+            "micrograd_jobs_submitted_total 1",
+            "micrograd_requests_total{op=\"submit\"} 1",
+            "micrograd_requests_total{op=\"invalid\"} 1",
+            "micrograd_queue_depth 3",
+            "micrograd_jobs_running 1",
+            "micrograd_watches_active 2",
+            "micrograd_reactor_watches_active 2",
+            "micrograd_cache_hits 0",
+            "micrograd_request_duration_us_count 2",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+        // Histogram quantiles are derivable from the samples view.
+        let samples = metrics.samples();
+        let request = samples
+            .iter()
+            .find(|s| s.name == "micrograd_request_duration_us")
+            .expect("registered histogram");
+        assert_eq!(request.value, 2);
+        assert!(request.quantiles.is_some());
+    }
+}

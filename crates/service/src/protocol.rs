@@ -16,6 +16,7 @@
 //! See `docs/service.md` for the full message catalogue.
 
 use micrograd_core::{CacheStats, FrameworkConfig, FrameworkOutput};
+use micrograd_obs::JobTimeline;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -96,6 +97,19 @@ pub enum RequestBody {
     List,
     /// Server-wide counters (queue, executions, memo-cache totals, store).
     Stats,
+    /// The full metrics registry in Prometheus text exposition format:
+    /// every counter and gauge the `stats` endpoint summarizes, plus the
+    /// latency histograms (request service time, queue wait, execution
+    /// time) from which p50/p95/p99 are derived.
+    Metrics,
+    /// The per-stage timeline of a job: when it was received, queued,
+    /// dequeued, executed (with per-epoch marks), persisted and answered.
+    /// Available for terminal jobs; timelines persist alongside reports,
+    /// so a restarted daemon can still answer for jobs it ran earlier.
+    Trace {
+        /// The job id returned by submit.
+        job: u64,
+    },
     /// Ask the server to shut down gracefully: in-flight jobs finish,
     /// queued jobs stay queued, every connection is answered then closed.
     Shutdown,
@@ -157,6 +171,18 @@ pub enum ResponseBody {
     Stats {
         /// The counters.
         stats: ServerStats,
+    },
+    /// The metrics registry rendered as Prometheus text exposition.
+    Metrics {
+        /// The exposition document (`# TYPE` headers, one sample per
+        /// line); safe to serve to a Prometheus scraper verbatim.
+        text: String,
+    },
+    /// The per-stage timeline of a traced job.
+    Timeline {
+        /// The recorded timeline: stage marks as offsets from the moment
+        /// the submit request reached the scheduler.
+        timeline: JobTimeline,
     },
     /// The server acknowledged a shutdown request.
     ShuttingDown,
@@ -291,6 +317,10 @@ pub struct ReactorStats {
     pub write_queue_hwm: u64,
     /// Deferred `watch` responses pushed on job completion.
     pub notifications_pushed: u64,
+    /// Watch responses currently deferred in the event loop (defaults for
+    /// peers that predate the field).
+    #[serde(default)]
+    pub watches_active: u64,
 }
 
 /// Incremental JSON-lines decoder: feed raw socket bytes in, take complete
@@ -506,6 +536,8 @@ mod tests {
             Request::new(RequestBody::Fetch { job: 3 }),
             Request::new(RequestBody::List),
             Request::new(RequestBody::Stats),
+            Request::new(RequestBody::Metrics),
+            Request::new(RequestBody::Trace { job: 3 }),
             Request::new(RequestBody::Shutdown),
         ];
         for request in requests {
@@ -544,6 +576,29 @@ mod tests {
                 stats: ServerStats {
                     jobs_submitted: 5,
                     ..ServerStats::default()
+                },
+            }),
+            Response::new(ResponseBody::Metrics {
+                text: "# TYPE micrograd_jobs_submitted_total counter\n\
+                       micrograd_jobs_submitted_total 5\n"
+                    .into(),
+            }),
+            Response::new(ResponseBody::Timeline {
+                timeline: JobTimeline {
+                    job: 3,
+                    started_ns: 12_000,
+                    marks: vec![
+                        micrograd_obs::TimelineMark {
+                            stage: "received".into(),
+                            offset_ns: 0,
+                            detail: 0,
+                        },
+                        micrograd_obs::TimelineMark {
+                            stage: "epoch".into(),
+                            offset_ns: 9_500,
+                            detail: 2,
+                        },
+                    ],
                 },
             }),
             Response::new(ResponseBody::ShuttingDown),

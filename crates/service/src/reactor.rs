@@ -354,6 +354,7 @@ pub struct ReactorCounters {
     pub(crate) loop_wakeups: AtomicU64,
     pub(crate) write_queue_hwm: AtomicU64,
     pub(crate) notifications_pushed: AtomicU64,
+    pub(crate) watches_active: AtomicU64,
 }
 
 impl ReactorCounters {
@@ -369,6 +370,7 @@ impl ReactorCounters {
             loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
             write_queue_hwm: self.write_queue_hwm.load(Ordering::Relaxed),
             notifications_pushed: self.notifications_pushed.load(Ordering::Relaxed),
+            watches_active: self.watches_active.load(Ordering::Relaxed),
         }
     }
 }
@@ -868,6 +870,15 @@ impl EventLoop<'_> {
             self.resolve_completions(completions);
             self.expire_watches(Instant::now());
             self.sweep();
+            // Recompute rather than track: watches are removed on many
+            // paths (resolution, expiry, drain, faults, close), and a
+            // missed decrement would drift forever.  The loop owns every
+            // connection, so summing here is exact at publication time.
+            let watches: u64 = self.conns.iter().map(|(_, c)| c.watches.len() as u64).sum();
+            self.shared
+                .counters
+                .watches_active
+                .store(watches, Ordering::Relaxed);
 
             if self.draining {
                 let expired = self

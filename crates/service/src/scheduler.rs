@@ -15,14 +15,18 @@
 //! (back-pressure) rather than buffering without limit.
 
 use crate::fault::FaultSite;
+use crate::metrics::ServiceMetrics;
 use crate::protocol::{JobState, JobSummary, ReactorStats, ServerStats};
 use crate::store::{platform_key, ResultStore};
 use crate::sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 use micrograd_core::{
     CacheStats, CancelToken, FrameworkConfig, FrameworkOutput, MicroGrad, MicroGradError,
+    ProgressObserver,
 };
+use micrograd_obs::clock::now_ns;
+use micrograd_obs::{JobTimeline, Stage};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -112,6 +116,11 @@ struct JobRecord {
     /// Carries the job's deadline (measured from admission) when the
     /// submission specified one; never fires otherwise.
     cancel: CancelToken,
+    /// Observability metadata only (latency histograms, timelines) —
+    /// never part of job identity, dedup or tuning results.
+    received_ns: u64,
+    /// When the job left the queue for a worker; `0` until dequeued.
+    dequeued_ns: u64,
 }
 
 impl JobRecord {
@@ -148,18 +157,6 @@ impl PartialOrd for QueuedEntry {
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    submitted: u64,
-    deduped: u64,
-    rejected: u64,
-    store_hits: u64,
-    executions: u64,
-    completed: u64,
-    failed: u64,
-    timed_out: u64,
-}
-
 struct SchedState {
     next_job: u64,
     next_seq: u64,
@@ -170,7 +167,6 @@ struct SchedState {
     /// resident record count bounded by `retained_jobs`.
     terminal_order: VecDeque<u64>,
     running: u64,
-    counters: Counters,
     cache_totals: CacheStats,
     shutdown: bool,
 }
@@ -193,12 +189,28 @@ struct SchedulerInner {
     terminal_hook: Mutex<Option<TerminalHook>>,
     store: ResultStore,
     config: SchedulerConfig,
+    /// The registry, histograms and trace sink every counter bump and
+    /// stage event goes through.  `stats()` is a view over these cells.
+    metrics: Arc<ServiceMetrics>,
     shutting_down: AtomicBool,
 }
 
 impl SchedulerInner {
     fn hook(&self) -> Option<TerminalHook> {
         lock_or_recover(&self.terminal_hook).clone()
+    }
+
+    /// Assembles a terminal job's timeline from its trace events and
+    /// persists it next to the report.  Called *after* the scheduler lock
+    /// is released — the write is disk I/O — and best-effort: a failed
+    /// write costs a `trace` answer, never the job's result.
+    fn persist_timeline(&self, job: u64) {
+        let events = self.metrics.sink().collect(job);
+        if let Some(timeline) = JobTimeline::from_events(job, &events) {
+            if let Err(e) = self.store.save_timeline(&timeline) {
+                eprintln!("microgradd: failed to persist timeline for job {job}: {e}");
+            }
+        }
     }
 }
 
@@ -230,7 +242,6 @@ impl Scheduler {
                 by_fingerprint: HashMap::new(),
                 terminal_order: VecDeque::new(),
                 running: 0,
-                counters: Counters::default(),
                 cache_totals: CacheStats::default(),
                 shutdown: false,
             }),
@@ -239,6 +250,7 @@ impl Scheduler {
             terminal_hook: Mutex::new(None),
             store,
             config,
+            metrics: Arc::new(ServiceMetrics::new()),
             shutting_down: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
@@ -293,13 +305,13 @@ impl Scheduler {
         // Failed jobs do not absorb resubmissions — a retry is a fresh
         // execution.
         {
-            let mut state = lock_or_recover(&inner.state);
+            let state = lock_or_recover(&inner.state);
             if state.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
-            state.counters.submitted += 1;
             if let Some(job) = state.dedup_match(fingerprint, &config) {
-                state.counters.deduped += 1;
+                inner.metrics.jobs_submitted.inc();
+                inner.metrics.jobs_deduped.inc();
                 return Ok(SubmitOutcome {
                     job,
                     deduped: true,
@@ -314,13 +326,13 @@ impl Scheduler {
 
         let mut state = lock_or_recover(&inner.state);
         if state.shutdown {
-            state.counters.submitted -= 1;
             return Err(SubmitError::ShuttingDown);
         }
         // Re-check dedup: an identical submission may have been admitted
         // while the lock was released for the store probe.
         if let Some(job) = state.dedup_match(fingerprint, &config) {
-            state.counters.deduped += 1;
+            inner.metrics.jobs_submitted.inc();
+            inner.metrics.jobs_deduped.inc();
             return Ok(SubmitOutcome {
                 job,
                 deduped: true,
@@ -336,11 +348,26 @@ impl Scheduler {
                 record.state = JobState::Done;
                 record.output = Some(output);
             }
-            state.counters.store_hits += 1;
-            state.counters.completed += 1;
+            inner.metrics.jobs_submitted.inc();
+            inner.metrics.store_hits.inc();
+            inner.metrics.jobs_completed.inc();
+            let sink = inner.metrics.sink();
+            sink.record(job, Stage::Received, 0);
+            // `arg = 1` marks "already persisted": the report predates
+            // this submission, nothing was written now.
+            sink.record(job, Stage::Persisted, 1);
+            sink.record(job, Stage::Completed, 0);
+            if let Some(received) = state.jobs.get(&job).map(|r| r.received_ns) {
+                inner
+                    .metrics
+                    .job_total_us
+                    .record(now_ns().saturating_sub(received) / 1_000);
+            }
             let hook = inner.hook();
             state.mark_terminal(job, inner.config.retained_jobs, hook.as_ref());
             inner.job_done.notify_all();
+            drop(state);
+            inner.persist_timeline(job);
             return Ok(SubmitOutcome {
                 job,
                 deduped: false,
@@ -349,10 +376,7 @@ impl Scheduler {
         }
 
         if state.queue.len() >= inner.config.queue_capacity {
-            // Undo the optimistic submitted count: a rejected request was
-            // never accepted.
-            state.counters.submitted -= 1;
-            state.counters.rejected += 1;
+            inner.metrics.jobs_rejected.inc();
             return Err(SubmitError::QueueFull {
                 capacity: inner.config.queue_capacity,
             });
@@ -362,6 +386,12 @@ impl Scheduler {
         let seq = state.next_seq;
         state.next_seq += 1;
         state.queue.push(QueuedEntry { priority, seq, job });
+        inner.metrics.jobs_submitted.inc();
+        inner.metrics.sink().record(job, Stage::Received, 0);
+        inner.metrics.sink().record(job, Stage::Queued, 0);
+        inner
+            .metrics
+            .sync_queue(state.queue.len() as u64, state.running);
         inner.work_ready.notify_one();
         Ok(SubmitOutcome {
             job,
@@ -399,22 +429,26 @@ impl Scheduler {
         jobs
     }
 
-    /// Scheduler-wide counters (the stats endpoint payload).
+    /// Scheduler-wide counters (the stats endpoint payload).  A *view*
+    /// over the metrics registry: every counter here is read from the
+    /// same cell the `metrics` endpoint exposes, so the two surfaces can
+    /// never disagree.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         // Count stored reports (a directory scan for disk stores) before
         // taking the lock — the same discipline as submit's store probe.
         let stored_reports = self.inner.store.report_count();
+        let metrics = &self.inner.metrics;
         let state = lock_or_recover(&self.inner.state);
         ServerStats {
-            jobs_submitted: state.counters.submitted,
-            jobs_deduped: state.counters.deduped,
-            jobs_rejected: state.counters.rejected,
-            store_hits: state.counters.store_hits,
-            executions: state.counters.executions,
-            jobs_completed: state.counters.completed,
-            jobs_failed: state.counters.failed,
-            jobs_timed_out: state.counters.timed_out,
+            jobs_submitted: metrics.jobs_submitted.value(),
+            jobs_deduped: metrics.jobs_deduped.value(),
+            jobs_rejected: metrics.jobs_rejected.value(),
+            store_hits: metrics.store_hits.value(),
+            executions: metrics.executions.value(),
+            jobs_completed: metrics.jobs_completed.value(),
+            jobs_failed: metrics.jobs_failed.value(),
+            jobs_timed_out: metrics.jobs_timed_out.value(),
             queue_depth: state.queue.len() as u64,
             running: state.running,
             workers: self.inner.config.workers as u64,
@@ -424,6 +458,46 @@ impl Scheduler {
             // live reactor counters before answering a stats request.
             reactor: ReactorStats::default(),
         }
+    }
+
+    /// The metrics registry, histograms and trace sink this scheduler
+    /// records through.
+    #[must_use]
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.inner.metrics
+    }
+
+    /// Renders the metrics registry in the Prometheus text exposition
+    /// format, after synchronizing the gauges that mirror scheduler and
+    /// store state (queue depth, running jobs, cache totals, stored
+    /// reports).
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let stored_reports = self.inner.store.report_count();
+        {
+            let state = lock_or_recover(&self.inner.state);
+            self.inner
+                .metrics
+                .sync_queue(state.queue.len() as u64, state.running);
+            self.inner.metrics.sync_cache(&state.cache_totals);
+        }
+        self.inner.metrics.stored_reports.set(stored_reports);
+        self.inner.metrics.render_prometheus()
+    }
+
+    /// The per-stage timeline of a job: the persisted record for terminal
+    /// jobs (it survives daemon restarts alongside the report), or a
+    /// partial timeline assembled live from the trace rings for a job
+    /// still in flight.  `None` for unknown jobs and jobs whose events
+    /// have been overwritten in the bounded rings without ever reaching
+    /// a terminal state.
+    #[must_use]
+    pub fn timeline(&self, job: u64) -> Option<JobTimeline> {
+        if let Some(timeline) = self.inner.store.load_timeline(job) {
+            return Some(timeline);
+        }
+        let events = self.inner.metrics.sink().collect(job);
+        JobTimeline::from_events(job, &events)
     }
 
     /// Blocks until the job reaches a terminal state or the timeout
@@ -453,15 +527,22 @@ impl Scheduler {
     /// This is the `workers: 0` execution mode for tests and benches that
     /// want inline, deterministic scheduling.
     pub fn step(&self) -> bool {
+        let mut expired = Vec::new();
         let job = {
             let mut state = lock_or_recover(&self.inner.state);
-            match pop_job(&self.inner, &mut state) {
-                Some(job) => job,
-                None => return false,
-            }
+            pop_job(&self.inner, &mut state, &mut expired)
         };
-        execute_job(&self.inner, job);
-        true
+        // Timeline writes are disk I/O: only after the lock is released.
+        for job in expired {
+            self.inner.persist_timeline(job);
+        }
+        match job {
+            Some(job) => {
+                execute_job(&self.inner, job);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Stops accepting new submissions immediately: from this point every
@@ -583,6 +664,8 @@ impl SchedState {
                 state: JobState::Queued,
                 output: None,
                 cancel,
+                received_ns: now_ns(),
+                dequeued_ns: 0,
             },
         );
         self.by_fingerprint.entry(fingerprint).or_default().push(id);
@@ -594,10 +677,13 @@ impl SchedState {
 ///
 /// A job whose deadline expired while it sat in the queue is retired to
 /// [`JobState::TimedOut`] here, without ever occupying a worker, and the
-/// next entry is considered instead.
-fn pop_job(inner: &SchedulerInner, state: &mut SchedState) -> Option<u64> {
-    loop {
-        let entry = state.queue.pop()?;
+/// next entry is considered instead; its id is appended to `expired` so
+/// the caller can persist its timeline once the lock is released.
+fn pop_job(inner: &SchedulerInner, state: &mut SchedState, expired: &mut Vec<u64>) -> Option<u64> {
+    let popped = loop {
+        let Some(entry) = state.queue.pop() else {
+            break None;
+        };
         // A queue entry whose record has vanished is stale (only terminal
         // records are ever evicted, and a queued job is not terminal); skip
         // it rather than trust the invariant with a panic.
@@ -606,34 +692,68 @@ fn pop_job(inner: &SchedulerInner, state: &mut SchedState) -> Option<u64> {
         };
         if record.cancel.is_cancelled() {
             record.state = JobState::TimedOut;
-            state.counters.timed_out += 1;
+            inner.metrics.jobs_timed_out.inc();
+            inner.metrics.sink().record(entry.job, Stage::TimedOut, 0);
+            inner
+                .metrics
+                .job_total_us
+                .record(now_ns().saturating_sub(record.received_ns) / 1_000);
+            expired.push(entry.job);
             let hook = inner.hook();
             state.mark_terminal(entry.job, inner.config.retained_jobs, hook.as_ref());
             inner.job_done.notify_all();
             continue;
         }
+        let dequeued = now_ns();
         record.state = JobState::Running;
+        inner
+            .metrics
+            .job_queue_wait_us
+            .record(dequeued.saturating_sub(record.received_ns) / 1_000);
+        record.dequeued_ns = dequeued;
         state.running += 1;
-        state.counters.executions += 1;
-        return Some(entry.job);
-    }
+        inner.metrics.executions.inc();
+        inner.metrics.sink().record(entry.job, Stage::Dequeued, 0);
+        break Some(entry.job);
+    };
+    inner
+        .metrics
+        .sync_queue(state.queue.len() as u64, state.running);
+    popped
 }
 
 fn worker_loop(inner: &SchedulerInner) {
+    enum Next {
+        Job(u64),
+        /// The pop expired queued jobs without finding runnable work:
+        /// release the lock to persist their timelines, then come back.
+        Expired,
+        Stop,
+    }
     loop {
-        let job = {
+        let mut expired = Vec::new();
+        let next = {
             let mut state = lock_or_recover(&inner.state);
             loop {
                 if state.shutdown {
-                    return;
+                    break Next::Stop;
                 }
-                if let Some(job) = pop_job(inner, &mut state) {
-                    break job;
+                match pop_job(inner, &mut state, &mut expired) {
+                    Some(job) => break Next::Job(job),
+                    None if !expired.is_empty() => break Next::Expired,
+                    None => state = wait_or_recover(&inner.work_ready, state),
                 }
-                state = wait_or_recover(&inner.work_ready, state);
             }
         };
-        execute_job(inner, job);
+        // Timeline writes are disk I/O: only after the lock is released.
+        for job in expired {
+            inner.persist_timeline(job);
+        }
+        match next {
+            Next::Job(job) => execute_job(inner, job),
+            Next::Expired => {}
+            Next::Stop => return,
+        }
     }
 }
 
@@ -657,6 +777,7 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
         (record.config.clone(), record.cancel.clone())
     };
 
+    inner.metrics.sink().record(job, Stage::Executing, 0);
     let key = platform_key(&config);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if inner
@@ -671,11 +792,24 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
             );
         }
         let framework = MicroGrad::new(config.clone());
+        // Observe tuner-epoch boundaries: each batch the tuner hands the
+        // platform marks one epoch in the job's timeline (detail = epoch
+        // ordinal), alongside a global epoch counter for throughput rates.
+        let epoch = AtomicU64::new(0);
+        let metrics = Arc::clone(&inner.metrics);
+        let observer = ProgressObserver::new(move |_evaluations: usize| {
+            let n = epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            metrics.epochs.inc();
+            metrics.sink().record(job, Stage::Epoch, n);
+        });
         // Seed the job's cancellation token into the platform: the tuner
         // checks it at epoch boundaries and the simulator every
         // `CANCEL_CHECK_INTERVAL` instructions, so an expired deadline
         // frees this worker promptly.
-        let platform = framework.platform().with_cancel_token(cancel.clone());
+        let platform = framework
+            .platform()
+            .with_cancel_token(cancel.clone())
+            .with_progress_observer(observer);
         platform.import_cache(inner.store.load_cache(&key));
 
         let result = framework.run_on(&platform);
@@ -684,55 +818,79 @@ fn execute_job(inner: &SchedulerInner, job: u64) {
             eprintln!("microgradd: failed to persist cache dump for `{key}`: {e}");
         }
         if let Ok(output) = &result {
-            if let Err(e) = inner.store.save_report(&config, output) {
-                eprintln!("microgradd: failed to persist report for job {job}: {e}");
+            match inner.store.save_report(&config, output) {
+                Ok(()) => inner.metrics.sink().record(job, Stage::Persisted, 0),
+                Err(e) => {
+                    eprintln!("microgradd: failed to persist report for job {job}: {e}");
+                }
             }
         }
         (result, platform.cache_stats())
     }));
 
-    let mut state = lock_or_recover(&inner.state);
-    state.running = state.running.saturating_sub(1);
-    let Some(record) = state.jobs.get_mut(&job) else {
-        // Evicted mid-run (unreachable today); still wake any waiters so a
-        // `wait` on the vanished id re-checks and returns `None`.
-        inner.job_done.notify_all();
-        return;
-    };
-    match outcome {
-        Ok((result, cache_stats)) => {
-            match result {
-                Ok(output) => {
-                    record.state = JobState::Done;
-                    record.output = Some(output);
-                    state.counters.completed += 1;
+    {
+        let mut state = lock_or_recover(&inner.state);
+        state.running = state.running.saturating_sub(1);
+        let Some(record) = state.jobs.get_mut(&job) else {
+            // Evicted mid-run (unreachable today); still wake any waiters so
+            // a `wait` on the vanished id re-checks and returns `None`.
+            inner.job_done.notify_all();
+            return;
+        };
+        let (received_ns, dequeued_ns) = (record.received_ns, record.dequeued_ns);
+        match outcome {
+            Ok((result, cache_stats)) => {
+                match result {
+                    Ok(output) => {
+                        record.state = JobState::Done;
+                        record.output = Some(output);
+                        inner.metrics.jobs_completed.inc();
+                        inner.metrics.sink().record(job, Stage::Completed, 0);
+                    }
+                    // A cancellation raised by the job's own (deadline-armed)
+                    // token is a timeout, not a failure: the deadline is the
+                    // only thing that fires these per-job tokens.
+                    Err(MicroGradError::Cancelled) if cancel.is_cancelled() => {
+                        record.state = JobState::TimedOut;
+                        inner.metrics.jobs_timed_out.inc();
+                        inner.metrics.sink().record(job, Stage::TimedOut, 0);
+                    }
+                    Err(e) => {
+                        record.state = JobState::Failed {
+                            error: e.to_string(),
+                        };
+                        inner.metrics.jobs_failed.inc();
+                        inner.metrics.sink().record(job, Stage::Failed, 0);
+                    }
                 }
-                // A cancellation raised by the job's own (deadline-armed)
-                // token is a timeout, not a failure: the deadline is the
-                // only thing that fires these per-job tokens.
-                Err(MicroGradError::Cancelled) if cancel.is_cancelled() => {
-                    record.state = JobState::TimedOut;
-                    state.counters.timed_out += 1;
-                }
-                Err(e) => {
-                    record.state = JobState::Failed {
-                        error: e.to_string(),
-                    };
-                    state.counters.failed += 1;
-                }
+                state.cache_totals = state.cache_totals.merged(cache_stats);
             }
-            state.cache_totals = state.cache_totals.merged(cache_stats);
+            Err(payload) => {
+                record.state = JobState::Failed {
+                    error: format!("job execution panicked: {}", panic_message(&*payload)),
+                };
+                inner.metrics.jobs_failed.inc();
+                inner.metrics.sink().record(job, Stage::Failed, 0);
+            }
         }
-        Err(payload) => {
-            record.state = JobState::Failed {
-                error: format!("job execution panicked: {}", panic_message(&*payload)),
-            };
-            state.counters.failed += 1;
-        }
+        let now = now_ns();
+        inner
+            .metrics
+            .job_execution_us
+            .record(now.saturating_sub(dequeued_ns) / 1_000);
+        inner
+            .metrics
+            .job_total_us
+            .record(now.saturating_sub(received_ns) / 1_000);
+        let hook = inner.hook();
+        state.mark_terminal(job, inner.config.retained_jobs, hook.as_ref());
+        inner
+            .metrics
+            .sync_queue(state.queue.len() as u64, state.running);
+        inner.job_done.notify_all();
     }
-    let hook = inner.hook();
-    state.mark_terminal(job, inner.config.retained_jobs, hook.as_ref());
-    inner.job_done.notify_all();
+    // The timeline is complete; persist it outside the state lock.
+    inner.persist_timeline(job);
 }
 
 /// Best-effort extraction of a panic payload's message.

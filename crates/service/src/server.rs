@@ -31,6 +31,8 @@ use crate::reactor::{
 };
 use crate::scheduler::{FetchResult, Scheduler, SchedulerConfig, SubmitError};
 use crate::store::ResultStore;
+use micrograd_obs::clock::now_ns;
+use micrograd_obs::Stage;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -308,78 +310,137 @@ impl Drop for Server {
     }
 }
 
-/// Executes one decoded request line.  Runs on a handler thread; returns
-/// either an encoded response line or a deferred-watch registration for
-/// the reactor.
+/// Executes one request line, timing it into the metrics registry: every
+/// line becomes exactly one `micrograd_requests_total{op=...}` count and
+/// one `micrograd_request_duration_us` histogram sample (undecodable
+/// lines under `op="invalid"`).
 fn handle_line(line: &str, ctx: &HandlerCtx) -> HandlerOutcome {
+    let started_ns = now_ns();
+    let (op, outcome) = dispatch_line(line, ctx);
+    ctx.scheduler
+        .metrics()
+        .record_request(op, now_ns().saturating_sub(started_ns) / 1_000);
+    outcome
+}
+
+/// Decodes and dispatches one request line.  Runs on a handler thread;
+/// returns the op label (for metrics) and either an encoded response line
+/// or a deferred-watch registration for the reactor.
+fn dispatch_line(line: &str, ctx: &HandlerCtx) -> (&'static str, HandlerOutcome) {
     let request = match decode_request(line) {
         Ok(request) => request,
         Err(e @ (WireError::Malformed(_) | WireError::Version { .. } | WireError::Encode(_))) => {
-            return encode_outcome(&Response::new(ResponseBody::Error {
+            let outcome = encode_outcome(&Response::new(ResponseBody::Error {
                 message: e.to_string(),
                 retry_after_ms: None,
             }));
+            return ("invalid", outcome);
         }
     };
     let scheduler = &ctx.scheduler;
-    let body = match request.body {
+    let (op, body) = match request.body {
         RequestBody::Submit {
             config,
             priority,
             deadline_ms,
-        } => match scheduler.submit_with_deadline(config, priority, deadline_ms) {
-            Ok(outcome) => ResponseBody::Submitted {
-                job: outcome.job,
-                deduped: outcome.deduped,
-                cached: outcome.cached,
-            },
-            Err(e) => {
-                // Both rejections are transient, so both carry a
-                // machine-readable retry hint.
-                let retry_after_ms = match &e {
-                    SubmitError::QueueFull { .. } => Some(QUEUE_FULL_RETRY_MS),
-                    SubmitError::ShuttingDown => Some(SHUTDOWN_RETRY_MS),
-                };
-                ResponseBody::Error {
-                    message: e.to_string(),
-                    retry_after_ms,
+        } => (
+            "submit",
+            match scheduler.submit_with_deadline(config, priority, deadline_ms) {
+                Ok(outcome) => {
+                    scheduler
+                        .metrics()
+                        .sink()
+                        .record(outcome.job, Stage::Responded, 0);
+                    ResponseBody::Submitted {
+                        job: outcome.job,
+                        deduped: outcome.deduped,
+                        cached: outcome.cached,
+                    }
                 }
-            }
-        },
-        RequestBody::Status { job } => match scheduler.status(job) {
-            Some(state) => ResponseBody::Status { job, state },
-            None => ResponseBody::Error {
-                message: format!("unknown job {job}"),
-                retry_after_ms: None,
+                Err(e) => {
+                    // Both rejections are transient, so both carry a
+                    // machine-readable retry hint.
+                    let retry_after_ms = match &e {
+                        SubmitError::QueueFull { .. } => Some(QUEUE_FULL_RETRY_MS),
+                        SubmitError::ShuttingDown => Some(SHUTDOWN_RETRY_MS),
+                    };
+                    if let Some(hint) = retry_after_ms {
+                        scheduler.metrics().retry_after_ms.set(hint);
+                    }
+                    ResponseBody::Error {
+                        message: e.to_string(),
+                        retry_after_ms,
+                    }
+                }
             },
-        },
+        ),
+        RequestBody::Status { job } => (
+            "status",
+            match scheduler.status(job) {
+                Some(state) => ResponseBody::Status { job, state },
+                None => ResponseBody::Error {
+                    message: format!("unknown job {job}"),
+                    retry_after_ms: None,
+                },
+            },
+        ),
         RequestBody::Watch { job, timeout_ms } => {
             // The reactor owns watch resolution; the deadline is fixed
             // here so queueing delays count against the client's budget.
-            return HandlerOutcome::Watch {
-                job,
-                deadline: timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
-            };
+            return (
+                "watch",
+                HandlerOutcome::Watch {
+                    job,
+                    deadline: timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+                },
+            );
         }
-        RequestBody::Fetch { job } => match scheduler.fetch(job) {
-            FetchResult::Ready(output) => ResponseBody::Report { job, output },
-            FetchResult::NotReady(state) => ResponseBody::Error {
-                message: format!("job {job} is not finished (state: {state})"),
-                retry_after_ms: None,
+        RequestBody::Fetch { job } => (
+            "fetch",
+            match scheduler.fetch(job) {
+                FetchResult::Ready(output) => ResponseBody::Report { job, output },
+                FetchResult::NotReady(state) => ResponseBody::Error {
+                    message: format!("job {job} is not finished (state: {state})"),
+                    retry_after_ms: None,
+                },
+                FetchResult::NotFound => ResponseBody::Error {
+                    message: format!("unknown job {job}"),
+                    retry_after_ms: None,
+                },
             },
-            FetchResult::NotFound => ResponseBody::Error {
-                message: format!("unknown job {job}"),
-                retry_after_ms: None,
+        ),
+        RequestBody::List => (
+            "list",
+            ResponseBody::Jobs {
+                jobs: scheduler.list(),
             },
-        },
-        RequestBody::List => ResponseBody::Jobs {
-            jobs: scheduler.list(),
-        },
+        ),
         RequestBody::Stats => {
             let mut stats = scheduler.stats();
             stats.reactor = ctx.counters.snapshot();
-            ResponseBody::Stats { stats }
+            ("stats", ResponseBody::Stats { stats })
         }
+        RequestBody::Metrics => {
+            // Mirror the reactor's live counters into the registry so one
+            // scrape sees every layer, then render the whole registry.
+            scheduler.metrics().sync_reactor(&ctx.counters.snapshot());
+            (
+                "metrics",
+                ResponseBody::Metrics {
+                    text: scheduler.metrics_text(),
+                },
+            )
+        }
+        RequestBody::Trace { job } => (
+            "trace",
+            match scheduler.timeline(job) {
+                Some(timeline) => ResponseBody::Timeline { timeline },
+                None => ResponseBody::Error {
+                    message: format!("no timeline recorded for job {job}"),
+                    retry_after_ms: None,
+                },
+            },
+        ),
         RequestBody::Shutdown => {
             // Close the scheduler's intake first: submissions racing the
             // shutdown get a `ShuttingDown` error instead of a success
@@ -389,10 +450,10 @@ fn handle_line(line: &str, ctx: &HandlerCtx) -> HandlerOutcome {
             scheduler.begin_shutdown();
             ctx.signal.trigger();
             ctx.wake.notify();
-            ResponseBody::ShuttingDown
+            ("shutdown", ResponseBody::ShuttingDown)
         }
     };
-    encode_outcome(&Response::new(body))
+    (op, encode_outcome(&Response::new(body)))
 }
 
 /// Encodes a response for the wire; a response that cannot be serialized

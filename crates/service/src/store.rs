@@ -40,6 +40,7 @@
 use crate::fault::{FaultPlan, FaultSite};
 use micrograd_codegen::GeneratorInput;
 use micrograd_core::{FrameworkConfig, FrameworkOutput, Metrics};
+use micrograd_obs::JobTimeline;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -60,6 +61,23 @@ pub struct StoredReport {
     pub config: FrameworkConfig,
     /// The completed report.
     pub output: FrameworkOutput,
+}
+
+/// The on-disk shape of one persisted job timeline.
+///
+/// Timelines are observability metadata keyed by *job id*, not by
+/// configuration fingerprint: two runs of the same configuration have the
+/// same report but different timelines.  They are written best-effort when
+/// a job reaches a terminal state and never participate in deduplication
+/// or result identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredTimeline {
+    /// Store format version (currently [`crate::PROTO_VERSION`]).
+    pub proto: u32,
+    /// The job the timeline belongs to (also in the file name).
+    pub job: u64,
+    /// The recorded stage marks.
+    pub timeline: JobTimeline,
 }
 
 /// The on-disk shape of one memo-cache dump.
@@ -85,6 +103,7 @@ pub struct ResultStore {
     // resident (reports are read on demand) and only serializes writers.
     reports: Mutex<HashMap<u64, StoredReport>>,
     caches: Mutex<HashMap<String, StoredCache>>,
+    timelines: Mutex<HashMap<u64, StoredTimeline>>,
 }
 
 /// The platform key a configuration's evaluations are valid under: the
@@ -192,6 +211,7 @@ impl ResultStore {
             quarantined: AtomicU64::new(0),
             reports: Mutex::new(HashMap::new()),
             caches: Mutex::new(HashMap::new()),
+            timelines: Mutex::new(HashMap::new()),
         };
         store.recover()?;
         Ok(store)
@@ -206,6 +226,7 @@ impl ResultStore {
             quarantined: AtomicU64::new(0),
             reports: Mutex::new(HashMap::new()),
             caches: Mutex::new(HashMap::new()),
+            timelines: Mutex::new(HashMap::new()),
         }
     }
 
@@ -254,6 +275,12 @@ impl ResultStore {
             .map(|d| d.join(format!("cache-{:016x}.json", key_hash(key))))
     }
 
+    fn timeline_path(&self, job: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("trace-{job:016x}.json")))
+    }
+
     /// Startup scan: verify every `report-*`/`cache-*` file, quarantine
     /// what fails, sweep stale temp files.
     fn recover(&self) -> io::Result<()> {
@@ -280,6 +307,10 @@ impl ResultStore {
                 std::fs::read_to_string(&path)
                     .map_err(|e| e.to_string())
                     .and_then(|text| parse_sealed::<StoredCache>(&text).map(|_| ()))
+            } else if name.starts_with("trace-") && name.ends_with(".json") {
+                std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| parse_sealed::<StoredTimeline>(&text).map(|_| ()))
             } else {
                 continue;
             };
@@ -448,6 +479,55 @@ impl ResultStore {
         }
     }
 
+    /// Persists the timeline of a terminal job, keyed by job id.
+    ///
+    /// Timelines are observability metadata: the scheduler writes them
+    /// best-effort after a job's terminal transition, and a failed write
+    /// costs a `trace` answer, never a result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be written.  The in-memory
+    /// mode never fails.
+    pub fn save_timeline(&self, timeline: &JobTimeline) -> io::Result<()> {
+        let stored = StoredTimeline {
+            proto: crate::PROTO_VERSION,
+            job: timeline.job,
+            timeline: timeline.clone(),
+        };
+        match self.timeline_path(timeline.job) {
+            Some(path) => self.write_atomically(&path, &stored),
+            None => {
+                self.timelines.lock().insert(timeline.job, stored);
+                Ok(())
+            }
+        }
+    }
+
+    /// Loads the timeline previously saved for a job.  Returns `None` when
+    /// nothing is stored or the file fails integrity verification (it is
+    /// then quarantined).
+    #[must_use]
+    pub fn load_timeline(&self, job: u64) -> Option<JobTimeline> {
+        let stored = match self.timeline_path(job) {
+            Some(path) => {
+                if self.fault.should_inject(FaultSite::StoreRead) {
+                    return None;
+                }
+                let text = std::fs::read_to_string(&path).ok()?;
+                match parse_sealed::<StoredTimeline>(&text) {
+                    Ok(stored) => stored,
+                    Err(reason) => {
+                        self.quarantine_file(&path, &reason);
+                        return None;
+                    }
+                }
+            }
+            None => self.timelines.lock().get(&job)?.clone(),
+        };
+        (stored.job == job).then_some(stored.timeline)
+    }
+
     fn write_atomically<T: Serialize>(&self, path: &Path, value: &T) -> io::Result<()> {
         // Unique temp name per write: two workers persisting the same target
         // (e.g. the cache dump of a shared platform key) must not interleave
@@ -581,6 +661,51 @@ mod tests {
         let mut reseeded = config;
         reseeded.seed = 9;
         assert_ne!(platform_key(&reseeded), key);
+    }
+
+    #[test]
+    fn timelines_round_trip_survive_reopen_and_quarantine_damage() {
+        use micrograd_obs::TimelineMark;
+        let scratch = ScratchDir::new("timeline");
+        let timeline = JobTimeline {
+            job: 7,
+            started_ns: 1_000,
+            marks: vec![
+                TimelineMark {
+                    stage: "received".into(),
+                    offset_ns: 0,
+                    detail: 0,
+                },
+                TimelineMark {
+                    stage: "completed".into(),
+                    offset_ns: 5_000,
+                    detail: 0,
+                },
+            ],
+        };
+        {
+            let store = ResultStore::open(scratch.path()).unwrap();
+            assert!(store.load_timeline(7).is_none());
+            store.save_timeline(&timeline).unwrap();
+            assert_eq!(store.load_timeline(7), Some(timeline.clone()));
+            assert!(store.load_timeline(8).is_none());
+        }
+        // Survives a daemon restart — the property `trace` relies on.
+        let store = ResultStore::open(scratch.path()).unwrap();
+        assert_eq!(store.quarantined_count(), 0);
+        assert_eq!(store.load_timeline(7), Some(timeline.clone()));
+
+        // Damage is quarantined like any other store file.
+        let path = store.timeline_path(7).unwrap();
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(store.load_timeline(7).is_none());
+        assert_eq!(store.quarantined_count(), 1);
+        assert!(!path.exists(), "damaged file was moved aside");
+
+        // In-memory mode offers the same interface.
+        let memory = ResultStore::in_memory();
+        memory.save_timeline(&timeline).unwrap();
+        assert_eq!(memory.load_timeline(7), Some(timeline));
     }
 
     #[test]

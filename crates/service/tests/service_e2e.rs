@@ -249,6 +249,66 @@ fn restarted_daemon_answers_repeat_jobs_from_the_durable_store() {
 }
 
 #[test]
+fn metrics_scrape_and_job_timelines_cover_the_whole_pipeline() {
+    let scratch = ScratchDir::new("obs");
+    let server = start_server(Some(scratch.path().to_path_buf()));
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let (job, _) = submit_poll_fetch(&mut client, &stress_config(11));
+
+    // The Prometheus scrape reports every layer: scheduler counters,
+    // request series, latency histograms with buckets, reactor gauges.
+    let text = client.metrics().expect("metrics scrape succeeds");
+    for family in [
+        "# TYPE micrograd_jobs_submitted_total counter",
+        "micrograd_jobs_submitted_total 1",
+        "micrograd_jobs_completed_total 1",
+        "micrograd_executions_total 1",
+        "micrograd_requests_total{op=\"submit\"} 1",
+        "micrograd_request_duration_us_bucket",
+        "micrograd_job_queue_wait_us_count 1",
+        "micrograd_job_execution_us_count 1",
+        "micrograd_job_total_us_count 1",
+        "micrograd_epochs_total",
+        "micrograd_reactor_connections_open 1",
+        "micrograd_stored_reports 1",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+
+    // The job's timeline walks the full pipeline in order, with at least
+    // one per-epoch execution mark, and survives in the durable store.
+    let timeline = client.trace(job).expect("timeline recorded");
+    assert_eq!(timeline.job, job);
+    let stages: Vec<&str> = timeline.marks.iter().map(|m| m.stage.as_str()).collect();
+    for stage in [
+        "received",
+        "queued",
+        "dequeued",
+        "executing",
+        "persisted",
+        "completed",
+    ] {
+        assert!(stages.contains(&stage), "missing `{stage}` in {stages:?}");
+    }
+    let epochs = stages.iter().filter(|s| **s == "epoch").count();
+    assert_eq!(epochs, 2, "one mark per tuner epoch: {stages:?}");
+    let rendered = timeline.render();
+    assert!(rendered.contains("persisted"), "render: {rendered}");
+
+    // Offsets are monotonic: the sink sorts by time, and every stage
+    // happened after admission.
+    assert!(timeline
+        .marks
+        .windows(2)
+        .all(|w| w[0].offset_ns <= w[1].offset_ns));
+
+    // An unknown job is a server error, not a protocol failure.
+    assert!(client.trace(9_999).is_err());
+    server.shutdown();
+}
+
+#[test]
 fn malformed_and_mismatched_lines_get_error_responses_not_disconnects() {
     let server = start_server(None);
     let stream = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");

@@ -7,6 +7,7 @@ use crate::stats::{ActivityCounts, SimStats};
 use crate::GsharePredictor;
 use micrograd_codegen::{Trace, TraceSource};
 use micrograd_isa::{FuncUnit, InstrClass, Instruction, LatencyModel, Opcode, Reg};
+use micrograd_obs::{ProfileRecorder, ProfileSample};
 use std::collections::VecDeque;
 
 /// A fixed-capacity ring recording one `u64` per in-flight instruction of a
@@ -65,6 +66,19 @@ impl WindowRing {
     fn reset(&mut self) {
         self.pos = 0;
         self.filled = false;
+    }
+
+    /// Window entries still in flight at `cycle`: recorded completion
+    /// cycles strictly in the future.  Allocation-free scan of the (at
+    /// most window-sized) valid slots; used only by the sampled profiler.
+    #[allow(clippy::cast_possible_truncation)]
+    fn occupancy(&self, cycle: u64) -> u32 {
+        let valid = if self.filled {
+            self.slots.len()
+        } else {
+            self.pos
+        };
+        self.slots[..valid].iter().filter(|&&c| c > cycle).count() as u32
     }
 }
 
@@ -214,6 +228,7 @@ pub struct Simulator {
     reg_ready: Vec<u64>,
     unit_free: [Vec<u64>; 4],
     decoded: Vec<DecodedInstr>,
+    profiler: ProfileRecorder,
 }
 
 impl Simulator {
@@ -235,11 +250,34 @@ impl Simulator {
                 vec![0; config.units_for(FuncUnit::Mem).max(1) as usize],
             ],
             decoded: Vec::new(),
+            profiler: ProfileRecorder::off(),
             hierarchy,
             predictor,
             latency: LatencyModel::default(),
             config,
         }
+    }
+
+    /// Enables sampled profiling: every `interval` retired instructions the
+    /// run snapshots its cumulative counters (cycles, L1D accesses/hits,
+    /// branches/mispredicts, ROB and RS occupancy) into
+    /// [`SimStats::profile`].  `interval == 0` disables profiling (the
+    /// default), which costs nothing — the recorder is polled from the
+    /// existing cancellation-check block, so a disabled recorder adds one
+    /// predictable branch every [`CANCEL_CHECK_INTERVAL`] instructions.
+    ///
+    /// Samples land at poll boundaries, so the effective resolution is
+    /// `interval` rounded up to the next multiple of
+    /// [`CANCEL_CHECK_INTERVAL`].  Samples are keyed by retired-instruction
+    /// count — never by time — so profiled runs stay bit-reproducible.
+    ///
+    /// [`CANCEL_CHECK_INTERVAL`]: Simulator::CANCEL_CHECK_INTERVAL
+    pub fn set_profiling(&mut self, interval: u64) {
+        self.profiler = if interval == 0 {
+            ProfileRecorder::off()
+        } else {
+            ProfileRecorder::every(interval)
+        };
     }
 
     /// Retired-instruction cadence of cancellation polls in
@@ -269,6 +307,7 @@ impl Simulator {
         for units in &mut self.unit_free {
             units.fill(0);
         }
+        self.profiler.reset();
     }
 
     /// Runs a materialized dynamic trace to completion and returns the
@@ -361,6 +400,20 @@ impl Simulator {
             n += 1;
             if n & (Self::CANCEL_CHECK_INTERVAL - 1) == 0 {
                 cancel.check()?;
+                if self.profiler.due(n as u64) {
+                    let hier = self.hierarchy.stats();
+                    let branch = self.predictor.stats();
+                    self.profiler.push(ProfileSample {
+                        retired: n as u64,
+                        cycles: max_completion.max(fetch_cycle),
+                        l1d_accesses: hier.l1d.accesses,
+                        l1d_hits: hier.l1d.hits,
+                        branches: branch.lookups,
+                        branch_mispredicts: branch.mispredictions,
+                        rob_occupancy: self.completion_ring.occupancy(fetch_cycle),
+                        rs_occupancy: self.issue_ring.occupancy(fetch_cycle),
+                    });
+                }
             }
             let instr = self.decoded[dynamic.static_index as usize];
 
@@ -498,6 +551,7 @@ impl Simulator {
         stats.hierarchy = self.hierarchy.stats();
         stats.branch = self.predictor.stats();
         stats.activity = activity;
+        stats.profile = self.profiler.finish();
         for (class, &count) in CLASS_ORDER.iter().zip(class_counts.iter()) {
             if count > 0 {
                 stats.class_counts.insert(*class, count);
@@ -624,6 +678,44 @@ mod tests {
         assert_eq!(result, Err(Cancelled));
         // The abandoned run must not poison the next one.
         assert_eq!(sim.run(&trace), expected);
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_stats_and_is_deterministic() {
+        let trace = trace_for(|_| {});
+        let mut plain_sim = Simulator::new(CoreConfig::small());
+        let plain = plain_sim.run(&trace);
+        assert_eq!(plain.profile, None, "profiling must be off by default");
+
+        let mut sim = Simulator::new(CoreConfig::small());
+        sim.set_profiling(8_192);
+        let first = sim.run(&trace);
+        let second = sim.run(&trace);
+        assert_eq!(first, second, "profiled runs must be deterministic");
+
+        let profile = first.profile.clone().expect("profile enabled");
+        assert!(!profile.samples.is_empty());
+        // Samples land at cancellation-poll boundaries, keyed by retired
+        // count, strictly increasing and cumulative.
+        for pair in profile.samples.windows(2) {
+            assert!(pair[0].retired < pair[1].retired);
+            assert!(pair[0].cycles <= pair[1].cycles);
+            assert!(pair[0].l1d_accesses <= pair[1].l1d_accesses);
+            assert!(pair[0].branches <= pair[1].branches);
+        }
+        let last = profile.samples.last().unwrap();
+        assert_eq!(last.retired % Simulator::CANCEL_CHECK_INTERVAL as u64, 0);
+        assert!(last.ipc() > 0.0);
+        assert!(last.l1d_hit_rate() > 0.0);
+
+        // Everything except the profile matches the unprofiled run.
+        let mut scrubbed = first.clone();
+        scrubbed.profile = None;
+        assert_eq!(scrubbed, plain);
+
+        // Turning profiling back off restores byte-identical output.
+        sim.set_profiling(0);
+        assert_eq!(sim.run(&trace), plain);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::branch::BranchStats;
 use crate::hierarchy::HierarchyStats;
 use micrograd_isa::InstrClass;
+use micrograd_obs::SimProfile;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -56,6 +57,12 @@ pub struct SimStats {
     pub branch: BranchStats,
     /// Power-model activity counts.
     pub activity: ActivityCounts,
+    /// Sampled time-resolved profile, present only when the run was made
+    /// with profiling enabled ([`crate::Simulator::set_profiling`]).
+    /// Samples are keyed by retired-instruction count, so a profiled run is
+    /// exactly as deterministic as an unprofiled one.
+    #[serde(default)]
+    pub profile: Option<SimProfile>,
 }
 
 impl SimStats {

@@ -11,11 +11,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use micrograd::codegen::StreamingExpander;
 use micrograd::core::{
     CoreKind, FrameworkConfig, FrameworkOutput, KnobSpaceKind, MetricKind, Metrics, MicroGrad,
     MicroGradError, TunerKind, UseCaseConfig,
 };
 use micrograd::service::{Client, Server, ServerConfig};
+use micrograd::sim::Simulator;
 
 fn main() -> Result<(), MicroGradError> {
     // Describe the workload to clone by its metrics of interest.
@@ -51,7 +53,7 @@ fn main() -> Result<(), MicroGradError> {
 
     // Own the platform (instead of plain `run()`) so the memoization-cache
     // counters can be inspected after the run.
-    let framework = MicroGrad::new(config);
+    let framework = MicroGrad::new(config.clone());
     let platform = framework.platform();
     let output = framework.run_on(&platform)?;
     let FrameworkOutput::Clone(report) = output else {
@@ -82,24 +84,53 @@ fn main() -> Result<(), MicroGradError> {
         report.mean_accuracy * 100.0,
         report.converged
     );
-    let cache = platform.cache_stats();
-    println!(
-        "memo cache: {} lookups, {} hits ({:.1}% hit rate), {} inserts, \
-         {}/{} entries resident, {} replacements",
-        cache.lookups(),
-        cache.hits,
-        cache.hit_rate() * 100.0,
-        cache.inserts,
-        cache.entries,
-        cache.capacity,
-        cache.replacements
-    );
+
+    // Time-resolved behaviour of the clone: regenerate the winning test
+    // case and re-run it under the simulator's sampled profiler.  The
+    // samples are keyed by retired-instruction count (never wall-clock),
+    // so the profile is exactly as deterministic as the tuning run — this
+    // is how cloning-accuracy debugging compares original vs clone phase
+    // by phase instead of by end-of-run aggregates.
+    let input = config
+        .knob_space
+        .build()
+        .resolve(&report.knob_config, config.seed)?;
+    let test_case = platform.generate(&input)?;
+    let mut source = StreamingExpander::new(&test_case, config.dynamic_len, config.seed);
+    let mut sim = Simulator::new(config.core.config());
+    sim.set_profiling(4_096);
+    let stats = sim.run_source(&mut source);
+    if let Some(profile) = &stats.profile {
+        println!();
+        println!(
+            "time-resolved clone profile ({} samples, every {} retired instructions):",
+            profile.samples.len(),
+            profile.interval
+        );
+        println!(
+            "{:>10} {:>7} {:>9} {:>11} {:>8} {:>7}",
+            "retired", "ipc", "l1d-hit", "mispredict", "rob-occ", "rs-occ"
+        );
+        for sample in &profile.samples {
+            println!(
+                "{:>10} {:>7.3} {:>8.1}% {:>10.1}% {:>8} {:>7}",
+                sample.retired,
+                sample.ipc(),
+                sample.l1d_hit_rate() * 100.0,
+                sample.mispredict_rate() * 100.0,
+                sample.rob_occupancy,
+                sample.rs_occupancy
+            );
+        }
+    }
 
     // The same framework also runs as a daemon built on a readiness
     // event loop: one reactor thread multiplexes every socket, so idle
     // connections cost file descriptors, not threads. Boot an
-    // in-process server, park a crowd of idle sessions on it, and read
-    // the reactor's counters back through the stats endpoint.
+    // in-process server, park a crowd of idle sessions on it, exercise
+    // a couple of requests, and render the *unified* metrics registry —
+    // scheduler counters, request series, latency histograms, reactor
+    // and memo-cache gauges, one table for every layer.
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 1,
@@ -110,24 +141,33 @@ fn main() -> Result<(), MicroGradError> {
         .map(|_| std::net::TcpStream::connect(server.local_addr()).expect("idle connect"))
         .collect();
     let mut client = Client::connect(server.local_addr()).expect("client connects");
-    let stats = client.stats().expect("stats answers");
-    let reactor = stats.reactor;
+    client.stats().expect("stats answers");
+    client.list().expect("list answers");
+
+    let metrics = server.scheduler().metrics();
+    // Fold the *local* run's memo-cache counters and the reactor's live
+    // counters into the registry, so the table below covers every layer
+    // this example touched.
+    metrics.sync_cache(&platform.cache_stats());
+    metrics.sync_reactor(&server.reactor_stats());
     println!();
     println!(
-        "event-loop daemon with {} idle sessions parked on it:",
+        "unified metrics registry ({} idle sessions parked on the daemon):",
         idle.len()
     );
-    println!(
-        "reactor: {} connections open ({} accepted, {} closed), \
-         {} loop wakeups, {} B write-queue high-water mark, \
-         {} completions pushed",
-        reactor.connections_open,
-        reactor.connections_accepted,
-        reactor.connections_closed,
-        reactor.loop_wakeups,
-        reactor.write_queue_hwm,
-        reactor.notifications_pushed
-    );
+    println!("{:<44} {:>12}  p50/p95/p99 (us)", "series", "value");
+    for sample in metrics.samples() {
+        match sample.quantiles {
+            Some((p50, p95, p99)) => {
+                println!(
+                    "{:<44} {:>12}  {p50}/{p95}/{p99}",
+                    sample.name, sample.value
+                );
+            }
+            None if sample.value != 0 => println!("{:<44} {:>12}", sample.name, sample.value),
+            None => {}
+        }
+    }
     drop(client);
     drop(idle);
     server.shutdown();

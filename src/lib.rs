@@ -110,6 +110,7 @@
 pub use micrograd_codegen as codegen;
 pub use micrograd_core as core;
 pub use micrograd_isa as isa;
+pub use micrograd_obs as obs;
 pub use micrograd_power as power;
 pub use micrograd_service as service;
 pub use micrograd_sim as sim;
